@@ -1,0 +1,133 @@
+//! The paper's taxonomy for comparing a 2P-node curve against a P-node
+//! curve (§3.2):
+//!
+//! 1. **Poor speedup** — the 2P curve lies completely above (more
+//!    energy than) the P curve: more nodes always cost energy.
+//! 2. **Perfect/superlinear speedup** — the 2P fastest-gear point is at
+//!    or below the P fastest-gear point: more nodes are free or better
+//!    in energy *and* faster.
+//! 3. **Good speedup** — the interesting middle: the 2P fastest gear
+//!    costs more energy, but some lower gear on 2P nodes *dominates*
+//!    the P fastest gear (finishes sooner with less energy).
+
+use crate::curve::{EnergyTimeCurve, EnergyTimePoint};
+use serde::{Deserialize, Serialize};
+
+/// The paper's three comparison cases (plus a fallback when a pair of
+/// curves fits none of them, e.g. when more nodes are outright slower).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScalingCase {
+    /// Case 1: the larger configuration always costs more energy.
+    PoorSpeedup,
+    /// Case 2: the larger configuration's fastest point uses no more
+    /// energy than the smaller one's.
+    PerfectOrSuperlinear,
+    /// Case 3: a slower gear on more nodes dominates fewer nodes at the
+    /// fastest gear.
+    GoodSpeedup,
+    /// The larger configuration is not faster at its fastest gear — the
+    /// paper excludes this regime ("we do not consider the case where
+    /// the time on 2P nodes is larger").
+    NotFaster,
+}
+
+/// Does point `a` dominate point `b` (strictly faster *and* no more
+/// energy, or strictly less energy and no slower)?
+pub fn dominates(a: EnergyTimePoint, b: EnergyTimePoint) -> bool {
+    (a.time_s < b.time_s && a.energy_j <= b.energy_j)
+        || (a.energy_j < b.energy_j && a.time_s <= b.time_s)
+}
+
+/// Classify a `(small, large)` node-count pair per the paper's cases.
+pub fn classify_pair(small: &EnergyTimeCurve, large: &EnergyTimeCurve) -> ScalingCase {
+    assert!(large.nodes > small.nodes, "pass the curves as (fewer nodes, more nodes)");
+    let p1 = small.fastest();
+    let q1 = large.fastest();
+
+    if q1.time_s >= p1.time_s {
+        return ScalingCase::NotFaster;
+    }
+    if q1.energy_j <= p1.energy_j {
+        return ScalingCase::PerfectOrSuperlinear;
+    }
+    // The fastest gear on more nodes is faster but costs energy. Is
+    // there a slower gear that beats the small configuration outright?
+    let some_gear_dominates = large.points.iter().any(|&q| dominates(q, p1));
+    if some_gear_dominates {
+        ScalingCase::GoodSpeedup
+    } else if large.min_energy_j() > p1.energy_j {
+        ScalingCase::PoorSpeedup
+    } else {
+        // A lower gear reaches below the small fastest-gear energy but
+        // only by arriving later — an energy-time *tradeoff* rather
+        // than dominance. The paper folds this into case 1 (the whole
+        // useful region of the 2P curve sits above-left).
+        ScalingCase::PoorSpeedup
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve(nodes: usize, pts: &[(usize, f64, f64)]) -> EnergyTimeCurve {
+        EnergyTimeCurve::new(
+            "t",
+            nodes,
+            pts.iter()
+                .map(|&(gear, time_s, energy_j)| EnergyTimePoint { gear, time_s, energy_j })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn dominance_is_strict_somewhere() {
+        let a = EnergyTimePoint { gear: 1, time_s: 1.0, energy_j: 10.0 };
+        let same = a;
+        assert!(!dominates(a, same));
+        let slower_cheaper = EnergyTimePoint { gear: 2, time_s: 2.0, energy_j: 5.0 };
+        assert!(!dominates(slower_cheaper, a));
+        assert!(!dominates(a, slower_cheaper));
+        let worse = EnergyTimePoint { gear: 3, time_s: 2.0, energy_j: 20.0 };
+        assert!(dominates(a, worse));
+    }
+
+    #[test]
+    fn case1_poor_speedup() {
+        // Doubling nodes: barely faster, much more energy at every gear.
+        let p = curve(2, &[(1, 100.0, 10_000.0), (6, 120.0, 9_000.0)]);
+        let q = curve(4, &[(1, 85.0, 17_000.0), (6, 100.0, 15_000.0)]);
+        assert_eq!(classify_pair(&p, &q), ScalingCase::PoorSpeedup);
+    }
+
+    #[test]
+    fn case2_perfect_speedup() {
+        // EP-like: half the time, same energy.
+        let p = curve(2, &[(1, 100.0, 10_000.0)]);
+        let q = curve(4, &[(1, 50.0, 10_000.0)]);
+        assert_eq!(classify_pair(&p, &q), ScalingCase::PerfectOrSuperlinear);
+    }
+
+    #[test]
+    fn case3_good_speedup() {
+        // Fastest gear on 2P costs more energy, but gear 4 dominates.
+        let p = curve(4, &[(1, 100.0, 10_000.0)]);
+        let q = curve(8, &[(1, 58.0, 11_200.0), (4, 67.0, 9_900.0)]);
+        assert_eq!(classify_pair(&p, &q), ScalingCase::GoodSpeedup);
+    }
+
+    #[test]
+    fn not_faster_case_detected() {
+        let p = curve(4, &[(1, 100.0, 10_000.0)]);
+        let q = curve(8, &[(1, 100.0, 20_000.0)]);
+        assert_eq!(classify_pair(&p, &q), ScalingCase::NotFaster);
+    }
+
+    #[test]
+    #[should_panic(expected = "fewer nodes")]
+    fn wrong_order_panics() {
+        let p = curve(4, &[(1, 1.0, 1.0)]);
+        let q = curve(8, &[(1, 1.0, 1.0)]);
+        let _ = classify_pair(&q, &p);
+    }
+}

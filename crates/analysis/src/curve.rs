@@ -1,0 +1,179 @@
+//! Energy-time curves: one point per gear at a fixed node count.
+
+use serde::{Deserialize, Serialize};
+
+/// One measured configuration: a gear's execution time and cumulative
+/// cluster energy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyTimePoint {
+    /// Gear index (1 = fastest).
+    pub gear: usize,
+    /// Execution time, seconds.
+    pub time_s: f64,
+    /// Cumulative energy of all nodes, joules.
+    pub energy_j: f64,
+}
+
+/// The energy-time curve of one application at one node count —
+/// the unit plotted in the paper's Figures 1–5.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnergyTimeCurve {
+    /// What was run (e.g. `"CG"`).
+    pub label: String,
+    /// Node count.
+    pub nodes: usize,
+    /// One point per gear, fastest gear first.
+    pub points: Vec<EnergyTimePoint>,
+}
+
+impl EnergyTimeCurve {
+    /// Build a curve; points are sorted by gear index.
+    pub fn new(label: impl Into<String>, nodes: usize, mut points: Vec<EnergyTimePoint>) -> Self {
+        assert!(!points.is_empty(), "a curve needs at least one point");
+        points.sort_by_key(|p| p.gear);
+        EnergyTimeCurve { label: label.into(), nodes, points }
+    }
+
+    /// The fastest-gear point (the paper's reference: "the leftmost
+    /// point on the graph").
+    pub fn fastest(&self) -> EnergyTimePoint {
+        self.points[0]
+    }
+
+    /// The point at a given gear index, if measured.
+    pub fn at_gear(&self, gear: usize) -> Option<EnergyTimePoint> {
+        self.points.iter().copied().find(|p| p.gear == gear)
+    }
+
+    /// Relative time increase of a gear vs. the fastest gear
+    /// (the paper's *delay*; 0 at gear 1).
+    pub fn delay(&self, gear: usize) -> Option<f64> {
+        let p = self.at_gear(gear)?;
+        Some(p.time_s / self.fastest().time_s - 1.0)
+    }
+
+    /// Relative energy savings of a gear vs. the fastest gear
+    /// (positive = saves energy).
+    pub fn savings(&self, gear: usize) -> Option<f64> {
+        let p = self.at_gear(gear)?;
+        Some(1.0 - p.energy_j / self.fastest().energy_j)
+    }
+
+    /// The paper's Table 1 slope between two gears, computed on values
+    /// *normalized to the fastest gear*:
+    /// `(E_j/E_1 − E_i/E_1) / (T_j/T_1 − T_i/T_1)`.
+    ///
+    /// A large negative slope means near-vertical: big energy savings
+    /// for little delay. Returns `None` if either gear is missing or
+    /// the times are (numerically) equal.
+    pub fn slope(&self, i: usize, j: usize) -> Option<f64> {
+        let a = self.at_gear(i)?;
+        let b = self.at_gear(j)?;
+        let f = self.fastest();
+        let dt = (b.time_s - a.time_s) / f.time_s;
+        let de = (b.energy_j - a.energy_j) / f.energy_j;
+        if dt.abs() < 1e-12 {
+            None
+        } else {
+            Some(de / dt)
+        }
+    }
+
+    /// The gear consuming the least energy on this curve.
+    pub fn min_energy_gear(&self) -> usize {
+        self.points
+            .iter()
+            .min_by(|a, b| a.energy_j.partial_cmp(&b.energy_j).unwrap())
+            .unwrap()
+            .gear
+    }
+
+    /// Minimum energy over the curve, joules.
+    pub fn min_energy_j(&self) -> f64 {
+        self.points.iter().map(|p| p.energy_j).fold(f64::INFINITY, f64::min)
+    }
+
+    /// Maximum energy over the curve, joules.
+    pub fn max_energy_j(&self) -> f64 {
+        self.points.iter().map(|p| p.energy_j).fold(0.0, f64::max)
+    }
+
+    /// True when the fastest gear is also the fastest *point* — the
+    /// paper observes this holds for every measured program.
+    pub fn fastest_gear_is_fastest_point(&self) -> bool {
+        let t1 = self.fastest().time_s;
+        self.points.iter().all(|p| p.time_s >= t1 - 1e-12)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cg_like() -> EnergyTimeCurve {
+        // Loosely the paper's single-node CG numbers.
+        EnergyTimeCurve::new(
+            "CG",
+            1,
+            vec![
+                EnergyTimePoint { gear: 1, time_s: 100.0, energy_j: 12_000.0 },
+                EnergyTimePoint { gear: 2, time_s: 101.0, energy_j: 10_860.0 },
+                EnergyTimePoint { gear: 5, time_s: 110.0, energy_j: 9_600.0 },
+            ],
+        )
+    }
+
+    #[test]
+    fn delay_and_savings_relative_to_fastest() {
+        let c = cg_like();
+        assert!((c.delay(2).unwrap() - 0.01).abs() < 1e-12);
+        assert!((c.savings(2).unwrap() - 0.095).abs() < 1e-12);
+        assert!((c.delay(5).unwrap() - 0.10).abs() < 1e-12);
+        assert!((c.savings(5).unwrap() - 0.20).abs() < 1e-12);
+        assert_eq!(c.delay(1), Some(0.0));
+        assert_eq!(c.delay(3), None);
+    }
+
+    #[test]
+    fn slope_matches_paper_form() {
+        let c = cg_like();
+        // ΔE/E1 = −0.095, ΔT/T1 = 0.01 → slope −9.5.
+        let s = c.slope(1, 2).unwrap();
+        assert!((s + 9.5).abs() < 1e-9, "slope {s}");
+    }
+
+    #[test]
+    fn slope_none_for_equal_times() {
+        let c = EnergyTimeCurve::new(
+            "flat",
+            1,
+            vec![
+                EnergyTimePoint { gear: 1, time_s: 10.0, energy_j: 100.0 },
+                EnergyTimePoint { gear: 2, time_s: 10.0, energy_j: 90.0 },
+            ],
+        );
+        assert_eq!(c.slope(1, 2), None);
+    }
+
+    #[test]
+    fn min_energy_gear_found() {
+        let c = cg_like();
+        assert_eq!(c.min_energy_gear(), 5);
+        assert_eq!(c.min_energy_j(), 9_600.0);
+        assert_eq!(c.max_energy_j(), 12_000.0);
+    }
+
+    #[test]
+    fn points_sorted_by_gear() {
+        let c = EnergyTimeCurve::new(
+            "x",
+            1,
+            vec![
+                EnergyTimePoint { gear: 3, time_s: 3.0, energy_j: 1.0 },
+                EnergyTimePoint { gear: 1, time_s: 1.0, energy_j: 3.0 },
+            ],
+        );
+        assert_eq!(c.points[0].gear, 1);
+        assert!(c.fastest_gear_is_fastest_point());
+    }
+}

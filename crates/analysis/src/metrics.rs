@@ -1,0 +1,117 @@
+//! Energy-efficiency metrics beyond raw (E, T) pairs.
+//!
+//! The paper plots energy against time and lets the reader judge the
+//! tradeoff; its direct successors (Freeh et al. PPoPP'05, Hsu & Feng
+//! SC'05, and the broader DVFS-HPC literature) standardized on scalar
+//! figures of merit: the energy-delay product `E·T` (EDP) and the
+//! performance-weighted `E·T²` (ED²P), which penalizes slowdowns
+//! quadratically so "race-to-idle vs. crawl" comparisons are fair.
+//! This module computes those metrics over measured curves so gear
+//! choices can be ranked by a single number.
+
+use crate::curve::{EnergyTimeCurve, EnergyTimePoint};
+use serde::{Deserialize, Serialize};
+
+/// Scalar figures of merit for one operating point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Merit {
+    /// Gear index.
+    pub gear: usize,
+    /// Energy-delay product, J·s.
+    pub edp: f64,
+    /// Energy-delay-squared product, J·s².
+    pub ed2p: f64,
+}
+
+/// Compute EDP/ED²P for one point.
+pub fn merit_of(p: EnergyTimePoint) -> Merit {
+    Merit { gear: p.gear, edp: p.energy_j * p.time_s, ed2p: p.energy_j * p.time_s * p.time_s }
+}
+
+/// The gear minimizing EDP on a curve.
+pub fn best_edp_gear(curve: &EnergyTimeCurve) -> usize {
+    curve
+        .points
+        .iter()
+        .map(|&p| merit_of(p))
+        .min_by(|a, b| a.edp.partial_cmp(&b.edp).unwrap())
+        .expect("curve is never empty")
+        .gear
+}
+
+/// The gear minimizing ED²P on a curve.
+pub fn best_ed2p_gear(curve: &EnergyTimeCurve) -> usize {
+    curve
+        .points
+        .iter()
+        .map(|&p| merit_of(p))
+        .min_by(|a, b| a.ed2p.partial_cmp(&b.ed2p).unwrap())
+        .expect("curve is never empty")
+        .gear
+}
+
+/// All merits of a curve, by gear.
+pub fn merits(curve: &EnergyTimeCurve) -> Vec<Merit> {
+    curve.points.iter().map(|&p| merit_of(p)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve(points: &[(usize, f64, f64)]) -> EnergyTimeCurve {
+        EnergyTimeCurve::new(
+            "m",
+            1,
+            points
+                .iter()
+                .map(|&(gear, time_s, energy_j)| EnergyTimePoint { gear, time_s, energy_j })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn merit_arithmetic() {
+        let m = merit_of(EnergyTimePoint { gear: 2, time_s: 10.0, energy_j: 100.0 });
+        assert_eq!(m.edp, 1000.0);
+        assert_eq!(m.ed2p, 10_000.0);
+    }
+
+    #[test]
+    fn cg_like_curve_prefers_downshift_even_by_ed2p() {
+        // Near-vertical curve: big savings, tiny delay → both metrics
+        // pick the slower gear.
+        let c = curve(&[(1, 100.0, 12_000.0), (5, 102.0, 9_600.0)]);
+        assert_eq!(best_edp_gear(&c), 5);
+        assert_eq!(best_ed2p_gear(&c), 5);
+    }
+
+    #[test]
+    fn ep_like_curve_stays_fast_by_ed2p() {
+        // Near-horizontal curve: ED²P punishes the delay harder than
+        // EDP does, keeping the fast gear.
+        let c = curve(&[(1, 100.0, 10_000.0), (6, 150.0, 9_400.0)]);
+        assert_eq!(best_ed2p_gear(&c), 1);
+        // EDP is more lenient; verify it at least computes both.
+        let ms = merits(&c);
+        assert_eq!(ms.len(), 2);
+        assert!(ms[1].ed2p > ms[0].ed2p);
+    }
+
+    #[test]
+    fn edp_between_energy_and_ed2p_in_gear_preference() {
+        // min-energy gear ≥ min-EDP gear ≥ min-ED²P gear (each metric
+        // weights delay more heavily than the previous one).
+        let c = curve(&[
+            (1, 100.0, 12_000.0),
+            (2, 104.0, 11_200.0),
+            (4, 118.0, 10_500.0),
+            (6, 160.0, 10_300.0),
+        ]);
+        let e_gear = c.min_energy_gear();
+        let edp_gear = best_edp_gear(&c);
+        let ed2p_gear = best_ed2p_gear(&c);
+        assert!(e_gear >= edp_gear);
+        assert!(edp_gear >= ed2p_gear);
+    }
+}

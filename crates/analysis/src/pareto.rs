@@ -1,0 +1,148 @@
+//! Pareto analysis over (nodes, gear) configurations.
+//!
+//! A power-scalable cluster gives the user "two dimensions to explore:
+//! (1) number of nodes and (2) processor performance gear" (paper
+//! §3.2). The Pareto frontier answers the resulting planning questions:
+//! which configurations are ever worth running, and which is fastest
+//! under a power or energy budget — the paper's anticipated
+//! "heat-limited cluster" scenario.
+
+use crate::curve::EnergyTimeCurve;
+use serde::{Deserialize, Serialize};
+
+/// One candidate configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Config {
+    /// Node count.
+    pub nodes: usize,
+    /// Gear index.
+    pub gear: usize,
+    /// Execution time, seconds.
+    pub time_s: f64,
+    /// Cumulative energy, joules.
+    pub energy_j: f64,
+}
+
+impl Config {
+    /// Average cluster power over the run, watts.
+    pub fn average_power_w(&self) -> f64 {
+        self.energy_j / self.time_s
+    }
+}
+
+/// Flatten a set of curves into configurations.
+pub fn configs_of(curves: &[EnergyTimeCurve]) -> Vec<Config> {
+    curves
+        .iter()
+        .flat_map(|c| {
+            c.points.iter().map(move |p| Config {
+                nodes: c.nodes,
+                gear: p.gear,
+                time_s: p.time_s,
+                energy_j: p.energy_j,
+            })
+        })
+        .collect()
+}
+
+/// The energy-time Pareto frontier: configurations not dominated by any
+/// other (no other config is both at-least-as-fast and
+/// at-least-as-cheap with one strict). Sorted by time ascending.
+pub fn pareto_frontier(configs: &[Config]) -> Vec<Config> {
+    let mut frontier: Vec<Config> = configs
+        .iter()
+        .copied()
+        .filter(|a| {
+            !configs.iter().any(|b| {
+                (b.time_s < a.time_s && b.energy_j <= a.energy_j)
+                    || (b.energy_j < a.energy_j && b.time_s <= a.time_s)
+            })
+        })
+        .collect();
+    frontier.sort_by(|a, b| a.time_s.partial_cmp(&b.time_s).unwrap());
+    frontier.dedup_by(|a, b| a.time_s == b.time_s && a.energy_j == b.energy_j);
+    frontier
+}
+
+/// The fastest configuration whose *average power* stays under a cap —
+/// the paper's "horizontal line" power/heat budget discussion.
+pub fn fastest_under_power_cap(configs: &[Config], cap_w: f64) -> Option<Config> {
+    configs
+        .iter()
+        .copied()
+        .filter(|c| c.average_power_w() <= cap_w)
+        .min_by(|a, b| a.time_s.partial_cmp(&b.time_s).unwrap())
+}
+
+/// The fastest configuration within an *energy* budget.
+pub fn fastest_under_energy_budget(configs: &[Config], budget_j: f64) -> Option<Config> {
+    configs
+        .iter()
+        .copied()
+        .filter(|c| c.energy_j <= budget_j)
+        .min_by(|a, b| a.time_s.partial_cmp(&b.time_s).unwrap())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(nodes: usize, gear: usize, t: f64, e: f64) -> Config {
+        Config { nodes, gear, time_s: t, energy_j: e }
+    }
+
+    #[test]
+    fn frontier_removes_dominated_points() {
+        let configs = vec![
+            cfg(4, 1, 100.0, 10_000.0),
+            cfg(8, 1, 58.0, 11_200.0),
+            cfg(8, 4, 67.0, 9_900.0), // dominates 4/g1
+            cfg(8, 6, 90.0, 9_950.0), // dominated by 8/g4
+        ];
+        let f = pareto_frontier(&configs);
+        assert_eq!(f.len(), 2);
+        assert_eq!((f[0].nodes, f[0].gear), (8, 1));
+        assert_eq!((f[1].nodes, f[1].gear), (8, 4));
+    }
+
+    #[test]
+    fn frontier_of_single_point_is_itself() {
+        let configs = vec![cfg(1, 1, 10.0, 100.0)];
+        assert_eq!(pareto_frontier(&configs), configs);
+    }
+
+    #[test]
+    fn frontier_keeps_tradeoff_points() {
+        let configs = vec![cfg(1, 1, 10.0, 200.0), cfg(1, 6, 20.0, 100.0)];
+        assert_eq!(pareto_frontier(&configs).len(), 2);
+    }
+
+    #[test]
+    fn power_cap_selects_fastest_feasible() {
+        // 4 nodes gear 1: 100 W avg; 8 nodes gear 5: 148 W; 8 nodes
+        // gear 1: 193 W.
+        let configs = vec![
+            cfg(4, 1, 100.0, 10_000.0),
+            cfg(8, 5, 67.0, 9_900.0),
+            cfg(8, 1, 58.0, 11_200.0),
+        ];
+        let pick = fastest_under_power_cap(&configs, 150.0).unwrap();
+        assert_eq!((pick.nodes, pick.gear), (8, 5));
+        let pick = fastest_under_power_cap(&configs, 500.0).unwrap();
+        assert_eq!((pick.nodes, pick.gear), (8, 1));
+        assert!(fastest_under_power_cap(&configs, 10.0).is_none());
+    }
+
+    #[test]
+    fn energy_budget_selects_fastest_feasible() {
+        let configs = vec![cfg(4, 1, 100.0, 10_000.0), cfg(8, 1, 58.0, 11_200.0)];
+        let pick = fastest_under_energy_budget(&configs, 10_500.0).unwrap();
+        assert_eq!(pick.nodes, 4);
+    }
+
+    #[test]
+    fn average_power() {
+        let c = cfg(1, 1, 10.0, 1_000.0);
+        assert!((c.average_power_w() - 100.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,152 @@
+//! The paper's Table 1: UPM as a predictor of the energy-time slope.
+
+use crate::curve::EnergyTimeCurve;
+use serde::{Deserialize, Serialize};
+
+/// One row of Table 1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table1Row {
+    /// Benchmark name.
+    pub name: String,
+    /// µops per L2 miss.
+    pub upm: f64,
+    /// Normalized energy-time slope from gear 1 to gear 2.
+    pub slope_1_2: Option<f64>,
+    /// Normalized energy-time slope from gear 2 to gear 3.
+    pub slope_2_3: Option<f64>,
+}
+
+/// Table 1: rows sorted by UPM descending, as in the paper.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UpmTable {
+    /// Rows, highest UPM first.
+    pub rows: Vec<Table1Row>,
+}
+
+impl UpmTable {
+    /// Build the table from single-node curves and their measured UPMs.
+    pub fn new(entries: &[(String, f64, EnergyTimeCurve)]) -> UpmTable {
+        let mut rows: Vec<Table1Row> = entries
+            .iter()
+            .map(|(name, upm, curve)| Table1Row {
+                name: name.clone(),
+                upm: *upm,
+                slope_1_2: curve.slope(1, 2),
+                slope_2_3: curve.slope(2, 3),
+            })
+            .collect();
+        rows.sort_by(|a, b| b.upm.partial_cmp(&a.upm).unwrap());
+        UpmTable { rows }
+    }
+
+    /// The paper's claim: sorting by UPM (descending) also sorts the
+    /// slopes from greatest to least — memory pressure predicts the
+    /// energy-time tradeoff. Returns the number of adjacent-row
+    /// inversions in `slope_1_2` (0 = perfectly sorted; the paper
+    /// itself has one outlier, MG, in the 2→3 column).
+    pub fn slope_inversions_1_2(&self) -> usize {
+        self.rows
+            .windows(2)
+            .filter(|w| match (w[0].slope_1_2, w[1].slope_1_2) {
+                (Some(a), Some(b)) => a < b,
+                _ => false,
+            })
+            .count()
+    }
+
+    /// Adjacent-row inversions in the 2→3 slope column.
+    pub fn slope_inversions_2_3(&self) -> usize {
+        self.rows
+            .windows(2)
+            .filter(|w| match (w[0].slope_2_3, w[1].slope_2_3) {
+                (Some(a), Some(b)) => a < b,
+                _ => false,
+            })
+            .count()
+    }
+
+    /// Format as an aligned text table in the paper's layout.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "{:<10} {:>8} {:>12} {:>12}\n",
+            "benchmark", "UPM", "slope 1→2", "slope 2→3"
+        ));
+        for r in &self.rows {
+            let f = |v: Option<f64>| match v {
+                Some(x) => format!("{x:.3}"),
+                None => "—".to_string(),
+            };
+            s.push_str(&format!(
+                "{:<10} {:>8.3} {:>12} {:>12}\n",
+                r.name,
+                r.upm,
+                f(r.slope_1_2),
+                f(r.slope_2_3)
+            ));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::curve::EnergyTimePoint;
+
+    fn curve(e1: f64, t2: f64, e2: f64, t3: f64, e3: f64) -> EnergyTimeCurve {
+        EnergyTimeCurve::new(
+            "x",
+            1,
+            vec![
+                EnergyTimePoint { gear: 1, time_s: 100.0, energy_j: e1 },
+                EnergyTimePoint { gear: 2, time_s: t2, energy_j: e2 },
+                EnergyTimePoint { gear: 3, time_s: t3, energy_j: e3 },
+            ],
+        )
+    }
+
+    fn paper_like_entries() -> Vec<(String, f64, EnergyTimeCurve)> {
+        vec![
+            // EP: big delay, tiny savings.
+            ("EP".into(), 844.0, curve(1000.0, 111.0, 980.0, 123.0, 990.0)),
+            // CG: tiny delay, big savings.
+            ("CG".into(), 8.6, curve(1000.0, 101.0, 905.0, 103.0, 880.0)),
+            // SP in between.
+            ("SP".into(), 49.5, curve(1000.0, 105.0, 930.0, 110.0, 910.0)),
+        ]
+    }
+
+    #[test]
+    fn rows_sorted_by_upm_descending() {
+        let t = UpmTable::new(&paper_like_entries());
+        let names: Vec<&str> = t.rows.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(names, vec!["EP", "SP", "CG"]);
+    }
+
+    #[test]
+    fn upm_predicts_slope_order() {
+        let t = UpmTable::new(&paper_like_entries());
+        assert_eq!(t.slope_inversions_1_2(), 0, "{:?}", t.rows);
+    }
+
+    #[test]
+    fn render_contains_all_rows() {
+        let t = UpmTable::new(&paper_like_entries());
+        let s = t.render();
+        for name in ["EP", "SP", "CG", "UPM"] {
+            assert!(s.contains(name), "missing {name} in:\n{s}");
+        }
+    }
+
+    #[test]
+    fn detects_inversions() {
+        let entries = vec![
+            // High UPM but steep slope — an inversion.
+            ("A".into(), 1000.0, curve(1000.0, 101.0, 900.0, 102.0, 890.0)),
+            ("B".into(), 10.0, curve(1000.0, 110.0, 990.0, 120.0, 995.0)),
+        ];
+        let t = UpmTable::new(&entries);
+        assert_eq!(t.slope_inversions_1_2(), 1);
+    }
+}

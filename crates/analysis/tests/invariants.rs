@@ -1,0 +1,142 @@
+//! Property-based invariants of the analysis machinery: Pareto
+//! frontiers, the case taxonomy, and curve algebra under arbitrary
+//! (physical) inputs.
+
+use proptest::prelude::*;
+use psc_analysis::cases::{classify_pair, dominates, ScalingCase};
+use psc_analysis::curve::{EnergyTimeCurve, EnergyTimePoint};
+use psc_analysis::pareto::{configs_of, fastest_under_power_cap, pareto_frontier, Config};
+use psc_analysis::plot::{from_csv, to_csv};
+
+/// Strategy: a physical energy-time curve — times non-decreasing with
+/// gear index, energies positive.
+fn curve_strategy(nodes: usize) -> impl Strategy<Value = EnergyTimeCurve> {
+    (
+        10.0..1000.0f64,                                    // base time
+        proptest::collection::vec(0.0..0.4f64, 5),          // per-gear time increments
+        proptest::collection::vec(500.0..50_000.0f64, 6),   // energies
+    )
+        .prop_map(move |(t1, increments, energies)| {
+            let mut t = t1;
+            let mut points = Vec::new();
+            for (g, e) in energies.iter().enumerate() {
+                if g > 0 {
+                    t *= 1.0 + increments[g - 1];
+                }
+                points.push(EnergyTimePoint { gear: g + 1, time_s: t, energy_j: *e });
+            }
+            EnergyTimeCurve::new("p", nodes, points)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn frontier_members_are_mutually_nondominating(
+        a in curve_strategy(2),
+        b in curve_strategy(4),
+    ) {
+        let configs = configs_of(&[a, b]);
+        let frontier = pareto_frontier(&configs);
+        prop_assert!(!frontier.is_empty());
+        for x in &frontier {
+            for y in &frontier {
+                let x_pt = EnergyTimePoint { gear: x.gear, time_s: x.time_s, energy_j: x.energy_j };
+                let y_pt = EnergyTimePoint { gear: y.gear, time_s: y.time_s, energy_j: y.energy_j };
+                prop_assert!(!dominates(x_pt, y_pt) || (x.time_s == y.time_s && x.energy_j == y.energy_j),
+                    "frontier member dominated: {x:?} > {y:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn frontier_is_time_sorted_energy_antitone(a in curve_strategy(2), b in curve_strategy(8)) {
+        let frontier = pareto_frontier(&configs_of(&[a, b]));
+        for w in frontier.windows(2) {
+            prop_assert!(w[1].time_s >= w[0].time_s);
+            prop_assert!(w[1].energy_j <= w[0].energy_j,
+                "frontier not antitone: {:?} then {:?}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn every_excluded_config_is_dominated_by_a_frontier_member(
+        a in curve_strategy(2),
+        b in curve_strategy(4),
+    ) {
+        let configs = configs_of(&[a, b]);
+        let frontier = pareto_frontier(&configs);
+        let on_frontier = |c: &Config| {
+            frontier.iter().any(|f| f.time_s == c.time_s && f.energy_j == c.energy_j)
+        };
+        for c in &configs {
+            if !on_frontier(c) {
+                let c_pt = EnergyTimePoint { gear: c.gear, time_s: c.time_s, energy_j: c.energy_j };
+                let covered = frontier.iter().any(|f| {
+                    let f_pt = EnergyTimePoint { gear: f.gear, time_s: f.time_s, energy_j: f.energy_j };
+                    dominates(f_pt, c_pt)
+                });
+                prop_assert!(covered, "excluded config {c:?} not dominated by the frontier");
+            }
+        }
+    }
+
+    #[test]
+    fn power_cap_pick_is_feasible_and_fastest(a in curve_strategy(4), cap in 1.0..2000.0f64) {
+        let configs = configs_of(&[a]);
+        if let Some(pick) = fastest_under_power_cap(&configs, cap) {
+            prop_assert!(pick.average_power_w() <= cap);
+            for c in &configs {
+                if c.average_power_w() <= cap {
+                    prop_assert!(pick.time_s <= c.time_s);
+                }
+            }
+        } else {
+            prop_assert!(configs.iter().all(|c| c.average_power_w() > cap));
+        }
+    }
+
+    #[test]
+    fn classification_is_total_and_consistent(small in curve_strategy(4), large in curve_strategy(8)) {
+        let case = classify_pair(&small, &large);
+        let p1 = small.fastest();
+        let q1 = large.fastest();
+        match case {
+            ScalingCase::NotFaster => prop_assert!(q1.time_s >= p1.time_s),
+            ScalingCase::PerfectOrSuperlinear => {
+                prop_assert!(q1.time_s < p1.time_s && q1.energy_j <= p1.energy_j)
+            }
+            ScalingCase::GoodSpeedup => {
+                prop_assert!(q1.time_s < p1.time_s && q1.energy_j > p1.energy_j);
+                prop_assert!(large.points.iter().any(|&q| dominates(q, p1)));
+            }
+            ScalingCase::PoorSpeedup => {
+                prop_assert!(q1.time_s < p1.time_s && q1.energy_j > p1.energy_j);
+            }
+        }
+    }
+
+    #[test]
+    fn savings_equals_negative_slope_times_delay(c in curve_strategy(1)) {
+        // By definition of the paper's normalized slope:
+        // savings(g) = −slope(1,g) · delay(g).
+        for g in 2..=6usize {
+            let (delay, savings) = (c.delay(g).unwrap(), c.savings(g).unwrap());
+            if let Some(slope) = c.slope(1, g) {
+                prop_assert!((savings + slope * delay).abs() < 1e-9,
+                    "gear {g}: savings {savings} slope {slope} delay {delay}");
+            }
+        }
+    }
+
+    #[test]
+    fn csv_round_trip_preserves_curves(a in curve_strategy(3), b in curve_strategy(5)) {
+        let curves = vec![a, b];
+        // Distinct labels so parsing can separate them.
+        let mut curves = curves;
+        curves[1].label = "q".into();
+        let parsed = from_csv(&to_csv(&curves)).unwrap();
+        prop_assert_eq!(parsed, curves);
+    }
+}

@@ -1,0 +1,21 @@
+//! Criterion bench regenerating Figure 4 (synthetic high-memory-
+//! pressure benchmark) at test scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use psc_experiments::harness::{cluster, measure_curve};
+use psc_kernels::{Benchmark, ProblemClass};
+
+fn bench_fig4(c: &mut Criterion) {
+    let cl = cluster();
+    let mut g = c.benchmark_group("fig4");
+    g.sample_size(10);
+    for nodes in [2usize, 4, 8] {
+        g.bench_function(format!("synthetic-{nodes}n"), |b| {
+            b.iter(|| measure_curve(&cl, Benchmark::Synthetic, ProblemClass::Test, nodes))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion bench regenerating Figure 5 (model fit + extrapolation to
+//! 16/25/32 nodes) at test scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use psc_experiments::harness::{cluster, model_for};
+use psc_kernels::{Benchmark, ProblemClass};
+
+fn bench_fig5(c: &mut Criterion) {
+    let cl = cluster();
+    let mut g = c.benchmark_group("fig5");
+    g.sample_size(10);
+    for bench in Benchmark::NAS {
+        g.bench_function(format!("{}-fit-and-extrapolate", bench.name()), |b| {
+            b.iter(|| {
+                let model = model_for(&cl, bench, ProblemClass::Test, 9);
+                let mut curves = Vec::new();
+                for m in [16usize, 25, 32] {
+                    curves.push(model.predict_curve(m, true));
+                }
+                curves
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Micro-benchmarks of the simulator itself: message-passing overhead,
+//! collective algorithms, the wattmeter integrator, and model fitting —
+//! the components every figure regeneration leans on.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use psc_machine::{PowerTrace, Wattmeter, WorkBlock};
+use psc_model::amdahl::AmdahlFit;
+use psc_model::comm::CommFit;
+use psc_mpi::{Cluster, ClusterConfig, ReduceOp};
+
+fn bench_ping_pong(c: &mut Criterion) {
+    let cl = Cluster::athlon_fast_ethernet();
+    let mut g = c.benchmark_group("runtime");
+    g.sample_size(20);
+    g.bench_function("ping-pong-1000", |b| {
+        b.iter(|| {
+            cl.run(&ClusterConfig::uniform(2, 1), |comm| {
+                for i in 0..1000u64 {
+                    if comm.rank() == 0 {
+                        comm.send(1, i, 1.0f64);
+                        let _ = comm.recv::<f64>(1, i);
+                    } else {
+                        let _ = comm.recv::<f64>(0, i);
+                        comm.send(0, i, 2.0f64);
+                    }
+                }
+            })
+        })
+    });
+    g.bench_function("allreduce-8ranks-100", |b| {
+        b.iter(|| {
+            cl.run(&ClusterConfig::uniform(8, 1), |comm| {
+                let mut v = vec![comm.rank() as f64; 64];
+                for _ in 0..100 {
+                    v = comm.allreduce(v, ReduceOp::Sum);
+                }
+                v[0]
+            })
+        })
+    });
+    g.bench_function("compute-charging-10000", |b| {
+        b.iter(|| {
+            cl.run(&ClusterConfig::uniform(1, 3), |comm| {
+                let w = WorkBlock::with_upm(1.0e6, 70.0);
+                for _ in 0..10_000 {
+                    comm.compute(&w);
+                }
+            })
+        })
+    });
+    g.finish();
+}
+
+fn bench_wattmeter(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wattmeter");
+    let mut trace = PowerTrace::new();
+    for i in 0..10_000 {
+        let t = (i + 1) as f64 * 0.01;
+        trace.push(t, if i % 2 == 0 { 145.0 } else { 92.0 });
+    }
+    g.bench_function("sampled-integration-100s", |b| {
+        let meter = Wattmeter::default();
+        b.iter(|| meter.measure_energy_j(&trace))
+    });
+    g.bench_function("exact-integration-100s", |b| b.iter(|| trace.exact_energy_j()));
+    g.finish();
+}
+
+fn bench_model_fitting(c: &mut Criterion) {
+    let mut g = c.benchmark_group("model");
+    let ta: Vec<(usize, f64)> =
+        [1usize, 2, 4, 8].iter().map(|&n| (n, 100.0 * (0.95 / n as f64 + 0.05))).collect();
+    let ti: Vec<(usize, f64)> =
+        [2usize, 4, 8].iter().map(|&n| (n, 1.0 + (n as f64).log2())).collect();
+    g.bench_function("amdahl-fit", |b| {
+        b.iter_batched(|| ta.clone(), |ta| AmdahlFit::fit(&ta), BatchSize::SmallInput)
+    });
+    g.bench_function("comm-shape-selection", |b| {
+        b.iter_batched(|| ti.clone(), |ti| CommFit::fit(&ti), BatchSize::SmallInput)
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ping_pong, bench_wattmeter, bench_model_fitting);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion bench regenerating Table 1 (UPM + slope rows) at test
+//! scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use psc_analysis::table::UpmTable;
+use psc_experiments::harness::{cluster, measure_curve, measure_upm};
+use psc_kernels::{Benchmark, ProblemClass};
+
+fn bench_table1(c: &mut Criterion) {
+    let cl = cluster();
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(10);
+    g.bench_function("all-rows", |b| {
+        b.iter(|| {
+            let entries: Vec<_> = Benchmark::NAS
+                .iter()
+                .map(|&bench| {
+                    (
+                        bench.name().to_string(),
+                        measure_upm(&cl, bench, ProblemClass::Test),
+                        measure_curve(&cl, bench, ProblemClass::Test, 1),
+                    )
+                })
+                .collect();
+            let table = UpmTable::new(&entries);
+            assert_eq!(table.rows.len(), 6);
+            table
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

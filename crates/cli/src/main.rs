@@ -1,0 +1,262 @@
+//! `powerscale` — command-line interface to the power-scalable cluster
+//! simulator.
+//!
+//! ```text
+//! powerscale run --bench CG --nodes 4 --gear 2        one measured run
+//! powerscale sweep --bench LU --nodes 8               all gears at one node count
+//! powerscale curve --bench MG --max-nodes 8           full node×gear sweep
+//! powerscale model --bench SP --predict 32            fit the paper's model, extrapolate
+//! powerscale advise --upm 8.6 --delay 0.05            gear advice from memory pressure
+//! powerscale budget --bench CG --power-cap 600        fastest config under a power cap
+//! powerscale list                                     available benchmarks
+//! ```
+//!
+//! Add `--class test` for the tiny problem sizes (CI-speed runs).
+
+use psc_analysis::pareto::{configs_of, fastest_under_power_cap, pareto_frontier};
+use psc_analysis::plot::ascii_plot;
+use psc_experiments::harness::{cluster, measure_curve, model_for, predicted_curve};
+use psc_kernels::{Benchmark, ProblemClass};
+use psc_model::autogear::{gear_for_delay_budget, min_energy_gear};
+use psc_mpi::ClusterConfig;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match cmd.as_str() {
+        "run" => cmd_run(&args),
+        "sweep" => cmd_sweep(&args),
+        "curve" => cmd_curve(&args),
+        "model" => cmd_model(&args),
+        "advise" => cmd_advise(&args),
+        "budget" => cmd_budget(&args),
+        "list" => cmd_list(),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+powerscale — energy-time exploration on a simulated power-scalable cluster
+
+USAGE:
+  powerscale run    --bench <NAME> [--nodes N] [--gear G] [--class b|test]
+  powerscale sweep  --bench <NAME> [--nodes N] [--class b|test]
+  powerscale curve  --bench <NAME> [--max-nodes N] [--class b|test]
+  powerscale model  --bench <NAME> [--predict M] [--class b|test]
+  powerscale advise --upm <UPM> [--delay FRAC]
+  powerscale budget --bench <NAME> --power-cap <WATTS> [--max-nodes N] [--class b|test]
+  powerscale list";
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn parse_bench(args: &[String]) -> Result<Benchmark, String> {
+    let name = flag(args, "--bench").ok_or("missing --bench <NAME>")?;
+    Benchmark::parse(&name).ok_or_else(|| format!("unknown benchmark '{name}' (try `powerscale list`)"))
+}
+
+fn parse_class(args: &[String]) -> Result<ProblemClass, String> {
+    match flag(args, "--class").as_deref() {
+        None | Some("b") | Some("B") => Ok(ProblemClass::B),
+        Some("test") => Ok(ProblemClass::Test),
+        Some(other) => Err(format!("unknown class '{other}' (b or test)")),
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result<T, String> {
+    match flag(args, name) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("invalid value for {name}: '{v}'")),
+    }
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let bench = parse_bench(args)?;
+    let class = parse_class(args)?;
+    let nodes: usize = parse_num(args, "--nodes", 1)?;
+    let gear: usize = parse_num(args, "--gear", 1)?;
+    if !bench.supports_nodes(nodes) {
+        return Err(format!(
+            "{} cannot run on {nodes} nodes (valid: {:?})",
+            bench.name(),
+            bench.valid_nodes(32)
+        ));
+    }
+    let c = cluster();
+    if gear < 1 || gear > c.node.gears.len() {
+        return Err(format!("gear must be 1..={}", c.node.gears.len()));
+    }
+    let (run, outs) = c.run(&ClusterConfig::uniform(nodes, gear), move |comm| bench.run(comm, class));
+    let out = &outs[0];
+    println!("{} on {nodes} node(s) at gear {gear}:", bench.name());
+    println!("  time    {:>12.2} s", run.time_s);
+    println!("  energy  {:>12.0} J (wattmeter: {:.0} J)", run.energy_j, run.measured_energy_j);
+    println!("  power   {:>12.1} W average", run.average_power_w());
+    println!("  T^A     {:>12.2} s (max rank), T^I {:.2} s", run.active_max_s(), run.idle_of_max_s());
+    println!("  UPM     {:>12.1}", run.total_counters().upm());
+    println!("  checksum {:>11.6e}  iterations {}", out.checksum, out.iterations);
+    if let Some(r) = out.residual {
+        println!("  residual {:>11.3e}", r);
+    }
+    Ok(())
+}
+
+fn cmd_sweep(args: &[String]) -> Result<(), String> {
+    let bench = parse_bench(args)?;
+    let class = parse_class(args)?;
+    let nodes: usize = parse_num(args, "--nodes", 1)?;
+    if !bench.supports_nodes(nodes) {
+        return Err(format!("{} cannot run on {nodes} nodes", bench.name()));
+    }
+    let c = cluster();
+    let curve = measure_curve(&c, bench, class, nodes);
+    println!("{} on {nodes} node(s):", bench.name());
+    println!("  {:>4} {:>10} {:>10} {:>8} {:>9}", "gear", "time [s]", "energy [J]", "delay", "savings");
+    for p in &curve.points {
+        println!(
+            "  {:>4} {:>10.2} {:>10.0} {:>7.2}% {:>8.2}%",
+            p.gear,
+            p.time_s,
+            p.energy_j,
+            100.0 * curve.delay(p.gear).unwrap(),
+            100.0 * curve.savings(p.gear).unwrap()
+        );
+    }
+    let edp = psc_analysis::metrics::best_edp_gear(&curve);
+    let ed2p = psc_analysis::metrics::best_ed2p_gear(&curve);
+    println!(
+        "\n  min energy: gear {}  |  min E·T: gear {edp}  |  min E·T²: gear {ed2p}",
+        curve.min_energy_gear()
+    );
+    println!("\n{}", ascii_plot(std::slice::from_ref(&curve), 60, 12));
+    Ok(())
+}
+
+fn cmd_curve(args: &[String]) -> Result<(), String> {
+    let bench = parse_bench(args)?;
+    let class = parse_class(args)?;
+    let max_nodes: usize = parse_num(args, "--max-nodes", 8)?;
+    let c = cluster();
+    let curves: Vec<_> = bench
+        .valid_nodes(max_nodes)
+        .into_iter()
+        .map(|n| measure_curve(&c, bench, class, n))
+        .collect();
+    println!("{}", ascii_plot(&curves, 70, 16));
+    Ok(())
+}
+
+fn cmd_model(args: &[String]) -> Result<(), String> {
+    let bench = parse_bench(args)?;
+    let class = parse_class(args)?;
+    let target: usize = parse_num(args, "--predict", 32)?;
+    let c = cluster();
+    let model = model_for(&c, bench, class, 9);
+    println!("{} model (fit on ≤9 nodes):", bench.name());
+    println!("  F_s ≈ {:.4} (slope {:+.5}/node)", model.amdahl.fs_mean(), model.amdahl.fs_slope);
+    println!("  communication: {} (R² {:.3})", model.comm.shape, model.comm.r2);
+    println!("  reducible fraction: {:.1}%", 100.0 * model.reducible_fraction);
+    println!("\npredicted energy-time curve at {target} nodes (refined model):");
+    println!("  {:>4} {:>10} {:>10}", "gear", "time [s]", "energy [J]");
+    for p in model.predict_curve(target, true) {
+        println!("  {:>4} {:>10.2} {:>10.0}", p.gear, p.time_s, p.energy_j);
+    }
+    let curve = predicted_curve(&model, bench, target, true);
+    println!("\n{}", ascii_plot(std::slice::from_ref(&curve), 60, 12));
+    Ok(())
+}
+
+fn cmd_advise(args: &[String]) -> Result<(), String> {
+    let upm: f64 = parse_num(args, "--upm", f64::NAN)?;
+    if !upm.is_finite() || upm <= 0.0 {
+        return Err("missing or invalid --upm <UPM>".into());
+    }
+    let delay: f64 = parse_num(args, "--delay", 0.05)?;
+    let node = psc_machine::presets::athlon64();
+    let a = gear_for_delay_budget(&node, upm, delay);
+    let e = min_energy_gear(&node, upm);
+    println!("workload at UPM {upm} on {}:", node.name);
+    println!(
+        "  within {:.0}% delay budget: gear {} (predicted delay {:+.1}%, savings {:+.1}%)",
+        100.0 * delay,
+        a.gear,
+        100.0 * a.predicted_delay,
+        100.0 * a.predicted_savings
+    );
+    println!(
+        "  minimum-energy gear:      gear {} (predicted delay {:+.1}%, savings {:+.1}%)",
+        e.gear,
+        100.0 * e.predicted_delay,
+        100.0 * e.predicted_savings
+    );
+    Ok(())
+}
+
+fn cmd_budget(args: &[String]) -> Result<(), String> {
+    let bench = parse_bench(args)?;
+    let class = parse_class(args)?;
+    let cap: f64 = parse_num(args, "--power-cap", f64::NAN)?;
+    if !cap.is_finite() || cap <= 0.0 {
+        return Err("missing or invalid --power-cap <WATTS>".into());
+    }
+    let max_nodes: usize = parse_num(args, "--max-nodes", 9)?;
+    let c = cluster();
+    let curves: Vec<_> = bench
+        .valid_nodes(max_nodes)
+        .into_iter()
+        .map(|n| measure_curve(&c, bench, class, n))
+        .collect();
+    let configs = configs_of(&curves);
+    println!("Pareto frontier for {} (≤{max_nodes} nodes):", bench.name());
+    for f in pareto_frontier(&configs) {
+        println!(
+            "  {:>2} nodes, gear {}: {:>8.2} s, {:>8.0} J, {:>6.1} W avg",
+            f.nodes,
+            f.gear,
+            f.time_s,
+            f.energy_j,
+            f.average_power_w()
+        );
+    }
+    match fastest_under_power_cap(&configs, cap) {
+        Some(pick) => println!(
+            "\nfastest under {cap:.0} W: {} nodes at gear {} ({:.2} s, {:.1} W avg)",
+            pick.nodes,
+            pick.gear,
+            pick.time_s,
+            pick.average_power_w()
+        ),
+        None => println!("\nno configuration fits under {cap:.0} W"),
+    }
+    Ok(())
+}
+
+fn cmd_list() -> Result<(), String> {
+    println!("{:<10} {:>8}  {:<12} valid node counts (≤32)", "benchmark", "UPM", "paper comm");
+    for b in Benchmark::ALL {
+        println!(
+            "{:<10} {:>8.1}  {:<12} {:?}",
+            b.name(),
+            b.upm(),
+            format!("{:?}", b.paper_comm_class()),
+            b.valid_nodes(32)
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,76 @@
+//! End-to-end tests of the `powerscale` binary.
+
+use std::process::Command;
+
+fn powerscale(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_powerscale"))
+        .args(args)
+        .output()
+        .expect("failed to launch powerscale")
+}
+
+#[test]
+fn list_shows_every_benchmark() {
+    let out = powerscale(&["list"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    for name in ["CG", "EP", "MG", "LU", "BT", "SP", "FT", "Jacobi", "Synthetic"] {
+        assert!(stdout.contains(name), "missing {name} in:\n{stdout}");
+    }
+}
+
+#[test]
+fn run_reports_time_energy_and_residual() {
+    let out = powerscale(&["run", "--bench", "CG", "--nodes", "4", "--gear", "2", "--class", "test"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    for needle in ["time", "energy", "power", "UPM", "residual"] {
+        assert!(stdout.contains(needle), "missing {needle} in:\n{stdout}");
+    }
+}
+
+#[test]
+fn sweep_prints_all_gears() {
+    let out = powerscale(&["sweep", "--bench", "EP", "--nodes", "2", "--class", "test"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    for gear in 1..=6 {
+        assert!(stdout.contains(&format!("\n  {gear:>4} ")) || stdout.contains(&format!("   {gear} ")),
+            "gear {gear} row missing:\n{stdout}");
+    }
+}
+
+#[test]
+fn advise_recommends_deep_gear_for_cg_pressure() {
+    let out = powerscale(&["advise", "--upm", "8.6", "--delay", "0.10"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("gear 5"), "expected gear 5 advice:\n{stdout}");
+}
+
+#[test]
+fn model_extrapolates() {
+    let out = powerscale(&["model", "--bench", "Jacobi", "--predict", "16", "--class", "test"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("predicted energy-time curve at 16 nodes"));
+    assert!(stdout.contains("communication:"));
+}
+
+#[test]
+fn budget_prints_pareto_frontier() {
+    let out = powerscale(&["budget", "--bench", "Synthetic", "--power-cap", "500", "--max-nodes", "4", "--class", "test"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("Pareto frontier"));
+}
+
+#[test]
+fn invalid_inputs_fail_cleanly() {
+    assert!(!powerscale(&["run", "--bench", "nope"]).status.success());
+    assert!(!powerscale(&["run", "--bench", "BT", "--nodes", "7"]).status.success());
+    assert!(!powerscale(&["run", "--bench", "CG", "--gear", "9"]).status.success());
+    assert!(!powerscale(&["frobnicate"]).status.success());
+    assert!(!powerscale(&[]).status.success());
+    assert!(powerscale(&["--help"]).status.success());
+}

@@ -1,0 +1,144 @@
+//! Shared measurement machinery for the experiment binaries.
+
+use psc_analysis::curve::{EnergyTimeCurve, EnergyTimePoint};
+use psc_kernels::{Benchmark, ProblemClass};
+use psc_model::decompose::Decomposition;
+use psc_model::gears::GearProfile;
+use psc_model::predict::ClusterModel;
+use psc_mpi::{Cluster, ClusterConfig, NetworkModel};
+
+/// The paper's testbed: ten Athlon-64 nodes on 100 Mb/s Ethernet.
+pub fn cluster() -> Cluster {
+    Cluster::athlon_fast_ethernet()
+}
+
+/// The 32-node Sun validation cluster (fixed frequency).
+pub fn sun_cluster() -> Cluster {
+    Cluster::new(psc_machine::presets::sun_cluster(), NetworkModel::fast_ethernet())
+}
+
+/// Run `bench` on `nodes` nodes at every gear and return its
+/// energy-time curve.
+pub fn measure_curve(
+    c: &Cluster,
+    bench: Benchmark,
+    class: ProblemClass,
+    nodes: usize,
+) -> EnergyTimeCurve {
+    assert!(bench.supports_nodes(nodes), "{} cannot run on {nodes} nodes", bench.name());
+    let points = (1..=c.node.gears.len())
+        .map(|gear| {
+            let (run, _) =
+                c.run(&ClusterConfig::uniform(nodes, gear), move |comm| bench.run(comm, class));
+            EnergyTimePoint { gear, time_s: run.time_s, energy_j: run.energy_j }
+        })
+        .collect();
+    EnergyTimeCurve::new(bench.name(), nodes, points)
+}
+
+/// Measure the benchmark's UPM (µops per L2 miss) from the simulated
+/// hardware counters of a single-node fastest-gear run.
+pub fn measure_upm(c: &Cluster, bench: Benchmark, class: ProblemClass) -> f64 {
+    let (run, _) = c.run(&ClusterConfig::uniform(1, 1), move |comm| bench.run(comm, class));
+    run.total_counters().upm()
+}
+
+/// Fastest-gear trace decompositions across the benchmark's valid node
+/// counts up to `max_nodes` — the model's Step 1 input.
+pub fn decompositions(
+    c: &Cluster,
+    bench: Benchmark,
+    class: ProblemClass,
+    max_nodes: usize,
+) -> Vec<Decomposition> {
+    bench
+        .valid_nodes(max_nodes)
+        .into_iter()
+        .map(|n| {
+            let (run, _) =
+                c.run(&ClusterConfig::uniform(n, 1), move |comm| bench.run(comm, class));
+            Decomposition::of(&run)
+        })
+        .collect()
+}
+
+/// The model's Step 4 input: single-node per-gear profile.
+pub fn gear_profile(c: &Cluster, bench: Benchmark, class: ProblemClass) -> GearProfile {
+    psc_model::gears::profile_workload(c, move |comm| {
+        bench.run(comm, class);
+    })
+}
+
+/// Fit the paper's full model for a benchmark from measurements up to
+/// `max_nodes` (the paper uses ≤ 9 on the power-scalable cluster).
+pub fn model_for(
+    c: &Cluster,
+    bench: Benchmark,
+    class: ProblemClass,
+    max_nodes: usize,
+) -> ClusterModel {
+    let decomps = decompositions(c, bench, class, max_nodes);
+    let profile = gear_profile(c, bench, class);
+    ClusterModel::fit(&decomps, profile)
+}
+
+/// Convert model predictions at `m` nodes into a plottable curve.
+pub fn predicted_curve(model: &ClusterModel, bench: Benchmark, m: usize, refined: bool) -> EnergyTimeCurve {
+    let points = model
+        .predict_curve(m, refined)
+        .into_iter()
+        .map(|p| EnergyTimePoint { gear: p.gear, time_s: p.time_s, energy_j: p.energy_j })
+        .collect();
+    EnergyTimeCurve::new(format!("{} (model)", bench.name()), m, points)
+}
+
+/// The node counts Figure 2 uses per benchmark: 2, 4, 8 — "or 4 and 9
+/// in the case of BT and SP".
+pub fn fig2_nodes(bench: Benchmark) -> Vec<usize> {
+    match bench {
+        Benchmark::Bt | Benchmark::Sp => vec![4, 9],
+        _ => vec![2, 4, 8],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn curve_measured_at_every_gear() {
+        let c = cluster();
+        let curve = measure_curve(&c, Benchmark::Ep, ProblemClass::Test, 2);
+        assert_eq!(curve.points.len(), 6);
+        assert!(curve.fastest_gear_is_fastest_point());
+    }
+
+    #[test]
+    fn measured_upm_matches_charged_upm() {
+        let c = cluster();
+        for b in [Benchmark::Cg, Benchmark::Ep, Benchmark::Sp] {
+            let upm = measure_upm(&c, b, ProblemClass::Test);
+            assert!(
+                (upm - b.upm()).abs() / b.upm() < 0.02,
+                "{}: measured {upm} vs table {}",
+                b.name(),
+                b.upm()
+            );
+        }
+    }
+
+    #[test]
+    fn model_fits_from_test_class() {
+        let c = cluster();
+        let model = model_for(&c, Benchmark::Jacobi, ProblemClass::Test, 8);
+        let p = model.refined(16, 3);
+        assert!(p.time_s > 0.0 && p.energy_j > 0.0);
+        assert!(model.profile.is_physical());
+    }
+
+    #[test]
+    fn fig2_nodes_follow_paper() {
+        assert_eq!(fig2_nodes(Benchmark::Bt), vec![4, 9]);
+        assert_eq!(fig2_nodes(Benchmark::Cg), vec![2, 4, 8]);
+    }
+}

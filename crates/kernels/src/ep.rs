@@ -1,0 +1,180 @@
+//! EP — the NAS "embarrassingly parallel" benchmark.
+//!
+//! Generates pairs of uniform deviates with the NAS linear congruential
+//! generator, applies the Marsaglia polar (Box–Muller) acceptance test,
+//! tabulates the resulting Gaussian deviates into ten annuli, and sums
+//! them. The only communication is a trailing all-reduce of the sums and
+//! counts, so speedup is essentially perfect — the paper's reference
+//! point for "the CPU is the critical path" (UPM 844, slowdown tracking
+//! the CPU cycle time, and no benefit from extra nodes' lower gears).
+
+use crate::common::{block_range, charge, NasRng};
+use psc_mpi::{Comm, ReduceOp};
+use serde::{Deserialize, Serialize};
+
+/// Memory pressure of EP measured by the paper (Table 1).
+pub const EP_UPM: f64 = 844.0;
+
+/// Flops charged per generated pair (generation, acceptance test, and
+/// amortized transform/tabulation of accepted pairs).
+const FLOPS_PER_PAIR: f64 = 30.0;
+
+/// EP configuration.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct EpParams {
+    /// Number of random pairs across all ranks.
+    pub pairs: u64,
+    /// NAS LCG seed (odd).
+    pub seed: u64,
+    /// Class-B work multiplier (see crate docs).
+    pub work_scale: f64,
+}
+
+impl EpParams {
+    /// Tiny configuration for unit tests.
+    pub fn test() -> Self {
+        EpParams { pairs: 20_000, seed: 271_828_183, work_scale: 1.0 }
+    }
+
+    /// The experiment configuration: real arithmetic on 2^20 pairs,
+    /// charged at class-B magnitude (2^33 pairs, ≈140 virtual seconds on
+    /// one node at gear 1 — the scale of the paper's Figure 1).
+    pub fn class_b() -> Self {
+        let real_pairs = 1u64 << 20;
+        let target_pairs = 1u64 << 33;
+        EpParams {
+            pairs: real_pairs,
+            seed: 271_828_183,
+            work_scale: target_pairs as f64 / real_pairs as f64,
+        }
+    }
+}
+
+/// EP results (identical on every rank after the final all-reduce).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpOutput {
+    /// Sum of accepted Gaussian X deviates.
+    pub sx: f64,
+    /// Sum of accepted Gaussian Y deviates.
+    pub sy: f64,
+    /// Annulus counts: `counts[k]` pairs with `max(|X|,|Y|) ∈ [k, k+1)`.
+    pub counts: [u64; 10],
+    /// Total accepted pairs.
+    pub accepted: u64,
+}
+
+/// Run EP on the communicator. Every rank draws an independent slice of
+/// one global random stream (via LCG jump-ahead), so results are
+/// independent of the rank count up to floating-point summation order.
+pub fn run(comm: &mut Comm, p: &EpParams) -> EpOutput {
+    let range = block_range(p.pairs as usize, comm.size(), comm.rank());
+    // Each pair consumes two deviates; jump to this rank's slice start.
+    let mut rng = NasRng::skip(p.seed, 2 * range.start as u64);
+
+    let mut sx = 0.0;
+    let mut sy = 0.0;
+    let mut counts = [0.0f64; 10];
+    let mut accepted = 0u64;
+
+    // Process in chunks so work is charged alongside the arithmetic it
+    // models, letting per-gear power averaging see realistic block sizes.
+    const CHUNK: usize = 65_536;
+    let mut remaining = range.len();
+    while remaining > 0 {
+        let batch = remaining.min(CHUNK);
+        for _ in 0..batch {
+            let x = 2.0 * rng.next_f64() - 1.0;
+            let y = 2.0 * rng.next_f64() - 1.0;
+            let t = x * x + y * y;
+            if t <= 1.0 && t > 0.0 {
+                let f = (-2.0 * t.ln() / t).sqrt();
+                let gx = x * f;
+                let gy = y * f;
+                sx += gx;
+                sy += gy;
+                let m = gx.abs().max(gy.abs()) as usize;
+                if m < 10 {
+                    counts[m] += 1.0;
+                }
+                accepted += 1;
+            }
+        }
+        charge(comm, batch as f64 * FLOPS_PER_PAIR, p.work_scale, EP_UPM);
+        remaining -= batch;
+    }
+
+    // The single communication step: sum everything across ranks.
+    let mut buf = vec![sx, sy, accepted as f64];
+    buf.extend_from_slice(&counts);
+    let total = comm.allreduce(buf, ReduceOp::Sum);
+
+    let mut out_counts = [0u64; 10];
+    for (dst, src) in out_counts.iter_mut().zip(&total[3..13]) {
+        *dst = src.round() as u64;
+    }
+    EpOutput { sx: total[0], sy: total[1], counts: out_counts, accepted: total[2].round() as u64 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psc_mpi::{Cluster, ClusterConfig};
+
+    fn run_on(nodes: usize) -> EpOutput {
+        let c = Cluster::athlon_fast_ethernet();
+        let p = EpParams::test();
+        let (_, outs) = c.run(&ClusterConfig::uniform(nodes, 1), move |comm| run(comm, &p));
+        outs.into_iter().next().unwrap()
+    }
+
+    #[test]
+    fn acceptance_rate_near_pi_over_four() {
+        let out = run_on(1);
+        let rate = out.accepted as f64 / EpParams::test().pairs as f64;
+        assert!((rate - std::f64::consts::FRAC_PI_4).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn counts_identical_across_node_counts() {
+        let base = run_on(1);
+        for n in [2usize, 4, 8] {
+            let out = run_on(n);
+            assert_eq!(out.counts, base.counts, "n={n}");
+            assert_eq!(out.accepted, base.accepted, "n={n}");
+            assert!((out.sx - base.sx).abs() < 1e-6 * base.sx.abs().max(1.0));
+            assert!((out.sy - base.sy).abs() < 1e-6 * base.sy.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn gaussian_sums_small_relative_to_samples() {
+        // Gaussians are zero-mean: |sx| should be O(sqrt(accepted)).
+        let out = run_on(1);
+        let bound = 10.0 * (out.accepted as f64).sqrt();
+        assert!(out.sx.abs() < bound, "sx {} vs bound {bound}", out.sx);
+        assert!(out.sy.abs() < bound);
+    }
+
+    #[test]
+    fn annuli_counts_decrease() {
+        // Almost all Gaussian mass is within |x| < 4.
+        let out = run_on(1);
+        assert!(out.counts[0] > out.counts[2]);
+        let tail: u64 = out.counts[4..].iter().sum();
+        assert!(tail * 100 < out.accepted, "tail too heavy: {:?}", out.counts);
+    }
+
+    #[test]
+    fn near_perfect_speedup() {
+        let c = Cluster::athlon_fast_ethernet();
+        let p = EpParams::class_b();
+        let time_on = |n: usize| {
+            let (res, _) = c.run(&ClusterConfig::uniform(n, 1), move |comm| run(comm, &p));
+            res.time_s
+        };
+        let t1 = time_on(1);
+        let t8 = time_on(8);
+        let speedup = t1 / t8;
+        assert!(speedup > 7.5, "EP speedup on 8 nodes only {speedup}");
+    }
+}

@@ -1,0 +1,356 @@
+//! FT — spectral method (FFT) benchmark.
+//!
+//! The paper excludes FT: "The NAS FT benchmark is not shown because we
+//! cannot get it to work." This implementation is therefore an
+//! *extension* beyond the paper's evaluation — the missing sixth NAS
+//! kernel, included because its communication pattern (full data
+//! transposes via all-to-all exchange) is the heaviest in the suite and
+//! stresses the runtime in a way none of the others do.
+//!
+//! Structure (NAS FT, reduced from 3D to 2D; DESIGN.md documents the
+//! substitution): a complex field is forward-FFT'd once; each pseudo-
+//! time step applies spectral evolution factors
+//! `exp(−4π²α·t·|k|²)` and inverse-transforms, and a deterministic
+//! checksum of the result is accumulated. Rows are block-distributed;
+//! each 2D transform is local row FFTs + a distributed transpose
+//! (all-to-all) + local row FFTs.
+
+use crate::common::{block_range, charge, NasRng};
+use psc_mpi::{Comm, ReduceOp};
+use serde::{Deserialize, Serialize};
+
+/// Memory pressure of FT. Not in the paper's Table 1 (they could not
+/// run FT); large-stride butterfly accesses put it between SP and the
+/// Jacobi stencil on the UPM scale.
+pub const FT_UPM: f64 = 45.0;
+
+/// Flops per complex point per 1D FFT pass of length `n`:
+/// `5·log2(n)` (the standard radix-2 operation count).
+fn fft_flops(n: usize) -> f64 {
+    5.0 * n as f64 * (n as f64).log2()
+}
+
+/// FT configuration.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct FtParams {
+    /// Grid side (power of two, real).
+    pub n: usize,
+    /// Pseudo-time evolution steps.
+    pub steps: usize,
+    /// Diffusivity in the evolution factor.
+    pub alpha: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Class-B work multiplier.
+    pub work_scale: f64,
+    /// Class-B wire multiplier.
+    pub wire_scale: f64,
+}
+
+impl FtParams {
+    /// Tiny configuration for unit tests.
+    pub fn test() -> Self {
+        FtParams { n: 64, steps: 3, alpha: 1e-6, seed: 314_159_265, work_scale: 1.0, wire_scale: 1.0 }
+    }
+
+    /// The experiment configuration: real arithmetic on 256², charged
+    /// at NAS class-B scale (512³ would swamp a real 100 Mb/s network —
+    /// likely why the paper could not run FT; the wire scale here is
+    /// calibrated so FT is communication-heavy but functional).
+    pub fn class_b() -> Self {
+        FtParams {
+            n: 256,
+            steps: 5,
+            alpha: 1e-6,
+            seed: 314_159_265,
+            work_scale: 3800.0,
+            wire_scale: 40.0,
+        }
+    }
+}
+
+/// FT results.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FtOutput {
+    /// Accumulated checksum (sum over the NAS-style sample indices of
+    /// every step), real part.
+    pub checksum_re: f64,
+    /// Accumulated checksum, imaginary part.
+    pub checksum_im: f64,
+    /// Steps executed.
+    pub iterations: usize,
+}
+
+/// In-place iterative radix-2 FFT over interleaved (re, im) pairs.
+/// `inverse` applies the conjugate transform and 1/n scaling.
+fn fft_inplace(buf: &mut [f64], inverse: bool) {
+    let n = buf.len() / 2;
+    assert!(n.is_power_of_two(), "FFT length must be a power of two");
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 0..n {
+        if i < j {
+            buf.swap(2 * i, 2 * j);
+            buf.swap(2 * i + 1, 2 * j + 1);
+        }
+        let mut m = n >> 1;
+        while m >= 1 && j & m != 0 {
+            j ^= m;
+            m >>= 1;
+        }
+        j |= m;
+    }
+    // Butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let (wr, wi) = (ang.cos(), ang.sin());
+        let mut i = 0;
+        while i < n {
+            let (mut cr, mut ci) = (1.0f64, 0.0f64);
+            for k in 0..len / 2 {
+                let a = i + k;
+                let b = i + k + len / 2;
+                let (xr, xi) = (buf[2 * b] * cr - buf[2 * b + 1] * ci,
+                                buf[2 * b] * ci + buf[2 * b + 1] * cr);
+                let (ur, ui) = (buf[2 * a], buf[2 * a + 1]);
+                buf[2 * a] = ur + xr;
+                buf[2 * a + 1] = ui + xi;
+                buf[2 * b] = ur - xr;
+                buf[2 * b + 1] = ui - xi;
+                let next_cr = cr * wr - ci * wi;
+                ci = cr * wi + ci * wr;
+                cr = next_cr;
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+    if inverse {
+        let scale = 1.0 / n as f64;
+        for v in buf.iter_mut() {
+            *v *= scale;
+        }
+    }
+}
+
+/// Distributed transpose of a row-block-distributed complex matrix:
+/// all-to-all of sub-blocks, then local re-arrangement. `rows` is the
+/// local row count; the matrix is `n × n` globally.
+fn transpose(comm: &mut Comm, data: &[f64], rows: usize, n: usize) -> Vec<f64> {
+    let size = comm.size();
+    // Slice my rows into one block per destination rank: columns owned
+    // by that rank after the transpose.
+    let blocks: Vec<Vec<f64>> = (0..size)
+        .map(|dst| {
+            let cols = block_range(n, size, dst);
+            let mut b = Vec::with_capacity(rows * cols.len() * 2);
+            for r in 0..rows {
+                for c in cols.clone() {
+                    b.push(data[2 * (r * n + c)]);
+                    b.push(data[2 * (r * n + c) + 1]);
+                }
+            }
+            b
+        })
+        .collect();
+    let incoming = comm.alltoall(blocks);
+    // Reassemble: my new rows are the old columns in my range; incoming
+    // block from rank `src` holds its old rows of my columns.
+    let my_new = block_range(n, size, comm.rank());
+    let new_rows = my_new.len();
+    let mut out = vec![0.0f64; new_rows * n * 2];
+    for (src, block) in incoming.iter().enumerate() {
+        let src_rows = block_range(n, size, src);
+        let mut it = block.chunks_exact(2);
+        for old_r in src_rows.clone() {
+            for new_r in 0..new_rows {
+                let pair = it.next().expect("transpose block underrun");
+                // Transposed: element (old_r, my_new.start+new_r) lands
+                // at (new_r, old_r).
+                out[2 * (new_r * n + old_r)] = pair[0];
+                out[2 * (new_r * n + old_r) + 1] = pair[1];
+            }
+        }
+    }
+    out
+}
+
+/// One full distributed 2D FFT pass (row FFTs, transpose, row FFTs).
+/// The result remains transposed — harmless for FT, which always
+/// applies symmetric spectral factors and transforms back the same way.
+fn fft2d(comm: &mut Comm, data: &mut Vec<f64>, rows: usize, n: usize, inverse: bool, p: &FtParams) {
+    for r in 0..rows {
+        fft_inplace(&mut data[2 * r * n..2 * (r + 1) * n], inverse);
+    }
+    charge(comm, rows as f64 * fft_flops(n), p.work_scale, FT_UPM);
+    *data = transpose(comm, data, rows, n);
+    let new_rows = block_range(n, comm.size(), comm.rank()).len();
+    for r in 0..new_rows {
+        fft_inplace(&mut data[2 * r * n..2 * (r + 1) * n], inverse);
+    }
+    charge(comm, new_rows as f64 * fft_flops(n), p.work_scale, FT_UPM);
+}
+
+/// Run FT on the communicator. The node count must be a power of two
+/// no larger than `n`.
+pub fn run(comm: &mut Comm, p: &FtParams) -> FtOutput {
+    comm.set_wire_scale(p.wire_scale);
+    let (rank, size) = (comm.rank(), comm.size());
+    assert!(p.n.is_power_of_two() && size <= p.n, "FT needs power-of-two n ≥ ranks");
+    let my = block_range(p.n, size, rank);
+    let rows = my.len();
+    let n = p.n;
+
+    // Deterministic initial field: every rank jumps the global stream
+    // to its slice, as EP does.
+    let mut rng = NasRng::skip(p.seed, 2 * (my.start * n) as u64);
+    let mut u: Vec<f64> = (0..rows * n * 2).map(|_| rng.next_f64() - 0.5).collect();
+
+    // Forward transform once.
+    fft2d(comm, &mut u, rows, n, false, p);
+
+    // Spectral evolution + inverse transform per step, with a NAS-style
+    // checksum of sampled points.
+    let mut checksum = (0.0f64, 0.0f64);
+    let spectral_rows = block_range(n, size, rank);
+    for step in 1..=p.steps {
+        // Apply evolution factors to the (transposed) spectrum. The
+        // wavenumber of index k is the signed frequency.
+        let mut w = u.clone();
+        for (rl, r) in spectral_rows.clone().enumerate() {
+            let kr = if r > n / 2 { r as f64 - n as f64 } else { r as f64 };
+            for c in 0..n {
+                let kc = if c > n / 2 { c as f64 - n as f64 } else { c as f64 };
+                let factor =
+                    (-4.0 * p.alpha * std::f64::consts::PI.powi(2) * (kr * kr + kc * kc)
+                        * step as f64)
+                        .exp();
+                w[2 * (rl * n + c)] *= factor;
+                w[2 * (rl * n + c) + 1] *= factor;
+            }
+        }
+        charge(comm, (spectral_rows.len() * n * 6) as f64, p.work_scale, FT_UPM);
+        fft2d(comm, &mut w, rows, n, true, p);
+
+        // Checksum over NAS-style strided sample indices.
+        let my_now = block_range(n, size, rank);
+        let (mut sr, mut si) = (0.0, 0.0);
+        for j in 1..=1024u64 {
+            let q = (j.wrapping_mul(j + step as u64)) as usize % (n * n);
+            let (r, c) = (q / n, q % n);
+            if my_now.contains(&r) {
+                let rl = r - my_now.start;
+                sr += w[2 * (rl * n + c)];
+                si += w[2 * (rl * n + c) + 1];
+            }
+        }
+        let total = comm.allreduce(vec![sr, si], ReduceOp::Sum);
+        checksum.0 += total[0];
+        checksum.1 += total[1];
+    }
+
+    FtOutput { checksum_re: checksum.0, checksum_im: checksum.1, iterations: p.steps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psc_mpi::{Cluster, ClusterConfig};
+
+    #[test]
+    fn fft_roundtrip_is_identity() {
+        let mut rng = NasRng::new(271_828_183);
+        let original: Vec<f64> = (0..256).map(|_| rng.next_f64() - 0.5).collect();
+        let mut buf = original.clone();
+        fft_inplace(&mut buf, false);
+        fft_inplace(&mut buf, true);
+        for (a, b) in original.iter().zip(&buf) {
+            assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn fft_matches_dft_on_small_input() {
+        // Compare against a naive O(n²) DFT for n = 8.
+        let x: Vec<f64> = vec![1.0, 0.0, 2.0, 0.5, -1.0, 0.25, 0.5, -0.5, 3.0, 0.0, -2.0, 1.0, 0.0, 0.0, 1.0, 1.0];
+        let n = 8;
+        let mut fast = x.clone();
+        fft_inplace(&mut fast, false);
+        for k in 0..n {
+            let (mut re, mut im) = (0.0f64, 0.0f64);
+            for t in 0..n {
+                let ang = -2.0 * std::f64::consts::PI * (k * t) as f64 / n as f64;
+                let (xr, xi) = (x[2 * t], x[2 * t + 1]);
+                re += xr * ang.cos() - xi * ang.sin();
+                im += xr * ang.sin() + xi * ang.cos();
+            }
+            assert!((fast[2 * k] - re).abs() < 1e-10, "k={k}");
+            assert!((fast[2 * k + 1] - im).abs() < 1e-10, "k={k}");
+        }
+    }
+
+    #[test]
+    fn parseval_holds() {
+        let mut rng = NasRng::new(314_159_265);
+        let x: Vec<f64> = (0..512).map(|_| rng.next_f64() - 0.5).collect();
+        let mut f = x.clone();
+        fft_inplace(&mut f, false);
+        let time_energy: f64 = x.chunks(2).map(|c| c[0] * c[0] + c[1] * c[1]).sum();
+        let freq_energy: f64 =
+            f.chunks(2).map(|c| c[0] * c[0] + c[1] * c[1]).sum::<f64>() / 256.0;
+        assert!((time_energy - freq_energy).abs() < 1e-9 * time_energy);
+    }
+
+    fn run_on(nodes: usize, p: FtParams) -> (f64, FtOutput) {
+        let c = Cluster::athlon_fast_ethernet();
+        let (res, outs) = c.run(&ClusterConfig::uniform(nodes, 1), move |comm| run(comm, &p));
+        (res.time_s, outs.into_iter().next().unwrap())
+    }
+
+    #[test]
+    fn checksum_independent_of_node_count() {
+        let (_, base) = run_on(1, FtParams::test());
+        assert!(base.checksum_re.abs() > 1e-12, "checksum degenerate");
+        for n in [2usize, 4, 8] {
+            let (_, out) = run_on(n, FtParams::test());
+            assert!(
+                (out.checksum_re - base.checksum_re).abs() < 1e-9 * base.checksum_re.abs(),
+                "n={n}: {} vs {}",
+                out.checksum_re,
+                base.checksum_re
+            );
+            assert!(
+                (out.checksum_im - base.checksum_im).abs()
+                    < 1e-9 * base.checksum_im.abs().max(1e-9),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn evolution_damps_the_field() {
+        // Higher diffusivity ⇒ smaller checksum magnitude (the field
+        // decays toward its mean).
+        let mut weak = FtParams::test();
+        weak.alpha = 1e-7;
+        let mut strong = FtParams::test();
+        strong.alpha = 1e-3;
+        let (_, a) = run_on(1, weak);
+        let (_, b) = run_on(1, strong);
+        let mag = |o: &FtOutput| (o.checksum_re.powi(2) + o.checksum_im.powi(2)).sqrt();
+        assert!(mag(&b) < mag(&a), "{} !< {}", mag(&b), mag(&a));
+    }
+
+    #[test]
+    fn transpose_heavy_communication() {
+        // FT's all-to-all transposes make it the most communication-
+        // intensive kernel: idle share at 4 nodes exceeds EP's by far.
+        let c = Cluster::athlon_fast_ethernet();
+        let p = FtParams::class_b();
+        let (res, _) = c.run(&ClusterConfig::uniform(4, 1), move |comm| run(comm, &p));
+        let idle_frac = res.idle_of_max_s() / res.time_s;
+        assert!(idle_frac > 0.1, "FT should be comm-heavy, idle only {idle_frac}");
+    }
+}

@@ -1,0 +1,234 @@
+//! IS — integer sort (distributed bucket sort).
+//!
+//! The paper excludes IS because "(1) class B is too small to get any
+//! parallel speedup and (2) class C thrashes on 1 and 2 nodes, making
+//! comparative energy results meaningless". Neither limitation applies
+//! to a simulator with charged costs, so IS joins FT as an extension
+//! kernel: it contributes the suite's only latency-sensitive
+//! all-to-all-of-*variable*-buckets pattern and its most extreme
+//! random-access memory behaviour.
+//!
+//! Algorithm (NAS IS structure): every rank draws its slice of one
+//! global key stream (bell-shaped: sum of four uniforms), partitions
+//! the keys into per-rank buckets by key range, exchanges buckets with
+//! an all-to-all, and counting-sorts what it receives. Repeated for a
+//! fixed number of rounds with a rotating additive shift, with full
+//! verification of the final permutation.
+
+use crate::common::{block_range, charge, NasRng};
+use psc_mpi::{Comm, ReduceOp};
+use serde::{Deserialize, Serialize};
+
+/// Memory pressure of IS: random-access histogram updates miss almost
+/// every time — the most memory-bound kernel in the suite after the
+/// synthetic benchmark. (Not in the paper's Table 1; IS was excluded.)
+pub const IS_UPM: f64 = 14.0;
+
+/// Flops-equivalent charged per key per pass (bucket index, histogram
+/// update, scatter).
+const OPS_PER_KEY: f64 = 6.0;
+
+/// IS configuration.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct IsParams {
+    /// Total keys across all ranks (real).
+    pub keys: usize,
+    /// Key space is `0..max_key`.
+    pub max_key: u64,
+    /// Sort rounds (keys are re-shifted each round).
+    pub rounds: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Class-B work multiplier.
+    pub work_scale: f64,
+    /// Class-B wire multiplier.
+    pub wire_scale: f64,
+}
+
+impl IsParams {
+    /// Tiny configuration for unit tests.
+    pub fn test() -> Self {
+        IsParams {
+            keys: 16_384,
+            max_key: 1 << 11,
+            rounds: 3,
+            seed: 271_828_183,
+            work_scale: 1.0,
+            wire_scale: 1.0,
+        }
+    }
+
+    /// The experiment configuration: real sort of 2^18 keys, charged at
+    /// NAS class-B scale (2^25 keys, 10 rounds).
+    pub fn class_b() -> Self {
+        IsParams {
+            keys: 1 << 18,
+            max_key: 1 << 16,
+            rounds: 5,
+            seed: 271_828_183,
+            work_scale: ((1u64 << 25) as f64 / (1u64 << 18) as f64) * 2.0,
+            wire_scale: 128.0,
+        }
+    }
+}
+
+/// IS results.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IsOutput {
+    /// Whether the final distributed array verified as globally sorted
+    /// with the right multiset of keys.
+    pub verified: bool,
+    /// Checksum: Σ key·(global rank of key) over a sample (exact for
+    /// our sizes: Σ position·key over the sorted sequence).
+    pub checksum: f64,
+    /// Rounds executed.
+    pub iterations: usize,
+}
+
+/// Run IS on the communicator.
+pub fn run(comm: &mut Comm, p: &IsParams) -> IsOutput {
+    comm.set_wire_scale(p.wire_scale);
+    let (rank, size) = (comm.rank(), comm.size());
+    let my = block_range(p.keys, size, rank);
+
+    // Draw this rank's slice of the global key stream (4 deviates per
+    // key, bell-shaped sum as in NAS IS).
+    let mut rng = NasRng::skip(p.seed, 4 * my.start as u64);
+    let base_keys: Vec<u64> = (0..my.len())
+        .map(|_| {
+            let s = rng.next_f64() + rng.next_f64() + rng.next_f64() + rng.next_f64();
+            ((s / 4.0) * p.max_key as f64) as u64 % p.max_key
+        })
+        .collect();
+
+    let mut verified = true;
+    let mut checksum = 0.0f64;
+    for round in 0..p.rounds {
+        // Round-dependent shift keeps every round's traffic distinct.
+        let shift = (round as u64 * 29) % p.max_key;
+        let keys: Vec<u64> = base_keys.iter().map(|k| (k + shift) % p.max_key).collect();
+
+        // Partition into per-destination buckets by key range.
+        let mut buckets: Vec<Vec<f64>> = vec![Vec::new(); size];
+        let per = p.max_key.div_ceil(size as u64);
+        for &k in &keys {
+            let dst = ((k / per) as usize).min(size - 1);
+            buckets[dst].push(k as f64);
+        }
+        charge(comm, keys.len() as f64 * OPS_PER_KEY, p.work_scale, IS_UPM);
+
+        // The exchange: every rank receives exactly the keys in its
+        // range.
+        let received = comm.alltoall(buckets);
+
+        // Counting sort of the received keys.
+        let lo = per * rank as u64;
+        let hi = (per * (rank as u64 + 1)).min(p.max_key);
+        let mut counts = vec![0u64; (hi.saturating_sub(lo)) as usize + 1];
+        let mut local_n = 0u64;
+        for block in &received {
+            for &kf in block {
+                let k = kf as u64;
+                if k < lo || k >= hi {
+                    verified = false;
+                } else {
+                    counts[(k - lo) as usize] += 1;
+                }
+                local_n += 1;
+            }
+        }
+        charge(comm, local_n as f64 * OPS_PER_KEY, p.work_scale, IS_UPM);
+
+        // Global position of this rank's first key = total keys on
+        // lower-range ranks (exclusive prefix via allgather of counts).
+        let totals = comm.allgather(vec![local_n as f64]);
+        let offset: f64 = totals[..rank].iter().map(|b| b[0]).sum();
+        let global_total: f64 = totals.iter().map(|b| b[0]).sum();
+        if (global_total - p.keys as f64).abs() > 0.5 {
+            verified = false;
+        }
+
+        // Checksum over the sorted sequence: Σ (global position · key),
+        // computed from counts without materializing the sorted array.
+        let mut pos = offset;
+        let mut local_sum = 0.0f64;
+        for (i, &c) in counts.iter().enumerate() {
+            if c > 0 {
+                let k = (lo + i as u64) as f64;
+                let c = c as f64;
+                // Sum of positions pos..pos+c times k.
+                local_sum += k * (c * pos + c * (c - 1.0) / 2.0);
+                pos += c;
+            }
+        }
+        charge(comm, counts.len() as f64 * 2.0, p.work_scale, IS_UPM);
+        checksum += comm.allreduce_scalar(local_sum, ReduceOp::Sum);
+    }
+
+    // Verification must agree globally.
+    let all_ok = comm.allreduce_scalar(if verified { 1.0 } else { 0.0 }, ReduceOp::Min);
+    IsOutput { verified: all_ok > 0.5, checksum, iterations: p.rounds }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psc_mpi::{Cluster, ClusterConfig};
+
+    fn run_on(nodes: usize, p: IsParams) -> (f64, IsOutput) {
+        let c = Cluster::athlon_fast_ethernet();
+        let (res, outs) = c.run(&ClusterConfig::uniform(nodes, 1), move |comm| run(comm, &p));
+        (res.time_s, outs.into_iter().next().unwrap())
+    }
+
+    #[test]
+    fn sort_verifies_on_one_node() {
+        let (_, out) = run_on(1, IsParams::test());
+        assert!(out.verified);
+        assert!(out.checksum > 0.0);
+    }
+
+    #[test]
+    fn sort_verifies_and_agrees_across_node_counts() {
+        let (_, base) = run_on(1, IsParams::test());
+        for n in [2usize, 3, 5, 8] {
+            let (_, out) = run_on(n, IsParams::test());
+            assert!(out.verified, "n={n}");
+            // The sorted permutation of one multiset is unique, so the
+            // position-weighted checksum is decomposition-exact (up to
+            // reduction rounding on large sums).
+            assert!(
+                (out.checksum - base.checksum).abs() <= 1e-12 * base.checksum,
+                "n={n}: {} vs {}",
+                out.checksum,
+                base.checksum
+            );
+        }
+    }
+
+    #[test]
+    fn checksum_reacts_to_key_distribution() {
+        let a = IsParams::test();
+        let mut b = IsParams::test();
+        b.seed = 98_765_431;
+        let (_, oa) = run_on(2, a);
+        let (_, ob) = run_on(2, b);
+        assert!(oa.checksum != ob.checksum, "different keys, same checksum?");
+        assert!(oa.verified && ob.verified);
+    }
+
+    #[test]
+    fn bell_shape_loads_middle_ranks_hardest() {
+        // The sum-of-uniforms distribution concentrates keys mid-range:
+        // with 4 ranks the middle two receive more keys than the outer
+        // two. Observe via counters (bytes received ∝ keys).
+        let c = Cluster::athlon_fast_ethernet();
+        let p = IsParams::test();
+        let (res, _) = c.run(&ClusterConfig::uniform(4, 1), move |comm| run(comm, &p));
+        let active: Vec<f64> = res.ranks.iter().map(|r| r.trace.active_s()).collect();
+        assert!(
+            active[1] > active[0] && active[2] > active[3],
+            "middle ranks should do more sorting work: {active:?}"
+        );
+    }
+}

@@ -1,0 +1,305 @@
+//! Jacobi iteration — the paper's hand-written Figure 3 application.
+//!
+//! Solves Laplace's equation on a 2D grid with fixed boundary values by
+//! Jacobi relaxation. Rows are block-distributed; each iteration
+//! exchanges one halo row with each neighbor and (every few iterations)
+//! all-reduces the maximum update for convergence monitoring. Chosen by
+//! the paper because it runs on *any* number of nodes and achieves good
+//! speedup (1.9 / 3.6 / 5.0 / 6.4 / 7.7 on 2–10 nodes) — every adjacent
+//! pair of node-count curves falls in case 3.
+
+use crate::common::{block_range, charge};
+use psc_mpi::{Comm, ReduceOp};
+use serde::{Deserialize, Serialize};
+
+/// Memory pressure of the Jacobi stencil (streaming two grids through
+/// the cache; between SP and CG on the paper's scale).
+pub const JACOBI_UPM: f64 = 30.0;
+
+/// Jacobi configuration.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct JacobiParams {
+    /// Interior rows (real).
+    pub rows: usize,
+    /// Interior columns (real).
+    pub cols: usize,
+    /// Iterations (fixed count, so results are decomposition-exact).
+    pub iters: usize,
+    /// Check convergence (all-reduce max diff) every this many iters.
+    pub check_every: usize,
+    /// Top boundary temperature.
+    pub top: f64,
+    /// Class-B work multiplier.
+    pub work_scale: f64,
+    /// Class-B wire multiplier.
+    pub wire_scale: f64,
+    /// Overlap communication with interior computation: post the halo
+    /// receives, send boundaries, relax the *interior* rows while the
+    /// messages fly, then wait and relax the boundary rows. Produces
+    /// identical numerics (Jacobi reads only old values) but turns the
+    /// interior computation into *reducible work* in the paper's
+    /// refined-model sense.
+    pub overlap: bool,
+}
+
+impl JacobiParams {
+    /// Tiny configuration for unit tests.
+    pub fn test() -> Self {
+        JacobiParams {
+            rows: 48,
+            cols: 48,
+            iters: 120,
+            check_every: 10,
+            top: 100.0,
+            work_scale: 1.0,
+            wire_scale: 1.0,
+            overlap: false,
+        }
+    }
+
+    /// The experiment configuration: real arithmetic on 192², charged
+    /// as a ~2000² grid run long enough to give a ~50-second
+    /// single-node time, with halo rows wired at the 2000² width.
+    pub fn experiment() -> Self {
+        JacobiParams {
+            rows: 192,
+            cols: 192,
+            iters: 500,
+            check_every: 10,
+            top: 100.0,
+            // (2000/192)² spatial × ~3.5 more iterations at full scale.
+            work_scale: 380.0,
+            wire_scale: 2000.0 / 192.0,
+            overlap: false,
+        }
+    }
+
+    /// The experiment configuration with communication/computation
+    /// overlap enabled.
+    pub fn experiment_overlap() -> Self {
+        JacobiParams { overlap: true, ..JacobiParams::experiment() }
+    }
+}
+
+/// Jacobi results.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JacobiOutput {
+    /// Sum of all interior grid values after the final iteration.
+    pub checksum: f64,
+    /// Last monitored maximum pointwise update.
+    pub last_diff: f64,
+    /// Iterations executed.
+    pub iterations: usize,
+}
+
+/// Run Jacobi iteration on the communicator.
+pub fn run(comm: &mut Comm, p: &JacobiParams) -> JacobiOutput {
+    comm.set_wire_scale(p.wire_scale);
+    let (rank, size) = (comm.rank(), comm.size());
+    let my = block_range(p.rows, size, rank);
+    let local = my.len();
+    let w = p.cols;
+
+    // Local slab with two ghost rows (index 0 and local+1). The global
+    // top boundary is hot; all other boundaries are 0.
+    let mut u = vec![vec![0.0f64; w + 2]; local + 2];
+    let mut unew = u.clone();
+    if my.start == 0 {
+        u[0] = vec![p.top; w + 2];
+        unew[0] = vec![p.top; w + 2];
+    }
+
+    let up = if my.start == 0 { None } else { Some(owner_of(p.rows, size, my.start - 1)) };
+    let down = if my.end == p.rows { None } else { Some(owner_of(p.rows, size, my.end)) };
+
+    let mut last_diff = f64::INFINITY;
+    for it in 0..p.iters {
+        let mut diff = 0.0f64;
+        // Row-relaxation kernel shared by both paths.
+        macro_rules! relax {
+            ($rows:expr) => {
+                for i in $rows {
+                    for j in 1..=w {
+                        let v =
+                            0.25 * (u[i - 1][j] + u[i + 1][j] + u[i][j - 1] + u[i][j + 1]);
+                        diff = diff.max((v - u[i][j]).abs());
+                        unew[i][j] = v;
+                    }
+                }
+            };
+        }
+
+        if p.overlap && local >= 3 {
+            // Post receives and fire the boundary sends, then relax the
+            // interior while the halos are in flight (reducible work),
+            // then complete the receives and relax the boundary rows.
+            let req_top = up.map(|u_n| {
+                comm.isend(u_n, 1, u[1].clone());
+                comm.irecv::<Vec<f64>>(u_n, 2)
+            });
+            let req_bot = down.map(|d_n| {
+                comm.isend(d_n, 2, u[local].clone());
+                comm.irecv::<Vec<f64>>(d_n, 1)
+            });
+            relax!(2..local);
+            charge(comm, 5.0 * ((local - 2) * w) as f64, p.work_scale, JACOBI_UPM);
+            if let Some(req) = req_top {
+                u[0] = comm.wait(req);
+            }
+            if let Some(req) = req_bot {
+                u[local + 1] = comm.wait(req);
+            }
+            relax!([1, local]);
+            charge(comm, 5.0 * (2 * w) as f64, p.work_scale, JACOBI_UPM);
+        } else {
+            // Blocking halo exchange, then relax everything.
+            if local > 0 {
+                if let Some(u_n) = up {
+                    let ghost_top: Vec<f64> = comm.sendrecv(u_n, 1, u[1].clone(), u_n, 2);
+                    u[0] = ghost_top;
+                }
+                if let Some(d_n) = down {
+                    let ghost_bot: Vec<f64> = comm.sendrecv(d_n, 2, u[local].clone(), d_n, 1);
+                    u[local + 1] = ghost_bot;
+                }
+            }
+            relax!(1..=local);
+            charge(comm, 5.0 * (local * w) as f64, p.work_scale, JACOBI_UPM);
+        }
+        std::mem::swap(&mut u, &mut unew);
+        // Keep the hot boundary pinned in the ghost row after the swap.
+        if my.start == 0 {
+            u[0] = vec![p.top; w + 2];
+        }
+
+        if (it + 1) % p.check_every == 0 {
+            last_diff = comm.allreduce_scalar(diff, ReduceOp::Max);
+        }
+    }
+
+    let checksum_local: f64 = (1..=local).map(|i| u[i][1..=w].iter().sum::<f64>()).sum();
+    let checksum = comm.allreduce_scalar(checksum_local, ReduceOp::Sum);
+    JacobiOutput { checksum, last_diff, iterations: p.iters }
+}
+
+/// Which rank owns a global row under the balanced block decomposition.
+pub(crate) fn owner_of(total: usize, parts: usize, row: usize) -> usize {
+    let base = total / parts;
+    let rem = total % parts;
+    let big = (base + 1) * rem;
+    if row < big {
+        row / (base + 1)
+    } else {
+        rem + (row - big) / base.max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psc_mpi::{Cluster, ClusterConfig};
+
+    fn run_on(nodes: usize, p: JacobiParams) -> (f64, JacobiOutput) {
+        let c = Cluster::athlon_fast_ethernet();
+        let (res, outs) = c.run(&ClusterConfig::uniform(nodes, 1), move |comm| run(comm, &p));
+        (res.time_s, outs.into_iter().next().unwrap())
+    }
+
+    #[test]
+    fn owner_of_inverts_block_range() {
+        for total in [7usize, 48, 100, 192] {
+            for parts in [1usize, 2, 3, 5, 10] {
+                for part in 0..parts {
+                    for row in crate::common::block_range(total, parts, part) {
+                        assert_eq!(owner_of(total, parts, row), part, "{total}/{parts}/{row}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn heat_flows_from_hot_boundary() {
+        let (_, out) = run_on(1, JacobiParams::test());
+        assert!(out.checksum > 0.0, "heat should diffuse into the grid");
+        assert!(out.last_diff < 1.0, "updates should shrink: {}", out.last_diff);
+    }
+
+    #[test]
+    fn result_exactly_independent_of_node_count() {
+        let (_, base) = run_on(1, JacobiParams::test());
+        for n in [2usize, 3, 5, 10] {
+            let (_, out) = run_on(n, JacobiParams::test());
+            // Pointwise Jacobi with exact halo exchange: bitwise-equal
+            // grids; only the final checksum reduction order differs.
+            assert!(
+                (out.checksum - base.checksum).abs() <= 1e-9 * base.checksum.abs(),
+                "n={n}: {} vs {}",
+                out.checksum,
+                base.checksum
+            );
+        }
+    }
+
+    #[test]
+    fn convergence_monitor_decreases() {
+        let p = JacobiParams::test();
+        let mut short = p;
+        short.iters = 20;
+        let (_, early) = run_on(2, short);
+        let (_, late) = run_on(2, p);
+        assert!(late.last_diff < early.last_diff);
+    }
+
+    #[test]
+    fn overlap_produces_identical_numerics() {
+        let mut p = JacobiParams::test();
+        let (_, plain) = run_on(4, p);
+        p.overlap = true;
+        let (_, overlapped) = run_on(4, p);
+        // Jacobi reads only old values, so reordering boundary vs
+        // interior relaxation is bitwise irrelevant.
+        assert_eq!(plain.checksum, overlapped.checksum);
+    }
+
+    #[test]
+    fn overlap_never_slower() {
+        let plain = JacobiParams::experiment();
+        let over = JacobiParams::experiment_overlap();
+        for n in [2usize, 4, 8] {
+            let (tp, _) = run_on(n, plain);
+            let (to, _) = run_on(n, over);
+            assert!(to <= tp + 1e-9, "n={n}: overlap slower ({to} vs {tp})");
+        }
+    }
+
+    #[test]
+    fn overlap_creates_reducible_work() {
+        let c = Cluster::athlon_fast_ethernet();
+        let p = JacobiParams::experiment_overlap();
+        let (res, _) =
+            c.run(&psc_mpi::ClusterConfig::uniform(4, 1), move |comm| run(comm, &p));
+        // A middle rank posts receives, computes its interior, then
+        // waits — the interior compute is between the last send and a
+        // blocking point, i.e. reducible.
+        let (crit, red) = res.ranks[1].trace.critical_reducible_split();
+        let frac = red / (crit + red);
+        assert!(frac > 0.5, "reducible fraction only {frac}");
+    }
+
+    #[test]
+    fn speedups_match_paper_figure3() {
+        // Paper: 1.9, 3.6, 5.0, 6.4, 7.7 on 2, 4, 6, 8, 10 nodes.
+        let p = JacobiParams::experiment();
+        let (t1, _) = run_on(1, p);
+        let expect = [(2usize, 1.9), (4, 3.6), (6, 5.0), (8, 6.4), (10, 7.7)];
+        for (n, target) in expect {
+            let (tn, _) = run_on(n, p);
+            let s = t1 / tn;
+            assert!(
+                (s - target).abs() / target < 0.15,
+                "Jacobi speedup({n}) = {s:.2}, paper {target}"
+            );
+        }
+    }
+}

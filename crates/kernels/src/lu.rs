@@ -1,0 +1,238 @@
+//! LU — SSOR wavefront solver (the NAS LU structure).
+//!
+//! Runs symmetric Gauss–Seidel sweeps over a 2D Poisson problem with
+//! row-slab decomposition and **wavefront pipelining**: each sweep is
+//! split into column blocks, and a rank starts a block as soon as its
+//! upstream neighbor's boundary row for that block arrives. Data flow
+//! is exactly that of the sequential lexicographic sweep, so the
+//! computed values are bitwise identical for any node count — only the
+//! schedule is parallel.
+//!
+//! The communication profile matches the paper's observation about LU:
+//! per-rank message count is independent of the node count while the
+//! *total* number of messages grows linearly, with small per-message
+//! payloads; the pipeline-fill idle time grows with the node count.
+
+use crate::common::{block_range, charge};
+use crate::jacobi::owner_of;
+use psc_mpi::{Comm, ReduceOp};
+use serde::{Deserialize, Serialize};
+
+/// Memory pressure of LU measured by the paper (Table 1).
+pub const LU_UPM: f64 = 73.5;
+
+const TAG_GHOST_FWD: u64 = 1;
+const TAG_PIPE_FWD: u64 = 2;
+const TAG_GHOST_BWD: u64 = 3;
+const TAG_PIPE_BWD: u64 = 4;
+
+/// LU configuration.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct LuParams {
+    /// Interior points per side (real).
+    pub m: usize,
+    /// Column blocks for wavefront pipelining.
+    pub blocks: usize,
+    /// SSOR iterations (one forward + one backward sweep each).
+    pub iters: usize,
+    /// Class-B work multiplier.
+    pub work_scale: f64,
+    /// Class-B wire multiplier.
+    pub wire_scale: f64,
+}
+
+impl LuParams {
+    /// Tiny configuration for unit tests.
+    pub fn test() -> Self {
+        LuParams { m: 48, blocks: 6, iters: 25, work_scale: 1.0, wire_scale: 1.0 }
+    }
+
+    /// The experiment configuration: real arithmetic on 256², charged
+    /// and wired at NAS class-B scale (102³, 250 pseudo-time steps).
+    pub fn class_b() -> Self {
+        LuParams { m: 264, blocks: 24, iters: 60, work_scale: 9600.0, wire_scale: 25.0 }
+    }
+}
+
+/// LU results.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LuOutput {
+    /// Final residual norm ‖f − A·u‖₂.
+    pub residual: f64,
+    /// Sum of the final iterate.
+    pub checksum: f64,
+    /// Iterations executed.
+    pub iterations: usize,
+}
+
+/// Run LU (SSOR) on the communicator.
+pub fn run(comm: &mut Comm, p: &LuParams) -> LuOutput {
+    comm.set_wire_scale(p.wire_scale);
+    let (rank, size) = (comm.rank(), comm.size());
+    let my = block_range(p.m, size, rank);
+    let local = my.len();
+    let w = p.m;
+    let h2 = {
+        let h = 1.0 / (p.m + 1) as f64;
+        h * h
+    };
+    let rhs = 1.0; // constant heat source
+
+    let up = if my.start == 0 { None } else { Some(owner_of(p.m, size, my.start - 1)) };
+    let down = if my.end == p.m { None } else { Some(owner_of(p.m, size, my.end)) };
+
+    // Rows 0 and local+1 are ghosts; boundary values are zero.
+    let mut u = vec![vec![0.0f64; w]; local + 2];
+
+    for _ in 0..p.iters {
+        // ----- forward sweep (new values flow downward) -----
+        // Pre-sweep: obtain the *old* row below (for the u[i+1][j] term).
+        if let Some(u_n) = up {
+            comm.send(u_n, TAG_GHOST_FWD, u[1].clone());
+        }
+        if let Some(d_n) = down {
+            u[local + 1] = comm.recv::<Vec<f64>>(d_n, TAG_GHOST_FWD);
+        } else {
+            u[local + 1].iter_mut().for_each(|x| *x = 0.0);
+        }
+        for b in 0..p.blocks {
+            let cols = block_range(w, p.blocks, b);
+            if let Some(u_n) = up {
+                // The up neighbor's freshly updated boundary segment.
+                let seg = comm.recv::<Vec<f64>>(u_n, TAG_PIPE_FWD);
+                u[0][cols.clone()].copy_from_slice(&seg);
+            }
+            for i in 1..=local {
+                for j in cols.clone() {
+                    let left = if j == 0 { 0.0 } else { u[i][j - 1] };
+                    let right = if j + 1 == w { 0.0 } else { u[i][j + 1] };
+                    u[i][j] = 0.25 * (h2 * rhs + u[i - 1][j] + u[i + 1][j] + left + right);
+                }
+            }
+            charge(comm, 6.0 * (local * cols.len()) as f64, p.work_scale, LU_UPM);
+            if let Some(d_n) = down {
+                comm.send(d_n, TAG_PIPE_FWD, u[local][cols].to_vec());
+            }
+        }
+
+        // ----- backward sweep (new values flow upward) -----
+        if let Some(d_n) = down {
+            comm.send(d_n, TAG_GHOST_BWD, u[local].clone());
+        }
+        if let Some(u_n) = up {
+            u[0] = comm.recv::<Vec<f64>>(u_n, TAG_GHOST_BWD);
+        } else {
+            u[0].iter_mut().for_each(|x| *x = 0.0);
+        }
+        for b in (0..p.blocks).rev() {
+            let cols = block_range(w, p.blocks, b);
+            if let Some(d_n) = down {
+                let seg = comm.recv::<Vec<f64>>(d_n, TAG_PIPE_BWD);
+                u[local + 1][cols.clone()].copy_from_slice(&seg);
+            }
+            for i in (1..=local).rev() {
+                for j in cols.clone().rev() {
+                    let left = if j == 0 { 0.0 } else { u[i][j - 1] };
+                    let right = if j + 1 == w { 0.0 } else { u[i][j + 1] };
+                    u[i][j] = 0.25 * (h2 * rhs + u[i - 1][j] + u[i + 1][j] + left + right);
+                }
+            }
+            charge(comm, 6.0 * (local * cols.len()) as f64, p.work_scale, LU_UPM);
+            if let Some(u_n) = up {
+                comm.send(u_n, TAG_PIPE_BWD, u[1][cols].to_vec());
+            }
+        }
+    }
+
+    // Final residual: one clean halo exchange, then ‖f − A·u‖.
+    if let Some(u_n) = up {
+        let ghost: Vec<f64> = comm.sendrecv(u_n, 5, u[1].clone(), u_n, 6);
+        u[0] = ghost;
+    }
+    if let Some(d_n) = down {
+        let ghost: Vec<f64> = comm.sendrecv(d_n, 6, u[local].clone(), d_n, 5);
+        u[local + 1] = ghost;
+    }
+    let mut res2 = 0.0;
+    let mut sum = 0.0;
+    for i in 1..=local {
+        for j in 0..w {
+            let left = if j == 0 { 0.0 } else { u[i][j - 1] };
+            let right = if j + 1 == w { 0.0 } else { u[i][j + 1] };
+            let r = rhs - (4.0 * u[i][j] - u[i - 1][j] - u[i + 1][j] - left - right) / h2;
+            res2 += r * r;
+            sum += u[i][j];
+        }
+    }
+    charge(comm, 9.0 * (local * w) as f64, p.work_scale, LU_UPM);
+    let total = comm.allreduce(vec![res2, sum], ReduceOp::Sum);
+
+    LuOutput { residual: total[0].sqrt(), checksum: total[1], iterations: p.iters }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psc_mpi::{Cluster, ClusterConfig};
+
+    fn run_on(nodes: usize, p: LuParams) -> (f64, LuOutput) {
+        let c = Cluster::athlon_fast_ethernet();
+        let (res, outs) = c.run(&ClusterConfig::uniform(nodes, 1), move |comm| run(comm, &p));
+        (res.time_s, outs.into_iter().next().unwrap())
+    }
+
+    #[test]
+    fn ssor_converges_toward_poisson_solution() {
+        let mut short = LuParams::test();
+        short.iters = 5;
+        let (_, early) = run_on(1, short);
+        let (_, late) = run_on(1, LuParams::test());
+        assert!(late.residual < early.residual, "{} !< {}", late.residual, early.residual);
+        assert!(late.checksum > 0.0, "heating should lift the solution");
+    }
+
+    #[test]
+    fn bitwise_identical_across_node_counts() {
+        let (_, base) = run_on(1, LuParams::test());
+        for n in [2usize, 3, 4, 8] {
+            let (_, out) = run_on(n, LuParams::test());
+            // The wavefront preserves sequential Gauss–Seidel dataflow,
+            // so grids are bitwise equal; only the reduction order of
+            // the final sums differs.
+            assert!(
+                (out.checksum - base.checksum).abs() < 1e-10 * base.checksum.abs(),
+                "n={n}: {} vs {}",
+                out.checksum,
+                base.checksum
+            );
+            assert!(
+                (out.residual - base.residual).abs() < 1e-9 * base.residual.max(1e-30),
+                "n={n}: residual {} vs {}",
+                out.residual,
+                base.residual
+            );
+        }
+    }
+
+    #[test]
+    fn good_speedup_through_eight_nodes() {
+        // Paper (case 3 discussion): the fastest gear on 8 nodes runs
+        // ~72 % faster than on 4 nodes.
+        let p = LuParams::class_b();
+        let (t1, _) = run_on(1, p);
+        let (t2, _) = run_on(2, p);
+        let (t4, _) = run_on(4, p);
+        let (t8, _) = run_on(8, p);
+        let s2 = t1 / t2;
+        let s4 = t1 / t4;
+        let s8 = t1 / t8;
+        assert!(s2 > 1.6, "LU speedup(2) {s2}");
+        assert!(s4 > 2.7, "LU speedup(4) {s4}");
+        let ratio = t4 / t8;
+        assert!(
+            (1.4..=1.95).contains(&ratio),
+            "LU 4→8 time ratio {ratio:.2}, paper reports ≈1.72"
+        );
+        assert!(s8 > 4.5, "LU speedup(8) {s8}");
+    }
+}

@@ -1,0 +1,76 @@
+//! Property-based tests over the kernels: determinism, convergence,
+//! and gear-independence of results for randomized configurations.
+
+use proptest::prelude::*;
+use psc_kernels::{Benchmark, ProblemClass};
+use psc_mpi::{Cluster, ClusterConfig};
+
+fn bench_strategy() -> impl Strategy<Value = Benchmark> {
+    (0usize..Benchmark::ALL.len()).prop_map(|i| Benchmark::ALL[i])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// Any (benchmark, valid node count, gear) triple runs, produces a
+    /// finite checksum, and is deterministic.
+    #[test]
+    fn any_valid_configuration_runs_deterministically(
+        bench in bench_strategy(),
+        node_pick in 0usize..4,
+        gear in 1usize..=6,
+    ) {
+        let nodes = *bench
+            .valid_nodes(9)
+            .get(node_pick % bench.valid_nodes(9).len())
+            .unwrap();
+        let c = Cluster::athlon_fast_ethernet();
+        let go = || c.run(&ClusterConfig::uniform(nodes, gear), move |comm| {
+            bench.run(comm, ProblemClass::Test)
+        });
+        let (ra, oa) = go();
+        let (rb, ob) = go();
+        prop_assert!(oa[0].checksum.is_finite());
+        prop_assert_eq!(ra.time_s, rb.time_s);
+        prop_assert_eq!(&oa[0], &ob[0]);
+        // Every rank agrees on the collective result.
+        for o in &oa {
+            prop_assert_eq!(o.checksum, oa[0].checksum);
+        }
+    }
+
+    /// Gears never change kernel answers, only time and energy.
+    #[test]
+    fn gears_change_physics_not_answers(bench in bench_strategy(), gear in 2usize..=6) {
+        let nodes = bench.valid_nodes(4).last().copied().unwrap();
+        let c = Cluster::athlon_fast_ethernet();
+        let run_at = |g: usize| {
+            c.run(&ClusterConfig::uniform(nodes, g), move |comm| {
+                bench.run(comm, ProblemClass::Test)
+            })
+        };
+        let (r1, o1) = run_at(1);
+        let (rg, og) = run_at(gear);
+        prop_assert_eq!(o1[0].checksum, og[0].checksum, "{} answer changed", bench.name());
+        prop_assert!(rg.time_s >= r1.time_s - 1e-12);
+        let bound = c.node.gears.frequency_ratio(1, gear);
+        prop_assert!(rg.time_s / r1.time_s <= bound + 1e-9);
+    }
+
+    /// Aggregate measured UPM tracks the benchmark's characterization
+    /// at any gear (the counter is gear-invariant).
+    #[test]
+    fn measured_upm_gear_invariant(bench in bench_strategy(), gear in 1usize..=6) {
+        let c = Cluster::athlon_fast_ethernet();
+        let (run, _) = c.run(&ClusterConfig::uniform(1, gear), move |comm| {
+            bench.run(comm, ProblemClass::Test)
+        });
+        let upm = run.total_counters().upm();
+        prop_assert!(
+            (upm - bench.upm()).abs() / bench.upm() < 0.05,
+            "{} at gear {gear}: measured {upm} vs {}",
+            bench.name(),
+            bench.upm()
+        );
+    }
+}

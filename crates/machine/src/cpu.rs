@@ -1,0 +1,264 @@
+//! The execution-time model.
+//!
+//! A block of computation is described by two simulated hardware counters:
+//! retired micro-operations (µops) and L2 cache misses ([`WorkBlock`]).
+//! Its execution time at a gear with frequency `f` is
+//!
+//! ```text
+//! T(f) = µops / (IPC · f)  +  misses · stall_per_miss
+//!        ^^^^^^^^^^^^^^^^     ^^^^^^^^^^^^^^^^^^^^^^^
+//!        scales with 1/f      independent of f
+//! ```
+//!
+//! The second term models main-memory latency, which does not change when
+//! the CPU is scaled down. `stall_per_miss` is the *effective* exposed
+//! stall per L2 miss — raw DRAM latency divided by the memory-level
+//! parallelism the out-of-order core extracts (documented in DESIGN.md).
+//!
+//! Two consequences, both observed in the paper, fall out directly:
+//!
+//! 1. **The slowdown bound.** Shifting from gear `i` to slower gear `j`
+//!    satisfies `1 ≤ T_j/T_i ≤ f_i/f_j`: only the first term grows, and it
+//!    grows by exactly the frequency ratio.
+//! 2. **UPC rises at lower frequency** for memory-bound programs: the
+//!    memory term costs fewer *cycles* at a lower clock, so µops per cycle
+//!    increases.
+
+use crate::gear::Gear;
+use serde::{Deserialize, Serialize};
+
+/// A block of computation characterized by simulated hardware counters.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct WorkBlock {
+    /// Retired micro-operations.
+    pub uops: f64,
+    /// L2 cache misses (each one exposes a main-memory stall).
+    pub l2_misses: f64,
+}
+
+impl WorkBlock {
+    /// Construct a work block. Negative counters are a programmer error.
+    pub fn new(uops: f64, l2_misses: f64) -> Self {
+        assert!(uops >= 0.0 && l2_misses >= 0.0, "work counters must be non-negative");
+        assert!(uops.is_finite() && l2_misses.is_finite(), "work counters must be finite");
+        WorkBlock { uops, l2_misses }
+    }
+
+    /// A purely CPU-bound block (no memory pressure).
+    pub fn cpu_only(uops: f64) -> Self {
+        WorkBlock::new(uops, 0.0)
+    }
+
+    /// Build a block from a µop count and a target UPM (µops per miss),
+    /// the paper's memory-pressure metric. `upm` must be positive.
+    pub fn with_upm(uops: f64, upm: f64) -> Self {
+        assert!(upm > 0.0, "UPM must be positive");
+        WorkBlock::new(uops, uops / upm)
+    }
+
+    /// µops per L2 miss — the paper's Table 1 predictor. Returns
+    /// `f64::INFINITY` for a block with no misses.
+    pub fn upm(&self) -> f64 {
+        if self.l2_misses == 0.0 {
+            f64::INFINITY
+        } else {
+            self.uops / self.l2_misses
+        }
+    }
+
+    /// Sum two blocks.
+    pub fn merge(&self, other: &WorkBlock) -> WorkBlock {
+        WorkBlock { uops: self.uops + other.uops, l2_misses: self.l2_misses + other.l2_misses }
+    }
+}
+
+/// CPU timing parameters shared by all gears of a node.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CpuModel {
+    /// Sustained micro-operations per cycle when not stalled on memory.
+    pub ipc: f64,
+    /// Effective exposed stall time per L2 miss, in seconds
+    /// (DRAM latency ÷ achieved memory-level parallelism).
+    pub stall_per_miss_s: f64,
+}
+
+impl CpuModel {
+    /// Construct a CPU model, validating parameters.
+    pub fn new(ipc: f64, stall_per_miss_s: f64) -> Self {
+        assert!(ipc > 0.0 && ipc.is_finite(), "IPC must be positive");
+        assert!(
+            stall_per_miss_s >= 0.0 && stall_per_miss_s.is_finite(),
+            "stall time must be non-negative"
+        );
+        CpuModel { ipc, stall_per_miss_s }
+    }
+
+    /// Time spent issuing µops (the frequency-dependent part), seconds.
+    #[inline]
+    pub fn cpu_time_s(&self, work: &WorkBlock, gear: Gear) -> f64 {
+        work.uops / (self.ipc * gear.freq_hz)
+    }
+
+    /// Time spent stalled on main memory (frequency-independent), seconds.
+    #[inline]
+    pub fn mem_time_s(&self, work: &WorkBlock) -> f64 {
+        work.l2_misses * self.stall_per_miss_s
+    }
+
+    /// Total execution time of a work block at the given gear, seconds.
+    #[inline]
+    pub fn time_s(&self, work: &WorkBlock, gear: Gear) -> f64 {
+        self.cpu_time_s(work, gear) + self.mem_time_s(work)
+    }
+
+    /// Fraction of execution time in which the CPU pipeline is busy
+    /// (rather than stalled on memory) at the given gear. In `[0, 1]`.
+    pub fn cpu_fraction(&self, work: &WorkBlock, gear: Gear) -> f64 {
+        let t = self.time_s(work, gear);
+        if t == 0.0 {
+            // An empty block: define the busy fraction as 1 so that a
+            // zero-length block never contributes idle-looking power.
+            1.0
+        } else {
+            self.cpu_time_s(work, gear) / t
+        }
+    }
+
+    /// Micro-operations per cycle actually achieved at the given gear
+    /// (µops ÷ elapsed cycles). For memory-bound work this *increases*
+    /// as frequency decreases — the effect reported in the paper §3.1.
+    pub fn upc(&self, work: &WorkBlock, gear: Gear) -> f64 {
+        let t = self.time_s(work, gear);
+        if t == 0.0 {
+            0.0
+        } else {
+            work.uops / (t * gear.freq_hz)
+        }
+    }
+
+    /// Slowdown factor of a work block when moving from `from` to `to`
+    /// (`T_to / T_from`). The paper's bound guarantees this lies in
+    /// `[1, f_from/f_to]` whenever `to` is slower.
+    pub fn slowdown(&self, work: &WorkBlock, from: Gear, to: Gear) -> f64 {
+        let t_from = self.time_s(work, from);
+        if t_from == 0.0 {
+            1.0
+        } else {
+            self.time_s(work, to) / t_from
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gear(freq_ghz: f64, v: f64) -> Gear {
+        Gear { index: 1, freq_hz: freq_ghz * 1e9, voltage_v: v }
+    }
+
+    fn model() -> CpuModel {
+        CpuModel::new(2.0, 14e-9)
+    }
+
+    #[test]
+    fn cpu_only_time_scales_with_inverse_frequency() {
+        let m = model();
+        let w = WorkBlock::cpu_only(4.0e9);
+        let t2 = m.time_s(&w, gear(2.0, 1.5));
+        let t1 = m.time_s(&w, gear(1.0, 1.2));
+        assert!((t2 - 1.0).abs() < 1e-12);
+        assert!((t1 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn memory_time_is_frequency_independent() {
+        let m = model();
+        let w = WorkBlock::new(0.0, 1e6);
+        let ta = m.time_s(&w, gear(2.0, 1.5));
+        let tb = m.time_s(&w, gear(0.8, 1.0));
+        assert_eq!(ta, tb);
+        assert!((ta - 14e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slowdown_respects_paper_bound() {
+        let m = model();
+        let fast = gear(2.0, 1.5);
+        let slow = gear(1.2, 1.1);
+        let ratio = fast.freq_hz / slow.freq_hz;
+        for upm in [8.6, 49.5, 70.6, 73.5, 79.6, 844.0] {
+            let w = WorkBlock::with_upm(1e9, upm);
+            let s = m.slowdown(&w, fast, slow);
+            assert!(s >= 1.0, "slowdown {s} below 1 for UPM {upm}");
+            assert!(s <= ratio + 1e-12, "slowdown {s} above freq ratio {ratio} for UPM {upm}");
+        }
+    }
+
+    #[test]
+    fn cpu_bound_work_hits_upper_bound_memory_bound_hits_lower() {
+        let m = model();
+        let fast = gear(2.0, 1.5);
+        let slow = gear(0.8, 1.0);
+        let cpu = WorkBlock::cpu_only(1e9);
+        assert!((m.slowdown(&cpu, fast, slow) - 2.5).abs() < 1e-9);
+        let mem = WorkBlock::new(0.0, 1e6);
+        assert!((m.slowdown(&mem, fast, slow) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn upc_increases_at_lower_frequency_for_memory_bound_work() {
+        let m = model();
+        let w = WorkBlock::with_upm(1e9, 8.6); // CG-like
+        let upc_fast = m.upc(&w, gear(2.0, 1.5));
+        let upc_slow = m.upc(&w, gear(0.8, 1.0));
+        assert!(
+            upc_slow > upc_fast,
+            "UPC should rise as frequency falls for memory-bound work ({upc_slow} vs {upc_fast})"
+        );
+    }
+
+    #[test]
+    fn upc_constant_for_cpu_bound_work() {
+        let m = model();
+        let w = WorkBlock::cpu_only(1e9);
+        let a = m.upc(&w, gear(2.0, 1.5));
+        let b = m.upc(&w, gear(0.8, 1.0));
+        assert!((a - b).abs() < 1e-12);
+        assert!((a - m.ipc).abs() < 1e-12);
+    }
+
+    #[test]
+    fn upm_matches_construction() {
+        let w = WorkBlock::with_upm(844.0e6, 844.0);
+        assert!((w.upm() - 844.0).abs() < 1e-9);
+        assert_eq!(WorkBlock::cpu_only(10.0).upm(), f64::INFINITY);
+    }
+
+    #[test]
+    fn merge_adds_counters() {
+        let a = WorkBlock::new(10.0, 2.0);
+        let b = WorkBlock::new(5.0, 1.0);
+        let c = a.merge(&b);
+        assert_eq!(c.uops, 15.0);
+        assert_eq!(c.l2_misses, 3.0);
+    }
+
+    #[test]
+    fn cpu_fraction_in_unit_interval() {
+        let m = model();
+        let g = gear(2.0, 1.5);
+        for upm in [1.0, 8.6, 100.0, 1e6] {
+            let w = WorkBlock::with_upm(1e9, upm);
+            let f = m.cpu_fraction(&w, g);
+            assert!((0.0..=1.0).contains(&f));
+        }
+        assert_eq!(m.cpu_fraction(&WorkBlock::default(), g), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_counters_rejected() {
+        let _ = WorkBlock::new(-1.0, 0.0);
+    }
+}

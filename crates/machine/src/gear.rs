@@ -1,0 +1,280 @@
+//! Frequency/voltage operating points ("energy gears").
+//!
+//! The paper's AMD Athlon-64 nodes expose six gears: 2000, 1800, 1600,
+//! 1400, 1200 and 800 MHz, with core voltage decreasing from 1.5 V to
+//! 1.0 V. Gear 1 is the fastest; higher gear numbers are slower and
+//! lower-power. (The 1000 MHz point existed in hardware but "does not
+//! work reliably on a few of the nodes" and is excluded, as in the paper.)
+
+use serde::{Deserialize, Serialize};
+
+/// A single frequency/voltage operating point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Gear {
+    /// 1-based gear index. Gear 1 is the fastest gear.
+    pub index: usize,
+    /// Core clock frequency in hertz.
+    pub freq_hz: f64,
+    /// Core voltage in volts.
+    pub voltage_v: f64,
+}
+
+impl Gear {
+    /// Clock cycle time in seconds.
+    #[inline]
+    pub fn cycle_time_s(&self) -> f64 {
+        1.0 / self.freq_hz
+    }
+}
+
+/// An ordered table of gears, fastest first.
+///
+/// Invariants (checked by [`GearTable::new`]):
+/// * at least one gear;
+/// * indices are `1..=n` in order;
+/// * frequency strictly decreases with gear index;
+/// * voltage is non-increasing with gear index (slower gears never need
+///   *more* voltage);
+/// * all frequencies and voltages are finite and positive.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GearTable {
+    gears: Vec<Gear>,
+}
+
+/// Errors produced when constructing a [`GearTable`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GearTableError {
+    /// The table contained no gears.
+    Empty,
+    /// A gear's index did not match its position (expected, found).
+    BadIndex(usize, usize),
+    /// Frequencies were not strictly decreasing at the given gear index.
+    FrequencyNotDecreasing(usize),
+    /// Voltages increased at the given gear index.
+    VoltageIncreasing(usize),
+    /// A frequency or voltage was non-finite or non-positive.
+    NonPhysical(usize),
+}
+
+impl std::fmt::Display for GearTableError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GearTableError::Empty => write!(f, "gear table is empty"),
+            GearTableError::BadIndex(want, got) => {
+                write!(f, "gear index mismatch: expected {want}, found {got}")
+            }
+            GearTableError::FrequencyNotDecreasing(i) => {
+                write!(f, "frequency not strictly decreasing at gear {i}")
+            }
+            GearTableError::VoltageIncreasing(i) => {
+                write!(f, "voltage increases at gear {i}")
+            }
+            GearTableError::NonPhysical(i) => {
+                write!(f, "non-physical frequency/voltage at gear {i}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GearTableError {}
+
+impl GearTable {
+    /// Build a validated gear table from `(freq_hz, voltage_v)` pairs,
+    /// fastest first. Indices are assigned `1..=n`.
+    pub fn new(points: &[(f64, f64)]) -> Result<Self, GearTableError> {
+        if points.is_empty() {
+            return Err(GearTableError::Empty);
+        }
+        let gears: Vec<Gear> = points
+            .iter()
+            .enumerate()
+            .map(|(i, &(freq_hz, voltage_v))| Gear { index: i + 1, freq_hz, voltage_v })
+            .collect();
+        for (i, g) in gears.iter().enumerate() {
+            if !(g.freq_hz.is_finite() && g.freq_hz > 0.0 && g.voltage_v.is_finite() && g.voltage_v > 0.0)
+            {
+                return Err(GearTableError::NonPhysical(i + 1));
+            }
+            if i > 0 {
+                if g.freq_hz >= gears[i - 1].freq_hz {
+                    return Err(GearTableError::FrequencyNotDecreasing(i + 1));
+                }
+                if g.voltage_v > gears[i - 1].voltage_v {
+                    return Err(GearTableError::VoltageIncreasing(i + 1));
+                }
+            }
+        }
+        Ok(GearTable { gears })
+    }
+
+    /// A table with a single operating point (a non-power-scalable machine).
+    pub fn fixed(freq_hz: f64, voltage_v: f64) -> Self {
+        GearTable::new(&[(freq_hz, voltage_v)]).expect("single-point table is always valid")
+    }
+
+    /// Number of gears.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.gears.len()
+    }
+
+    /// True when the machine is not power scalable (one gear only).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false // a GearTable always has at least one gear
+    }
+
+    /// Gear by 1-based index. Panics if out of range — gear indices are
+    /// part of experiment configuration, so out-of-range is a programmer
+    /// error, not a runtime condition.
+    #[inline]
+    pub fn gear(&self, index: usize) -> Gear {
+        assert!(
+            index >= 1 && index <= self.gears.len(),
+            "gear index {index} out of range 1..={}",
+            self.gears.len()
+        );
+        self.gears[index - 1]
+    }
+
+    /// Gear by 1-based index, returning `None` when out of range.
+    #[inline]
+    pub fn get(&self, index: usize) -> Option<Gear> {
+        if index >= 1 {
+            self.gears.get(index - 1).copied()
+        } else {
+            None
+        }
+    }
+
+    /// The fastest gear (gear 1).
+    #[inline]
+    pub fn fastest(&self) -> Gear {
+        self.gears[0]
+    }
+
+    /// The slowest gear (highest index).
+    #[inline]
+    pub fn slowest(&self) -> Gear {
+        *self.gears.last().expect("gear table is never empty")
+    }
+
+    /// Iterate over gears, fastest first.
+    pub fn iter(&self) -> impl Iterator<Item = Gear> + '_ {
+        self.gears.iter().copied()
+    }
+
+    /// The ratio `f_i / f_j` of clock frequencies between two gears.
+    ///
+    /// The paper bounds the slowdown when shifting from gear `i` to a
+    /// slower gear `j` by exactly this ratio:
+    /// `1 ≤ T_j/T_i ≤ f_i/f_j`.
+    pub fn frequency_ratio(&self, i: usize, j: usize) -> f64 {
+        self.gear(i).freq_hz / self.gear(j).freq_hz
+    }
+}
+
+impl<'a> IntoIterator for &'a GearTable {
+    type Item = Gear;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, Gear>>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.gears.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn athlon_points() -> Vec<(f64, f64)> {
+        vec![
+            (2.0e9, 1.5),
+            (1.8e9, 1.4),
+            (1.6e9, 1.3),
+            (1.4e9, 1.2),
+            (1.2e9, 1.1),
+            (0.8e9, 1.0),
+        ]
+    }
+
+    #[test]
+    fn builds_valid_table() {
+        let t = GearTable::new(&athlon_points()).unwrap();
+        assert_eq!(t.len(), 6);
+        assert_eq!(t.fastest().index, 1);
+        assert_eq!(t.slowest().index, 6);
+        assert_eq!(t.gear(3).freq_hz, 1.6e9);
+        assert_eq!(t.gear(3).voltage_v, 1.3);
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert_eq!(GearTable::new(&[]), Err(GearTableError::Empty));
+    }
+
+    #[test]
+    fn rejects_nondecreasing_frequency() {
+        let err = GearTable::new(&[(1.0e9, 1.2), (1.0e9, 1.1)]).unwrap_err();
+        assert_eq!(err, GearTableError::FrequencyNotDecreasing(2));
+    }
+
+    #[test]
+    fn rejects_increasing_voltage() {
+        let err = GearTable::new(&[(2.0e9, 1.2), (1.0e9, 1.3)]).unwrap_err();
+        assert_eq!(err, GearTableError::VoltageIncreasing(2));
+    }
+
+    #[test]
+    fn rejects_non_physical() {
+        let err = GearTable::new(&[(0.0, 1.2)]).unwrap_err();
+        assert_eq!(err, GearTableError::NonPhysical(1));
+        let err = GearTable::new(&[(2.0e9, f64::NAN)]).unwrap_err();
+        assert_eq!(err, GearTableError::NonPhysical(1));
+    }
+
+    #[test]
+    fn frequency_ratio_matches_paper_bound_form() {
+        let t = GearTable::new(&athlon_points()).unwrap();
+        assert!((t.frequency_ratio(1, 2) - 2.0 / 1.8).abs() < 1e-12);
+        assert!((t.frequency_ratio(1, 6) - 2.5).abs() < 1e-12);
+        // Ratio of a gear to itself is exactly 1.
+        assert_eq!(t.frequency_ratio(4, 4), 1.0);
+    }
+
+    #[test]
+    fn cycle_time_is_reciprocal_frequency() {
+        let g = Gear { index: 1, freq_hz: 2.0e9, voltage_v: 1.5 };
+        assert!((g.cycle_time_s() - 0.5e-9).abs() < 1e-21);
+    }
+
+    #[test]
+    fn get_is_total() {
+        let t = GearTable::new(&athlon_points()).unwrap();
+        assert!(t.get(0).is_none());
+        assert!(t.get(7).is_none());
+        assert_eq!(t.get(1).unwrap().index, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn gear_panics_out_of_range() {
+        let t = GearTable::fixed(1.0e9, 1.0);
+        let _ = t.gear(2);
+    }
+
+    #[test]
+    fn fixed_table_has_one_gear() {
+        let t = GearTable::fixed(1.05e9, 1.6);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.fastest(), t.slowest());
+    }
+
+    #[test]
+    fn iterator_is_fastest_first() {
+        let t = GearTable::new(&athlon_points()).unwrap();
+        let freqs: Vec<f64> = t.iter().map(|g| g.freq_hz).collect();
+        let mut sorted = freqs.clone();
+        sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        assert_eq!(freqs, sorted);
+    }
+}

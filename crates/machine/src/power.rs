@@ -1,0 +1,202 @@
+//! The whole-system power model.
+//!
+//! The paper measures power for the *entire node* at the wall outlet and
+//! estimates that the CPU accounts for 45–55 % of it at the fastest gear.
+//! We model system power as
+//!
+//! ```text
+//! P_sys = P_base + activity · C_eff · V² · f + P_leak(V)
+//! ```
+//!
+//! * `P_base` — everything that is not the CPU (board, memory, disk, fans,
+//!   PSU loss). Constant across gears. This constant term is what makes
+//!   running *too slowly* waste energy (EP's positive slope in Table 1).
+//! * `C_eff · V² · f` — classic CMOS dynamic power.
+//! * `P_leak(V) = leak_w_per_v · V` — a small voltage-dependent static term.
+//! * `activity` — how hard the pipeline is switching:
+//!   `1.0` while issuing µops, [`PowerModel::stall_activity`] while stalled
+//!   on memory (clocks keep toggling but fewer units switch), and
+//!   [`PowerModel::idle_activity`] while the OS idle loop / halt state runs
+//!   (the paper's `I_g`, measured "with no application running").
+
+use crate::cpu::{CpuModel, WorkBlock};
+use crate::gear::Gear;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the system power model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerModel {
+    /// Constant non-CPU system power, watts.
+    pub base_w: f64,
+    /// Effective switched capacitance, farads (`P_dyn = C_eff · V² · f`).
+    pub ceff_f: f64,
+    /// Leakage coefficient, watts per volt.
+    pub leak_w_per_v: f64,
+    /// Dynamic-power activity factor while stalled on memory, in `[0, 1]`.
+    pub stall_activity: f64,
+    /// Dynamic-power activity factor while idle (blocked, OS idle loop),
+    /// in `[0, 1]`. Strictly below `stall_activity` on real hardware.
+    pub idle_activity: f64,
+}
+
+impl PowerModel {
+    /// Construct a power model, validating parameters.
+    pub fn new(
+        base_w: f64,
+        ceff_f: f64,
+        leak_w_per_v: f64,
+        stall_activity: f64,
+        idle_activity: f64,
+    ) -> Self {
+        assert!(base_w >= 0.0 && base_w.is_finite());
+        assert!(ceff_f >= 0.0 && ceff_f.is_finite());
+        assert!(leak_w_per_v >= 0.0 && leak_w_per_v.is_finite());
+        assert!((0.0..=1.0).contains(&stall_activity));
+        assert!((0.0..=1.0).contains(&idle_activity));
+        PowerModel { base_w, ceff_f, leak_w_per_v, stall_activity, idle_activity }
+    }
+
+    /// Peak CPU dynamic power at a gear, watts.
+    #[inline]
+    pub fn dynamic_w(&self, gear: Gear) -> f64 {
+        self.ceff_f * gear.voltage_v * gear.voltage_v * gear.freq_hz
+    }
+
+    /// Leakage power at a gear, watts.
+    #[inline]
+    pub fn leak_w(&self, gear: Gear) -> f64 {
+        self.leak_w_per_v * gear.voltage_v
+    }
+
+    /// Total CPU power (dynamic at the given activity + leakage), watts.
+    #[inline]
+    pub fn cpu_w(&self, gear: Gear, activity: f64) -> f64 {
+        self.dynamic_w(gear) * activity + self.leak_w(gear)
+    }
+
+    /// Whole-system power at a given pipeline activity factor, watts.
+    #[inline]
+    pub fn system_w(&self, gear: Gear, activity: f64) -> f64 {
+        self.base_w + self.cpu_w(gear, activity)
+    }
+
+    /// System power of an *idle* node at a gear — the paper's `I_g`.
+    #[inline]
+    pub fn idle_w(&self, gear: Gear) -> f64 {
+        self.system_w(gear, self.idle_activity)
+    }
+
+    /// System power at full pipeline activity (CPU-bound compute).
+    #[inline]
+    pub fn busy_w(&self, gear: Gear) -> f64 {
+        self.system_w(gear, 1.0)
+    }
+
+    /// Average system power while executing a work block — the paper's
+    /// per-application `P_g`. Time-weighted mix of busy and stall power,
+    /// using the CPU model to split the block.
+    pub fn compute_w(&self, cpu: &CpuModel, work: &WorkBlock, gear: Gear) -> f64 {
+        let busy_frac = cpu.cpu_fraction(work, gear);
+        let activity = busy_frac + (1.0 - busy_frac) * self.stall_activity;
+        self.system_w(gear, activity)
+    }
+
+    /// Fraction of system power drawn by the CPU during CPU-bound compute.
+    /// The paper estimates 45–55 % for the Athlon-64 at gear 1.
+    pub fn cpu_fraction_of_system(&self, gear: Gear) -> f64 {
+        self.cpu_w(gear, 1.0) / self.busy_w(gear)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gear(idx: usize, ghz: f64, v: f64) -> Gear {
+        Gear { index: idx, freq_hz: ghz * 1e9, voltage_v: v }
+    }
+
+    /// The Athlon-64 calibration used by `presets::athlon64`.
+    fn pm() -> PowerModel {
+        PowerModel::new(70.0, 75.0 / (1.5 * 1.5 * 2.0e9), 3.333, 0.55, 0.18)
+    }
+
+    #[test]
+    fn gear1_system_power_in_paper_range() {
+        let p = pm().busy_w(gear(1, 2.0, 1.5));
+        assert!((140.0..=150.0).contains(&p), "gear-1 busy power {p} outside 140-150 W");
+    }
+
+    #[test]
+    fn cpu_fraction_in_paper_range() {
+        let f = pm().cpu_fraction_of_system(gear(1, 2.0, 1.5));
+        assert!((0.45..=0.55).contains(&f), "CPU fraction {f} outside 45-55 %");
+    }
+
+    #[test]
+    fn power_strictly_decreases_with_gear() {
+        let gears = [
+            gear(1, 2.0, 1.5),
+            gear(2, 1.8, 1.4),
+            gear(3, 1.6, 1.3),
+            gear(4, 1.4, 1.2),
+            gear(5, 1.2, 1.1),
+            gear(6, 0.8, 1.0),
+        ];
+        let m = pm();
+        for w in gears.windows(2) {
+            assert!(m.busy_w(w[0]) > m.busy_w(w[1]));
+            assert!(m.idle_w(w[0]) > m.idle_w(w[1]));
+        }
+    }
+
+    #[test]
+    fn idle_below_busy_at_every_gear() {
+        let m = pm();
+        for (i, (f, v)) in [(2.0, 1.5), (1.8, 1.4), (1.6, 1.3), (1.4, 1.2), (1.2, 1.1), (0.8, 1.0)]
+            .iter()
+            .enumerate()
+        {
+            let g = gear(i + 1, *f, *v);
+            assert!(m.idle_w(g) < m.busy_w(g));
+        }
+    }
+
+    #[test]
+    fn compute_power_between_stall_and_busy() {
+        let m = pm();
+        let cpu = CpuModel::new(2.0, 14e-9);
+        let g = gear(1, 2.0, 1.5);
+        let stall_only = m.system_w(g, m.stall_activity);
+        for upm in [8.6, 49.5, 844.0] {
+            let w = WorkBlock::with_upm(1e9, upm);
+            let p = m.compute_w(&cpu, &w, g);
+            assert!(p >= stall_only && p <= m.busy_w(g));
+        }
+    }
+
+    #[test]
+    fn memory_bound_app_draws_less_power_than_cpu_bound() {
+        let m = pm();
+        let cpu = CpuModel::new(2.0, 14e-9);
+        let g = gear(1, 2.0, 1.5);
+        let cg = WorkBlock::with_upm(1e9, 8.6);
+        let ep = WorkBlock::with_upm(1e9, 844.0);
+        assert!(m.compute_w(&cpu, &cg, g) < m.compute_w(&cpu, &ep, g));
+    }
+
+    #[test]
+    fn dynamic_power_scales_v_squared_f() {
+        let m = pm();
+        let a = m.dynamic_w(gear(1, 2.0, 1.5));
+        let b = m.dynamic_w(gear(6, 0.8, 1.0));
+        let expected_ratio = (1.5 * 1.5 * 2.0) / (1.0 * 1.0 * 0.8);
+        assert!((a / b - expected_ratio).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_activity_above_one() {
+        let _ = PowerModel::new(70.0, 1e-8, 3.0, 1.5, 0.2);
+    }
+}

@@ -1,0 +1,278 @@
+//! The simulated wall-outlet power measurement rig.
+//!
+//! The paper measures "the voltage and current consumed by the entire
+//! system ... at the wall outlet" with precision multimeters, and a
+//! separate computer "samples two multimeters several tens of times a
+//! second" and integrates instantaneous power over time to obtain energy.
+//!
+//! We reproduce that methodology over virtual time. A node's power draw is
+//! a step function of time (the paper's own modelling assumption, §4.1):
+//! a sequence of [`Segment`]s each with a constant wattage. The
+//! [`Wattmeter`] samples this profile at a configurable rate and
+//! integrates the samples; [`PowerTrace::exact_energy_j`] provides the
+//! closed-form integral for cross-checking.
+
+use serde::{Deserialize, Serialize};
+
+/// A period of constant power draw `[t0_s, t1_s)` at `watts`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Segment {
+    /// Segment start time, seconds of virtual time.
+    pub t0_s: f64,
+    /// Segment end time, seconds of virtual time.
+    pub t1_s: f64,
+    /// Constant power over the segment, watts.
+    pub watts: f64,
+}
+
+impl Segment {
+    /// Duration of the segment, seconds.
+    #[inline]
+    pub fn duration_s(&self) -> f64 {
+        self.t1_s - self.t0_s
+    }
+
+    /// Exact energy of the segment, joules.
+    #[inline]
+    pub fn energy_j(&self) -> f64 {
+        self.duration_s() * self.watts
+    }
+}
+
+/// A step-function power profile for one node over one run.
+///
+/// Segments are appended in time order; zero-length segments are dropped.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PowerTrace {
+    segments: Vec<Segment>,
+}
+
+impl PowerTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        PowerTrace::default()
+    }
+
+    /// Append a segment ending at `t1_s` with the given power. The segment
+    /// starts at the end of the previous segment (or 0). Out-of-order
+    /// appends are a programmer error.
+    pub fn push(&mut self, t1_s: f64, watts: f64) {
+        let t0_s = self.end_s();
+        assert!(t1_s >= t0_s - 1e-12, "power trace must be appended in time order ({t1_s} < {t0_s})");
+        assert!(watts.is_finite() && watts >= 0.0, "power must be finite and non-negative");
+        if t1_s > t0_s {
+            // Coalesce with the previous segment when the wattage matches,
+            // keeping traces compact over long alternating runs.
+            if let Some(last) = self.segments.last_mut() {
+                if (last.watts - watts).abs() < 1e-9 {
+                    last.t1_s = t1_s;
+                    return;
+                }
+            }
+            self.segments.push(Segment { t0_s, t1_s, watts });
+        }
+    }
+
+    /// End time of the trace (0 when empty), seconds.
+    pub fn end_s(&self) -> f64 {
+        self.segments.last().map_or(0.0, |s| s.t1_s)
+    }
+
+    /// The segments, in time order.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Exact energy: the closed-form integral of the step function, joules.
+    pub fn exact_energy_j(&self) -> f64 {
+        self.segments.iter().map(Segment::energy_j).sum()
+    }
+
+    /// Instantaneous power at time `t_s`, watts. Between segments and after
+    /// the end the trace reads 0 W (the node is unplugged / the run over).
+    pub fn power_at(&self, t_s: f64) -> f64 {
+        // Binary search over segment start times.
+        match self.segments.binary_search_by(|s| {
+            if t_s < s.t0_s {
+                std::cmp::Ordering::Greater
+            } else if t_s >= s.t1_s {
+                std::cmp::Ordering::Less
+            } else {
+                std::cmp::Ordering::Equal
+            }
+        }) {
+            Ok(i) => self.segments[i].watts,
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Average power over the trace duration, watts (0 for an empty trace).
+    pub fn average_w(&self) -> f64 {
+        let d = self.end_s();
+        if d == 0.0 {
+            0.0
+        } else {
+            self.exact_energy_j() / d
+        }
+    }
+}
+
+/// The sampling integrator: models the separate computer that polls the
+/// multimeters "several tens of times a second" and integrates.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Wattmeter {
+    /// Samples per second of virtual time.
+    pub sample_hz: f64,
+}
+
+impl Default for Wattmeter {
+    /// 30 Hz — "several tens of times a second".
+    fn default() -> Self {
+        Wattmeter { sample_hz: 30.0 }
+    }
+}
+
+impl Wattmeter {
+    /// Create a wattmeter sampling at `sample_hz`.
+    pub fn new(sample_hz: f64) -> Self {
+        assert!(sample_hz > 0.0 && sample_hz.is_finite());
+        Wattmeter { sample_hz }
+    }
+
+    /// Measure energy of a trace by midpoint-sampled numerical
+    /// integration, joules. Converges to [`PowerTrace::exact_energy_j`]
+    /// as the sample rate grows; at 30 Hz it carries the same kind of
+    /// quantization error a real rig does.
+    pub fn measure_energy_j(&self, trace: &PowerTrace) -> f64 {
+        let end = trace.end_s();
+        if end == 0.0 {
+            return 0.0;
+        }
+        let dt = 1.0 / self.sample_hz;
+        let n = (end / dt).ceil() as u64;
+        let mut acc = 0.0;
+        for k in 0..n {
+            let t0 = k as f64 * dt;
+            let t1 = (t0 + dt).min(end);
+            let mid = 0.5 * (t0 + t1);
+            acc += trace.power_at(mid) * (t1 - t0);
+        }
+        acc
+    }
+
+    /// Measure average power of a trace, watts.
+    pub fn measure_average_w(&self, trace: &PowerTrace) -> f64 {
+        let d = trace.end_s();
+        if d == 0.0 {
+            0.0
+        } else {
+            self.measure_energy_j(trace) / d
+        }
+    }
+}
+
+/// Sum the exact energies of a set of node traces — the paper's
+/// "cumulative energy of all nodes used" (Figure 2).
+pub fn cluster_energy_j(traces: &[PowerTrace]) -> f64 {
+    traces.iter().map(PowerTrace::exact_energy_j).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_level_trace() -> PowerTrace {
+        let mut t = PowerTrace::new();
+        t.push(1.0, 145.0); // 1 s computing
+        t.push(1.5, 92.0); // 0.5 s idle
+        t.push(3.0, 145.0); // 1.5 s computing
+        t
+    }
+
+    #[test]
+    fn exact_energy_is_sum_of_rectangles() {
+        let t = two_level_trace();
+        let expect = 1.0 * 145.0 + 0.5 * 92.0 + 1.5 * 145.0;
+        assert!((t.exact_energy_j() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampled_energy_close_to_exact_at_30hz() {
+        let t = two_level_trace();
+        let m = Wattmeter::default();
+        let e = m.measure_energy_j(&t);
+        let exact = t.exact_energy_j();
+        assert!((e - exact).abs() / exact < 0.02, "sampled {e} vs exact {exact}");
+    }
+
+    #[test]
+    fn sampled_energy_converges_with_rate() {
+        // Irregular boundaries so no sample grid aligns exactly.
+        let mut t = PowerTrace::new();
+        t.push(1.037, 145.0);
+        t.push(1.583, 92.0);
+        t.push(2.941, 131.0);
+        let exact = t.exact_energy_j();
+        let coarse = (Wattmeter::new(7.0).measure_energy_j(&t) - exact).abs();
+        let fine = (Wattmeter::new(10_000.0).measure_energy_j(&t) - exact).abs();
+        assert!(fine <= coarse, "fine error {fine} should not exceed coarse error {coarse}");
+        assert!(fine / exact < 1e-4);
+    }
+
+    #[test]
+    fn power_at_reads_step_function() {
+        let t = two_level_trace();
+        assert_eq!(t.power_at(0.5), 145.0);
+        assert_eq!(t.power_at(1.2), 92.0);
+        assert_eq!(t.power_at(2.0), 145.0);
+        assert_eq!(t.power_at(99.0), 0.0);
+    }
+
+    #[test]
+    fn coalesces_equal_wattage_segments() {
+        let mut t = PowerTrace::new();
+        t.push(1.0, 100.0);
+        t.push(2.0, 100.0);
+        assert_eq!(t.segments().len(), 1);
+        assert_eq!(t.end_s(), 2.0);
+    }
+
+    #[test]
+    fn zero_length_push_is_dropped() {
+        let mut t = PowerTrace::new();
+        t.push(1.0, 100.0);
+        t.push(1.0, 50.0);
+        assert_eq!(t.segments().len(), 1);
+    }
+
+    #[test]
+    fn average_power_weighted_by_duration() {
+        let t = two_level_trace();
+        let avg = t.average_w();
+        let expect = t.exact_energy_j() / 3.0;
+        assert!((avg - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cluster_energy_sums_nodes() {
+        let t = two_level_trace();
+        let total = cluster_energy_j(&[t.clone(), t.clone()]);
+        assert!((total - 2.0 * t.exact_energy_j()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_trace_is_zero_everywhere() {
+        let t = PowerTrace::new();
+        assert_eq!(t.exact_energy_j(), 0.0);
+        assert_eq!(t.average_w(), 0.0);
+        assert_eq!(Wattmeter::default().measure_energy_j(&t), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "time order")]
+    fn out_of_order_push_panics() {
+        let mut t = PowerTrace::new();
+        t.push(2.0, 100.0);
+        t.push(1.0, 100.0);
+    }
+}

@@ -1,0 +1,134 @@
+//! Step 2a: estimate the parallelizable and sequential fractions.
+//!
+//! From the paper: for a test with `i` nodes,
+//! `T^A(i) = T^A(1) · (F_p/i + F_s)` with `F_p = 1 − F_s`. Each
+//! multi-node measurement yields one `F_s` estimate; the family is then
+//! fit with a linear regression in `n` so `F_s` can be read off at the
+//! extrapolation targets (16, 25, 32 nodes).
+
+use crate::regression::linear_fit;
+use serde::{Deserialize, Serialize};
+
+/// The fitted Amdahl decomposition of an application's compute time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AmdahlFit {
+    /// Single-node compute time `T^A(1)`, seconds.
+    pub t1_s: f64,
+    /// Per-measurement sequential-fraction estimates `(n, F_s(n))`.
+    pub estimates: Vec<(usize, f64)>,
+    /// Regression intercept of `F_s` vs `n`.
+    pub fs_intercept: f64,
+    /// Regression slope of `F_s` vs `n`.
+    pub fs_slope: f64,
+}
+
+impl AmdahlFit {
+    /// Fit from `(n, T^A(n))` measurements. The series must contain
+    /// `n = 1` and at least one `n > 1` point.
+    pub fn fit(measurements: &[(usize, f64)]) -> AmdahlFit {
+        let t1 = measurements
+            .iter()
+            .find(|(n, _)| *n == 1)
+            .expect("Amdahl fit needs the single-node active time")
+            .1;
+        assert!(t1 > 0.0, "single-node active time must be positive");
+        let estimates: Vec<(usize, f64)> = measurements
+            .iter()
+            .filter(|(n, _)| *n > 1)
+            .map(|&(n, ta)| {
+                let inv = 1.0 / n as f64;
+                // T^A(n)/T^A(1) = (1−F_s)/n + F_s  ⇒ solve for F_s.
+                let fs = (ta / t1 - inv) / (1.0 - inv);
+                (n, fs.clamp(0.0, 1.0))
+            })
+            .collect();
+        assert!(!estimates.is_empty(), "Amdahl fit needs at least one multi-node point");
+        let xs: Vec<f64> = estimates.iter().map(|(n, _)| *n as f64).collect();
+        let ys: Vec<f64> = estimates.iter().map(|(_, fs)| *fs).collect();
+        let (fs_intercept, fs_slope) = linear_fit(&xs, &ys);
+        AmdahlFit { t1_s: t1, estimates, fs_intercept, fs_slope }
+    }
+
+    /// The sequential fraction at a node count (regression readout,
+    /// clamped to [0, 1]).
+    pub fn fs_at(&self, n: usize) -> f64 {
+        (self.fs_intercept + self.fs_slope * n as f64).clamp(0.0, 1.0)
+    }
+
+    /// Mean sequential fraction over the measured estimates.
+    pub fn fs_mean(&self) -> f64 {
+        self.estimates.iter().map(|(_, fs)| fs).sum::<f64>() / self.estimates.len() as f64
+    }
+
+    /// Predicted compute time `T^A(m)` at `m` nodes, seconds.
+    pub fn predict_active_s(&self, m: usize) -> f64 {
+        let fs = self.fs_at(m);
+        self.t1_s * ((1.0 - fs) / m as f64 + fs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(t1: f64, fs: f64, ns: &[usize]) -> Vec<(usize, f64)> {
+        ns.iter().map(|&n| (n, t1 * ((1.0 - fs) / n as f64 + fs))).collect()
+    }
+
+    #[test]
+    fn recovers_exact_amdahl_fraction() {
+        let m = series(100.0, 0.08, &[1, 2, 4, 8]);
+        let fit = AmdahlFit::fit(&m);
+        for (_, fs) in &fit.estimates {
+            assert!((fs - 0.08).abs() < 1e-9, "fs {fs}");
+        }
+        assert!((fit.fs_at(32) - 0.08).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prediction_matches_formula() {
+        let m = series(100.0, 0.05, &[1, 2, 4, 8]);
+        let fit = AmdahlFit::fit(&m);
+        let t32 = fit.predict_active_s(32);
+        let expect = 100.0 * (0.95 / 32.0 + 0.05);
+        assert!((t32 - expect).abs() < 1e-6, "{t32} vs {expect}");
+    }
+
+    #[test]
+    fn perfectly_parallel_extrapolates_to_t_over_n() {
+        let m = series(100.0, 0.0, &[1, 2, 4]);
+        let fit = AmdahlFit::fit(&m);
+        assert!((fit.predict_active_s(16) - 100.0 / 16.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn growing_sequential_fraction_tracked_by_slope() {
+        // F_s grows with n (e.g. replicated coarse-grid work): the
+        // regression should carry the trend to larger n.
+        let pts: Vec<(usize, f64)> = vec![1usize, 2, 4, 8]
+            .into_iter()
+            .map(|n| {
+                let fs = 0.02 + 0.005 * n as f64;
+                (n, 100.0 * ((1.0 - fs) / n as f64 + fs))
+            })
+            .collect();
+        let fit = AmdahlFit::fit(&pts);
+        assert!(fit.fs_slope > 0.003, "slope {}", fit.fs_slope);
+        assert!(fit.fs_at(16) > fit.fs_at(8));
+    }
+
+    #[test]
+    fn estimates_clamped_to_unit_interval() {
+        // Superlinear measurement (cache effects) would give negative
+        // F_s; the fit clamps.
+        let m = vec![(1usize, 100.0), (2usize, 45.0)];
+        let fit = AmdahlFit::fit(&m);
+        assert!(fit.estimates[0].1 >= 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "single-node")]
+    fn missing_t1_panics() {
+        let _ = AmdahlFit::fit(&[(2, 50.0), (4, 25.0)]);
+    }
+}

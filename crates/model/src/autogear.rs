@@ -1,0 +1,252 @@
+//! Automatic gear selection from memory pressure — the paper's third
+//! avenue of future work ("a new MPI implementation that will
+//! automatically monitor executing programs and automatically reduce
+//! the energy gear appropriately"), built on the paper's own
+//! observation that UPM predicts the energy-time tradeoff.
+
+use psc_machine::{NodeSpec, WorkBlock};
+use serde::{Deserialize, Serialize};
+
+/// A gear recommendation with its predicted cost.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GearAdvice {
+    /// Recommended gear index.
+    pub gear: usize,
+    /// Predicted relative time increase vs. gear 1.
+    pub predicted_delay: f64,
+    /// Predicted relative energy savings vs. gear 1.
+    pub predicted_savings: f64,
+}
+
+/// Recommend the slowest gear whose predicted compute slowdown stays
+/// within `delay_budget` (e.g. 0.05 = accept 5 % delay), for a
+/// CPU-phase characterized by `upm` on the given node.
+///
+/// This is the "automatic monitor" policy: UPM is observable from
+/// hardware counters at run time and is gear-invariant, so one
+/// measurement suffices.
+pub fn gear_for_delay_budget(node: &NodeSpec, upm: f64, delay_budget: f64) -> GearAdvice {
+    assert!(delay_budget >= 0.0);
+    let work = WorkBlock::with_upm(1.0e9, upm);
+    let mut best = advice_for(node, &work, 1);
+    for g in 2..=node.gears.len() {
+        let a = advice_for(node, &work, g);
+        if a.predicted_delay <= delay_budget {
+            best = a;
+        } else {
+            break; // slowdown is monotone in gear index
+        }
+    }
+    best
+}
+
+/// The gear minimizing predicted energy for the workload (ignoring any
+/// delay concern) — useful as the "heat-limited cluster" default.
+pub fn min_energy_gear(node: &NodeSpec, upm: f64) -> GearAdvice {
+    let work = WorkBlock::with_upm(1.0e9, upm);
+    (1..=node.gears.len())
+        .map(|g| advice_for(node, &work, g))
+        .max_by(|a, b| a.predicted_savings.partial_cmp(&b.predicted_savings).unwrap())
+        .expect("node has at least one gear")
+}
+
+/// A runtime gear controller: observes the hardware counters between
+/// program phases and recommends a gear for the next phase — the
+/// paper's envisioned "MPI implementation that will automatically
+/// monitor executing programs and automatically reduce the energy gear
+/// appropriately", built on the UPM predictor.
+///
+/// Use inside a rank program:
+///
+/// ```ignore
+/// let mut ctl = AdaptiveGear::new(0.05);
+/// loop {
+///     /* ... one phase of computation ... */
+///     if let Some(g) = ctl.recommend(comm.node(), comm.counters()) {
+///         comm.set_gear(g);
+///     }
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct AdaptiveGear {
+    /// Acceptable relative compute slowdown per phase.
+    pub delay_budget: f64,
+    /// Minimum µops in a window before acting (avoids reacting to
+    /// noise or to windows dominated by communication).
+    pub min_window_uops: f64,
+    prev_uops: f64,
+    prev_misses: f64,
+    current: usize,
+}
+
+impl AdaptiveGear {
+    /// A controller with the given delay budget and a 10⁸-µop minimum
+    /// observation window.
+    pub fn new(delay_budget: f64) -> AdaptiveGear {
+        assert!(delay_budget >= 0.0);
+        AdaptiveGear {
+            delay_budget,
+            min_window_uops: 1.0e8,
+            prev_uops: 0.0,
+            prev_misses: 0.0,
+            current: 1,
+        }
+    }
+
+    /// Observe the counters accumulated so far and recommend a gear for
+    /// the upcoming phase, or `None` when the window is too small or
+    /// the current gear is already right. UPM is gear-invariant, so the
+    /// observation is valid at whatever gear the last phase ran.
+    pub fn recommend(
+        &mut self,
+        node: &NodeSpec,
+        counters: &psc_machine::Counters,
+    ) -> Option<usize> {
+        let d_uops = counters.uops - self.prev_uops;
+        let d_miss = counters.l2_misses - self.prev_misses;
+        if d_uops < self.min_window_uops {
+            return None;
+        }
+        self.prev_uops = counters.uops;
+        self.prev_misses = counters.l2_misses;
+        let upm = if d_miss > 0.0 { d_uops / d_miss } else { f64::MAX };
+        let advice = gear_for_delay_budget(node, upm.min(1.0e9), self.delay_budget);
+        if advice.gear == self.current {
+            None
+        } else {
+            self.current = advice.gear;
+            Some(advice.gear)
+        }
+    }
+}
+
+fn advice_for(node: &NodeSpec, work: &WorkBlock, gear: usize) -> GearAdvice {
+    let g1 = node.gear(1);
+    let g = node.gear(gear);
+    let t1 = node.compute_time_s(work, g1);
+    let tg = node.compute_time_s(work, g);
+    let e1 = node.compute_energy_j(work, g1);
+    let eg = node.compute_energy_j(work, g);
+    GearAdvice { gear, predicted_delay: tg / t1 - 1.0, predicted_savings: 1.0 - eg / e1 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psc_machine::presets::athlon64;
+
+    #[test]
+    fn cg_like_pressure_allows_deep_downshift() {
+        let node = athlon64();
+        // CG (UPM 8.6): the paper saves 9.5 % at gear 2 with <1 % delay
+        // and 20 % at gear 5 with ~10 % delay.
+        let a = gear_for_delay_budget(&node, 8.6, 0.10);
+        assert!(a.gear >= 5, "expected deep downshift, got gear {}", a.gear);
+        assert!(a.predicted_savings > 0.15, "savings {}", a.predicted_savings);
+    }
+
+    #[test]
+    fn ep_like_pressure_stays_fast() {
+        let node = athlon64();
+        let a = gear_for_delay_budget(&node, 844.0, 0.05);
+        assert_eq!(a.gear, 1, "EP-like workloads should not downshift: {a:?}");
+    }
+
+    #[test]
+    fn zero_budget_means_gear_one() {
+        let node = athlon64();
+        let a = gear_for_delay_budget(&node, 8.6, 0.0);
+        assert_eq!(a.gear, 1);
+        assert_eq!(a.predicted_delay, 0.0);
+    }
+
+    #[test]
+    fn delay_within_budget() {
+        let node = athlon64();
+        for upm in [8.6, 49.5, 70.6, 844.0] {
+            for budget in [0.01, 0.05, 0.10, 0.25] {
+                let a = gear_for_delay_budget(&node, upm, budget);
+                assert!(
+                    a.predicted_delay <= budget + 1e-12,
+                    "UPM {upm} budget {budget}: delay {}",
+                    a.predicted_delay
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_controller_tracks_phase_changes() {
+        use psc_mpi::{Cluster, ClusterConfig};
+        let c = Cluster::athlon_fast_ethernet();
+        let (run, outs) = c.run(&ClusterConfig::uniform(1, 1), |comm| {
+            // 10 % delay budget: deep enough to reach gear 5 on CG-like
+            // phases (paper: gear 5 costs CG ~10 % time).
+            let mut ctl = AdaptiveGear::new(0.10);
+            let mut gears_seen = vec![comm.gear().index];
+            for phase in 0..4 {
+                let upm = if phase % 2 == 0 { 844.0 } else { 8.6 };
+                comm.compute(&psc_machine::WorkBlock::with_upm(2.0e9, upm));
+                if let Some(g) = ctl.recommend(comm.node(), comm.counters()) {
+                    comm.set_gear(g);
+                }
+                gears_seen.push(comm.gear().index);
+            }
+            gears_seen
+        });
+        // After an EP-like phase the controller holds gear 1; after a
+        // CG-like phase it downshifts deep.
+        let seen = &outs[0];
+        assert_eq!(seen[1], 1, "EP phase should keep gear 1: {seen:?}");
+        assert!(seen[2] >= 5, "CG phase should downshift: {seen:?}");
+        assert_eq!(seen[3], 1, "next EP phase should upshift back: {seen:?}");
+        assert!(run.energy_j > 0.0);
+    }
+
+    #[test]
+    fn adaptive_controller_saves_energy_on_mixed_workload() {
+        use psc_mpi::{Cluster, ClusterConfig};
+        let c = Cluster::athlon_fast_ethernet();
+        let workload = |comm: &mut psc_mpi::Comm, adaptive: bool| {
+            let mut ctl = AdaptiveGear::new(0.05);
+            for phase in 0..6 {
+                let upm = if phase % 2 == 0 { 844.0 } else { 8.6 };
+                comm.compute(&psc_machine::WorkBlock::with_upm(4.0e9, upm));
+                if adaptive {
+                    if let Some(g) = ctl.recommend(comm.node(), comm.counters()) {
+                        comm.set_gear(g);
+                    }
+                }
+            }
+        };
+        let (base, _) = c.run(&ClusterConfig::uniform(1, 1), |comm| workload(comm, false));
+        let (adapt, _) = c.run(&ClusterConfig::uniform(1, 1), |comm| workload(comm, true));
+        assert!(adapt.energy_j < base.energy_j, "{} !< {}", adapt.energy_j, base.energy_j);
+        assert!(
+            adapt.time_s < base.time_s * 1.06,
+            "adaptive time {} vs base {}",
+            adapt.time_s,
+            base.time_s
+        );
+    }
+
+    #[test]
+    fn controller_ignores_tiny_windows() {
+        let node = athlon64();
+        let mut ctl = AdaptiveGear::new(0.05);
+        let mut counters = psc_machine::Counters::default();
+        counters.record_compute(&WorkBlock::with_upm(1.0e6, 8.6), 1e-3, 2.0e9);
+        assert_eq!(ctl.recommend(&node, &counters), None);
+    }
+
+    #[test]
+    fn min_energy_gear_monotone_in_memory_pressure() {
+        let node = athlon64();
+        // Heavier memory pressure (lower UPM) admits an at-least-as-slow
+        // energy-optimal gear.
+        let cg = min_energy_gear(&node, 8.6);
+        let ep = min_energy_gear(&node, 844.0);
+        assert!(cg.gear >= ep.gear, "CG {:?} vs EP {:?}", cg, ep);
+        assert!(cg.predicted_savings >= ep.predicted_savings);
+    }
+}

@@ -1,0 +1,150 @@
+//! The node-bottleneck optimization — the paper's second avenue of
+//! future work: "a node reaches a synchronization point later than the
+//! rest of the nodes ... early-arriving nodes can be scaled down with
+//! little or no performance degradation."
+//!
+//! Given per-rank active times at the fastest gear (from a profiling
+//! run), [`plan_gears`] assigns each rank the slowest gear whose
+//! slowed compute still arrives no later than the bottleneck rank —
+//! turning load imbalance into energy savings for free.
+
+use psc_machine::{NodeSpec, WorkBlock};
+use psc_mpi::cluster::{GearSelection, RunResult};
+use serde::{Deserialize, Serialize};
+
+/// The per-rank gear plan plus its predicted effect.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BottleneckPlan {
+    /// Chosen gear per rank.
+    pub gears: Vec<usize>,
+    /// Rank that sets the pace (largest active time).
+    pub bottleneck_rank: usize,
+    /// Predicted per-rank arrival times under the plan, seconds.
+    pub predicted_arrival_s: Vec<f64>,
+}
+
+impl BottleneckPlan {
+    /// Convert into a cluster gear selection.
+    pub fn selection(&self) -> GearSelection {
+        GearSelection::PerRank(self.gears.clone())
+    }
+}
+
+/// Plan per-rank gears from a profiling run at the fastest gear.
+///
+/// `headroom` shaves the budget (0.0 = allow arrival exactly with the
+/// bottleneck; 0.02 = keep 2 % margin). Each rank's compute slowdown at
+/// gear `g` is predicted from its measured UPM via the node's CPU
+/// model, the same machinery the paper's `S_g` measurement captures.
+pub fn plan_gears(node: &NodeSpec, profile: &RunResult, headroom: f64) -> BottleneckPlan {
+    assert!((0.0..1.0).contains(&headroom));
+    let actives: Vec<f64> = profile.ranks.iter().map(|r| r.trace.active_s()).collect();
+    let bottleneck = actives.iter().cloned().fold(0.0, f64::max);
+    let bottleneck_rank = actives
+        .iter()
+        .position(|&a| a == bottleneck)
+        .expect("run has at least one rank");
+    let budget = bottleneck * (1.0 - headroom);
+
+    let mut gears = Vec::with_capacity(actives.len());
+    let mut predicted = Vec::with_capacity(actives.len());
+    for (rank, &active) in actives.iter().enumerate() {
+        let upm = profile.ranks[rank].counters.upm();
+        let work = if upm.is_finite() {
+            WorkBlock::with_upm(1.0e9, upm)
+        } else {
+            WorkBlock::cpu_only(1.0e9)
+        };
+        let mut chosen = 1;
+        let mut arrival = active;
+        for g in 2..=node.gears.len() {
+            let sg = node.slowdown_ratio(&work, node.gear(g));
+            if active * sg <= budget {
+                chosen = g;
+                arrival = active * sg;
+            } else {
+                break;
+            }
+        }
+        gears.push(chosen);
+        predicted.push(arrival);
+    }
+    BottleneckPlan { gears, bottleneck_rank, predicted_arrival_s: predicted }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psc_machine::WorkBlock;
+    use psc_mpi::{Cluster, ClusterConfig};
+
+    /// An imbalanced program: rank 0 computes 4× the work of the rest,
+    /// then everyone synchronizes.
+    fn imbalanced(comm: &mut psc_mpi::Comm) {
+        let units = if comm.rank() == 0 { 4.0 } else { 1.0 };
+        comm.compute(&WorkBlock::with_upm(units * 4.0e9, 70.0));
+        comm.barrier();
+    }
+
+    fn profile(c: &Cluster, n: usize) -> RunResult {
+        let (run, _) = c.run(&ClusterConfig::uniform(n, 1), imbalanced);
+        run
+    }
+
+    #[test]
+    fn plan_downshifts_early_arrivers_only() {
+        let c = Cluster::athlon_fast_ethernet();
+        let run = profile(&c, 4);
+        let plan = plan_gears(&c.node, &run, 0.0);
+        assert_eq!(plan.bottleneck_rank, 0);
+        assert_eq!(plan.gears[0], 1, "the bottleneck rank must stay at gear 1");
+        for r in 1..4 {
+            assert!(plan.gears[r] > 1, "rank {r} should downshift: {:?}", plan.gears);
+        }
+    }
+
+    #[test]
+    fn predicted_arrivals_within_budget() {
+        let c = Cluster::athlon_fast_ethernet();
+        let run = profile(&c, 4);
+        let plan = plan_gears(&c.node, &run, 0.05);
+        let bottleneck = run.ranks[0].trace.active_s();
+        for (r, &a) in plan.predicted_arrival_s.iter().enumerate() {
+            assert!(a <= bottleneck * 0.951 + 1e-9 || r == plan.bottleneck_rank, "rank {r}: {a}");
+        }
+    }
+
+    #[test]
+    fn executing_the_plan_saves_energy_without_slowdown() {
+        let c = Cluster::athlon_fast_ethernet();
+        let baseline = profile(&c, 4);
+        let plan = plan_gears(&c.node, &baseline, 0.0);
+        let (tuned, _) = c.run(
+            &ClusterConfig { nodes: 4, gears: plan.selection() },
+            imbalanced,
+        );
+        assert!(
+            tuned.time_s <= baseline.time_s * 1.01,
+            "plan slowed the run: {} vs {}",
+            tuned.time_s,
+            baseline.time_s
+        );
+        assert!(
+            tuned.energy_j < baseline.energy_j,
+            "plan saved no energy: {} vs {}",
+            tuned.energy_j,
+            baseline.energy_j
+        );
+    }
+
+    #[test]
+    fn balanced_program_stays_at_gear_one() {
+        let c = Cluster::athlon_fast_ethernet();
+        let (run, _) = c.run(&ClusterConfig::uniform(4, 1), |comm| {
+            comm.compute(&WorkBlock::with_upm(4.0e9, 70.0));
+            comm.barrier();
+        });
+        let plan = plan_gears(&c.node, &run, 0.0);
+        assert!(plan.gears.iter().all(|&g| g == 1), "{:?}", plan.gears);
+    }
+}

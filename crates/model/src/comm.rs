@@ -1,0 +1,180 @@
+//! Step 2b/3: classify and extrapolate communication time.
+//!
+//! The paper categorizes each benchmark's communication as logarithmic,
+//! linear, or quadratic (with LU later best modeled as constant), fits
+//! the measured `T^I(n)` series with the chosen shape, and reads the
+//! fit off at larger node counts. We implement the classification as
+//! least-squares model selection over the four candidate shapes.
+
+use crate::regression::{linear_fit, r_squared, rss};
+use serde::{Deserialize, Serialize};
+
+/// Candidate communication scaling shapes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CommShape {
+    /// `T^I = a` (independent of node count).
+    Constant,
+    /// `T^I = a + b·log₂ n`.
+    Logarithmic,
+    /// `T^I = a + b·n`.
+    Linear,
+    /// `T^I = a + b·n²`.
+    Quadratic,
+}
+
+impl CommShape {
+    /// All candidates, simplest first (ties in fit quality go to the
+    /// simpler shape).
+    pub const ALL: [CommShape; 4] =
+        [CommShape::Constant, CommShape::Logarithmic, CommShape::Linear, CommShape::Quadratic];
+
+    /// The basis transform `x = g(n)` of the shape.
+    pub fn basis(self, n: f64) -> f64 {
+        match self {
+            CommShape::Constant => 0.0,
+            CommShape::Logarithmic => n.log2(),
+            CommShape::Linear => n,
+            CommShape::Quadratic => n * n,
+        }
+    }
+}
+
+impl std::fmt::Display for CommShape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            CommShape::Constant => "constant",
+            CommShape::Logarithmic => "logarithmic",
+            CommShape::Linear => "linear",
+            CommShape::Quadratic => "quadratic",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A fitted communication model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CommFit {
+    /// Selected shape.
+    pub shape: CommShape,
+    /// Intercept.
+    pub a: f64,
+    /// Shape coefficient.
+    pub b: f64,
+    /// Goodness of fit of the selected shape.
+    pub r2: f64,
+}
+
+impl CommFit {
+    /// Fit the best shape to `(n, T^I(n))` measurements. Needs at least
+    /// two points.
+    ///
+    /// Selection rule: lowest residual sum of squares wins, but a more
+    /// complex shape must cut the incumbent's RSS by at least 30 % to
+    /// displace it (the paper corroborates its choices against source
+    /// inspection and the literature; the parsimony margin plays that
+    /// tie-breaker role here and keeps noise on flat data from being
+    /// "explained" by a growth shape).
+    pub fn fit(measurements: &[(usize, f64)]) -> CommFit {
+        assert!(measurements.len() >= 2, "communication fit needs at least two points");
+        let ys: Vec<f64> = measurements.iter().map(|&(_, t)| t).collect();
+        let mut best: Option<(CommShape, f64, f64, f64)> = None; // shape, a, b, rss
+        for shape in CommShape::ALL {
+            let xs: Vec<f64> = measurements.iter().map(|&(n, _)| shape.basis(n as f64)).collect();
+            let (a, b) = linear_fit(&xs, &ys);
+            // Negative slopes are physically possible (per-rank data
+            // shrinks) but the paper's shapes are growth classes; keep
+            // the fit as-is and let RSS arbitrate.
+            let r = rss(&xs, &ys, a, b);
+            match &best {
+                None => best = Some((shape, a, b, r)),
+                Some((_, _, _, br)) if r < br * 0.7 => best = Some((shape, a, b, r)),
+                _ => {}
+            }
+        }
+        let (shape, a, b, _) = best.unwrap();
+        let xs: Vec<f64> = measurements.iter().map(|&(n, _)| shape.basis(n as f64)).collect();
+        CommFit { shape, a, b, r2: r_squared(&xs, &ys, a, b) }
+    }
+
+    /// Fit with a *forced* shape (used by the misclassification
+    /// ablation and by the paper's literature-informed overrides).
+    pub fn fit_shape(measurements: &[(usize, f64)], shape: CommShape) -> CommFit {
+        let xs: Vec<f64> = measurements.iter().map(|&(n, _)| shape.basis(n as f64)).collect();
+        let ys: Vec<f64> = measurements.iter().map(|&(_, t)| t).collect();
+        let (a, b) = linear_fit(&xs, &ys);
+        CommFit { shape, a, b, r2: r_squared(&xs, &ys, a, b) }
+    }
+
+    /// Predicted idle/communication time at `m` nodes, seconds
+    /// (clamped non-negative).
+    pub fn predict_idle_s(&self, m: usize) -> f64 {
+        (self.a + self.b * self.shape.basis(m as f64)).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen(shape: CommShape, a: f64, b: f64, ns: &[usize]) -> Vec<(usize, f64)> {
+        ns.iter().map(|&n| (n, a + b * shape.basis(n as f64))).collect()
+    }
+
+    #[test]
+    fn recovers_each_shape_exactly() {
+        let ns = [2usize, 4, 8, 16];
+        for shape in CommShape::ALL {
+            let m = gen(shape, 3.0, if shape == CommShape::Constant { 0.0 } else { 1.5 }, &ns);
+            let fit = CommFit::fit(&m);
+            assert_eq!(fit.shape, shape, "failed to recover {shape}");
+            assert!(fit.r2 > 1.0 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn parsimony_prefers_simple_shapes_on_flat_data() {
+        let m = vec![(2usize, 5.0), (4, 5.01), (8, 4.99), (16, 5.0)];
+        let fit = CommFit::fit(&m);
+        assert_eq!(fit.shape, CommShape::Constant);
+    }
+
+    #[test]
+    fn prediction_extends_the_curve() {
+        let m = gen(CommShape::Quadratic, 1.0, 0.1, &[2, 4, 8]);
+        let fit = CommFit::fit(&m);
+        let p32 = fit.predict_idle_s(32);
+        assert!((p32 - (1.0 + 0.1 * 1024.0)).abs() < 1e-6, "{p32}");
+    }
+
+    #[test]
+    fn forced_shape_used_by_ablation() {
+        let m = gen(CommShape::Quadratic, 1.0, 0.1, &[2, 4, 8]);
+        let wrong = CommFit::fit_shape(&m, CommShape::Linear);
+        assert_eq!(wrong.shape, CommShape::Linear);
+        // The misclassified fit underpredicts at 32 nodes.
+        let right = CommFit::fit(&m);
+        assert!(wrong.predict_idle_s(32) < right.predict_idle_s(32));
+    }
+
+    #[test]
+    fn noisy_log_data_still_classified_log() {
+        let ns = [2usize, 4, 8, 16, 32];
+        let m: Vec<(usize, f64)> = ns
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| {
+                let noise = if i % 2 == 0 { 0.02 } else { -0.02 };
+                (n, 2.0 + 1.0 * (n as f64).log2() + noise)
+            })
+            .collect();
+        let fit = CommFit::fit(&m);
+        assert_eq!(fit.shape, CommShape::Logarithmic, "got {:?}", fit);
+    }
+
+    #[test]
+    fn prediction_never_negative() {
+        let m = vec![(2usize, 1.0), (4, 0.5), (8, 0.1)];
+        let fit = CommFit::fit(&m);
+        assert!(fit.predict_idle_s(64) >= 0.0);
+    }
+}

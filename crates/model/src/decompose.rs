@@ -1,0 +1,105 @@
+//! Step 1: recover `T^A(n)`, `T^I(n)` and the critical/reducible split
+//! from the MPI interception traces.
+
+use psc_mpi::cluster::RunResult;
+use serde::{Deserialize, Serialize};
+
+/// The time decomposition of one run, in the paper's terms.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Decomposition {
+    /// Node count of the run.
+    pub nodes: usize,
+    /// `T^A(n)`: the *maximum* per-rank compute time, seconds
+    /// (the paper's definition).
+    pub active_s: f64,
+    /// `T^I(n)`: total time minus `T^A(n)` (includes communication and
+    /// blocking), seconds.
+    pub idle_s: f64,
+    /// Critical compute `T^C` of the max-compute rank, seconds.
+    pub critical_s: f64,
+    /// Reducible compute `T^R` of the max-compute rank ("computation
+    /// between the last send and a blocking point"), seconds.
+    pub reducible_s: f64,
+    /// Total run time, seconds.
+    pub total_s: f64,
+}
+
+impl Decomposition {
+    /// Decompose a run result.
+    pub fn of(run: &RunResult) -> Decomposition {
+        let nodes = run.ranks.len();
+        // The rank with the maximum compute time defines T^A(n).
+        let max_rank = run
+            .ranks
+            .iter()
+            .max_by(|a, b| a.trace.active_s().partial_cmp(&b.trace.active_s()).unwrap())
+            .expect("run has at least one rank");
+        let active_s = max_rank.trace.active_s();
+        let (critical_s, reducible_s) = max_rank.trace.critical_reducible_split();
+        Decomposition {
+            nodes,
+            active_s,
+            idle_s: (run.time_s - active_s).max(0.0),
+            critical_s,
+            reducible_s,
+            total_s: run.time_s,
+        }
+    }
+
+    /// Fraction of the run spent communicating/blocking.
+    pub fn idle_fraction(&self) -> f64 {
+        if self.total_s == 0.0 {
+            0.0
+        } else {
+            self.idle_s / self.total_s
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psc_machine::WorkBlock;
+    use psc_mpi::{Cluster, ClusterConfig};
+
+    #[test]
+    fn decomposition_sums_to_total() {
+        let c = Cluster::athlon_fast_ethernet();
+        let (run, _) = c.run(&ClusterConfig::uniform(4, 1), |comm| {
+            comm.compute(&WorkBlock::with_upm(2.0e9, 70.0));
+            comm.barrier();
+            comm.compute(&WorkBlock::with_upm(1.0e9, 70.0));
+        });
+        let d = Decomposition::of(&run);
+        assert_eq!(d.nodes, 4);
+        assert!((d.active_s + d.idle_s - d.total_s).abs() < 1e-9);
+        assert!((d.critical_s + d.reducible_s - d.active_s).abs() < 1e-9);
+        assert!(d.idle_fraction() > 0.0 && d.idle_fraction() < 1.0);
+    }
+
+    #[test]
+    fn active_time_is_max_over_ranks() {
+        let c = Cluster::athlon_fast_ethernet();
+        let (run, _) = c.run(&ClusterConfig::uniform(2, 1), |comm| {
+            if comm.rank() == 0 {
+                comm.compute(&WorkBlock::cpu_only(8.0e9)); // 2 s
+            } else {
+                comm.compute(&WorkBlock::cpu_only(2.0e9)); // 0.5 s
+            }
+            comm.barrier();
+        });
+        let d = Decomposition::of(&run);
+        assert!((d.active_s - 2.0).abs() < 1e-6, "active {}", d.active_s);
+    }
+
+    #[test]
+    fn single_node_run_is_all_active() {
+        let c = Cluster::athlon_fast_ethernet();
+        let (run, _) = c.run(&ClusterConfig::uniform(1, 1), |comm| {
+            comm.compute(&WorkBlock::cpu_only(4.0e9));
+        });
+        let d = Decomposition::of(&run);
+        assert!(d.idle_fraction() < 1e-9);
+        assert!((d.active_s - 1.0).abs() < 1e-9);
+    }
+}

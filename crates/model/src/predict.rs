@@ -1,0 +1,266 @@
+//! Steps 3 and 5: extrapolate to larger clusters and read off time and
+//! energy at every gear — the naive equations (1)–(2) and the refined
+//! critical/reducible model.
+
+use crate::amdahl::AmdahlFit;
+use crate::comm::CommFit;
+use crate::decompose::Decomposition;
+use crate::gears::GearProfile;
+use serde::{Deserialize, Serialize};
+
+/// A predicted operating point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Prediction {
+    /// Node count.
+    pub nodes: usize,
+    /// Gear index.
+    pub gear: usize,
+    /// Predicted execution time, seconds.
+    pub time_s: f64,
+    /// Predicted cumulative energy, joules.
+    pub energy_j: f64,
+}
+
+/// The assembled model of one application on one power-scalable
+/// cluster: Amdahl fit for `T^A`, shape fit for `T^I`, per-gear
+/// profile, and the measured reducible-work fraction.
+///
+/// ```
+/// use psc_kernels::{Benchmark, ProblemClass};
+/// use psc_model::decompose::Decomposition;
+/// use psc_model::gears::profile_workload;
+/// use psc_model::predict::ClusterModel;
+/// use psc_mpi::{Cluster, ClusterConfig};
+///
+/// // Measure Jacobi on the configurations we "own" (≤ 8 nodes)...
+/// let cluster = Cluster::athlon_fast_ethernet();
+/// let decomps: Vec<_> = [1usize, 2, 4, 8]
+///     .iter()
+///     .map(|&n| {
+///         let (run, _) = cluster.run(&ClusterConfig::uniform(n, 1), |comm| {
+///             Benchmark::Jacobi.run(comm, ProblemClass::Test)
+///         });
+///         Decomposition::of(&run)
+///     })
+///     .collect();
+/// let profile = profile_workload(&cluster, |comm| {
+///     Benchmark::Jacobi.run(comm, ProblemClass::Test);
+/// });
+///
+/// // ...fit the paper's model and predict a 32-node machine.
+/// let model = ClusterModel::fit(&decomps, profile);
+/// let prediction = model.refined(32, 4);
+/// assert!(prediction.time_s > 0.0);
+/// assert!(prediction.energy_j > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterModel {
+    /// Step 2a: compute-time scaling.
+    pub amdahl: AmdahlFit,
+    /// Step 2b: communication scaling.
+    pub comm: CommFit,
+    /// Step 4: per-gear slowdown and power.
+    pub profile: GearProfile,
+    /// Fraction of active time that is *reducible* (between the last
+    /// send and a blocking point), measured from the traces of the
+    /// largest measured configuration.
+    pub reducible_fraction: f64,
+}
+
+impl ClusterModel {
+    /// Fit the model from measured decompositions (which must include
+    /// `n = 1` and at least two multi-node points) and a gear profile.
+    pub fn fit(decomps: &[Decomposition], profile: GearProfile) -> ClusterModel {
+        let ta: Vec<(usize, f64)> = decomps.iter().map(|d| (d.nodes, d.active_s)).collect();
+        let amdahl = AmdahlFit::fit(&ta);
+        let ti: Vec<(usize, f64)> =
+            decomps.iter().filter(|d| d.nodes > 1).map(|d| (d.nodes, d.idle_s)).collect();
+        let comm = CommFit::fit(&ti);
+        let largest = decomps
+            .iter()
+            .max_by_key(|d| d.nodes)
+            .expect("at least one decomposition");
+        let reducible_fraction = if largest.active_s > 0.0 {
+            (largest.reducible_s / largest.active_s).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        ClusterModel { amdahl, comm, profile, reducible_fraction }
+    }
+
+    /// Step 3: `(T^A(m), T^I(m))` at the fastest gear.
+    pub fn fastest_gear_times(&self, m: usize) -> (f64, f64) {
+        let ta = self.amdahl.predict_active_s(m);
+        let ti = if m == 1 { 0.0 } else { self.comm.predict_idle_s(m) };
+        (ta, ti)
+    }
+
+    /// Step 5, naive form — equations (1) and (2) of the paper:
+    /// `T_g(m) = S_g·T^A(m) + T^I(m)`,
+    /// `E_g(m) = m·(P_g·S_g·T^A(m) + I_g·T^I(m))`.
+    ///
+    /// (The per-node power integrates over the whole cluster, hence the
+    /// factor `m`; the paper plots cumulative energy of all nodes.)
+    pub fn naive(&self, m: usize, gear: usize) -> Prediction {
+        let (ta, ti) = self.fastest_gear_times(m);
+        let g = self.profile.gear(gear);
+        let time_s = g.sg * ta + ti;
+        // Non-critical ranks idle while the slowest computes; bill each
+        // node's idle share at I_g.
+        let energy_j = m as f64 * (g.pg_w * g.sg * ta + g.ig_w * ti);
+        Prediction { nodes: m, gear, time_s, energy_j }
+    }
+
+    /// Step 5, refined form: split `T^A` into critical and reducible
+    /// work. Slowing reducible work consumes slack before extending the
+    /// run; the inflection is at `T^I + T^R = S_g·T^R`.
+    pub fn refined(&self, m: usize, gear: usize) -> Prediction {
+        let (ta, ti) = self.fastest_gear_times(m);
+        let tr = self.reducible_fraction * ta;
+        let tc = ta - tr;
+        let g = self.profile.gear(gear);
+        let slack_consumed = ti + tr <= g.sg * tr;
+        let (time_s, energy_j) = if slack_consumed {
+            let t = g.sg * (tc + tr);
+            (t, m as f64 * g.pg_w * g.sg * (tc + tr))
+        } else {
+            let t = g.sg * tc + tr + ti;
+            let e = m as f64
+                * (g.pg_w * g.sg * (tc + tr) + g.ig_w * (ti + tr - g.sg * tr));
+            (t, e)
+        };
+        Prediction { nodes: m, gear, time_s, energy_j }
+    }
+
+    /// Predict the full energy-time curve (all gears) at `m` nodes.
+    pub fn predict_curve(&self, m: usize, refined: bool) -> Vec<Prediction> {
+        (1..=self.profile.len())
+            .map(|g| if refined { self.refined(m, g) } else { self.naive(m, g) })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::amdahl::AmdahlFit;
+    use crate::comm::{CommFit, CommShape};
+    use crate::gears::{GearPoint, GearProfile};
+
+    fn toy_model(reducible: f64) -> ClusterModel {
+        let amdahl = AmdahlFit::fit(&[(1, 100.0), (2, 52.0), (4, 28.0), (8, 16.0)]);
+        let comm = CommFit::fit(&[(2, 2.0), (4, 3.0), (8, 4.0)]);
+        let profile = GearProfile {
+            points: vec![
+                GearPoint { gear: 1, sg: 1.0, pg_w: 145.0, ig_w: 95.0 },
+                GearPoint { gear: 2, sg: 1.05, pg_w: 128.0, ig_w: 91.0 },
+                GearPoint { gear: 3, sg: 1.12, pg_w: 115.0, ig_w: 88.0 },
+            ],
+        };
+        ClusterModel { amdahl, comm, profile, reducible_fraction: reducible }
+    }
+
+    #[test]
+    fn naive_equations_match_paper_formulas() {
+        let m = toy_model(0.0);
+        let (ta, ti) = m.fastest_gear_times(16);
+        let p = m.naive(16, 2);
+        assert!((p.time_s - (1.05 * ta + ti)).abs() < 1e-9);
+        assert!((p.energy_j - 16.0 * (128.0 * 1.05 * ta + 91.0 * ti)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn refined_equals_naive_when_nothing_reducible() {
+        let m = toy_model(0.0);
+        for g in 1..=3 {
+            let a = m.naive(16, g);
+            let b = m.refined(16, g);
+            assert!((a.time_s - b.time_s).abs() < 1e-9, "gear {g}");
+            assert!((a.energy_j - b.energy_j).abs() < 1e-6, "gear {g}");
+        }
+    }
+
+    #[test]
+    fn refined_predicts_less_delay_than_naive() {
+        // With reducible work and slack, a slower gear hides some of
+        // the slowdown.
+        let m = toy_model(0.4);
+        let naive = m.naive(8, 3);
+        let refined = m.refined(8, 3);
+        assert!(refined.time_s < naive.time_s, "{} !< {}", refined.time_s, naive.time_s);
+        assert!(refined.energy_j < naive.energy_j);
+    }
+
+    #[test]
+    fn refined_inflection_point_behaviour() {
+        // Construct so that gear 3 consumes all slack: T^I small,
+        // T^R large.
+        let amdahl = AmdahlFit::fit(&[(1, 100.0), (8, 12.6)]);
+        let comm = CommFit::fit(&[(4, 0.1), (8, 0.1)]);
+        let profile = GearProfile {
+            points: vec![
+                GearPoint { gear: 1, sg: 1.0, pg_w: 145.0, ig_w: 95.0 },
+                GearPoint { gear: 2, sg: 2.0, pg_w: 110.0, ig_w: 85.0 },
+            ],
+        };
+        let m = ClusterModel { amdahl, comm, profile, reducible_fraction: 0.5 };
+        let (ta, ti) = m.fastest_gear_times(8);
+        let tr = 0.5 * ta;
+        // Slack consumed: ti + tr ≤ 2·tr ⇔ ti ≤ tr.
+        assert!(ti < tr);
+        let p = m.refined(8, 2);
+        assert!((p.time_s - 2.0 * ta).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fastest_gear_times_has_no_idle_on_one_node() {
+        let m = toy_model(0.2);
+        let (_, ti) = m.fastest_gear_times(1);
+        assert_eq!(ti, 0.0);
+    }
+
+    #[test]
+    fn fit_assembles_from_decompositions() {
+        let decomps = vec![
+            Decomposition {
+                nodes: 1,
+                active_s: 100.0,
+                idle_s: 0.0,
+                critical_s: 100.0,
+                reducible_s: 0.0,
+                total_s: 100.0,
+            },
+            Decomposition {
+                nodes: 2,
+                active_s: 52.0,
+                idle_s: 2.0,
+                critical_s: 40.0,
+                reducible_s: 12.0,
+                total_s: 54.0,
+            },
+            Decomposition {
+                nodes: 4,
+                active_s: 28.0,
+                idle_s: 3.0,
+                critical_s: 21.0,
+                reducible_s: 7.0,
+                total_s: 31.0,
+            },
+        ];
+        let profile = toy_model(0.0).profile;
+        let model = ClusterModel::fit(&decomps, profile);
+        assert!((model.reducible_fraction - 0.25).abs() < 1e-9);
+        // Idle series (2,2),(4,3),(8,4) is exactly logarithmic.
+        assert_eq!(model.comm.shape, CommShape::Logarithmic);
+        let p = model.naive(16, 1);
+        assert!(p.time_s > 0.0 && p.energy_j > 0.0);
+    }
+
+    #[test]
+    fn curve_has_one_point_per_gear() {
+        let m = toy_model(0.1);
+        let curve = m.predict_curve(25, true);
+        assert_eq!(curve.len(), 3);
+        assert!(curve.windows(2).all(|w| w[1].time_s >= w[0].time_s - 1e-9));
+    }
+}

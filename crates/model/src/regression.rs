@@ -1,0 +1,84 @@
+//! Minimal least-squares machinery used by the model steps.
+
+/// Fit `y ≈ a + b·x` by ordinary least squares.
+/// Returns `(a, b)`. Requires at least two distinct x values; with
+/// fewer, the slope is 0 and `a` is the mean.
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> (f64, f64) {
+    assert_eq!(xs.len(), ys.len());
+    assert!(!xs.is_empty(), "cannot fit an empty series");
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let sxx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+    if sxx < 1e-300 {
+        return (my, 0.0);
+    }
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let b = sxy / sxx;
+    (my - b * mx, b)
+}
+
+/// Residual sum of squares of `y ≈ a + b·x`.
+pub fn rss(xs: &[f64], ys: &[f64], a: f64, b: f64) -> f64 {
+    xs.iter().zip(ys).map(|(x, y)| (y - a - b * x) * (y - a - b * x)).sum()
+}
+
+/// Coefficient of determination R² of `y ≈ a + b·x` (1 = perfect fit).
+/// A constant series fits perfectly with b = 0, returning 1.
+pub fn r_squared(xs: &[f64], ys: &[f64], a: f64, b: f64) -> f64 {
+    let n = ys.len() as f64;
+    let my = ys.iter().sum::<f64>() / n;
+    let tss: f64 = ys.iter().map(|y| (y - my) * (y - my)).sum();
+    if tss < 1e-300 {
+        return 1.0;
+    }
+    1.0 - rss(xs, ys, a, b) / tss
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_recovered() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 + 2.0 * x).collect();
+        let (a, b) = linear_fit(&xs, &ys);
+        assert!((a - 3.0).abs() < 1e-12);
+        assert!((b - 2.0).abs() < 1e-12);
+        assert!(r_squared(&xs, &ys, a, b) > 1.0 - 1e-12);
+    }
+
+    #[test]
+    fn noisy_line_close() {
+        let xs: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let ys: Vec<f64> =
+            xs.iter().enumerate().map(|(i, x)| 1.0 + 0.5 * x + if i % 2 == 0 { 0.1 } else { -0.1 }).collect();
+        let (a, b) = linear_fit(&xs, &ys);
+        assert!((b - 0.5).abs() < 0.01, "b={b}");
+        assert!((a - 1.0).abs() < 0.15, "a={a}");
+    }
+
+    #[test]
+    fn constant_series_fits_perfectly() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [5.0, 5.0, 5.0];
+        let (a, b) = linear_fit(&xs, &ys);
+        assert_eq!(b, 0.0);
+        assert_eq!(a, 5.0);
+        assert_eq!(r_squared(&xs, &ys, a, b), 1.0);
+    }
+
+    #[test]
+    fn single_point_returns_mean() {
+        let (a, b) = linear_fit(&[2.0], &[7.0]);
+        assert_eq!((a, b), (7.0, 0.0));
+    }
+
+    #[test]
+    fn degenerate_x_returns_mean() {
+        let (a, b) = linear_fit(&[3.0, 3.0], &[1.0, 5.0]);
+        assert_eq!(b, 0.0);
+        assert_eq!(a, 3.0);
+    }
+}

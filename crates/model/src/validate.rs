@@ -1,0 +1,115 @@
+//! Model validation across clusters (paper §4.1, "Validation").
+//!
+//! The paper checks its extrapolation machinery by comparing the
+//! Amdahl fractions and communication shapes measured on the
+//! power-scalable cluster (≤ 9 nodes) against a larger,
+//! non-power-scalable Sun cluster (≤ 32 nodes): "With only 1 exception,
+//! it was identical" for `F_p`/`F_s`, and "each communication shape
+//! ... is identical on the Sun cluster up to 32 nodes."
+
+use crate::amdahl::AmdahlFit;
+use crate::comm::{CommFit, CommShape};
+use crate::decompose::Decomposition;
+use serde::{Deserialize, Serialize};
+
+/// The outcome of validating one application across two clusters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ValidationReport {
+    /// Application name.
+    pub name: String,
+    /// Sequential fraction measured on the reference (power-scalable)
+    /// cluster, averaged over its configurations.
+    pub fs_reference: f64,
+    /// Sequential fraction measured on the validation cluster.
+    pub fs_validation: f64,
+    /// Communication shape on the reference cluster.
+    pub shape_reference: CommShape,
+    /// Communication shape on the validation cluster.
+    pub shape_validation: CommShape,
+}
+
+impl ValidationReport {
+    /// Build a report from decompositions measured on both clusters.
+    pub fn compare(
+        name: impl Into<String>,
+        reference: &[Decomposition],
+        validation: &[Decomposition],
+    ) -> ValidationReport {
+        let fit = |d: &[Decomposition]| {
+            let ta: Vec<(usize, f64)> = d.iter().map(|x| (x.nodes, x.active_s)).collect();
+            AmdahlFit::fit(&ta)
+        };
+        let shape = |d: &[Decomposition]| {
+            let ti: Vec<(usize, f64)> =
+                d.iter().filter(|x| x.nodes > 1).map(|x| (x.nodes, x.idle_s)).collect();
+            CommFit::fit(&ti).shape
+        };
+        ValidationReport {
+            name: name.into(),
+            fs_reference: fit(reference).fs_mean(),
+            fs_validation: fit(validation).fs_mean(),
+            shape_reference: shape(reference),
+            shape_validation: shape(validation),
+        }
+    }
+
+    /// Whether the sequential fractions agree within `tol` (absolute).
+    pub fn fractions_agree(&self, tol: f64) -> bool {
+        (self.fs_reference - self.fs_validation).abs() <= tol
+    }
+
+    /// Whether the communication classifications agree.
+    pub fn shapes_agree(&self) -> bool {
+        self.shape_reference == self.shape_validation
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn decomps(t1: f64, fs: f64, comm: fn(usize) -> f64, ns: &[usize]) -> Vec<Decomposition> {
+        ns.iter()
+            .map(|&n| {
+                let active = t1 * ((1.0 - fs) / n as f64 + fs);
+                let idle = if n == 1 { 0.0 } else { comm(n) };
+                Decomposition {
+                    nodes: n,
+                    active_s: active,
+                    idle_s: idle,
+                    critical_s: active,
+                    reducible_s: 0.0,
+                    total_s: active + idle,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matching_clusters_agree() {
+        let log_comm = |n: usize| 1.0 + (n as f64).log2();
+        let a = decomps(100.0, 0.05, log_comm, &[1, 2, 4, 8]);
+        // Different absolute speed, same structure, more nodes.
+        let b = decomps(250.0, 0.05, log_comm, &[1, 2, 4, 8, 16, 32]);
+        let r = ValidationReport::compare("MG", &a, &b);
+        assert!(r.fractions_agree(0.01), "{r:?}");
+        assert!(r.shapes_agree(), "{r:?}");
+    }
+
+    #[test]
+    fn detects_fraction_disagreement() {
+        let comm = |_n: usize| 1.0;
+        let a = decomps(100.0, 0.02, comm, &[1, 2, 4, 8]);
+        let b = decomps(100.0, 0.20, comm, &[1, 2, 4, 8, 16]);
+        let r = ValidationReport::compare("CG", &a, &b);
+        assert!(!r.fractions_agree(0.05));
+    }
+
+    #[test]
+    fn detects_shape_disagreement() {
+        let a = decomps(100.0, 0.05, |n| n as f64, &[1, 2, 4, 8]);
+        let b = decomps(100.0, 0.05, |n| (n * n) as f64, &[1, 2, 4, 8, 16]);
+        let r = ValidationReport::compare("X", &a, &b);
+        assert!(!r.shapes_agree(), "{r:?}");
+    }
+}

@@ -1,0 +1,150 @@
+//! Property-based tests of the model's fitting and prediction
+//! machinery: parameter recovery on generated data and structural
+//! invariants of the naive/refined equations.
+
+use proptest::prelude::*;
+use psc_model::amdahl::AmdahlFit;
+use psc_model::comm::{CommFit, CommShape};
+use psc_model::gears::{GearPoint, GearProfile};
+use psc_model::predict::ClusterModel;
+
+fn amdahl_series(t1: f64, fs: f64) -> Vec<(usize, f64)> {
+    [1usize, 2, 4, 8].iter().map(|&n| (n, t1 * ((1.0 - fs) / n as f64 + fs))).collect()
+}
+
+/// A physically plausible gear profile: S_g grows, P_g and I_g fall.
+fn profile_strategy() -> impl Strategy<Value = GearProfile> {
+    (
+        proptest::collection::vec(0.02..0.35f64, 5), // S_g increments
+        100.0..160.0f64,                             // P_1
+        proptest::collection::vec(0.02..0.15f64, 5), // P_g decrements
+        60.0..95.0f64,                               // I_1
+        proptest::collection::vec(0.01..0.06f64, 5), // I_g decrements
+    )
+        .prop_map(|(sg_inc, p1, p_dec, i1, i_dec)| {
+            let i1 = i1.min(p1 * 0.8);
+            let mut points = Vec::new();
+            let (mut sg, mut pg, mut ig) = (1.0, p1, i1);
+            for g in 1..=6usize {
+                if g > 1 {
+                    sg *= 1.0 + sg_inc[g - 2];
+                    pg *= 1.0 - p_dec[g - 2];
+                    ig *= 1.0 - i_dec[g - 2];
+                }
+                points.push(GearPoint { gear: g, sg, pg_w: pg, ig_w: ig.min(pg * 0.95) });
+            }
+            GearProfile { points }
+        })
+}
+
+fn model_strategy() -> impl Strategy<Value = ClusterModel> {
+    (
+        50.0..2000.0f64,
+        0.0..0.3f64,
+        0.1..20.0f64,
+        0.0..5.0f64,
+        profile_strategy(),
+        0.0..1.0f64,
+    )
+        .prop_map(|(t1, fs, comm_a, comm_b, profile, reducible)| ClusterModel {
+            amdahl: AmdahlFit::fit(&amdahl_series(t1, fs)),
+            comm: CommFit::fit(&[
+                (2, comm_a + comm_b * 1.0),
+                (4, comm_a + comm_b * 2.0),
+                (8, comm_a + comm_b * 3.0),
+            ]),
+            profile,
+            reducible_fraction: reducible,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    #[test]
+    fn amdahl_recovers_any_sequential_fraction(t1 in 1.0..10_000.0f64, fs in 0.0..0.9f64) {
+        let fit = AmdahlFit::fit(&amdahl_series(t1, fs));
+        prop_assert!((fit.fs_at(16) - fs).abs() < 1e-6, "fs {} vs {fs}", fit.fs_at(16));
+        prop_assert!((fit.fs_at(32) - fs).abs() < 1e-6);
+        let predicted = fit.predict_active_s(32);
+        let expect = t1 * ((1.0 - fs) / 32.0 + fs);
+        prop_assert!((predicted - expect).abs() < 1e-6 * expect);
+    }
+
+    #[test]
+    fn amdahl_prediction_monotone_decreasing_in_nodes(t1 in 1.0..1000.0f64, fs in 0.0..0.9f64) {
+        let fit = AmdahlFit::fit(&amdahl_series(t1, fs));
+        let mut prev = f64::INFINITY;
+        for m in [1usize, 2, 4, 8, 16, 32, 64] {
+            let t = fit.predict_active_s(m);
+            prop_assert!(t <= prev + 1e-12);
+            prop_assert!(t >= t1 * fs - 1e-9, "below the sequential floor");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn comm_fit_recovers_generating_shape(
+        a in 0.1..10.0f64,
+        b in 0.5..20.0f64,
+        shape_idx in 0usize..4,
+    ) {
+        let shape = CommShape::ALL[shape_idx];
+        let b_eff = if shape == CommShape::Constant { 0.0 } else { b };
+        let pts: Vec<(usize, f64)> =
+            [2usize, 4, 8, 16].iter().map(|&n| (n, a + b_eff * shape.basis(n as f64))).collect();
+        let fit = CommFit::fit(&pts);
+        prop_assert_eq!(fit.shape, shape, "a={} b={}", a, b);
+        prop_assert!(fit.r2 > 1.0 - 1e-9);
+        // Interpolation is exact on generated data.
+        let p = fit.predict_idle_s(25);
+        let expect = (a + b_eff * shape.basis(25.0)).max(0.0);
+        prop_assert!((p - expect).abs() < 1e-6 * expect.max(1.0));
+    }
+
+    #[test]
+    fn refined_never_slower_or_hungrier_than_naive(model in model_strategy(), m in 2usize..64) {
+        for g in 1..=6usize {
+            let naive = model.naive(m, g);
+            let refined = model.refined(m, g);
+            prop_assert!(refined.time_s <= naive.time_s + 1e-9,
+                "gear {g}: refined {} > naive {}", refined.time_s, naive.time_s);
+            prop_assert!(refined.energy_j <= naive.energy_j + 1e-6,
+                "gear {g}: refined energy above naive");
+        }
+    }
+
+    #[test]
+    fn predictions_positive_and_gear1_is_fastest(model in model_strategy(), m in 2usize..64) {
+        let curve = model.predict_curve(m, true);
+        for p in &curve {
+            prop_assert!(p.time_s > 0.0 && p.energy_j > 0.0);
+            prop_assert!(p.time_s >= curve[0].time_s - 1e-9, "gear {} beat gear 1", p.gear);
+        }
+    }
+
+    #[test]
+    fn refined_time_bounded_by_naive_structure(model in model_strategy(), m in 2usize..64) {
+        // Refined time is never below the pure compute-at-gear time of
+        // the critical work plus the unslowed remainder.
+        let (ta, ti) = model.fastest_gear_times(m);
+        for g in 1..=6usize {
+            let sg = model.profile.gear(g).sg;
+            let refined = model.refined(m, g).time_s;
+            let floor = (ta + ti).min(sg * ta);
+            prop_assert!(refined >= floor.min(ta) - 1e-9);
+            prop_assert!(refined >= ta - 1e-9, "cannot beat the fastest-gear compute time");
+        }
+    }
+
+    #[test]
+    fn zero_reducible_makes_refined_equal_naive(mut model in model_strategy(), m in 2usize..32) {
+        model.reducible_fraction = 0.0;
+        for g in 1..=6usize {
+            let a = model.naive(m, g);
+            let b = model.refined(m, g);
+            prop_assert!((a.time_s - b.time_s).abs() < 1e-9);
+            prop_assert!((a.energy_j - b.energy_j).abs() < 1e-6);
+        }
+    }
+}

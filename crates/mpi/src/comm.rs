@@ -1,0 +1,668 @@
+//! The per-rank communicator handle.
+//!
+//! A [`Comm`] is handed to each rank's program closure by
+//! [`crate::cluster::Cluster::run`]. It exposes:
+//!
+//! * [`Comm::compute`] — execute a work block, advancing virtual time by
+//!   the node's CPU model at this rank's gear;
+//! * point-to-point messaging — [`Comm::send`] (asynchronous, as the
+//!   paper assumes), [`Comm::recv`], [`Comm::sendrecv`];
+//! * collectives — [`Comm::barrier`] (dissemination),
+//!   [`Comm::bcast`]/[`Comm::reduce`] (binomial tree, O(log n) rounds),
+//!   [`Comm::allreduce`] (reduce+bcast), [`Comm::allgather`] (ring,
+//!   O(n) rounds), [`Comm::alltoall`] (pairwise, O(n) rounds),
+//!   [`Comm::gather`]/[`Comm::scatter`] (linear fan-in/out).
+//!
+//! Every call is intercepted into the rank's [`RankTrace`], and the
+//! rank's power profile is extended as time advances: application power
+//! `P_g` while computing, idle power `I_g` while inside a
+//! message-passing call — the step-function model of paper §4.1.
+
+use crate::network::NetworkModel;
+use crate::payload::Payload;
+use crate::reduce::ReduceOp;
+use crate::router::{Envelope, MatchBuffer, Router};
+use crate::trace::{MpiOp, RankTrace, TraceEvent};
+use crossbeam::channel::Receiver;
+use psc_machine::{Counters, Gear, NodeSpec, PowerTrace, WorkBlock};
+use std::sync::Arc;
+
+/// Tag namespace reserved for collective operations; user tags must stay
+/// below this value.
+pub const COLLECTIVE_TAG_BASE: u64 = 1 << 62;
+
+/// Peer value recorded in trace events for collective operations.
+pub const NO_PEER: usize = usize::MAX;
+
+/// A pending nonblocking receive, completed by [`Comm::wait`].
+///
+/// The type parameter pins the payload type at post time, so a
+/// mismatched `wait` is a compile-time error rather than a downcast
+/// panic.
+#[must_use = "an unwaited receive request leaves a message undelivered"]
+pub struct RecvRequest<T: Payload> {
+    src: usize,
+    tag: u64,
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+/// The per-rank communicator (see module docs).
+pub struct Comm {
+    rank: usize,
+    size: usize,
+    gear: Gear,
+    node: Arc<NodeSpec>,
+    network: NetworkModel,
+    router: Arc<Router>,
+    inbox: Receiver<Envelope>,
+    buffer: MatchBuffer,
+    clock_s: f64,
+    counters: Counters,
+    trace: RankTrace,
+    power: PowerTrace,
+    coll_seq: u64,
+    wire_scale: f64,
+}
+
+impl Comm {
+    /// Construct a communicator endpoint. Called by the cluster driver.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        rank: usize,
+        size: usize,
+        gear: Gear,
+        node: Arc<NodeSpec>,
+        network: NetworkModel,
+        router: Arc<Router>,
+        inbox: Receiver<Envelope>,
+    ) -> Self {
+        Comm {
+            rank,
+            size,
+            gear,
+            node,
+            network,
+            router,
+            inbox,
+            buffer: MatchBuffer::new(),
+            clock_s: 0.0,
+            counters: Counters::default(),
+            trace: RankTrace::new(),
+            power: PowerTrace::new(),
+            coll_seq: 0,
+            wire_scale: 1.0,
+        }
+    }
+
+    /// Set the wire-size scale factor applied to every payload.
+    ///
+    /// Kernels in `psc-kernels` run their *real* arithmetic on problems
+    /// shrunk by some factor (so a simulated run finishes in well under a
+    /// second of host time) while charging virtual compute costs at the
+    /// paper's class-B scale. Message payloads shrink with the problem,
+    /// so their wire cost must be scaled back up by the same geometry
+    /// factor; see DESIGN.md ("work/wire scaling"). A scale of 1.0 (the
+    /// default) charges payloads at their actual size.
+    pub fn set_wire_scale(&mut self, scale: f64) {
+        assert!(scale > 0.0 && scale.is_finite(), "wire scale must be positive");
+        self.wire_scale = scale;
+    }
+
+    /// This rank's id, `0..size`.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the job.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Current virtual time, seconds.
+    #[inline]
+    pub fn now_s(&self) -> f64 {
+        self.clock_s
+    }
+
+    /// The gear this rank is running at.
+    #[inline]
+    pub fn gear(&self) -> Gear {
+        self.gear
+    }
+
+    /// The node specification this rank runs on.
+    #[inline]
+    pub fn node(&self) -> &NodeSpec {
+        &self.node
+    }
+
+    /// The rank's accumulated hardware counters so far. Runtime DVFS
+    /// policies read these between phases (UPM is gear-invariant, so a
+    /// window's `uops/l2_misses` is a valid prediction input at any
+    /// gear).
+    #[inline]
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// Switch this rank to another gear mid-run — the paper's future
+    /// work ("automatically reduce the energy gear appropriately").
+    ///
+    /// Real DVFS transitions are not free: the core stalls for the
+    /// node's `dvfs_transition_s` while the PLL relocks and the voltage
+    /// ramps; that time is charged at idle power. Switching to the
+    /// current gear is a no-op.
+    pub fn set_gear(&mut self, gear_index: usize) {
+        let new = self.node.gear(gear_index);
+        if new.index == self.gear.index {
+            return;
+        }
+        let dt = self.node.dvfs_transition_s;
+        if dt > 0.0 {
+            // Stall at the *lower* of the two idle powers (the voltage
+            // ramps monotonically between the operating points).
+            let watts = self.node.idle_power_w(new).min(self.node.idle_power_w(self.gear));
+            self.clock_s += dt;
+            self.power.push(self.clock_s, watts);
+            self.counters.record_idle(dt);
+        }
+        self.gear = new;
+    }
+
+    // ------------------------------------------------------------------
+    // Computation
+    // ------------------------------------------------------------------
+
+    /// Execute a work block: advance virtual time by the CPU model and
+    /// draw application power `P_g` for its duration.
+    pub fn compute(&mut self, work: &WorkBlock) {
+        let dt = self.node.compute_time_s(work, self.gear);
+        let watts = self.node.compute_power_w(work, self.gear);
+        self.clock_s += dt;
+        self.power.push(self.clock_s, watts);
+        self.counters.record_compute(work, dt, self.gear.freq_hz);
+    }
+
+    /// Convenience: execute `uops` micro-operations at the given UPM
+    /// (µops per L2 miss) memory pressure.
+    pub fn compute_uops(&mut self, uops: f64, upm: f64) {
+        self.compute(&WorkBlock::with_upm(uops, upm));
+    }
+
+    // ------------------------------------------------------------------
+    // Point-to-point
+    // ------------------------------------------------------------------
+
+    /// Asynchronous send: the sender is occupied only for the injection
+    /// cost (software overhead + bytes/bandwidth); it never waits for
+    /// the receiver. User tags must be below [`COLLECTIVE_TAG_BASE`].
+    pub fn send<T: Payload>(&mut self, dst: usize, tag: u64, data: T) {
+        assert!(tag < COLLECTIVE_TAG_BASE, "user tag collides with collective namespace");
+        let t0 = self.clock_s;
+        let bytes = self.raw_send(dst, tag, data);
+        self.finish_op(MpiOp::Send, t0, bytes, dst);
+    }
+
+    /// Blocking receive from a specific source and tag. There are no
+    /// wildcard receives (keeps execution deterministic).
+    pub fn recv<T: Payload>(&mut self, src: usize, tag: u64) -> T {
+        assert!(tag < COLLECTIVE_TAG_BASE, "user tag collides with collective namespace");
+        let t0 = self.clock_s;
+        let (data, bytes) = self.raw_recv::<T>(src, tag);
+        self.finish_op(MpiOp::Recv, t0, bytes, src);
+        data
+    }
+
+    /// Combined send+receive (halo exchange): sends to `dst` and receives
+    /// from `src` in one traced operation. Deadlock-free because sends
+    /// are asynchronous.
+    pub fn sendrecv<T: Payload, U: Payload>(
+        &mut self,
+        dst: usize,
+        send_tag: u64,
+        data: T,
+        src: usize,
+        recv_tag: u64,
+    ) -> U {
+        assert!(send_tag < COLLECTIVE_TAG_BASE && recv_tag < COLLECTIVE_TAG_BASE);
+        let t0 = self.clock_s;
+        let sent = self.raw_send(dst, send_tag, data);
+        let (data, recvd) = self.raw_recv::<U>(src, recv_tag);
+        self.finish_op(MpiOp::SendRecv, t0, sent + recvd, dst);
+        data
+    }
+
+    /// Nonblocking send. In this runtime sends never block beyond the
+    /// injection cost, so `isend` is `send` under its MPI-style name —
+    /// provided so overlap code reads like the MPI it models.
+    pub fn isend<T: Payload>(&mut self, dst: usize, tag: u64, data: T) {
+        self.send(dst, tag, data);
+    }
+
+    /// Post a nonblocking receive. Returns immediately with a request
+    /// handle; the message is matched and the clock charged when
+    /// [`Comm::wait`] is called. Posting is free except for a trace
+    /// record (it is *not* a blocking point — computation placed
+    /// between the post and the wait is *reducible work* in the
+    /// paper's refined model).
+    pub fn irecv<T: Payload>(&mut self, src: usize, tag: u64) -> RecvRequest<T> {
+        assert!(tag < COLLECTIVE_TAG_BASE, "user tag collides with collective namespace");
+        assert!(src < self.size && src != self.rank, "invalid irecv source {src}");
+        let t0 = self.clock_s;
+        self.finish_op(MpiOp::Irecv, t0, 0, src);
+        RecvRequest { src, tag, _marker: std::marker::PhantomData }
+    }
+
+    /// Complete a nonblocking receive: blocks until the message is
+    /// available, advances the clock to
+    /// `max(now, arrival) + recv_overhead`, and returns the payload.
+    pub fn wait<T: Payload>(&mut self, req: RecvRequest<T>) -> T {
+        let t0 = self.clock_s;
+        let (data, bytes) = self.raw_recv::<T>(req.src, req.tag);
+        self.finish_op(MpiOp::Wait, t0, bytes, req.src);
+        data
+    }
+
+    /// Complete a batch of nonblocking receives in order.
+    pub fn wait_all<T: Payload>(&mut self, reqs: Vec<RecvRequest<T>>) -> Vec<T> {
+        reqs.into_iter().map(|r| self.wait(r)).collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Collectives
+    // ------------------------------------------------------------------
+
+    /// Dissemination barrier: ⌈log₂ n⌉ rounds of small messages; works
+    /// for any rank count.
+    pub fn barrier(&mut self) {
+        let t0 = self.clock_s;
+        let bytes = self.dissemination();
+        self.finish_op(MpiOp::Barrier, t0, bytes, NO_PEER);
+    }
+
+    /// One-to-all broadcast over a binomial tree (⌈log₂ n⌉ rounds).
+    /// Every rank passes its (possibly empty) buffer; the root's buffer
+    /// is distributed and returned on every rank.
+    pub fn bcast<T: Payload + Clone>(&mut self, root: usize, data: T) -> T {
+        let t0 = self.clock_s;
+        let seq = self.next_coll_seq();
+        let (out, bytes) = self.binomial_bcast(root, data, seq);
+        self.finish_op(MpiOp::Bcast, t0, bytes, NO_PEER);
+        out
+    }
+
+    /// All-to-one reduction over a binomial tree. Returns `Some(result)`
+    /// on `root`, `None` elsewhere.
+    pub fn reduce(&mut self, root: usize, data: Vec<f64>, op: ReduceOp) -> Option<Vec<f64>> {
+        let t0 = self.clock_s;
+        let seq = self.next_coll_seq();
+        let (out, bytes) = self.binomial_reduce(root, data, op, seq);
+        self.finish_op(MpiOp::Reduce, t0, bytes, NO_PEER);
+        out
+    }
+
+    /// All-to-all reduction: binomial reduce to rank 0 followed by a
+    /// binomial broadcast (2⌈log₂ n⌉ rounds).
+    pub fn allreduce(&mut self, data: Vec<f64>, op: ReduceOp) -> Vec<f64> {
+        let t0 = self.clock_s;
+        let seq_r = self.next_coll_seq();
+        let (reduced, b1) = self.binomial_reduce(0, data, op, seq_r);
+        let seq_b = self.next_coll_seq();
+        let (out, b2) = self.binomial_bcast(0, reduced.unwrap_or_default(), seq_b);
+        self.finish_op(MpiOp::Allreduce, t0, b1 + b2, NO_PEER);
+        out
+    }
+
+    /// Scalar all-reduce convenience.
+    pub fn allreduce_scalar(&mut self, value: f64, op: ReduceOp) -> f64 {
+        self.allreduce(vec![value], op)[0]
+    }
+
+    /// Ring allgather (n−1 rounds): returns every rank's contribution,
+    /// indexed by rank.
+    pub fn allgather(&mut self, mine: Vec<f64>) -> Vec<Vec<f64>> {
+        let t0 = self.clock_s;
+        let seq = self.next_coll_seq();
+        let n = self.size;
+        let mut blocks: Vec<Vec<f64>> = vec![Vec::new(); n];
+        let mut bytes = 0;
+        blocks[self.rank] = mine;
+        let right = (self.rank + 1) % n;
+        let left = (self.rank + n - 1) % n;
+        for step in 0..n.saturating_sub(1) {
+            let send_idx = (self.rank + n - step) % n;
+            let recv_idx = (self.rank + n - step - 1) % n;
+            let tag = coll_tag(seq, step as u64);
+            bytes += self.raw_send(right, tag, blocks[send_idx].clone());
+            let (data, b) = self.raw_recv::<Vec<f64>>(left, tag);
+            bytes += b;
+            blocks[recv_idx] = data;
+        }
+        self.finish_op(MpiOp::Allgather, t0, bytes, NO_PEER);
+        blocks
+    }
+
+    /// Pairwise all-to-all personalized exchange (n−1 rounds). `blocks`
+    /// holds one outgoing block per destination rank (index = rank);
+    /// the result holds one incoming block per source rank.
+    pub fn alltoall(&mut self, mut blocks: Vec<Vec<f64>>) -> Vec<Vec<f64>> {
+        assert_eq!(blocks.len(), self.size, "alltoall needs one block per rank");
+        let t0 = self.clock_s;
+        let seq = self.next_coll_seq();
+        let n = self.size;
+        let mut out: Vec<Vec<f64>> = vec![Vec::new(); n];
+        let mut bytes = 0;
+        out[self.rank] = std::mem::take(&mut blocks[self.rank]);
+        for k in 1..n {
+            let dst = (self.rank + k) % n;
+            let src = (self.rank + n - k) % n;
+            let tag = coll_tag(seq, k as u64);
+            bytes += self.raw_send(dst, tag, std::mem::take(&mut blocks[dst]));
+            let (data, b) = self.raw_recv::<Vec<f64>>(src, tag);
+            bytes += b;
+            out[src] = data;
+        }
+        self.finish_op(MpiOp::Alltoall, t0, bytes, NO_PEER);
+        out
+    }
+
+    /// Inclusive prefix reduction in rank order (`MPI_Scan`): rank `r`
+    /// receives `op` applied over the contributions of ranks `0..=r`.
+    /// Chain algorithm: n−1 sequential hops, deterministic combine
+    /// order.
+    pub fn scan(&mut self, data: Vec<f64>, op: ReduceOp) -> Vec<f64> {
+        let t0 = self.clock_s;
+        let seq = self.next_coll_seq();
+        let tag = coll_tag(seq, 0);
+        let mut acc = data;
+        let mut bytes = 0;
+        if self.rank > 0 {
+            let (prefix, b) = self.raw_recv::<Vec<f64>>(self.rank - 1, tag);
+            bytes += b;
+            // Combine in rank order: earlier ranks first.
+            let mut combined = prefix;
+            op.combine(&mut combined, &acc);
+            acc = combined;
+        }
+        if self.rank + 1 < self.size {
+            bytes += self.raw_send(self.rank + 1, tag, acc.clone());
+        }
+        self.finish_op(MpiOp::Scan, t0, bytes, NO_PEER);
+        acc
+    }
+
+    /// Exclusive prefix reduction (`MPI_Exscan`): rank `r` receives
+    /// `op` over ranks `0..r`; rank 0 receives the identity.
+    pub fn exscan(&mut self, data: Vec<f64>, op: ReduceOp) -> Vec<f64> {
+        let t0 = self.clock_s;
+        let seq = self.next_coll_seq();
+        let tag = coll_tag(seq, 0);
+        let len = data.len();
+        let mut bytes = 0;
+        // Receive the prefix over 0..rank, then forward prefix ∘ mine.
+        let prefix = if self.rank > 0 {
+            let (p, b) = self.raw_recv::<Vec<f64>>(self.rank - 1, tag);
+            bytes += b;
+            p
+        } else {
+            vec![op.identity(); len]
+        };
+        if self.rank + 1 < self.size {
+            let mut fwd = prefix.clone();
+            op.combine(&mut fwd, &data);
+            bytes += self.raw_send(self.rank + 1, tag, fwd);
+        }
+        self.finish_op(MpiOp::Scan, t0, bytes, NO_PEER);
+        prefix
+    }
+
+    /// Reduce-scatter (`MPI_Reduce_scatter_block`): `blocks[d]` is this
+    /// rank's contribution to destination `d`; the return value is the
+    /// element-wise reduction of every rank's block for *this* rank.
+    /// Pairwise-exchange algorithm: an all-to-all of contributions
+    /// followed by the local reduction.
+    pub fn reduce_scatter(&mut self, blocks: Vec<Vec<f64>>, op: ReduceOp) -> Vec<f64> {
+        assert_eq!(blocks.len(), self.size, "reduce_scatter needs one block per rank");
+        let len = blocks[self.rank].len();
+        let incoming = self.alltoall(blocks);
+        let mut acc = vec![op.identity(); len];
+        for block in incoming {
+            op.combine(&mut acc, &block);
+        }
+        acc
+    }
+
+    /// Linear gather to `root`: returns `Some(blocks by rank)` on the
+    /// root, `None` elsewhere.
+    pub fn gather(&mut self, root: usize, mine: Vec<f64>) -> Option<Vec<Vec<f64>>> {
+        let t0 = self.clock_s;
+        let seq = self.next_coll_seq();
+        let tag = coll_tag(seq, 0);
+        let mut bytes = 0;
+        let result = if self.rank == root {
+            let mut blocks: Vec<Vec<f64>> = vec![Vec::new(); self.size];
+            blocks[root] = mine;
+            for src in (0..self.size).filter(|&s| s != root) {
+                let (data, b) = self.raw_recv::<Vec<f64>>(src, tag);
+                bytes += b;
+                blocks[src] = data;
+            }
+            Some(blocks)
+        } else {
+            bytes += self.raw_send(root, tag, mine);
+            None
+        };
+        self.finish_op(MpiOp::Gather, t0, bytes, NO_PEER);
+        result
+    }
+
+    /// Linear scatter from `root`: the root provides one block per rank;
+    /// every rank returns its own block.
+    pub fn scatter(&mut self, root: usize, blocks: Option<Vec<Vec<f64>>>) -> Vec<f64> {
+        let t0 = self.clock_s;
+        let seq = self.next_coll_seq();
+        let tag = coll_tag(seq, 0);
+        let mut bytes = 0;
+        let mine = if self.rank == root {
+            let mut blocks = blocks.expect("root must provide blocks to scatter");
+            assert_eq!(blocks.len(), self.size, "scatter needs one block per rank");
+            for (dst, block) in blocks.iter_mut().enumerate() {
+                if dst != root {
+                    bytes += self.raw_send(dst, tag, std::mem::take(block));
+                }
+            }
+            std::mem::take(&mut blocks[root])
+        } else {
+            let (data, b) = self.raw_recv::<Vec<f64>>(root, tag);
+            bytes += b;
+            data
+        };
+        self.finish_op(MpiOp::Scatter, t0, bytes, NO_PEER);
+        mine
+    }
+
+    /// Finalize the rank's program: a trailing barrier (like
+    /// `MPI_Finalize`) and trace closing. Called by the cluster driver.
+    pub(crate) fn finalize(&mut self) {
+        let t0 = self.clock_s;
+        let bytes = if self.size > 1 { self.dissemination() } else { 0 };
+        self.finish_op(MpiOp::Finalize, t0, bytes, NO_PEER);
+        self.trace.end_s = self.clock_s;
+        debug_assert!(
+            self.buffer.is_empty(),
+            "rank {} finalized with {} unconsumed messages",
+            self.rank,
+            self.buffer.len()
+        );
+    }
+
+    /// Dismantle the communicator into its measurement products:
+    /// `(counters, trace, power_trace, end_time_s, final_gear_index)`.
+    pub(crate) fn into_results(self) -> (Counters, RankTrace, PowerTrace, f64, usize) {
+        (self.counters, self.trace, self.power, self.clock_s, self.gear.index)
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    fn next_coll_seq(&mut self) -> u64 {
+        let s = self.coll_seq;
+        self.coll_seq += 1;
+        s
+    }
+
+    /// Untraced send: advances the clock by the injection cost and
+    /// delivers the envelope. Returns bytes sent.
+    fn raw_send<T: Payload>(&mut self, dst: usize, tag: u64, data: T) -> u64 {
+        assert!(dst < self.size, "send to rank {dst} out of range (size {})", self.size);
+        assert_ne!(dst, self.rank, "send to self would deadlock a matching recv");
+        let bytes = ((data.byte_size() as f64 * self.wire_scale).round() as u64).max(8);
+        self.clock_s += self.network.send_time_s_at(bytes, self.size);
+        let arrival = self.clock_s + self.network.wire_time_s();
+        self.router.deliver(
+            dst,
+            Envelope { src: self.rank, tag, arrival_s: arrival, bytes, data: Box::new(data) },
+        );
+        self.counters.record_mpi_op(bytes);
+        bytes
+    }
+
+    /// Untraced receive: blocks the thread until a matching message is
+    /// available, then advances the clock to
+    /// `max(now, arrival) + recv_overhead`. Returns `(data, bytes)`.
+    fn raw_recv<T: Payload>(&mut self, src: usize, tag: u64) -> (T, u64) {
+        assert!(src < self.size, "recv from rank {src} out of range (size {})", self.size);
+        assert_ne!(src, self.rank, "recv from self would deadlock");
+        let env = match self.buffer.take(src, tag) {
+            Some(env) => env,
+            None => loop {
+                let env = self
+                    .inbox
+                    .recv()
+                    .expect("all senders dropped while rank still receiving — deadlock in program");
+                if env.src == src && env.tag == tag {
+                    break env;
+                }
+                self.buffer.hold(env);
+            },
+        };
+        self.clock_s = self.clock_s.max(env.arrival_s) + self.network.recv_overhead_s;
+        let bytes = env.bytes;
+        let data = env
+            .data
+            .downcast::<T>()
+            .unwrap_or_else(|_| panic!("type mismatch receiving from rank {src} tag {tag}"));
+        (*data, bytes)
+    }
+
+    /// Close out a traced MPI operation that began at `t0`: extend the
+    /// power profile at idle power, account idle time, record the event.
+    fn finish_op(&mut self, op: MpiOp, t0: f64, bytes: u64, peer: usize) {
+        let idle_w = self.node.idle_power_w(self.gear);
+        self.power.push(self.clock_s, idle_w);
+        self.counters.record_idle(self.clock_s - t0);
+        self.trace.record(TraceEvent { op, t_enter_s: t0, t_exit_s: self.clock_s, bytes, peer });
+    }
+
+    /// Dissemination pattern shared by `barrier` and `finalize`.
+    fn dissemination(&mut self) -> u64 {
+        let seq = self.next_coll_seq();
+        let n = self.size;
+        let mut bytes = 0;
+        let mut k = 1;
+        let mut round = 0u64;
+        while k < n {
+            let dst = (self.rank + k) % n;
+            let src = (self.rank + n - k) % n;
+            let tag = coll_tag(seq, round);
+            bytes += self.raw_send(dst, tag, ());
+            let ((), b) = self.raw_recv::<()>(src, tag);
+            bytes += b;
+            k <<= 1;
+            round += 1;
+        }
+        bytes
+    }
+
+    /// Binomial-tree broadcast rooted at `root`. Returns the broadcast
+    /// value and the bytes this rank moved.
+    fn binomial_bcast<T: Payload + Clone>(&mut self, root: usize, data: T, seq: u64) -> (T, u64) {
+        let n = self.size;
+        if n == 1 {
+            return (data, 0);
+        }
+        let relative = (self.rank + n - root) % n;
+        let mut bytes = 0;
+        let mut data = data;
+        // Receive phase: find the bit at which we hang off the tree.
+        let mut mask = 1usize;
+        while mask < n {
+            if relative & mask != 0 {
+                let src_rel = relative ^ mask;
+                let src = (src_rel + root) % n;
+                let (d, b) = self.raw_recv::<T>(src, coll_tag(seq, mask as u64));
+                data = d;
+                bytes += b;
+                break;
+            }
+            mask <<= 1;
+        }
+        // Send phase: forward to children below our bit.
+        mask >>= 1;
+        while mask > 0 {
+            let dst_rel = relative + mask;
+            if dst_rel < n {
+                let dst = (dst_rel + root) % n;
+                bytes += self.raw_send(dst, coll_tag(seq, mask as u64), data.clone());
+            }
+            mask >>= 1;
+        }
+        (data, bytes)
+    }
+
+    /// Binomial-tree reduction to `root`. Returns `Some(result)` on the
+    /// root and the bytes this rank moved.
+    fn binomial_reduce(
+        &mut self,
+        root: usize,
+        data: Vec<f64>,
+        op: ReduceOp,
+        seq: u64,
+    ) -> (Option<Vec<f64>>, u64) {
+        let n = self.size;
+        if n == 1 {
+            return (Some(data), 0);
+        }
+        let relative = (self.rank + n - root) % n;
+        let mut acc = data;
+        let mut bytes = 0;
+        let mut mask = 1usize;
+        while mask < n {
+            if relative & mask == 0 {
+                let src_rel = relative | mask;
+                if src_rel < n {
+                    let src = (src_rel + root) % n;
+                    let (d, b) = self.raw_recv::<Vec<f64>>(src, coll_tag(seq, mask as u64));
+                    bytes += b;
+                    op.combine(&mut acc, &d);
+                }
+            } else {
+                let dst_rel = relative & !mask;
+                let dst = (dst_rel + root) % n;
+                bytes += self.raw_send(dst, coll_tag(seq, mask as u64), acc);
+                return (None, bytes);
+            }
+            mask <<= 1;
+        }
+        (Some(acc), bytes)
+    }
+}
+
+/// Build a collective tag from a per-comm sequence number and a round.
+#[inline]
+fn coll_tag(seq: u64, round: u64) -> u64 {
+    COLLECTIVE_TAG_BASE | (seq << 16) | round
+}

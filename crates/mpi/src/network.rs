@@ -1,0 +1,187 @@
+//! Interconnect cost models.
+//!
+//! A [`NetworkModel`] assigns virtual-time costs to message transfers in
+//! a LogGP-like fashion:
+//!
+//! * the **sender** is occupied for `send_overhead + bytes/bandwidth`
+//!   (software stack plus pushing the payload through the NIC);
+//! * the message **arrives** at the receiver `latency` seconds after the
+//!   sender finishes injecting it;
+//! * the **receiver** is occupied for at least `recv_overhead` after it
+//!   posts the receive, and cannot complete before the arrival.
+//!
+//! There is no contention model: the paper's cluster is a small switched
+//! Ethernet where per-pair links are effectively independent, and the
+//! paper itself models communication cost purely by its scaling shape.
+//! (DESIGN.md records this simplification.)
+
+use serde::{Deserialize, Serialize};
+
+/// Latency/bandwidth/overhead cost model for one interconnect.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetworkModel {
+    /// One-way wire+switch latency, seconds.
+    pub latency_s: f64,
+    /// Point-to-point bandwidth, bytes per second.
+    pub bandwidth_bps: f64,
+    /// Sender-side software overhead per message, seconds.
+    pub send_overhead_s: f64,
+    /// Receiver-side software overhead per message, seconds.
+    pub recv_overhead_s: f64,
+    /// Aggregate switch-backplane capacity shared by all nodes, bytes
+    /// per second; `None` models an ideal non-blocking switch. When
+    /// set, the effective per-link bandwidth in an `n`-node job is
+    /// `min(bandwidth, backplane/n)` — a static approximation of
+    /// uniform contention (every node transmitting at once), the
+    /// regime of the cheap Fast-Ethernet switches of the paper's era.
+    pub backplane_bps: Option<f64>,
+}
+
+impl NetworkModel {
+    /// Construct a validated network model (non-blocking switch).
+    pub fn new(latency_s: f64, bandwidth_bps: f64, send_overhead_s: f64, recv_overhead_s: f64) -> Self {
+        assert!(latency_s >= 0.0 && latency_s.is_finite());
+        assert!(bandwidth_bps > 0.0 && bandwidth_bps.is_finite());
+        assert!(send_overhead_s >= 0.0 && send_overhead_s.is_finite());
+        assert!(recv_overhead_s >= 0.0 && recv_overhead_s.is_finite());
+        NetworkModel { latency_s, bandwidth_bps, send_overhead_s, recv_overhead_s, backplane_bps: None }
+    }
+
+    /// Limit the switch backplane (see [`NetworkModel::backplane_bps`]).
+    pub fn with_backplane(mut self, backplane_bps: f64) -> Self {
+        assert!(backplane_bps > 0.0 && backplane_bps.is_finite());
+        self.backplane_bps = Some(backplane_bps);
+        self
+    }
+
+    /// The paper-era budget switch: Fast-Ethernet links behind a
+    /// backplane that saturates once ~4 nodes transmit at full rate.
+    pub fn fast_ethernet_small_switch() -> Self {
+        NetworkModel::fast_ethernet().with_backplane(4.0 * 11.5e6)
+    }
+
+    /// Effective per-link bandwidth in an `n`-node job, bytes/second.
+    pub fn effective_bandwidth_bps(&self, nodes: usize) -> f64 {
+        match self.backplane_bps {
+            Some(bp) if nodes > 0 => self.bandwidth_bps.min(bp / nodes as f64),
+            _ => self.bandwidth_bps,
+        }
+    }
+
+    /// Sender injection time under contention from `nodes` peers.
+    #[inline]
+    pub fn send_time_s_at(&self, bytes: u64, nodes: usize) -> f64 {
+        self.send_overhead_s + bytes as f64 / self.effective_bandwidth_bps(nodes)
+    }
+
+    /// The paper's interconnect: 100 Mb/s switched Ethernet with a
+    /// kernel TCP stack (2004-era MPICH over TCP). ~60 µs one-way
+    /// latency, 11.5 MB/s effective bandwidth, ~25 µs per-message
+    /// software overhead on each side.
+    pub fn fast_ethernet() -> Self {
+        NetworkModel::new(60e-6, 11.5e6, 25e-6, 25e-6)
+    }
+
+    /// A gigabit-class interconnect for sensitivity studies.
+    pub fn gigabit() -> Self {
+        NetworkModel::new(25e-6, 110e6, 10e-6, 10e-6)
+    }
+
+    /// An idealized zero-cost network (useful in tests to isolate
+    /// computation effects).
+    pub fn ideal() -> Self {
+        NetworkModel::new(0.0, f64::MAX / 4.0, 0.0, 0.0)
+    }
+
+    /// Time the sender is occupied injecting `bytes`, seconds.
+    #[inline]
+    pub fn send_time_s(&self, bytes: u64) -> f64 {
+        self.send_overhead_s + bytes as f64 / self.bandwidth_bps
+    }
+
+    /// Delay between injection finishing and the message being available
+    /// at the receiver, seconds.
+    #[inline]
+    pub fn wire_time_s(&self) -> f64 {
+        self.latency_s
+    }
+
+    /// End-to-end transfer time for a message of `bytes` when the
+    /// receiver is already waiting, seconds.
+    #[inline]
+    pub fn transfer_time_s(&self, bytes: u64) -> f64 {
+        self.send_time_s(bytes) + self.latency_s + self.recv_overhead_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_ethernet_large_message_dominated_by_bandwidth() {
+        let n = NetworkModel::fast_ethernet();
+        let t = n.transfer_time_s(1_150_000); // 1.15 MB at 11.5 MB/s = 0.1 s
+        assert!((t - 0.1).abs() / 0.1 < 0.01, "transfer time {t}");
+    }
+
+    #[test]
+    fn small_message_dominated_by_latency_and_overhead() {
+        let n = NetworkModel::fast_ethernet();
+        let t = n.transfer_time_s(8);
+        let floor = n.latency_s + n.send_overhead_s + n.recv_overhead_s;
+        assert!(t >= floor);
+        assert!(t < floor * 1.01, "8-byte message should be near the latency floor");
+    }
+
+    #[test]
+    fn transfer_time_monotone_in_bytes() {
+        let n = NetworkModel::fast_ethernet();
+        assert!(n.transfer_time_s(1000) < n.transfer_time_s(100_000));
+    }
+
+    #[test]
+    fn gigabit_faster_than_fast_ethernet() {
+        let f = NetworkModel::fast_ethernet();
+        let g = NetworkModel::gigabit();
+        for bytes in [8u64, 1_000, 1_000_000] {
+            assert!(g.transfer_time_s(bytes) < f.transfer_time_s(bytes));
+        }
+    }
+
+    #[test]
+    fn ideal_network_is_free() {
+        let n = NetworkModel::ideal();
+        assert!(n.transfer_time_s(1 << 30) < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_zero_bandwidth() {
+        let _ = NetworkModel::new(1e-6, 0.0, 0.0, 0.0);
+    }
+
+    #[test]
+    fn backplane_caps_effective_bandwidth() {
+        let n = NetworkModel::fast_ethernet_small_switch();
+        // Up to 4 nodes the links run at full rate.
+        assert_eq!(n.effective_bandwidth_bps(1), 11.5e6);
+        assert_eq!(n.effective_bandwidth_bps(4), 11.5e6);
+        // Beyond, each link gets a fair share of the backplane.
+        assert!((n.effective_bandwidth_bps(8) - 46.0e6 / 8.0).abs() < 1.0);
+        assert!((n.effective_bandwidth_bps(32) - 46.0e6 / 32.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn non_blocking_switch_unaffected_by_node_count() {
+        let n = NetworkModel::fast_ethernet();
+        assert_eq!(n.effective_bandwidth_bps(1), n.effective_bandwidth_bps(32));
+        assert_eq!(n.send_time_s_at(1000, 32), n.send_time_s(1000));
+    }
+
+    #[test]
+    fn contended_transfers_slow_down_with_scale() {
+        let n = NetworkModel::fast_ethernet_small_switch();
+        assert!(n.send_time_s_at(100_000, 16) > 2.0 * n.send_time_s_at(100_000, 4));
+    }
+}

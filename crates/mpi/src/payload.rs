@@ -1,0 +1,81 @@
+//! Message payload trait.
+//!
+//! A [`Payload`] is anything that can travel through the runtime. The
+//! byte size feeds the network cost model; the data itself is moved
+//! (never serialized — ranks share an address space), so transfers are
+//! cheap in real time regardless of their virtual-time cost.
+
+/// A movable message payload with a known wire size.
+pub trait Payload: Send + 'static {
+    /// The number of bytes this payload would occupy on the wire.
+    fn byte_size(&self) -> u64;
+}
+
+impl Payload for () {
+    fn byte_size(&self) -> u64 {
+        // A zero-byte payload still costs a header on a real wire; model
+        // control messages as 8 bytes.
+        8
+    }
+}
+
+macro_rules! scalar_payload {
+    ($($t:ty),*) => {
+        $(impl Payload for $t {
+            fn byte_size(&self) -> u64 {
+                std::mem::size_of::<$t>() as u64
+            }
+        })*
+    };
+}
+
+scalar_payload!(f64, f32, u64, i64, u32, i32, u8, usize, bool);
+
+macro_rules! vec_payload {
+    ($($t:ty),*) => {
+        $(impl Payload for Vec<$t> {
+            fn byte_size(&self) -> u64 {
+                (self.len() * std::mem::size_of::<$t>()) as u64
+            }
+        })*
+    };
+}
+
+vec_payload!(f64, f32, u64, i64, u32, i32, u8, usize);
+
+impl<A: Payload, B: Payload> Payload for (A, B) {
+    fn byte_size(&self) -> u64 {
+        self.0.byte_size() + self.1.byte_size()
+    }
+}
+
+impl<A: Payload, B: Payload, C: Payload> Payload for (A, B, C) {
+    fn byte_size(&self) -> u64 {
+        self.0.byte_size() + self.1.byte_size() + self.2.byte_size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_sizes() {
+        assert_eq!(1.0f64.byte_size(), 8);
+        assert_eq!(1u32.byte_size(), 4);
+        assert_eq!(().byte_size(), 8);
+    }
+
+    #[test]
+    fn vector_sizes() {
+        assert_eq!(vec![0.0f64; 100].byte_size(), 800);
+        assert_eq!(vec![0u8; 3].byte_size(), 3);
+        assert_eq!(Vec::<f64>::new().byte_size(), 0);
+    }
+
+    #[test]
+    fn tuple_sizes_add() {
+        assert_eq!((1.0f64, vec![0u32; 4]).byte_size(), 8 + 16);
+        assert_eq!((1u64, 2u64, vec![0.0f64; 2]).byte_size(), 8 + 8 + 16);
+    }
+}

@@ -1,0 +1,96 @@
+//! Reduction operators for collective operations.
+
+use serde::{Deserialize, Serialize};
+
+/// Element-wise reduction operator over `f64` vectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReduceOp {
+    /// Element-wise sum.
+    Sum,
+    /// Element-wise maximum.
+    Max,
+    /// Element-wise minimum.
+    Min,
+    /// Element-wise product.
+    Prod,
+}
+
+impl ReduceOp {
+    /// Combine `other` into `acc`, element-wise. Panics on length
+    /// mismatch — a reduction across ranks with differently sized
+    /// buffers is a programming error in the parallel algorithm.
+    pub fn combine(self, acc: &mut [f64], other: &[f64]) {
+        assert_eq!(acc.len(), other.len(), "reduction buffer length mismatch");
+        match self {
+            ReduceOp::Sum => {
+                for (a, b) in acc.iter_mut().zip(other) {
+                    *a += b;
+                }
+            }
+            ReduceOp::Max => {
+                for (a, b) in acc.iter_mut().zip(other) {
+                    *a = a.max(*b);
+                }
+            }
+            ReduceOp::Min => {
+                for (a, b) in acc.iter_mut().zip(other) {
+                    *a = a.min(*b);
+                }
+            }
+            ReduceOp::Prod => {
+                for (a, b) in acc.iter_mut().zip(other) {
+                    *a *= b;
+                }
+            }
+        }
+    }
+
+    /// The identity element of the operator.
+    pub fn identity(self) -> f64 {
+        match self {
+            ReduceOp::Sum => 0.0,
+            ReduceOp::Max => f64::NEG_INFINITY,
+            ReduceOp::Min => f64::INFINITY,
+            ReduceOp::Prod => 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_and_prod() {
+        let mut a = vec![1.0, 2.0];
+        ReduceOp::Sum.combine(&mut a, &[3.0, 4.0]);
+        assert_eq!(a, vec![4.0, 6.0]);
+        ReduceOp::Prod.combine(&mut a, &[2.0, 0.5]);
+        assert_eq!(a, vec![8.0, 3.0]);
+    }
+
+    #[test]
+    fn max_and_min() {
+        let mut a = vec![1.0, 5.0];
+        ReduceOp::Max.combine(&mut a, &[3.0, 4.0]);
+        assert_eq!(a, vec![3.0, 5.0]);
+        ReduceOp::Min.combine(&mut a, &[0.0, 9.0]);
+        assert_eq!(a, vec![0.0, 5.0]);
+    }
+
+    #[test]
+    fn identities_are_neutral() {
+        for op in [ReduceOp::Sum, ReduceOp::Max, ReduceOp::Min, ReduceOp::Prod] {
+            let mut a = vec![op.identity(); 3];
+            op.combine(&mut a, &[1.5, -2.0, 0.0]);
+            assert_eq!(a, vec![1.5, -2.0, 0.0], "{op:?} identity not neutral");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_panics() {
+        let mut a = vec![1.0];
+        ReduceOp::Sum.combine(&mut a, &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,323 @@
+//! The MPI interception/trace layer — the paper's Step 1.
+//!
+//! "For all MPI communication routines used in each benchmark,
+//! interception functions report the time at which the routine was
+//! entered and exited. These operations create a trace from which we
+//! recover active and idle times."
+//!
+//! Every message-passing call on a [`crate::comm::Comm`] appends a
+//! [`TraceEvent`] to the rank's [`RankTrace`] ("each trace record is
+//! written to a local buffer" — ours is a `Vec`). Post-processing
+//! recovers:
+//!
+//! * `T^A` — active (compute) time: the gaps between events;
+//! * `T^I` — idle time: the time spent inside events (communication
+//!   plus blocking, as in the paper);
+//! * the *critical/reducible* split used by the refined model: reducible
+//!   work is "computation between the last send and a blocking point".
+
+use serde::{Deserialize, Serialize};
+
+/// The kind of message-passing operation an event records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MpiOp {
+    /// Asynchronous point-to-point send (never blocks the sender beyond
+    /// injection cost).
+    Send,
+    /// Blocking point-to-point receive.
+    Recv,
+    /// Combined send+receive (halo exchange).
+    SendRecv,
+    /// Nonblocking receive post (returns immediately).
+    Irecv,
+    /// Completion wait for a nonblocking receive.
+    Wait,
+    /// Barrier synchronization.
+    Barrier,
+    /// One-to-all broadcast.
+    Bcast,
+    /// All-to-one reduction.
+    Reduce,
+    /// All-to-all reduction.
+    Allreduce,
+    /// All-gather.
+    Allgather,
+    /// All-to-all personalized exchange.
+    Alltoall,
+    /// Prefix reduction (scan / exscan).
+    Scan,
+    /// Gather to a root.
+    Gather,
+    /// Scatter from a root.
+    Scatter,
+    /// Finalize (trailing barrier).
+    Finalize,
+}
+
+impl MpiOp {
+    /// Whether this operation can block waiting on remote progress.
+    /// Sends are asynchronous (the paper's assumption) and so is
+    /// posting a nonblocking receive; everything else is a *blocking
+    /// point* for the reducible-work analysis.
+    pub fn is_blocking(self) -> bool {
+        !matches!(self, MpiOp::Send | MpiOp::Irecv)
+    }
+}
+
+/// One intercepted message-passing call.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Operation kind.
+    pub op: MpiOp,
+    /// Virtual time at call entry, seconds.
+    pub t_enter_s: f64,
+    /// Virtual time at call exit, seconds.
+    pub t_exit_s: f64,
+    /// Payload bytes moved by this rank in this call.
+    pub bytes: u64,
+    /// Peer rank for point-to-point calls; `usize::MAX` for collectives.
+    pub peer: usize,
+}
+
+impl TraceEvent {
+    /// Time spent inside the call, seconds.
+    pub fn duration_s(&self) -> f64 {
+        self.t_exit_s - self.t_enter_s
+    }
+}
+
+/// The full event log of one rank over one run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RankTrace {
+    events: Vec<TraceEvent>,
+    /// Virtual time at which the rank's program ended.
+    pub end_s: f64,
+}
+
+impl RankTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        RankTrace::default()
+    }
+
+    /// Append an event. Events must be appended in time order.
+    pub fn record(&mut self, ev: TraceEvent) {
+        debug_assert!(
+            self.events.last().is_none_or(|last| ev.t_enter_s >= last.t_exit_s - 1e-12),
+            "trace events out of order"
+        );
+        self.events.push(ev);
+    }
+
+    /// The recorded events in time order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Active (compute) time `T^A`: total time outside MPI calls, seconds.
+    pub fn active_s(&self) -> f64 {
+        self.end_s - self.idle_s()
+    }
+
+    /// Idle time `T^I`: total time inside MPI calls (communication plus
+    /// blocking), seconds.
+    pub fn idle_s(&self) -> f64 {
+        self.events.iter().map(TraceEvent::duration_s).sum()
+    }
+
+    /// The refined model's conservative split of active time into
+    /// *critical* and *reducible* work (paper §4.1, Step 5).
+    ///
+    /// Reducible work is "computation between the *last send* and a
+    /// blocking point": in that window the rank has already forwarded
+    /// everything other ranks are waiting for, so slowing it down only
+    /// eats its own slack. Returns `(critical_s, reducible_s)` with
+    /// `critical_s + reducible_s == active_s()` (up to rounding).
+    pub fn critical_reducible_split(&self) -> (f64, f64) {
+        let mut reducible = 0.0;
+        // Walk compute gaps; a gap is reducible if the previous MPI event
+        // boundary sequence since the last send contains no send before
+        // the next blocking event — i.e. gaps lying between the last Send
+        // and the next blocking point.
+        //
+        // Concretely: for each blocking event B, find the last Send S
+        // before it; compute time in (S.exit, B.enter) minus any
+        // intervening event durations is reducible.
+        let evs = &self.events;
+        let mut i = 0;
+        while i < evs.len() {
+            if evs[i].op.is_blocking() {
+                // Find last send strictly before event i.
+                let mut window_start = 0.0;
+                let mut j = i;
+                let mut found_send = false;
+                while j > 0 {
+                    j -= 1;
+                    if evs[j].op == MpiOp::Send {
+                        window_start = evs[j].t_exit_s;
+                        found_send = true;
+                        break;
+                    }
+                    if evs[j].op.is_blocking() {
+                        // A previous blocking point closes the window:
+                        // compute before it was already classified.
+                        window_start = evs[j].t_exit_s;
+                        break;
+                    }
+                }
+                if found_send {
+                    // Sum compute gaps between window_start and the
+                    // blocking event's entry.
+                    let mut t = window_start;
+                    for e in &evs[j + 1..i] {
+                        t = t.max(e.t_exit_s);
+                    }
+                    // Compute time in the window = (enter of blocking
+                    // event) − (exit of last event in window), plus gaps
+                    // between events inside the window.
+                    let mut gap = 0.0;
+                    let mut cursor = window_start;
+                    for e in &evs[j + 1..=i] {
+                        gap += (e.t_enter_s - cursor).max(0.0);
+                        cursor = e.t_exit_s;
+                    }
+                    reducible += gap;
+                }
+            }
+            i += 1;
+        }
+        let active = self.active_s();
+        let reducible = reducible.min(active);
+        (active - reducible, reducible)
+    }
+
+    /// Total bytes this rank pushed into the network.
+    pub fn bytes_sent(&self) -> u64 {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.op, MpiOp::Send | MpiOp::SendRecv))
+            .map(|e| e.bytes)
+            .sum()
+    }
+
+    /// Number of events of a given op kind.
+    pub fn count_op(&self, op: MpiOp) -> usize {
+        self.events.iter().filter(|e| e.op == op).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(op: MpiOp, t0: f64, t1: f64) -> TraceEvent {
+        TraceEvent { op, t_enter_s: t0, t_exit_s: t1, bytes: 8, peer: 0 }
+    }
+
+    #[test]
+    fn active_idle_decomposition() {
+        let mut t = RankTrace::new();
+        // compute [0,1), send [1,1.1), compute [1.1,2.1), recv [2.1,3.1)
+        t.record(ev(MpiOp::Send, 1.0, 1.1));
+        t.record(ev(MpiOp::Recv, 2.1, 3.1));
+        t.end_s = 3.1;
+        assert!((t.idle_s() - 1.1).abs() < 1e-12);
+        assert!((t.active_s() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reducible_is_compute_between_last_send_and_blocking_point() {
+        let mut t = RankTrace::new();
+        // compute [0,1) critical; send [1,1.1); compute [1.1,2.1)
+        // reducible; recv [2.1,3.1).
+        t.record(ev(MpiOp::Send, 1.0, 1.1));
+        t.record(ev(MpiOp::Recv, 2.1, 3.1));
+        t.end_s = 3.1;
+        let (crit, red) = t.critical_reducible_split();
+        assert!((red - 1.0).abs() < 1e-9, "reducible {red}");
+        assert!((crit - 1.0).abs() < 1e-9, "critical {crit}");
+    }
+
+    #[test]
+    fn compute_before_send_is_critical() {
+        let mut t = RankTrace::new();
+        // compute [0,2) then send then immediately recv: nothing between
+        // send and the blocking point, so nothing is reducible.
+        t.record(ev(MpiOp::Send, 2.0, 2.1));
+        t.record(ev(MpiOp::Recv, 2.1, 2.5));
+        t.end_s = 2.5;
+        let (crit, red) = t.critical_reducible_split();
+        assert!(red.abs() < 1e-9);
+        assert!((crit - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_send_means_everything_critical() {
+        let mut t = RankTrace::new();
+        t.record(ev(MpiOp::Barrier, 1.0, 1.2));
+        t.record(ev(MpiOp::Barrier, 2.2, 2.4));
+        t.end_s = 2.4;
+        let (crit, red) = t.critical_reducible_split();
+        assert!(red.abs() < 1e-9);
+        assert!((crit - t.active_s()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multiple_windows_accumulate() {
+        let mut t = RankTrace::new();
+        for k in 0..3 {
+            let base = k as f64 * 3.0;
+            t.record(ev(MpiOp::Send, base + 1.0, base + 1.1));
+            t.record(ev(MpiOp::Recv, base + 2.1, base + 3.0));
+        }
+        t.end_s = 9.0;
+        let (_, red) = t.critical_reducible_split();
+        assert!((red - 3.0).abs() < 1e-9, "reducible {red}");
+    }
+
+    #[test]
+    fn split_sums_to_active() {
+        let mut t = RankTrace::new();
+        t.record(ev(MpiOp::Send, 0.5, 0.6));
+        t.record(ev(MpiOp::Allreduce, 1.6, 2.0));
+        t.record(ev(MpiOp::Send, 3.0, 3.1));
+        t.record(ev(MpiOp::Recv, 3.1, 4.0));
+        t.end_s = 4.5;
+        let (crit, red) = t.critical_reducible_split();
+        assert!((crit + red - t.active_s()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bytes_and_counts() {
+        let mut t = RankTrace::new();
+        t.record(TraceEvent { op: MpiOp::Send, t_enter_s: 0.0, t_exit_s: 0.1, bytes: 100, peer: 1 });
+        t.record(TraceEvent { op: MpiOp::Recv, t_enter_s: 0.1, t_exit_s: 0.2, bytes: 50, peer: 1 });
+        assert_eq!(t.bytes_sent(), 100);
+        assert_eq!(t.count_op(MpiOp::Send), 1);
+        assert_eq!(t.count_op(MpiOp::Recv), 1);
+        assert_eq!(t.count_op(MpiOp::Barrier), 0);
+    }
+
+    #[test]
+    fn send_is_not_blocking_everything_else_is() {
+        assert!(!MpiOp::Send.is_blocking());
+        assert!(!MpiOp::Irecv.is_blocking());
+        for op in [
+            MpiOp::Recv,
+            MpiOp::Wait,
+            MpiOp::SendRecv,
+            MpiOp::Barrier,
+            MpiOp::Bcast,
+            MpiOp::Reduce,
+            MpiOp::Allreduce,
+            MpiOp::Allgather,
+            MpiOp::Alltoall,
+            MpiOp::Scan,
+            MpiOp::Gather,
+            MpiOp::Scatter,
+            MpiOp::Finalize,
+        ] {
+            assert!(op.is_blocking(), "{op:?} should be blocking");
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Property-based tests of the message-passing runtime: determinism,
+//! trace tie-out, and collective correctness under randomized programs.
+
+use proptest::prelude::*;
+use psc_machine::WorkBlock;
+use psc_mpi::{Cluster, ClusterConfig, ReduceOp};
+
+/// A randomized but *SPMD-consistent* program step.
+#[derive(Debug, Clone)]
+enum Step {
+    Compute { uops: f64, upm: f64 },
+    Allreduce { len: usize, op: ReduceOp },
+    Bcast { root_mod: usize, len: usize },
+    Barrier,
+    RingShift { len: usize },
+    Allgather { len: usize },
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (1.0e6..5.0e8f64, 2.0..900.0f64).prop_map(|(uops, upm)| Step::Compute { uops, upm }),
+        (1usize..64, 0usize..3).prop_map(|(len, op)| Step::Allreduce {
+            len,
+            op: [ReduceOp::Sum, ReduceOp::Max, ReduceOp::Min][op],
+        }),
+        (0usize..64, 1usize..32).prop_map(|(root_mod, len)| Step::Bcast { root_mod, len }),
+        Just(Step::Barrier),
+        (1usize..128).prop_map(|len| Step::RingShift { len }),
+        (1usize..16).prop_map(|len| Step::Allgather { len }),
+    ]
+}
+
+fn execute(comm: &mut psc_mpi::Comm, steps: &[Step]) -> f64 {
+    let mut acc = comm.rank() as f64 + 1.0;
+    for step in steps {
+        match step {
+            Step::Compute { uops, upm } => comm.compute(&WorkBlock::with_upm(*uops, *upm)),
+            Step::Allreduce { len, op } => {
+                let v = comm.allreduce(vec![acc; *len], *op);
+                acc = v[0] * 1e-3 + acc * 0.5;
+            }
+            Step::Bcast { root_mod, len } => {
+                let root = root_mod % comm.size();
+                let data =
+                    if comm.rank() == root { vec![acc; *len] } else { Vec::new() };
+                let got = comm.bcast(root, data);
+                acc += got[0] * 1e-3;
+            }
+            Step::Barrier => comm.barrier(),
+            Step::RingShift { len } => {
+                if comm.size() == 1 {
+                    continue; // a ring of one has no neighbor
+                }
+                let right = (comm.rank() + 1) % comm.size();
+                let left = (comm.rank() + comm.size() - 1) % comm.size();
+                let got: Vec<f64> = comm.sendrecv(right, 9, vec![acc; *len], left, 9);
+                acc = 0.9 * acc + 0.1 * got[0];
+            }
+            Step::Allgather { len } => {
+                let blocks = comm.allgather(vec![acc; *len]);
+                acc = blocks.iter().map(|b| b[0]).sum::<f64>() / comm.size() as f64;
+            }
+        }
+    }
+    acc
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Any SPMD program is bit-for-bit deterministic in results, time,
+    /// and energy across repeated executions.
+    #[test]
+    fn programs_are_deterministic(
+        steps in proptest::collection::vec(step_strategy(), 1..12),
+        n in 2usize..6,
+        gear in 1usize..=6,
+    ) {
+        let c = Cluster::athlon_fast_ethernet();
+        let steps2 = steps.clone();
+        let run = |s: Vec<Step>| {
+            c.run(&ClusterConfig::uniform(n, gear), move |comm| execute(comm, &s))
+        };
+        let (ra, oa) = run(steps);
+        let (rb, ob) = run(steps2);
+        prop_assert_eq!(ra.time_s, rb.time_s);
+        prop_assert_eq!(ra.energy_j, rb.energy_j);
+        prop_assert_eq!(oa, ob);
+    }
+
+    /// Every rank's trace ties out (active + idle = end) and the run
+    /// time is the maximum rank end; energies are positive and the
+    /// wattmeter agrees with the exact integral.
+    #[test]
+    fn traces_tie_out_for_any_program(
+        steps in proptest::collection::vec(step_strategy(), 1..10),
+        n in 1usize..6,
+    ) {
+        let c = Cluster::athlon_fast_ethernet();
+        let (run, _) = c.run(&ClusterConfig::uniform(n, 2), move |comm| execute(comm, &steps));
+        let mut max_end = 0.0f64;
+        for r in &run.ranks {
+            prop_assert!((r.trace.active_s() + r.trace.idle_s() - r.trace.end_s).abs() < 1e-9);
+            let (crit, red) = r.trace.critical_reducible_split();
+            prop_assert!(crit >= -1e-12 && red >= -1e-12);
+            prop_assert!((crit + red - r.trace.active_s()).abs() < 1e-9);
+            max_end = max_end.max(r.trace.end_s);
+        }
+        prop_assert!((run.time_s - max_end).abs() < 1e-12);
+        // A single-rank program of zero-cost collectives can take zero
+        // virtual time; energy must then be exactly zero, else positive.
+        if run.time_s > 0.0 {
+            prop_assert!(run.energy_j > 0.0);
+            // The 30 Hz sampler's quantization error is one sample's
+            // worth of power per trace boundary; allow an absolute
+            // floor for very short runs.
+            let floor_j = 10.0 * n as f64;
+            prop_assert!(
+                (run.measured_energy_j - run.energy_j).abs()
+                    <= 0.1 * run.energy_j + floor_j
+            );
+        } else {
+            prop_assert_eq!(run.energy_j, 0.0);
+        }
+    }
+
+    /// Gear changes scale time within the frequency-ratio bound for
+    /// whole programs, not just single blocks (communication is
+    /// gear-invariant, so the bound still holds end-to-end).
+    #[test]
+    fn whole_program_slowdown_bounded(
+        steps in proptest::collection::vec(step_strategy(), 1..8),
+        n in 2usize..5,
+    ) {
+        let c = Cluster::athlon_fast_ethernet();
+        let steps2 = steps.clone();
+        let (fast, _) = c.run(&ClusterConfig::uniform(n, 1), move |comm| execute(comm, &steps));
+        let (slow, _) = c.run(&ClusterConfig::uniform(n, 6), move |comm| execute(comm, &steps2));
+        let ratio = slow.time_s / fast.time_s;
+        let bound = c.node.gears.frequency_ratio(1, 6);
+        prop_assert!(ratio >= 1.0 - 1e-9, "slower gear finished sooner: {ratio}");
+        prop_assert!(ratio <= bound + 1e-9, "ratio {ratio} above bound {bound}");
+    }
+
+    /// Collective results agree with a sequential reference computed
+    /// from the same contributions.
+    #[test]
+    fn allreduce_matches_reference(
+        n in 1usize..8,
+        contributions in proptest::collection::vec(-100.0..100.0f64, 8),
+        op_idx in 0usize..3,
+    ) {
+        let op = [ReduceOp::Sum, ReduceOp::Max, ReduceOp::Min][op_idx];
+        let c = Cluster::athlon_fast_ethernet();
+        let contributions2 = contributions.clone();
+        let (_, outs) = c.run(&ClusterConfig::uniform(n, 1), move |comm| {
+            comm.allreduce(vec![contributions2[comm.rank()]], op)
+        });
+        let reference = contributions[..n]
+            .iter()
+            .fold(op.identity(), |acc, &x| match op {
+                ReduceOp::Sum => acc + x,
+                ReduceOp::Max => acc.max(x),
+                ReduceOp::Min => acc.min(x),
+                ReduceOp::Prod => acc * x,
+            });
+        for out in outs {
+            prop_assert!((out[0] - reference).abs() < 1e-9 * reference.abs().max(1.0));
+        }
+    }
+}

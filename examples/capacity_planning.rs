@@ -1,0 +1,72 @@
+//! Capacity planning with the paper's five-step model: measure a
+//! benchmark on the small cluster you have (≤ 9 nodes), fit the model,
+//! and predict time and energy on the big cluster you are *considering
+//! buying* (16/25/32 nodes) — "so that architects can make informed
+//! decisions before building or purchasing large, expensive
+//! power-scalable clusters."
+//!
+//! ```sh
+//! cargo run --release --example capacity_planning
+//! ```
+
+use powerscale::experiments::harness::{decompositions, gear_profile};
+use powerscale::kernels::{Benchmark, ProblemClass};
+use powerscale::model::predict::ClusterModel;
+use powerscale::prelude::*;
+
+fn main() {
+    let cluster = Cluster::athlon_fast_ethernet();
+    let bench = Benchmark::Sp;
+    let class = ProblemClass::B;
+
+    // Steps 1-2: trace-derived decompositions on the nodes we own, plus
+    // the single-node per-gear profile (S_g, P_g, I_g).
+    println!("Measuring {} on the available configurations...", bench.name());
+    let decomps = decompositions(&cluster, bench, class, 9);
+    for d in &decomps {
+        println!(
+            "  {:>2} nodes: T^A {:>7.1} s, T^I {:>6.1} s ({:>4.1}% idle)",
+            d.nodes,
+            d.active_s,
+            d.idle_s,
+            100.0 * d.idle_fraction()
+        );
+    }
+    let profile = gear_profile(&cluster, bench, class);
+
+    // Steps 3-5: fit and extrapolate.
+    let model = ClusterModel::fit(&decomps, profile);
+    println!(
+        "\nfit: F_s ≈ {:.4}, communication {} (R² {:.3})\n",
+        model.amdahl.fs_mean(),
+        model.comm.shape,
+        model.comm.r2
+    );
+
+    println!("Predicted energy-time curves (refined model):");
+    println!("{:>6} {:>5} {:>10} {:>11} {:>10}", "nodes", "gear", "time [s]", "energy [J]", "avg power");
+    for m in [16usize, 25, 32] {
+        for p in model.predict_curve(m, true) {
+            println!(
+                "{:>6} {:>5} {:>10.1} {:>11.0} {:>9.1}W",
+                p.nodes,
+                p.gear,
+                p.time_s,
+                p.energy_j,
+                p.energy_j / p.time_s
+            );
+        }
+        println!();
+    }
+
+    // The paper's observation: at scale, curves turn "vertical" — the
+    // minimum-energy gear moves down.
+    for m in [16usize, 25, 32] {
+        let curve = model.predict_curve(m, true);
+        let best = curve
+            .iter()
+            .min_by(|a, b| a.energy_j.partial_cmp(&b.energy_j).unwrap())
+            .unwrap();
+        println!("at {m:>2} nodes the minimum-energy gear is {}", best.gear);
+    }
+}

@@ -1,0 +1,65 @@
+//! The paper's future work, working today: automatic gear control.
+//!
+//! Part 1 — *UPM-based gear advice*: the paper shows µops-per-miss
+//! predicts the energy-time tradeoff (Table 1); here that prediction
+//! picks a gear under a delay budget for each NAS benchmark.
+//!
+//! Part 2 — *node-bottleneck scaling*: "early-arriving nodes can be
+//! scaled down with little or no performance degradation." We run an
+//! imbalanced program, plan per-rank gears from its profile, re-run,
+//! and show the energy saved at (almost) no time cost.
+//!
+//! ```sh
+//! cargo run --release --example gear_advisor
+//! ```
+
+use powerscale::kernels::Benchmark;
+use powerscale::machine::WorkBlock;
+use powerscale::model::autogear::gear_for_delay_budget;
+use powerscale::model::bottleneck::plan_gears;
+use powerscale::prelude::*;
+
+fn main() {
+    let cluster = Cluster::athlon_fast_ethernet();
+
+    // ---------------- Part 1: UPM → gear ----------------
+    println!("UPM-based gear advice (5 % delay budget):\n");
+    println!("{:<10} {:>8} {:>6} {:>9} {:>9}", "benchmark", "UPM", "gear", "delay", "savings");
+    for b in Benchmark::ALL {
+        let a = gear_for_delay_budget(&cluster.node, b.upm(), 0.05);
+        println!(
+            "{:<10} {:>8.1} {:>6} {:>8.1}% {:>8.1}%",
+            b.name(),
+            b.upm(),
+            a.gear,
+            100.0 * a.predicted_delay,
+            100.0 * a.predicted_savings
+        );
+    }
+
+    // ---------------- Part 2: node bottleneck ----------------
+    // An imbalanced SPMD program: rank 0 has 3× the work.
+    let imbalanced = |comm: &mut Comm| {
+        let units = if comm.rank() == 0 { 3.0 } else { 1.0 };
+        comm.compute(&WorkBlock::with_upm(units * 40.0e9, 70.0));
+        comm.barrier();
+    };
+
+    println!("\nNode-bottleneck scaling on an imbalanced program (4 nodes):\n");
+    let (baseline, _) = cluster.run(&ClusterConfig::uniform(4, 1), imbalanced);
+    println!("  all ranks at gear 1: {:>7.2} s, {:>8.0} J", baseline.time_s, baseline.energy_j);
+
+    let plan = plan_gears(&cluster.node, &baseline, 0.0);
+    println!("  plan: per-rank gears {:?} (bottleneck rank {})", plan.gears, plan.bottleneck_rank);
+
+    let (tuned, _) = cluster.run(
+        &ClusterConfig { nodes: 4, gears: plan.selection() },
+        imbalanced,
+    );
+    println!("  with the plan:       {:>7.2} s, {:>8.0} J", tuned.time_s, tuned.energy_j);
+    println!(
+        "\n  → {:.1}% energy saved for {:+.2}% time",
+        100.0 * (1.0 - tuned.energy_j / baseline.energy_j),
+        100.0 * (tuned.time_s / baseline.time_s - 1.0)
+    );
+}

@@ -1,0 +1,64 @@
+//! The paper's opening argument, quantified.
+//!
+//! "Green Destiny consumes about one third of the energy per unit
+//! performance than the ASCI Q machine ... ASCI Q is about 15 times
+//! faster per node. A reduction in performance by such a factor surely
+//! is unreasonable ... We believe one should strike a path between
+//! these two extremes." (paper §1)
+//!
+//! This example runs the same CPU-bound workload on three machines:
+//! a fast node flat-out, a Transmeta-style low-power node, and the fast
+//! node *downshifted* — the middle path the paper proposes. The
+//! power-scalable node recovers much of the low-power node's efficiency
+//! while giving up far less speed.
+//!
+//! ```sh
+//! cargo run --release --example green_destiny
+//! ```
+
+use powerscale::machine::{presets, WorkBlock};
+
+fn main() {
+    let fast = presets::athlon64();
+    let cool = presets::low_power_node();
+    let work = WorkBlock::with_upm(1.0e12, 70.0); // a moderately memory-bound job
+
+    println!(
+        "{:<34} {:>10} {:>11} {:>10} {:>12}",
+        "configuration", "time [s]", "energy [J]", "power [W]", "J/op (rel)"
+    );
+
+    let mut rows: Vec<(String, f64, f64)> = Vec::new();
+    rows.push({
+        let g = fast.gear(1);
+        ("performance-at-all-costs (gear 1)".into(), fast.compute_time_s(&work, g), fast.compute_energy_j(&work, g))
+    });
+    for gear in [3usize, 5] {
+        let g = fast.gear(gear);
+        rows.push((
+            format!("power-scalable, downshifted (gear {gear})"),
+            fast.compute_time_s(&work, g),
+            fast.compute_energy_j(&work, g),
+        ));
+    }
+    rows.push({
+        let g = cool.gear(1);
+        ("Green-Destiny-style low-power node".into(), cool.compute_time_s(&work, g), cool.compute_energy_j(&work, g))
+    });
+
+    let (t0, e0) = (rows[0].1, rows[0].2);
+    for (name, t, e) in &rows {
+        // Same work everywhere, so energy-per-operation is just e/e0.
+        println!("{:<34} {:>10.1} {:>11.0} {:>10.1} {:>12.3}", name, t, e, e / t, e / e0);
+    }
+
+    let (_, t_cool, e_cool) = rows.last().unwrap();
+    println!(
+        "\nThe low-power node does each operation for {:.0}% of the energy but\n\
+         takes {:.1}× as long; the downshifted power-scalable node keeps most\n\
+         of the speed while trimming energy — the paper's middle path between\n\
+         'performance at all costs' and low-power-at-any-speed.",
+        100.0 * e_cool / e0,
+        t_cool / t0
+    );
+}

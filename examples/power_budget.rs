@@ -1,0 +1,63 @@
+//! Power-budget planning: "we believe in the future a given
+//! supercomputer cluster will be restricted to a certain amount of
+//! power consumption or heat dissipation" (paper §3.2).
+//!
+//! Sweeps a benchmark over (nodes × gears), draws the Pareto frontier,
+//! and picks the fastest configuration under a sequence of power caps —
+//! the paper's "horizontal line" exercise.
+//!
+//! ```sh
+//! cargo run --release --example power_budget
+//! ```
+
+use powerscale::analysis::pareto::{configs_of, fastest_under_power_cap, pareto_frontier};
+use powerscale::experiments::harness::measure_curve;
+use powerscale::kernels::{Benchmark, ProblemClass};
+use powerscale::prelude::*;
+
+fn main() {
+    let cluster = Cluster::athlon_fast_ethernet();
+    let bench = Benchmark::Lu;
+
+    // Measure the full configuration space up to 8 nodes.
+    let curves: Vec<EnergyTimeCurve> = bench
+        .valid_nodes(8)
+        .into_iter()
+        .map(|n| measure_curve(&cluster, bench, ProblemClass::B, n))
+        .collect();
+    let configs = configs_of(&curves);
+
+    println!("{} — Pareto-optimal (nodes, gear) configurations:\n", bench.name());
+    println!("{:>6} {:>5} {:>10} {:>11} {:>10}", "nodes", "gear", "time [s]", "energy [J]", "avg power");
+    for c in pareto_frontier(&configs) {
+        println!(
+            "{:>6} {:>5} {:>10.1} {:>11.0} {:>9.1}W",
+            c.nodes,
+            c.gear,
+            c.time_s,
+            c.energy_j,
+            c.average_power_w()
+        );
+    }
+
+    println!("\nFastest configuration under a cluster power cap:");
+    for cap_w in [200.0, 400.0, 600.0, 800.0, 1200.0] {
+        match fastest_under_power_cap(&configs, cap_w) {
+            Some(c) => println!(
+                "  ≤{:>5.0} W → {} node(s) at gear {} ({:.1} s, {:.1} W)",
+                cap_w,
+                c.nodes,
+                c.gear,
+                c.time_s,
+                c.average_power_w()
+            ),
+            None => println!("  ≤{cap_w:>5.0} W → infeasible"),
+        }
+    }
+
+    println!(
+        "\nNote how a tight cap selects *more nodes at a lower gear* over\n\
+         fewer nodes at full speed — the extra dimension a power-scalable\n\
+         cluster offers."
+    );
+}

@@ -1,0 +1,188 @@
+//! Property-based tests over the simulator's core invariants, driven by
+//! proptest: random workloads, gears, node counts, and message patterns
+//! must never violate the physics or the runtime's semantics.
+
+use powerscale::machine::{presets, CpuModel, PowerModel, WorkBlock};
+use powerscale::mpi::{Cluster, ClusterConfig, NetworkModel, ReduceOp};
+use proptest::prelude::*;
+
+fn small_cluster() -> Cluster {
+    Cluster::athlon_fast_ethernet()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// The paper's slowdown bound holds for *any* work mix:
+    /// 1 ≤ T_slow/T_fast ≤ f_fast/f_slow.
+    #[test]
+    fn slowdown_bound_for_arbitrary_work(
+        uops in 1.0e6..1.0e12f64,
+        upm in 0.5..2000.0f64,
+        gi in 1usize..=6,
+        gj in 1usize..=6,
+    ) {
+        prop_assume!(gi < gj);
+        let node = presets::athlon64();
+        let w = WorkBlock::with_upm(uops, upm);
+        let ti = node.compute_time_s(&w, node.gear(gi));
+        let tj = node.compute_time_s(&w, node.gear(gj));
+        let bound = node.gears.frequency_ratio(gi, gj);
+        prop_assert!(tj / ti >= 1.0 - 1e-12);
+        prop_assert!(tj / ti <= bound + 1e-12);
+    }
+
+    /// Energy and time are strictly positive and finite for any block.
+    #[test]
+    fn energy_time_always_physical(
+        uops in 1.0..1.0e13f64,
+        upm in 0.1..1.0e5f64,
+        gear in 1usize..=6,
+    ) {
+        let node = presets::athlon64();
+        let w = WorkBlock::with_upm(uops, upm);
+        let g = node.gear(gear);
+        let t = node.compute_time_s(&w, g);
+        let e = node.compute_energy_j(&w, g);
+        prop_assert!(t > 0.0 && t.is_finite());
+        prop_assert!(e > 0.0 && e.is_finite());
+        // Power sits between idle and busy.
+        let p = e / t;
+        prop_assert!(p >= node.idle_power_w(g) - 1e-9);
+        prop_assert!(p <= node.power.busy_w(g) + 1e-9);
+    }
+
+    /// Slowing the gear never reduces energy *of a purely CPU-bound*
+    /// block below the dynamic floor, and always increases its time by
+    /// exactly the frequency ratio.
+    #[test]
+    fn cpu_bound_time_scales_exactly(uops in 1.0e6..1.0e12f64, gear in 2usize..=6) {
+        let node = presets::athlon64();
+        let w = WorkBlock::cpu_only(uops);
+        let t1 = node.compute_time_s(&w, node.gear(1));
+        let tg = node.compute_time_s(&w, node.gear(gear));
+        let ratio = node.gears.frequency_ratio(1, gear);
+        prop_assert!((tg / t1 - ratio).abs() < 1e-9);
+    }
+
+    /// UPM is invariant under gear changes (the property that makes it
+    /// the paper's predictor), and UPC never decreases at lower gears.
+    #[test]
+    fn upm_gear_invariant_upc_monotone(upm in 1.0..1000.0f64) {
+        let node = presets::athlon64();
+        let w = WorkBlock::with_upm(1.0e9, upm);
+        // Iterate slowest→fastest gear: achieved UPC peaks at the
+        // slowest clock (memory latency costs fewer cycles there) and
+        // must not increase as the clock speeds up.
+        let mut last_upc = f64::INFINITY;
+        for g in (1..=6).rev() {
+            let gear = node.gear(g);
+            let upc = node.cpu.upc(&w, gear);
+            prop_assert!(upc <= last_upc + 1e-12, "UPC rose when speeding up");
+            last_upc = upc;
+            prop_assert!((w.upm() - upm).abs() < 1e-9);
+        }
+    }
+
+    /// Allreduce(sum) equals the arithmetic sum of contributions for
+    /// any rank count, and every rank sees the same value.
+    #[test]
+    fn allreduce_correct_for_any_topology(
+        n in 1usize..=9,
+        values in proptest::collection::vec(-1.0e3..1.0e3f64, 9),
+    ) {
+        let c = small_cluster();
+        let vals = values.clone();
+        let (_, outs) = c.run(&ClusterConfig::uniform(n, 1), move |comm| {
+            comm.allreduce_scalar(vals[comm.rank()], ReduceOp::Sum)
+        });
+        let expect: f64 = values[..n].iter().sum();
+        for out in outs {
+            prop_assert!((out - expect).abs() < 1e-9 * expect.abs().max(1.0));
+        }
+    }
+
+    /// Ring allgather delivers every contribution unchanged, in rank
+    /// order, for any rank count.
+    #[test]
+    fn allgather_preserves_contributions(n in 1usize..=8, seed in 0u64..1000) {
+        let c = small_cluster();
+        let (_, outs) = c.run(&ClusterConfig::uniform(n, 1), move |comm| {
+            let mine = vec![seed as f64 + comm.rank() as f64; 3];
+            comm.allgather(mine)
+        });
+        for out in outs {
+            for (src, block) in out.iter().enumerate() {
+                prop_assert_eq!(block.len(), 3);
+                prop_assert_eq!(block[0], seed as f64 + src as f64);
+            }
+        }
+    }
+
+    /// Virtual time and energy are deterministic functions of the
+    /// configuration — two identical runs agree bit-for-bit.
+    #[test]
+    fn runs_are_deterministic(n in 1usize..=6, gear in 1usize..=6, uops in 1.0e6..1.0e9f64) {
+        let c = small_cluster();
+        let go = || c.run(&ClusterConfig::uniform(n, gear), move |comm| {
+            comm.compute(&WorkBlock::with_upm(uops, 50.0));
+            comm.allreduce_scalar(comm.rank() as f64, ReduceOp::Sum);
+            comm.compute(&WorkBlock::with_upm(uops / 2.0, 50.0));
+        });
+        let (a, _) = go();
+        let (b, _) = go();
+        prop_assert_eq!(a.time_s, b.time_s);
+        prop_assert_eq!(a.energy_j, b.energy_j);
+    }
+
+    /// More communication (bigger payloads) never makes a run faster,
+    /// and never changes the computation's virtual cost.
+    #[test]
+    fn payload_size_monotonicity(kb in 1usize..200) {
+        let c = small_cluster();
+        let run_with = |len: usize| {
+            let (r, _) = c.run(&ClusterConfig::uniform(2, 1), move |comm| {
+                if comm.rank() == 0 {
+                    comm.send(1, 1, vec![0.0f64; len]);
+                } else {
+                    let _ = comm.recv::<Vec<f64>>(0, 1);
+                }
+            });
+            r.time_s
+        };
+        let small = run_with(kb * 128);
+        let big = run_with(kb * 128 * 2);
+        prop_assert!(big >= small - 1e-12);
+    }
+
+    /// A power model never reports negative power, and idle is always
+    /// at most compute power, for arbitrary (valid) parameters.
+    #[test]
+    fn random_power_models_stay_ordered(
+        base in 0.0..200.0f64,
+        dyn_peak in 1.0..150.0f64,
+        leak in 0.0..10.0f64,
+        stall in 0.3..1.0f64,
+        idle_frac in 0.0..0.3f64,
+    ) {
+        prop_assume!(idle_frac < stall);
+        let node_gears = presets::athlon64().gears;
+        let pm = PowerModel::new(base, dyn_peak / (1.5 * 1.5 * 2.0e9), leak, stall, idle_frac);
+        let cpu = CpuModel::new(2.0, 14e-9);
+        for g in node_gears.iter() {
+            let w = WorkBlock::with_upm(1.0e9, 70.0);
+            let compute = pm.compute_w(&cpu, &w, g);
+            let idle = pm.idle_w(g);
+            prop_assert!(idle >= 0.0 && compute >= 0.0);
+            prop_assert!(idle <= compute + 1e-9);
+        }
+    }
+
+    /// The ideal network makes communication free but never negative.
+    #[test]
+    fn ideal_network_zero_cost(bytes in 1u64..1_000_000) {
+        let net = NetworkModel::ideal();
+        let t = net.transfer_time_s(bytes);
+        prop_assert!((0.0..1e-9).contains(&t));
+    }
+}
