@@ -81,11 +81,7 @@ impl EnergyTimeCurve {
 
     /// The gear consuming the least energy on this curve.
     pub fn min_energy_gear(&self) -> usize {
-        self.points
-            .iter()
-            .min_by(|a, b| a.energy_j.partial_cmp(&b.energy_j).unwrap())
-            .unwrap()
-            .gear
+        self.points.iter().min_by(|a, b| a.energy_j.partial_cmp(&b.energy_j).unwrap()).unwrap().gear
     }
 
     /// Minimum energy over the curve, joules.

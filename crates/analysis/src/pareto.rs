@@ -121,11 +121,8 @@ mod tests {
     fn power_cap_selects_fastest_feasible() {
         // 4 nodes gear 1: 100 W avg; 8 nodes gear 5: 148 W; 8 nodes
         // gear 1: 193 W.
-        let configs = vec![
-            cfg(4, 1, 100.0, 10_000.0),
-            cfg(8, 5, 67.0, 9_900.0),
-            cfg(8, 1, 58.0, 11_200.0),
-        ];
+        let configs =
+            vec![cfg(4, 1, 100.0, 10_000.0), cfg(8, 5, 67.0, 9_900.0), cfg(8, 1, 58.0, 11_200.0)];
         let pick = fastest_under_power_cap(&configs, 150.0).unwrap();
         assert_eq!((pick.nodes, pick.gear), (8, 5));
         let pick = fastest_under_power_cap(&configs, 500.0).unwrap();

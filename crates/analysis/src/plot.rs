@@ -15,10 +15,8 @@ use std::fmt::Write as _;
 /// cell is free.
 pub fn ascii_plot(curves: &[EnergyTimeCurve], width: usize, height: usize) -> String {
     assert!(width >= 16 && height >= 8, "plot too small to be legible");
-    let pts: Vec<(f64, f64)> = curves
-        .iter()
-        .flat_map(|c| c.points.iter().map(|p| (p.time_s, p.energy_j)))
-        .collect();
+    let pts: Vec<(f64, f64)> =
+        curves.iter().flat_map(|c| c.points.iter().map(|p| (p.time_s, p.energy_j))).collect();
     if pts.is_empty() {
         return String::from("(no data)\n");
     }
@@ -44,7 +42,8 @@ pub fn ascii_plot(curves: &[EnergyTimeCurve], width: usize, height: usize) -> St
         let glyph = GLYPHS[ci % GLYPHS.len()];
         for p in &c.points {
             let col = (((p.time_s - tmin) / (tmax - tmin)) * (width - 1) as f64).round() as usize;
-            let row = (((p.energy_j - emin) / (emax - emin)) * (height - 1) as f64).round() as usize;
+            let row =
+                (((p.energy_j - emin) / (emax - emin)) * (height - 1) as f64).round() as usize;
             let row = height - 1 - row; // y grows upward
             grid[row.min(height - 1)][col.min(width - 1)] = glyph;
         }
@@ -96,8 +95,7 @@ pub fn from_csv(csv: &str) -> Result<Vec<EnergyTimeCurve>, String> {
             return Err(format!("line {}: expected 5 fields, got {}", lineno + 1, parts.len()));
         }
         let parse = |s: &str| s.parse::<f64>().map_err(|e| format!("line {}: {e}", lineno + 1));
-        let nodes: usize =
-            parts[1].parse().map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let nodes: usize = parts[1].parse().map_err(|e| format!("line {}: {e}", lineno + 1))?;
         let gear: usize = parts[2].parse().map_err(|e| format!("line {}: {e}", lineno + 1))?;
         let point = EnergyTimePoint { gear, time_s: parse(parts[3])?, energy_j: parse(parts[4])? };
         match curves.iter_mut().find(|c| c.label == parts[0] && c.nodes == nodes) {

@@ -12,9 +12,9 @@ use psc_analysis::plot::{from_csv, to_csv};
 /// gear index, energies positive.
 fn curve_strategy(nodes: usize) -> impl Strategy<Value = EnergyTimeCurve> {
     (
-        10.0..1000.0f64,                                    // base time
-        proptest::collection::vec(0.0..0.4f64, 5),          // per-gear time increments
-        proptest::collection::vec(500.0..50_000.0f64, 6),   // energies
+        10.0..1000.0f64,                                  // base time
+        proptest::collection::vec(0.0..0.4f64, 5),        // per-gear time increments
+        proptest::collection::vec(500.0..50_000.0f64, 6), // energies
     )
         .prop_map(move |(t1, increments, energies)| {
             let mut t = t1;

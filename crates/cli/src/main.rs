@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! powerscale run --bench CG --nodes 4 --gear 2        one measured run
+//! powerscale trace --bench CG --nodes 4 --gear 2      energy attribution + Perfetto trace
 //! powerscale sweep --bench LU --nodes 8               all gears at one node count
 //! powerscale curve --bench MG --max-nodes 8           full node×gear sweep
 //! powerscale model --bench SP --predict 32            fit the paper's model, extrapolate
@@ -13,12 +14,15 @@
 //!
 //! Add `--class test` for the tiny problem sizes (CI-speed runs).
 
+use psc_analysis::curve::{EnergyTimeCurve, EnergyTimePoint};
 use psc_analysis::pareto::{configs_of, fastest_under_power_cap, pareto_frontier};
 use psc_analysis::plot::ascii_plot;
-use psc_experiments::harness::{cluster, measure_curve, model_for, predicted_curve};
+use psc_experiments::harness::{class_label, cluster, measure_curve, model_for, predicted_curve};
 use psc_kernels::{Benchmark, ProblemClass};
 use psc_model::autogear::{gear_for_delay_budget, min_energy_gear};
 use psc_mpi::ClusterConfig;
+use psc_telemetry::{write_chrome_trace, RunManifest};
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -30,6 +34,7 @@ fn main() -> ExitCode {
     let result = match cmd.as_str() {
         "run" => cmd_run(&args),
         "sweep" => cmd_sweep(&args),
+        "trace" => cmd_trace(&args),
         "curve" => cmd_curve(&args),
         "model" => cmd_model(&args),
         "advise" => cmd_advise(&args),
@@ -55,12 +60,18 @@ powerscale — energy-time exploration on a simulated power-scalable cluster
 
 USAGE:
   powerscale run    --bench <NAME> [--nodes N] [--gear G] [--class b|test]
-  powerscale sweep  --bench <NAME> [--nodes N] [--class b|test]
+                    [--trace-out PATH] [--manifest-out PATH]
+  powerscale sweep  --bench <NAME> [--nodes N] [--class b|test] [--trace-out PATH]
+  powerscale trace  --bench <NAME> [--nodes N] [--gear G] [--class b|test] [--out PATH]
   powerscale curve  --bench <NAME> [--max-nodes N] [--class b|test]
   powerscale model  --bench <NAME> [--predict M] [--class b|test]
   powerscale advise --upm <UPM> [--delay FRAC]
   powerscale budget --bench <NAME> --power-cap <WATTS> [--max-nodes N] [--class b|test]
-  powerscale list";
+  powerscale list
+
+  --trace-out writes a Chrome Trace Event JSON file — open it in Perfetto
+  (ui.perfetto.dev) or chrome://tracing. For sweep, one file per gear is
+  written with `-g<K>` inserted before the extension.";
 
 fn flag(args: &[String], name: &str) -> Option<String> {
     args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
@@ -68,7 +79,8 @@ fn flag(args: &[String], name: &str) -> Option<String> {
 
 fn parse_bench(args: &[String]) -> Result<Benchmark, String> {
     let name = flag(args, "--bench").ok_or("missing --bench <NAME>")?;
-    Benchmark::parse(&name).ok_or_else(|| format!("unknown benchmark '{name}' (try `powerscale list`)"))
+    Benchmark::parse(&name)
+        .ok_or_else(|| format!("unknown benchmark '{name}' (try `powerscale list`)"))
 }
 
 fn parse_class(args: &[String]) -> Result<ProblemClass, String> {
@@ -102,18 +114,80 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     if gear < 1 || gear > c.node.gears.len() {
         return Err(format!("gear must be 1..={}", c.node.gears.len()));
     }
-    let (run, outs) = c.run(&ClusterConfig::uniform(nodes, gear), move |comm| bench.run(comm, class));
+    let cfg = ClusterConfig::uniform(nodes, gear);
+    let (run, outs) = c.run(&cfg, move |comm| bench.run(comm, class));
     let out = &outs[0];
     println!("{} on {nodes} node(s) at gear {gear}:", bench.name());
     println!("  time    {:>12.2} s", run.time_s);
     println!("  energy  {:>12.0} J (wattmeter: {:.0} J)", run.energy_j, run.measured_energy_j);
     println!("  power   {:>12.1} W average", run.average_power_w());
-    println!("  T^A     {:>12.2} s (max rank), T^I {:.2} s", run.active_max_s(), run.idle_of_max_s());
+    println!(
+        "  T^A     {:>12.2} s (max rank), T^I {:.2} s",
+        run.active_max_s(),
+        run.idle_of_max_s()
+    );
     println!("  UPM     {:>12.1}", run.total_counters().upm());
     println!("  checksum {:>11.6e}  iterations {}", out.checksum, out.iterations);
     if let Some(r) = out.residual {
         println!("  residual {:>11.3e}", r);
     }
+    if let Some(path) = flag(args, "--trace-out") {
+        let path = PathBuf::from(path);
+        write_chrome_trace(&run, &path).map_err(|e| format!("writing {}: {e}", path.display()))?;
+        println!("  trace    {}", path.display());
+    }
+    if let Some(path) = flag(args, "--manifest-out") {
+        let path = PathBuf::from(path);
+        let m = RunManifest::new(bench.name(), class_label(class), &cfg, &run);
+        m.write(&path).map_err(|e| format!("writing {}: {e}", path.display()))?;
+        println!("  manifest {}", path.display());
+    }
+    Ok(())
+}
+
+/// `lu.json` → `lu-g3.json` (gear inserted before the extension).
+fn path_with_gear(path: &Path, gear: usize) -> PathBuf {
+    let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("trace");
+    let name = match path.extension().and_then(|e| e.to_str()) {
+        Some(ext) => format!("{stem}-g{gear}.{ext}"),
+        None => format!("{stem}-g{gear}"),
+    };
+    path.with_file_name(name)
+}
+
+fn cmd_trace(args: &[String]) -> Result<(), String> {
+    let bench = parse_bench(args)?;
+    let class = parse_class(args)?;
+    let nodes: usize = parse_num(args, "--nodes", 1)?;
+    let gear: usize = parse_num(args, "--gear", 1)?;
+    if !bench.supports_nodes(nodes) {
+        return Err(format!("{} cannot run on {nodes} nodes", bench.name()));
+    }
+    let c = cluster();
+    if gear < 1 || gear > c.node.gears.len() {
+        return Err(format!("gear must be 1..={}", c.node.gears.len()));
+    }
+    let cfg = ClusterConfig::uniform(nodes, gear);
+    let (run, _) = c.run(&cfg, move |comm| bench.run(comm, class));
+    let m = RunManifest::new(bench.name(), class_label(class), &cfg, &run);
+    println!(
+        "{} on {nodes} node(s) at gear {gear}: {:.2} s, {:.0} J\n",
+        bench.name(),
+        run.time_s,
+        run.energy_j
+    );
+    println!("{}", m.attribution.table());
+    let trace_path = match flag(args, "--out") {
+        Some(p) => PathBuf::from(p),
+        None => PathBuf::from("results")
+            .join(format!("{}-n{nodes}-g{gear}.trace.json", bench.name().to_lowercase())),
+    };
+    write_chrome_trace(&run, &trace_path)
+        .map_err(|e| format!("writing {}: {e}", trace_path.display()))?;
+    let manifest_path = m.default_path();
+    m.write(&manifest_path).map_err(|e| format!("writing {}: {e}", manifest_path.display()))?;
+    println!("wrote {} (open in Perfetto)", trace_path.display());
+    println!("wrote {}", manifest_path.display());
     Ok(())
 }
 
@@ -125,9 +199,30 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
         return Err(format!("{} cannot run on {nodes} nodes", bench.name()));
     }
     let c = cluster();
-    let curve = measure_curve(&c, bench, class, nodes);
+    let trace_out = flag(args, "--trace-out").map(PathBuf::from);
+    let curve = match &trace_out {
+        None => measure_curve(&c, bench, class, nodes),
+        Some(base) => {
+            // Re-run per gear by hand so each run's trace can be exported.
+            let points = (1..=c.node.gears.len())
+                .map(|gear| {
+                    let (run, _) = c.run(&ClusterConfig::uniform(nodes, gear), move |comm| {
+                        bench.run(comm, class)
+                    });
+                    let path = path_with_gear(base, gear);
+                    write_chrome_trace(&run, &path)
+                        .map_err(|e| format!("writing {}: {e}", path.display()))?;
+                    Ok(EnergyTimePoint { gear, time_s: run.time_s, energy_j: run.energy_j })
+                })
+                .collect::<Result<Vec<_>, String>>()?;
+            EnergyTimeCurve::new(bench.name(), nodes, points)
+        }
+    };
     println!("{} on {nodes} node(s):", bench.name());
-    println!("  {:>4} {:>10} {:>10} {:>8} {:>9}", "gear", "time [s]", "energy [J]", "delay", "savings");
+    println!(
+        "  {:>4} {:>10} {:>10} {:>8} {:>9}",
+        "gear", "time [s]", "energy [J]", "delay", "savings"
+    );
     for p in &curve.points {
         println!(
             "  {:>4} {:>10.2} {:>10.0} {:>7.2}% {:>8.2}%",

@@ -21,7 +21,8 @@ fn list_shows_every_benchmark() {
 
 #[test]
 fn run_reports_time_energy_and_residual() {
-    let out = powerscale(&["run", "--bench", "CG", "--nodes", "4", "--gear", "2", "--class", "test"]);
+    let out =
+        powerscale(&["run", "--bench", "CG", "--nodes", "4", "--gear", "2", "--class", "test"]);
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
     let stdout = String::from_utf8(out.stdout).unwrap();
     for needle in ["time", "energy", "power", "UPM", "residual"] {
@@ -35,8 +36,10 @@ fn sweep_prints_all_gears() {
     assert!(out.status.success());
     let stdout = String::from_utf8(out.stdout).unwrap();
     for gear in 1..=6 {
-        assert!(stdout.contains(&format!("\n  {gear:>4} ")) || stdout.contains(&format!("   {gear} ")),
-            "gear {gear} row missing:\n{stdout}");
+        assert!(
+            stdout.contains(&format!("\n  {gear:>4} ")) || stdout.contains(&format!("   {gear} ")),
+            "gear {gear} row missing:\n{stdout}"
+        );
     }
 }
 
@@ -59,7 +62,17 @@ fn model_extrapolates() {
 
 #[test]
 fn budget_prints_pareto_frontier() {
-    let out = powerscale(&["budget", "--bench", "Synthetic", "--power-cap", "500", "--max-nodes", "4", "--class", "test"]);
+    let out = powerscale(&[
+        "budget",
+        "--bench",
+        "Synthetic",
+        "--power-cap",
+        "500",
+        "--max-nodes",
+        "4",
+        "--class",
+        "test",
+    ]);
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
     let stdout = String::from_utf8(out.stdout).unwrap();
     assert!(stdout.contains("Pareto frontier"));

@@ -86,10 +86,8 @@ fn main() {
             jacobi::run(comm, &jp);
         });
         let model = ClusterModel::fit(&decomps, profile);
-        let line = format!(
-            "  measured reducible fraction: {:.0}%\n",
-            100.0 * model.reducible_fraction
-        );
+        let line =
+            format!("  measured reducible fraction: {:.0}%\n", 100.0 * model.reducible_fraction);
         print!("{line}");
         out.push_str(&line);
         claims.push(Claim::boolean(
@@ -299,12 +297,10 @@ fn main() {
     println!("Ablation 4: switch contention (CG speedup at scale)\n");
     {
         use psc_mpi::{Cluster, NetworkModel};
-        let contended =
-            Cluster::new(c.node.clone(), NetworkModel::fast_ethernet_small_switch());
+        let contended = Cluster::new(c.node.clone(), NetworkModel::fast_ethernet_small_switch());
         let time_on = |cl: &Cluster, n: usize| {
-            let (run, _) = cl.run(&ClusterConfig::uniform(n, 1), move |comm| {
-                Benchmark::Cg.run(comm, class)
-            });
+            let (run, _) =
+                cl.run(&ClusterConfig::uniform(n, 1), move |comm| Benchmark::Cg.run(comm, class));
             run.time_s
         };
         let mut s_ideal_32 = 0.0;

@@ -59,7 +59,13 @@ fn main() {
     // ------------------------------------------------------------------
     if class == ProblemClass::B {
         let cg = measure_curve(&c, Benchmark::Cg, class, 1);
-        claims.push(Claim::numeric("cg-best-savings-gear5", 0.20, cg.savings(5).unwrap(), 0.5, 0.04));
+        claims.push(Claim::numeric(
+            "cg-best-savings-gear5",
+            0.20,
+            cg.savings(5).unwrap(),
+            0.5,
+            0.04,
+        ));
         claims.push(Claim::boolean(
             "cg-gear5-delay-under-bound",
             "CG gear-5 delay well below the 67 % frequency-ratio bound (paper: ~10 %)",
@@ -70,7 +76,13 @@ fn main() {
         let ep = measure_curve(&c, Benchmark::Ep, class, 1);
         // "This delay is approximately the same as the increase in CPU
         // clock cycle" (2.0/1.8 − 1 = 11.1 %).
-        claims.push(Claim::numeric("ep-delay-tracks-cycle-time", 0.111, ep.delay(2).unwrap(), 0.15, 0.0));
+        claims.push(Claim::numeric(
+            "ep-delay-tracks-cycle-time",
+            0.111,
+            ep.delay(2).unwrap(),
+            0.15,
+            0.0,
+        ));
 
         // Energy at the slowest gear should *exceed* the minimum for
         // CPU-heavy codes (running too slowly wastes base energy) —

@@ -2,7 +2,7 @@
 //! on a single AMD machine": six benchmarks, six gears, one node.
 
 use psc_analysis::plot::{ascii_plot, to_csv};
-use psc_experiments::harness::{cluster, measure_curve};
+use psc_experiments::harness::{cluster, measure_curve, telemetry_snapshot};
 use psc_experiments::report::{render_claims, write_artifact, Claim};
 use psc_kernels::{Benchmark, ProblemClass};
 
@@ -53,6 +53,13 @@ fn main() {
             ep.savings(2).unwrap() < 0.06,
         ));
     }
+
+    // Where the joules of a representative configuration went:
+    // archives a run manifest under results/ alongside the CSV.
+    let (attr_table, manifest) = telemetry_snapshot(&c, Benchmark::Cg, class, 1, 2);
+    println!("Energy attribution (CG, 1 node, gear 2):");
+    println!("{attr_table}");
+    println!("wrote {}\n", manifest.display());
 
     let (text, all) = render_claims("Figure 1 claims", &claims);
     println!("{text}");

@@ -4,7 +4,7 @@
 
 use psc_analysis::cases::{classify_pair, ScalingCase};
 use psc_analysis::plot::{ascii_plot, to_csv};
-use psc_experiments::harness::{cluster, fig2_nodes, measure_curve};
+use psc_experiments::harness::{cluster, fig2_nodes, measure_curve, telemetry_snapshot};
 use psc_experiments::report::{render_claims, write_artifact, Claim};
 use psc_kernels::{Benchmark, ProblemClass};
 
@@ -18,8 +18,7 @@ fn main() {
     let mut claims = Vec::new();
     for bench in Benchmark::NAS {
         let nodes = fig2_nodes(bench);
-        let curves: Vec<_> =
-            nodes.iter().map(|&n| measure_curve(&c, bench, class, n)).collect();
+        let curves: Vec<_> = nodes.iter().map(|&n| measure_curve(&c, bench, class, n)).collect();
         println!("{} on {:?} nodes:", bench.name(), nodes);
         println!("{}", ascii_plot(&curves, 64, 14));
         for pair in curves.windows(2) {
@@ -67,9 +66,10 @@ fn main() {
                     let c8 = curves.iter().find(|c| c.nodes == 8).unwrap();
                     let p4 = c4.fastest();
                     let near_case3 = case_of(4, 8) == ScalingCase::GoodSpeedup
-                        || c8.points.iter().any(|q| {
-                            q.time_s < p4.time_s && q.energy_j <= 1.10 * p4.energy_j
-                        });
+                        || c8
+                            .points
+                            .iter()
+                            .any(|q| q.time_s < p4.time_s && q.energy_j <= 1.10 * p4.energy_j);
                     claims.push(Claim::boolean(
                         "lu-4-8-near-case3",
                         "a slower gear on 8 nodes beats 4-at-gear-1 on time at ≈equal energy (≤10 %)",
@@ -118,6 +118,13 @@ fn main() {
         }
         all_curves.extend(curves);
     }
+
+    // Where the joules of a representative configuration went:
+    // archives a run manifest under results/ alongside the CSV.
+    let (attr_table, manifest) = telemetry_snapshot(&c, Benchmark::Cg, class, 4, 2);
+    println!("Energy attribution (CG, 4 nodes, gear 2):");
+    println!("{attr_table}");
+    println!("wrote {}\n", manifest.display());
 
     let (text, all) = render_claims("Figure 2 claims", &claims);
     println!("{text}");

@@ -5,7 +5,7 @@
 
 use psc_analysis::cases::{classify_pair, ScalingCase};
 use psc_analysis::plot::{ascii_plot, to_csv};
-use psc_experiments::harness::{cluster, measure_curve};
+use psc_experiments::harness::{cluster, measure_curve, telemetry_snapshot};
 use psc_experiments::report::{render_claims, write_artifact, Claim};
 use psc_kernels::{Benchmark, ProblemClass};
 
@@ -68,6 +68,13 @@ fn main() {
             dominated,
         ));
     }
+
+    // Where the joules of a representative configuration went:
+    // archives a run manifest under results/ alongside the CSV.
+    let (attr_table, manifest) = telemetry_snapshot(&c, Benchmark::Jacobi, class, 8, 2);
+    println!("Energy attribution (Jacobi, 8 nodes, gear 2):");
+    println!("{attr_table}");
+    println!("wrote {}\n", manifest.display());
 
     let (text, all) = render_claims("Figure 3 claims", &claims);
     println!("{text}");

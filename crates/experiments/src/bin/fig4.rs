@@ -4,7 +4,7 @@
 //! of the energy of gear 1 on 4 nodes and executes in half the time.
 
 use psc_analysis::plot::{ascii_plot, to_csv};
-use psc_experiments::harness::{cluster, measure_curve};
+use psc_experiments::harness::{cluster, measure_curve, telemetry_snapshot};
 use psc_experiments::report::{render_claims, write_artifact, Claim};
 use psc_kernels::{Benchmark, ProblemClass};
 
@@ -42,23 +42,38 @@ fn main() {
         // Speedup over 7 on 8 nodes.
         let s8 = t1_curve.fastest().time_s
             / curves.iter().find(|c| c.nodes == 8).unwrap().fastest().time_s;
-        claims.push(Claim::boolean(
-            "synthetic-speedup8",
-            "speedup on 8 nodes exceeds 7",
-            s8 > 7.0,
-        ));
+        claims.push(Claim::boolean("synthetic-speedup8", "speedup on 8 nodes exceeds 7", s8 > 7.0));
         // "Compared to gear 1 on 4 nodes, gear 5 on 8 nodes uses 80 % of
         // the energy and executes in half the time."
         let p4 = curves.iter().find(|c| c.nodes == 4).unwrap().fastest();
         let p8g5 = curves.iter().find(|c| c.nodes == 8).unwrap().at_gear(5).unwrap();
-        claims.push(Claim::numeric("synthetic-8g5-energy-ratio", 0.80, p8g5.energy_j / p4.energy_j, 0.15, 0.0));
-        claims.push(Claim::numeric("synthetic-8g5-time-ratio", 0.50, p8g5.time_s / p4.time_s, 0.20, 0.0));
+        claims.push(Claim::numeric(
+            "synthetic-8g5-energy-ratio",
+            0.80,
+            p8g5.energy_j / p4.energy_j,
+            0.15,
+            0.0,
+        ));
+        claims.push(Claim::numeric(
+            "synthetic-8g5-time-ratio",
+            0.50,
+            p8g5.time_s / p4.time_s,
+            0.20,
+            0.0,
+        ));
         println!(
             "  gear 5 on 8 nodes vs gear 1 on 4 nodes: energy ×{:.2}, time ×{:.2}",
             p8g5.energy_j / p4.energy_j,
             p8g5.time_s / p4.time_s
         );
     }
+
+    // Where the joules of a representative configuration went:
+    // archives a run manifest under results/ alongside the CSV.
+    let (attr_table, manifest) = telemetry_snapshot(&c, Benchmark::Synthetic, class, 8, 5);
+    println!("Energy attribution (Synthetic, 8 nodes, gear 5):");
+    println!("{attr_table}");
+    println!("wrote {}\n", manifest.display());
 
     let (text, all) = render_claims("Figure 4 claims", &claims);
     println!("{text}");

@@ -6,6 +6,7 @@
 use psc_analysis::plot::{ascii_plot, to_csv};
 use psc_experiments::harness::{
     cluster, decompositions, gear_profile, measure_curve, predicted_curve, sun_cluster,
+    telemetry_snapshot,
 };
 use psc_experiments::report::{render_claims, write_artifact, Claim};
 use psc_kernels::{Benchmark, ProblemClass};
@@ -39,8 +40,7 @@ fn main() {
             let partial = ClusterModel::fit(train, model.profile.clone());
             let pred = partial.refined(held_out.nodes, 1);
             let n = held_out.nodes;
-            let (run, _) =
-                c.run(&ClusterConfig::uniform(n, 1), move |comm| bench.run(comm, class));
+            let (run, _) = c.run(&ClusterConfig::uniform(n, 1), move |comm| bench.run(comm, class));
             (
                 (pred.time_s - run.time_s).abs() / run.time_s,
                 (pred.energy_j - run.energy_j).abs() / run.energy_j,
@@ -138,6 +138,13 @@ fn main() {
             disagreements <= 1,
         ));
     }
+
+    // Where the joules of a representative configuration went:
+    // archives a run manifest under results/ alongside the CSV.
+    let (attr_table, manifest) = telemetry_snapshot(&c, Benchmark::Mg, class, 8, 3);
+    println!("Energy attribution (MG, 8 nodes, gear 3):");
+    println!("{attr_table}");
+    println!("wrote {}\n", manifest.display());
 
     let (text, all) = render_claims("Figure 5 claims", &claims);
     println!("{text}");

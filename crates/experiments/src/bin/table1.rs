@@ -66,12 +66,16 @@ fn main() {
         claims.push(Claim::boolean(
             "ep-flattest",
             "EP has the shallowest 1→2 slope",
-            ep.slope_1_2.unwrap() >= table.rows.iter().filter_map(|r| r.slope_1_2).fold(f64::NEG_INFINITY, f64::max) - 1e-9,
+            ep.slope_1_2.unwrap()
+                >= table.rows.iter().filter_map(|r| r.slope_1_2).fold(f64::NEG_INFINITY, f64::max)
+                    - 1e-9,
         ));
         claims.push(Claim::boolean(
             "cg-steepest",
             "CG has the steepest 1→2 slope",
-            cg.slope_1_2.unwrap() <= table.rows.iter().filter_map(|r| r.slope_1_2).fold(f64::INFINITY, f64::min) + 1e-9,
+            cg.slope_1_2.unwrap()
+                <= table.rows.iter().filter_map(|r| r.slope_1_2).fold(f64::INFINITY, f64::min)
+                    + 1e-9,
         ));
         claims.push(Claim::boolean(
             "ep-positive-2-3",

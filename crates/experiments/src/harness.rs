@@ -6,6 +6,8 @@ use psc_model::decompose::Decomposition;
 use psc_model::gears::GearProfile;
 use psc_model::predict::ClusterModel;
 use psc_mpi::{Cluster, ClusterConfig, NetworkModel};
+use psc_telemetry::RunManifest;
+use std::path::PathBuf;
 
 /// The paper's testbed: ten Athlon-64 nodes on 100 Mb/s Ethernet.
 pub fn cluster() -> Cluster {
@@ -55,8 +57,7 @@ pub fn decompositions(
         .valid_nodes(max_nodes)
         .into_iter()
         .map(|n| {
-            let (run, _) =
-                c.run(&ClusterConfig::uniform(n, 1), move |comm| bench.run(comm, class));
+            let (run, _) = c.run(&ClusterConfig::uniform(n, 1), move |comm| bench.run(comm, class));
             Decomposition::of(&run)
         })
         .collect()
@@ -83,13 +84,48 @@ pub fn model_for(
 }
 
 /// Convert model predictions at `m` nodes into a plottable curve.
-pub fn predicted_curve(model: &ClusterModel, bench: Benchmark, m: usize, refined: bool) -> EnergyTimeCurve {
+pub fn predicted_curve(
+    model: &ClusterModel,
+    bench: Benchmark,
+    m: usize,
+    refined: bool,
+) -> EnergyTimeCurve {
     let points = model
         .predict_curve(m, refined)
         .into_iter()
         .map(|p| EnergyTimePoint { gear: p.gear, time_s: p.time_s, energy_j: p.energy_j })
         .collect();
     EnergyTimeCurve::new(format!("{} (model)", bench.name()), m, points)
+}
+
+/// Class label used in run manifests.
+pub fn class_label(class: ProblemClass) -> &'static str {
+    match class {
+        ProblemClass::Test => "test",
+        ProblemClass::B => "B",
+    }
+}
+
+/// Re-run one representative configuration with full telemetry: archive
+/// a JSON run manifest under the results directory and return the
+/// energy-attribution table (ready to print) together with the manifest
+/// path. The figure binaries call this so every figure ships an
+/// attribution of where its headline configuration spent its joules.
+pub fn telemetry_snapshot(
+    c: &Cluster,
+    bench: Benchmark,
+    class: ProblemClass,
+    nodes: usize,
+    gear: usize,
+) -> (String, PathBuf) {
+    let cfg = ClusterConfig::uniform(nodes, gear);
+    let (run, _) = c.run(&cfg, move |comm| bench.run(comm, class));
+    let manifest = RunManifest::new(bench.name(), class_label(class), &cfg, &run);
+    let name =
+        manifest.default_path().file_name().expect("manifest path has a file name").to_os_string();
+    let path = crate::report::results_dir().join(name);
+    manifest.write(&path).unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+    (manifest.attribution.table(), path)
 }
 
 /// The node counts Figure 2 uses per benchmark: 2, 4, 8 — "or 4 and 9
@@ -140,5 +176,21 @@ mod tests {
     fn fig2_nodes_follow_paper() {
         assert_eq!(fig2_nodes(Benchmark::Bt), vec![4, 9]);
         assert_eq!(fig2_nodes(Benchmark::Cg), vec![2, 4, 8]);
+    }
+
+    #[test]
+    fn telemetry_snapshot_archives_a_manifest() {
+        let dir = std::env::temp_dir().join("psc-harness-telemetry-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::env::set_var("RESULTS_DIR", &dir);
+        let c = cluster();
+        let (table, path) = telemetry_snapshot(&c, Benchmark::Ep, ProblemClass::Test, 2, 2);
+        std::env::remove_var("RESULTS_DIR");
+        assert!(table.contains("compute"), "table should list the compute category");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let m = RunManifest::from_json(&text).unwrap();
+        assert_eq!(m.bench, "EP");
+        assert_eq!(m.nodes, 2);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

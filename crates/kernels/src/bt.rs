@@ -232,6 +232,7 @@ pub fn run(comm: &mut Comm, p: &BtParams) -> BtOutput {
     for step in 0..p.steps {
         // x-direction: lines are local rows; segment crosses columns.
         {
+            comm.span_begin("bt-xsolve");
             let snapshot = u.clone();
             line_solve(
                 comm,
@@ -245,9 +246,11 @@ pub fn run(comm: &mut Comm, p: &BtParams) -> BtOutput {
                 |v, l, k| snapshot[v][l * nc + k],
                 |v, l, k, x| u[v][l * nc + k] = x,
             );
+            comm.span_end();
         }
         // y-direction: lines are local columns; segment crosses rows.
         {
+            comm.span_begin("bt-ysolve");
             let snapshot = u.clone();
             line_solve(
                 comm,
@@ -261,20 +264,18 @@ pub fn run(comm: &mut Comm, p: &BtParams) -> BtOutput {
                 |v, l, k| snapshot[v][k * nc + l],
                 |v, l, k, x| u[v][k * nc + l] = x,
             );
+            comm.span_end();
         }
         // Residual-style monitoring: global max magnitude.
-        let local_max = u
-            .iter()
-            .flat_map(|f| f.iter())
-            .fold(0.0f64, |m, &x| m.max(x.abs()));
-        norm = comm.allreduce_scalar(local_max, ReduceOp::Max);
+        let local_max = u.iter().flat_map(|f| f.iter()).fold(0.0f64, |m, &x| m.max(x.abs()));
+        norm = comm.span("bt-norm", |comm| comm.allreduce_scalar(local_max, ReduceOp::Max));
         if step == 0 {
             first_norm = norm;
         }
     }
 
     let local_sum: f64 = u.iter().flat_map(|f| f.iter()).sum();
-    let checksum = comm.allreduce_scalar(local_sum, ReduceOp::Sum);
+    let checksum = comm.span("bt-checksum", |comm| comm.allreduce_scalar(local_sum, ReduceOp::Sum));
     BtOutput { final_norm: norm, first_norm, checksum, iterations: p.steps }
 }
 

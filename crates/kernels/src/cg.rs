@@ -181,25 +181,29 @@ fn splitmix(mut x: u64) -> u64 {
 /// the owned columns, then a vector all-reduce. This is the
 /// communication heart of CG — one whole vector per product.
 fn matvec(comm: &mut Comm, block: &ColumnBlock, x: &[f64], p: &CgParams) -> Vec<f64> {
-    let mut partial = vec![0.0; x.len()];
-    for (jl, col) in block.cols.iter().enumerate() {
-        let xj = x[block.col0 + jl];
-        if xj != 0.0 {
-            for &(i, v) in col {
-                partial[i as usize] += v * xj;
+    comm.span("cg-matvec", |comm| {
+        let mut partial = vec![0.0; x.len()];
+        for (jl, col) in block.cols.iter().enumerate() {
+            let xj = x[block.col0 + jl];
+            if xj != 0.0 {
+                for &(i, v) in col {
+                    partial[i as usize] += v * xj;
+                }
             }
         }
-    }
-    charge(comm, 2.0 * block.nnz as f64, p.work_scale, CG_UPM);
-    comm.allreduce(partial, ReduceOp::Sum)
+        charge(comm, 2.0 * block.nnz as f64, p.work_scale, CG_UPM);
+        comm.allreduce(partial, ReduceOp::Sum)
+    })
 }
 
 /// Global dot product: local segment product + scalar all-reduce.
 fn dot(comm: &mut Comm, a: &[f64], b: &[f64], p: &CgParams) -> f64 {
-    let range = block_range(a.len(), comm.size(), comm.rank());
-    let local: f64 = range.clone().map(|i| a[i] * b[i]).sum();
-    charge(comm, 2.0 * range.len() as f64, p.work_scale, CG_UPM);
-    comm.allreduce_scalar(local, ReduceOp::Sum)
+    comm.span("cg-dot", |comm| {
+        let range = block_range(a.len(), comm.size(), comm.rank());
+        let local: f64 = range.clone().map(|i| a[i] * b[i]).sum();
+        charge(comm, 2.0 * range.len() as f64, p.work_scale, CG_UPM);
+        comm.allreduce_scalar(local, ReduceOp::Sum)
+    })
 }
 
 /// Run CG on the communicator.

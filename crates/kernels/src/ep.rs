@@ -80,6 +80,7 @@ pub fn run(comm: &mut Comm, p: &EpParams) -> EpOutput {
     // models, letting per-gear power averaging see realistic block sizes.
     const CHUNK: usize = 65_536;
     let mut remaining = range.len();
+    comm.span_begin("ep-gaussian");
     while remaining > 0 {
         let batch = remaining.min(CHUNK);
         for _ in 0..batch {
@@ -102,11 +103,12 @@ pub fn run(comm: &mut Comm, p: &EpParams) -> EpOutput {
         charge(comm, batch as f64 * FLOPS_PER_PAIR, p.work_scale, EP_UPM);
         remaining -= batch;
     }
+    comm.span_end();
 
     // The single communication step: sum everything across ranks.
     let mut buf = vec![sx, sy, accepted as f64];
     buf.extend_from_slice(&counts);
-    let total = comm.allreduce(buf, ReduceOp::Sum);
+    let total = comm.span("ep-reduce", |comm| comm.allreduce(buf, ReduceOp::Sum));
 
     let mut out_counts = [0u64; 10];
     for (dst, src) in out_counts.iter_mut().zip(&total[3..13]) {

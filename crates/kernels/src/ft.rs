@@ -50,7 +50,14 @@ pub struct FtParams {
 impl FtParams {
     /// Tiny configuration for unit tests.
     pub fn test() -> Self {
-        FtParams { n: 64, steps: 3, alpha: 1e-6, seed: 314_159_265, work_scale: 1.0, wire_scale: 1.0 }
+        FtParams {
+            n: 64,
+            steps: 3,
+            alpha: 1e-6,
+            seed: 314_159_265,
+            work_scale: 1.0,
+            wire_scale: 1.0,
+        }
     }
 
     /// The experiment configuration: real arithmetic on 256², charged
@@ -112,8 +119,8 @@ fn fft_inplace(buf: &mut [f64], inverse: bool) {
             for k in 0..len / 2 {
                 let a = i + k;
                 let b = i + k + len / 2;
-                let (xr, xi) = (buf[2 * b] * cr - buf[2 * b + 1] * ci,
-                                buf[2 * b] * ci + buf[2 * b + 1] * cr);
+                let (xr, xi) =
+                    (buf[2 * b] * cr - buf[2 * b + 1] * ci, buf[2 * b] * ci + buf[2 * b + 1] * cr);
                 let (ur, ui) = (buf[2 * a], buf[2 * a + 1]);
                 buf[2 * a] = ur + xr;
                 buf[2 * a + 1] = ui + xi;
@@ -181,16 +188,22 @@ fn transpose(comm: &mut Comm, data: &[f64], rows: usize, n: usize) -> Vec<f64> {
 /// The result remains transposed — harmless for FT, which always
 /// applies symmetric spectral factors and transforms back the same way.
 fn fft2d(comm: &mut Comm, data: &mut Vec<f64>, rows: usize, n: usize, inverse: bool, p: &FtParams) {
+    comm.span_begin("ft-fft");
     for r in 0..rows {
         fft_inplace(&mut data[2 * r * n..2 * (r + 1) * n], inverse);
     }
     charge(comm, rows as f64 * fft_flops(n), p.work_scale, FT_UPM);
+    comm.span_end();
+    comm.span_begin("ft-transpose");
     *data = transpose(comm, data, rows, n);
+    comm.span_end();
+    comm.span_begin("ft-fft");
     let new_rows = block_range(n, comm.size(), comm.rank()).len();
     for r in 0..new_rows {
         fft_inplace(&mut data[2 * r * n..2 * (r + 1) * n], inverse);
     }
     charge(comm, new_rows as f64 * fft_flops(n), p.work_scale, FT_UPM);
+    comm.span_end();
 }
 
 /// Run FT on the communicator. The node count must be a power of two
@@ -218,20 +231,24 @@ pub fn run(comm: &mut Comm, p: &FtParams) -> FtOutput {
     for step in 1..=p.steps {
         // Apply evolution factors to the (transposed) spectrum. The
         // wavenumber of index k is the signed frequency.
+        comm.span_begin("ft-evolve");
         let mut w = u.clone();
         for (rl, r) in spectral_rows.clone().enumerate() {
             let kr = if r > n / 2 { r as f64 - n as f64 } else { r as f64 };
             for c in 0..n {
                 let kc = if c > n / 2 { c as f64 - n as f64 } else { c as f64 };
-                let factor =
-                    (-4.0 * p.alpha * std::f64::consts::PI.powi(2) * (kr * kr + kc * kc)
-                        * step as f64)
-                        .exp();
+                let factor = (-4.0
+                    * p.alpha
+                    * std::f64::consts::PI.powi(2)
+                    * (kr * kr + kc * kc)
+                    * step as f64)
+                    .exp();
                 w[2 * (rl * n + c)] *= factor;
                 w[2 * (rl * n + c) + 1] *= factor;
             }
         }
         charge(comm, (spectral_rows.len() * n * 6) as f64, p.work_scale, FT_UPM);
+        comm.span_end();
         fft2d(comm, &mut w, rows, n, true, p);
 
         // Checksum over NAS-style strided sample indices.
@@ -246,7 +263,7 @@ pub fn run(comm: &mut Comm, p: &FtParams) -> FtOutput {
                 si += w[2 * (rl * n + c) + 1];
             }
         }
-        let total = comm.allreduce(vec![sr, si], ReduceOp::Sum);
+        let total = comm.span("ft-checksum", |comm| comm.allreduce(vec![sr, si], ReduceOp::Sum));
         checksum.0 += total[0];
         checksum.1 += total[1];
     }
@@ -274,7 +291,9 @@ mod tests {
     #[test]
     fn fft_matches_dft_on_small_input() {
         // Compare against a naive O(n²) DFT for n = 8.
-        let x: Vec<f64> = vec![1.0, 0.0, 2.0, 0.5, -1.0, 0.25, 0.5, -0.5, 3.0, 0.0, -2.0, 1.0, 0.0, 0.0, 1.0, 1.0];
+        let x: Vec<f64> = vec![
+            1.0, 0.0, 2.0, 0.5, -1.0, 0.25, 0.5, -0.5, 3.0, 0.0, -2.0, 1.0, 0.0, 0.0, 1.0, 1.0,
+        ];
         let n = 8;
         let mut fast = x.clone();
         fft_inplace(&mut fast, false);
@@ -298,8 +317,7 @@ mod tests {
         let mut f = x.clone();
         fft_inplace(&mut f, false);
         let time_energy: f64 = x.chunks(2).map(|c| c[0] * c[0] + c[1] * c[1]).sum();
-        let freq_energy: f64 =
-            f.chunks(2).map(|c| c[0] * c[0] + c[1] * c[1]).sum::<f64>() / 256.0;
+        let freq_energy: f64 = f.chunks(2).map(|c| c[0] * c[0] + c[1] * c[1]).sum::<f64>() / 256.0;
         assert!((time_energy - freq_energy).abs() < 1e-9 * time_energy);
     }
 

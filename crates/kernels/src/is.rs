@@ -109,6 +109,7 @@ pub fn run(comm: &mut Comm, p: &IsParams) -> IsOutput {
         let keys: Vec<u64> = base_keys.iter().map(|k| (k + shift) % p.max_key).collect();
 
         // Partition into per-destination buckets by key range.
+        comm.span_begin("is-bucket");
         let mut buckets: Vec<Vec<f64>> = vec![Vec::new(); size];
         let per = p.max_key.div_ceil(size as u64);
         for &k in &keys {
@@ -116,12 +117,14 @@ pub fn run(comm: &mut Comm, p: &IsParams) -> IsOutput {
             buckets[dst].push(k as f64);
         }
         charge(comm, keys.len() as f64 * OPS_PER_KEY, p.work_scale, IS_UPM);
+        comm.span_end();
 
         // The exchange: every rank receives exactly the keys in its
         // range.
-        let received = comm.alltoall(buckets);
+        let received = comm.span("is-exchange", |comm| comm.alltoall(buckets));
 
         // Counting sort of the received keys.
+        comm.span_begin("is-sort");
         let lo = per * rank as u64;
         let hi = (per * (rank as u64 + 1)).min(p.max_key);
         let mut counts = vec![0u64; (hi.saturating_sub(lo)) as usize + 1];
@@ -138,6 +141,7 @@ pub fn run(comm: &mut Comm, p: &IsParams) -> IsOutput {
             }
         }
         charge(comm, local_n as f64 * OPS_PER_KEY, p.work_scale, IS_UPM);
+        comm.span_end();
 
         // Global position of this rank's first key = total keys on
         // lower-range ranks (exclusive prefix via allgather of counts).
@@ -162,11 +166,13 @@ pub fn run(comm: &mut Comm, p: &IsParams) -> IsOutput {
             }
         }
         charge(comm, counts.len() as f64 * 2.0, p.work_scale, IS_UPM);
-        checksum += comm.allreduce_scalar(local_sum, ReduceOp::Sum);
+        checksum += comm.span("is-rank", |comm| comm.allreduce_scalar(local_sum, ReduceOp::Sum));
     }
 
     // Verification must agree globally.
-    let all_ok = comm.allreduce_scalar(if verified { 1.0 } else { 0.0 }, ReduceOp::Min);
+    let all_ok = comm.span("is-verify", |comm| {
+        comm.allreduce_scalar(if verified { 1.0 } else { 0.0 }, ReduceOp::Min)
+    });
     IsOutput { verified: all_ok > 0.5, checksum, iterations: p.rounds }
 }
 

@@ -120,8 +120,7 @@ pub fn run(comm: &mut Comm, p: &JacobiParams) -> JacobiOutput {
             ($rows:expr) => {
                 for i in $rows {
                     for j in 1..=w {
-                        let v =
-                            0.25 * (u[i - 1][j] + u[i + 1][j] + u[i][j - 1] + u[i][j + 1]);
+                        let v = 0.25 * (u[i - 1][j] + u[i + 1][j] + u[i][j - 1] + u[i][j + 1]);
                         diff = diff.max((v - u[i][j]).abs());
                         unew[i][j] = v;
                     }
@@ -133,6 +132,7 @@ pub fn run(comm: &mut Comm, p: &JacobiParams) -> JacobiOutput {
             // Post receives and fire the boundary sends, then relax the
             // interior while the halos are in flight (reducible work),
             // then complete the receives and relax the boundary rows.
+            comm.span_begin("jacobi-halo");
             let req_top = up.map(|u_n| {
                 comm.isend(u_n, 1, u[1].clone());
                 comm.irecv::<Vec<f64>>(u_n, 2)
@@ -141,18 +141,26 @@ pub fn run(comm: &mut Comm, p: &JacobiParams) -> JacobiOutput {
                 comm.isend(d_n, 2, u[local].clone());
                 comm.irecv::<Vec<f64>>(d_n, 1)
             });
+            comm.span_end();
+            comm.span_begin("jacobi-relax");
             relax!(2..local);
             charge(comm, 5.0 * ((local - 2) * w) as f64, p.work_scale, JACOBI_UPM);
+            comm.span_end();
+            comm.span_begin("jacobi-halo");
             if let Some(req) = req_top {
                 u[0] = comm.wait(req);
             }
             if let Some(req) = req_bot {
                 u[local + 1] = comm.wait(req);
             }
+            comm.span_end();
+            comm.span_begin("jacobi-relax");
             relax!([1, local]);
             charge(comm, 5.0 * (2 * w) as f64, p.work_scale, JACOBI_UPM);
+            comm.span_end();
         } else {
             // Blocking halo exchange, then relax everything.
+            comm.span_begin("jacobi-halo");
             if local > 0 {
                 if let Some(u_n) = up {
                     let ghost_top: Vec<f64> = comm.sendrecv(u_n, 1, u[1].clone(), u_n, 2);
@@ -163,8 +171,11 @@ pub fn run(comm: &mut Comm, p: &JacobiParams) -> JacobiOutput {
                     u[local + 1] = ghost_bot;
                 }
             }
+            comm.span_end();
+            comm.span_begin("jacobi-relax");
             relax!(1..=local);
             charge(comm, 5.0 * (local * w) as f64, p.work_scale, JACOBI_UPM);
+            comm.span_end();
         }
         std::mem::swap(&mut u, &mut unew);
         // Keep the hot boundary pinned in the ghost row after the swap.
@@ -173,12 +184,14 @@ pub fn run(comm: &mut Comm, p: &JacobiParams) -> JacobiOutput {
         }
 
         if (it + 1) % p.check_every == 0 {
-            last_diff = comm.allreduce_scalar(diff, ReduceOp::Max);
+            last_diff =
+                comm.span("jacobi-residual", |comm| comm.allreduce_scalar(diff, ReduceOp::Max));
         }
     }
 
     let checksum_local: f64 = (1..=local).map(|i| u[i][1..=w].iter().sum::<f64>()).sum();
-    let checksum = comm.allreduce_scalar(checksum_local, ReduceOp::Sum);
+    let checksum =
+        comm.span("jacobi-checksum", |comm| comm.allreduce_scalar(checksum_local, ReduceOp::Sum));
     JacobiOutput { checksum, last_diff, iterations: p.iters }
 }
 
@@ -277,8 +290,7 @@ mod tests {
     fn overlap_creates_reducible_work() {
         let c = Cluster::athlon_fast_ethernet();
         let p = JacobiParams::experiment_overlap();
-        let (res, _) =
-            c.run(&psc_mpi::ClusterConfig::uniform(4, 1), move |comm| run(comm, &p));
+        let (res, _) = c.run(&psc_mpi::ClusterConfig::uniform(4, 1), move |comm| run(comm, &p));
         // A middle rank posts receives, computes its interior, then
         // waits — the interior compute is between the last send and a
         // blocking point, i.e. reducible.

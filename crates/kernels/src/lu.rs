@@ -86,6 +86,7 @@ pub fn run(comm: &mut Comm, p: &LuParams) -> LuOutput {
 
     for _ in 0..p.iters {
         // ----- forward sweep (new values flow downward) -----
+        comm.span_begin("lu-sweep-fwd");
         // Pre-sweep: obtain the *old* row below (for the u[i+1][j] term).
         if let Some(u_n) = up {
             comm.send(u_n, TAG_GHOST_FWD, u[1].clone());
@@ -115,7 +116,10 @@ pub fn run(comm: &mut Comm, p: &LuParams) -> LuOutput {
             }
         }
 
+        comm.span_end();
+
         // ----- backward sweep (new values flow upward) -----
+        comm.span_begin("lu-sweep-bwd");
         if let Some(d_n) = down {
             comm.send(d_n, TAG_GHOST_BWD, u[local].clone());
         }
@@ -142,9 +146,11 @@ pub fn run(comm: &mut Comm, p: &LuParams) -> LuOutput {
                 comm.send(u_n, TAG_PIPE_BWD, u[1][cols].to_vec());
             }
         }
+        comm.span_end();
     }
 
     // Final residual: one clean halo exchange, then ‖f − A·u‖.
+    comm.span_begin("lu-residual");
     if let Some(u_n) = up {
         let ghost: Vec<f64> = comm.sendrecv(u_n, 5, u[1].clone(), u_n, 6);
         u[0] = ghost;
@@ -166,6 +172,7 @@ pub fn run(comm: &mut Comm, p: &LuParams) -> LuOutput {
     }
     charge(comm, 9.0 * (local * w) as f64, p.work_scale, LU_UPM);
     let total = comm.allreduce(vec![res2, sum], ReduceOp::Sum);
+    comm.span_end();
 
     LuOutput { residual: total[0].sqrt(), checksum: total[1], iterations: p.iters }
 }
@@ -229,10 +236,7 @@ mod tests {
         assert!(s2 > 1.6, "LU speedup(2) {s2}");
         assert!(s4 > 2.7, "LU speedup(4) {s4}");
         let ratio = t4 / t8;
-        assert!(
-            (1.4..=1.95).contains(&ratio),
-            "LU 4→8 time ratio {ratio:.2}, paper reports ≈1.72"
-        );
+        assert!((1.4..=1.95).contains(&ratio), "LU 4→8 time ratio {ratio:.2}, paper reports ≈1.72");
         assert!(s8 > 4.5, "LU speedup(8) {s8}");
     }
 }

@@ -106,7 +106,15 @@ impl Level {
             }
         };
         let rows = r1 - r0 + 2; // plus ghosts
-        Level { m, r0, r1, replicated, u: vec![0.0; rows * m], f: vec![0.0; rows * m], r: vec![0.0; rows * m] }
+        Level {
+            m,
+            r0,
+            r1,
+            replicated,
+            u: vec![0.0; rows * m],
+            f: vec![0.0; rows * m],
+            r: vec![0.0; rows * m],
+        }
     }
 
     #[inline]
@@ -179,8 +187,8 @@ fn smooth_once(comm: &mut Comm, lvl: &mut Level, p: &MgParams) {
     for i in lvl.r0..lvl.r1 {
         for j in 1..m - 1 {
             let c = lvl.idx(i, j);
-            let lap = (4.0 * lvl.u[c] - lvl.u[c - m] - lvl.u[c + m] - lvl.u[c - 1] - lvl.u[c + 1])
-                / h2;
+            let lap =
+                (4.0 * lvl.u[c] - lvl.u[c - m] - lvl.u[c + m] - lvl.u[c - 1] - lvl.u[c + 1]) / h2;
             unew[c] = lvl.u[c] + OMEGA * (lvl.f[c] - lap) * h2 / 4.0;
         }
     }
@@ -197,8 +205,8 @@ fn residual(comm: &mut Comm, lvl: &mut Level, p: &MgParams) {
     for i in lvl.r0..lvl.r1 {
         for j in 1..m - 1 {
             let c = lvl.idx(i, j);
-            let lap = (4.0 * lvl.u[c] - lvl.u[c - m] - lvl.u[c + m] - lvl.u[c - 1] - lvl.u[c + 1])
-                / h2;
+            let lap =
+                (4.0 * lvl.u[c] - lvl.u[c - m] - lvl.u[c + m] - lvl.u[c - 1] - lvl.u[c + 1]) / h2;
             lvl.r[c] = lvl.f[c] - lap;
         }
     }
@@ -411,11 +419,15 @@ pub fn run(comm: &mut Comm, p: &MgParams) -> MgOutput {
         }
     }
 
-    let initial_residual = residual_norm(comm, &mut hier.levels[0], p);
+    let initial_residual =
+        comm.span("mg-residual", |comm| residual_norm(comm, &mut hier.levels[0], p));
     for _ in 0..p.cycles {
+        comm.span_begin("mg-vcycle");
         hier.vcycle(comm, 0, p);
+        comm.span_end();
     }
-    let final_residual = residual_norm(comm, &mut hier.levels[0], p);
+    let final_residual =
+        comm.span("mg-residual", |comm| residual_norm(comm, &mut hier.levels[0], p));
 
     // Checksum and error against the analytic solution.
     let (mut sum, mut err) = (0.0, 0.0f64);
@@ -432,8 +444,10 @@ pub fn run(comm: &mut Comm, p: &MgParams) -> MgOutput {
             }
         }
     }
+    comm.span_begin("mg-verify");
     let checksum = comm.allreduce_scalar(sum, ReduceOp::Sum);
     let max_error = comm.allreduce_scalar(err, ReduceOp::Max);
+    comm.span_end();
 
     MgOutput {
         residual: final_residual,

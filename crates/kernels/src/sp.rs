@@ -235,6 +235,7 @@ pub fn run(comm: &mut Comm, p: &SpParams) -> SpOutput {
     let mut norm = 0.0;
     for step in 0..p.steps {
         {
+            comm.span_begin("sp-xsolve");
             let snapshot = u.clone();
             penta_solve(
                 comm,
@@ -248,8 +249,10 @@ pub fn run(comm: &mut Comm, p: &SpParams) -> SpOutput {
                 |l, k| snapshot[l * nc + k],
                 |l, k, x| u[l * nc + k] = x,
             );
+            comm.span_end();
         }
         {
+            comm.span_begin("sp-ysolve");
             let snapshot = u.clone();
             penta_solve(
                 comm,
@@ -263,9 +266,10 @@ pub fn run(comm: &mut Comm, p: &SpParams) -> SpOutput {
                 |l, k| snapshot[k * nc + l],
                 |l, k, x| u[k * nc + l] = x,
             );
+            comm.span_end();
         }
         let local_max = u.iter().fold(0.0f64, |m, &x| m.max(x.abs()));
-        norm = comm.allreduce_scalar(local_max, ReduceOp::Max);
+        norm = comm.span("sp-norm", |comm| comm.allreduce_scalar(local_max, ReduceOp::Max));
         if step == 0 {
             first_norm = norm;
         }
@@ -274,7 +278,7 @@ pub fn run(comm: &mut Comm, p: &SpParams) -> SpOutput {
     // Sum of squares: the plain sum of this antisymmetric field is ~0,
     // which would make the checksum pure roundoff noise.
     let local_sum: f64 = u.iter().map(|x| x * x).sum();
-    let checksum = comm.allreduce_scalar(local_sum, ReduceOp::Sum);
+    let checksum = comm.span("sp-checksum", |comm| comm.allreduce_scalar(local_sum, ReduceOp::Sum));
     SpOutput { final_norm: norm, first_norm, checksum, iterations: p.steps }
 }
 

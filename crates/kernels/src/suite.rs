@@ -132,9 +132,7 @@ impl Benchmark {
     /// linear — later refined to constant in validation).
     pub fn paper_comm_class(self) -> CommClass {
         match self {
-            Benchmark::Bt | Benchmark::Ep | Benchmark::Mg | Benchmark::Sp => {
-                CommClass::Logarithmic
-            }
+            Benchmark::Bt | Benchmark::Ep | Benchmark::Mg | Benchmark::Sp => CommClass::Logarithmic,
             Benchmark::Cg => CommClass::Quadratic,
             // FT's pairwise all-to-all transposes: linear rounds per
             // rank, quadratic total messages (our label; the paper has
@@ -313,8 +311,14 @@ mod tests {
     #[test]
     fn upm_order_matches_paper_table1() {
         // Table 1 sorts EP > BT > LU > MG > SP > CG.
-        let order =
-            [Benchmark::Ep, Benchmark::Bt, Benchmark::Lu, Benchmark::Mg, Benchmark::Sp, Benchmark::Cg];
+        let order = [
+            Benchmark::Ep,
+            Benchmark::Bt,
+            Benchmark::Lu,
+            Benchmark::Mg,
+            Benchmark::Sp,
+            Benchmark::Cg,
+        ];
         for w in order.windows(2) {
             assert!(w[0].upm() > w[1].upm(), "{:?} should have higher UPM than {:?}", w[0], w[1]);
         }
@@ -348,8 +352,9 @@ mod tests {
         let c = Cluster::athlon_fast_ethernet();
         for b in Benchmark::ALL {
             let nodes = if b.supports_nodes(4) { 4 } else { *b.valid_nodes(4).last().unwrap() };
-            let (res, outs) =
-                c.run(&ClusterConfig::uniform(nodes, 2), move |comm| b.run(comm, ProblemClass::Test));
+            let (res, outs) = c.run(&ClusterConfig::uniform(nodes, 2), move |comm| {
+                b.run(comm, ProblemClass::Test)
+            });
             assert!(res.time_s > 0.0, "{b:?}");
             assert!(res.energy_j > 0.0, "{b:?}");
             for o in outs {
@@ -371,15 +376,35 @@ mod timing_probe {
         let c = Cluster::athlon_fast_ethernet();
         for b in Benchmark::ALL {
             let t0 = Instant::now();
-            let (res, _) = c.run(&ClusterConfig::uniform(1, 1), move |comm| b.run(comm, ProblemClass::B));
+            let (res, _) =
+                c.run(&ClusterConfig::uniform(1, 1), move |comm| b.run(comm, ProblemClass::B));
             let host = t0.elapsed().as_secs_f64();
-            println!("{:<10} n=1 g=1: virtual {:>8.1}s energy {:>9.0}J host {:>5.2}s", b.name(), res.time_s, res.energy_j, host);
+            println!(
+                "{:<10} n=1 g=1: virtual {:>8.1}s energy {:>9.0}J host {:>5.2}s",
+                b.name(),
+                res.time_s,
+                res.energy_j,
+                host
+            );
         }
-        for (b, n) in [(Benchmark::Mg, 8usize), (Benchmark::Cg, 8), (Benchmark::Lu, 8), (Benchmark::Bt, 9), (Benchmark::Jacobi, 10)] {
+        for (b, n) in [
+            (Benchmark::Mg, 8usize),
+            (Benchmark::Cg, 8),
+            (Benchmark::Lu, 8),
+            (Benchmark::Bt, 9),
+            (Benchmark::Jacobi, 10),
+        ] {
             let t0 = Instant::now();
-            let (res, _) = c.run(&ClusterConfig::uniform(n, 1), move |comm| b.run(comm, ProblemClass::B));
+            let (res, _) =
+                c.run(&ClusterConfig::uniform(n, 1), move |comm| b.run(comm, ProblemClass::B));
             let host = t0.elapsed().as_secs_f64();
-            println!("{:<10} n={} g=1: virtual {:>8.1}s host {:>5.2}s", b.name(), n, res.time_s, host);
+            println!(
+                "{:<10} n={} g=1: virtual {:>8.1}s host {:>5.2}s",
+                b.name(),
+                n,
+                res.time_s,
+                host
+            );
         }
     }
 }

@@ -67,14 +67,17 @@ pub fn run(comm: &mut Comm, p: &SyntheticParams) -> SyntheticOutput {
         // Triad-style streaming update: every element read and written,
         // defeating the cache by construction at full scale.
         let s = 1.0 + 1e-4 * (step as f64 + 1.0);
+        comm.span_begin("synthetic-triad");
         for (ai, bi) in a.iter_mut().zip(&b) {
             *ai = *ai * 0.999 + s * *bi;
         }
         charge(comm, 3.0 * a.len() as f64, p.work_scale, SYNTHETIC_UPM);
+        comm.span_end();
         // One scalar all-reduce per step: negligible communication.
         let local: f64 = a.iter().sum();
         charge(comm, a.len() as f64, p.work_scale, SYNTHETIC_UPM);
-        monitored = comm.allreduce_scalar(local, ReduceOp::Sum);
+        monitored =
+            comm.span("synthetic-reduce", |comm| comm.allreduce_scalar(local, ReduceOp::Sum));
     }
 
     SyntheticOutput { checksum: monitored, iterations: p.steps }

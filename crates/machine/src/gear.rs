@@ -91,7 +91,10 @@ impl GearTable {
             .map(|(i, &(freq_hz, voltage_v))| Gear { index: i + 1, freq_hz, voltage_v })
             .collect();
         for (i, g) in gears.iter().enumerate() {
-            if !(g.freq_hz.is_finite() && g.freq_hz > 0.0 && g.voltage_v.is_finite() && g.voltage_v > 0.0)
+            if !(g.freq_hz.is_finite()
+                && g.freq_hz > 0.0
+                && g.voltage_v.is_finite()
+                && g.voltage_v > 0.0)
             {
                 return Err(GearTableError::NonPhysical(i + 1));
             }
@@ -187,14 +190,7 @@ mod tests {
     use super::*;
 
     fn athlon_points() -> Vec<(f64, f64)> {
-        vec![
-            (2.0e9, 1.5),
-            (1.8e9, 1.4),
-            (1.6e9, 1.3),
-            (1.4e9, 1.2),
-            (1.2e9, 1.1),
-            (0.8e9, 1.0),
-        ]
+        vec![(2.0e9, 1.5), (1.8e9, 1.4), (1.6e9, 1.3), (1.4e9, 1.2), (1.2e9, 1.1), (0.8e9, 1.0)]
     }
 
     #[test]

@@ -45,7 +45,12 @@ pub struct NodeSpec {
 
 impl NodeSpec {
     /// Construct a node spec with the default 20 µs DVFS transition.
-    pub fn new(name: impl Into<String>, gears: GearTable, cpu: CpuModel, power: PowerModel) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        gears: GearTable,
+        cpu: CpuModel,
+        power: PowerModel,
+    ) -> Self {
         NodeSpec { name: name.into(), gears, cpu, power, dvfs_transition_s: 20e-6 }
     }
 

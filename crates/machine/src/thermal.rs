@@ -74,12 +74,7 @@ pub fn best_rack_option(
 ) -> RackOption {
     rack_options(node, workload, budget_w, max_slots)
         .into_iter()
-        .max_by(|a, b| {
-            a.throughput
-                .partial_cmp(&b.throughput)
-                .unwrap()
-                .then(b.gear.cmp(&a.gear))
-        })
+        .max_by(|a, b| a.throughput.partial_cmp(&b.throughput).unwrap().then(b.gear.cmp(&a.gear)))
         .expect("node has at least one gear")
 }
 

@@ -58,7 +58,10 @@ impl PowerTrace {
     /// appends are a programmer error.
     pub fn push(&mut self, t1_s: f64, watts: f64) {
         let t0_s = self.end_s();
-        assert!(t1_s >= t0_s - 1e-12, "power trace must be appended in time order ({t1_s} < {t0_s})");
+        assert!(
+            t1_s >= t0_s - 1e-12,
+            "power trace must be appended in time order ({t1_s} < {t0_s})"
+        );
         assert!(watts.is_finite() && watts >= 0.0, "power must be finite and non-negative");
         if t1_s > t0_s {
             // Coalesce with the previous segment when the wattage matches,
@@ -104,6 +107,18 @@ impl PowerTrace {
             Ok(i) => self.segments[i].watts,
             Err(_) => 0.0,
         }
+    }
+
+    /// Exact energy over the window `[t0_s, t1_s]`, joules: the integral
+    /// of the step function restricted to the window. Windows summed over
+    /// a partition of `[0, end_s]` reproduce [`PowerTrace::exact_energy_j`]
+    /// (the per-segment overlaps telescope), which is what the telemetry
+    /// layer's attribution invariant relies on.
+    pub fn energy_between(&self, t0_s: f64, t1_s: f64) -> f64 {
+        if t1_s <= t0_s {
+            return 0.0;
+        }
+        self.segments.iter().map(|s| (s.t1_s.min(t1_s) - s.t0_s.max(t0_s)).max(0.0) * s.watts).sum()
     }
 
     /// Average power over the trace duration, watts (0 for an empty trace).
@@ -243,6 +258,20 @@ mod tests {
         t.push(1.0, 100.0);
         t.push(1.0, 50.0);
         assert_eq!(t.segments().len(), 1);
+    }
+
+    #[test]
+    fn energy_between_windows_partition_the_total() {
+        let t = two_level_trace();
+        // Windows that straddle segment boundaries.
+        let cuts = [0.0, 0.4, 1.2, 1.5, 2.2, 3.0];
+        let sum: f64 = cuts.windows(2).map(|w| t.energy_between(w[0], w[1])).sum();
+        assert!((sum - t.exact_energy_j()).abs() < 1e-9);
+        // A window inside one segment is rectangle area.
+        assert!((t.energy_between(0.2, 0.7) - 0.5 * 145.0).abs() < 1e-9);
+        // Degenerate and out-of-range windows are zero.
+        assert_eq!(t.energy_between(1.0, 1.0), 0.0);
+        assert_eq!(t.energy_between(5.0, 9.0), 0.0);
     }
 
     #[test]

@@ -40,10 +40,8 @@ pub fn plan_gears(node: &NodeSpec, profile: &RunResult, headroom: f64) -> Bottle
     assert!((0.0..1.0).contains(&headroom));
     let actives: Vec<f64> = profile.ranks.iter().map(|r| r.trace.active_s()).collect();
     let bottleneck = actives.iter().cloned().fold(0.0, f64::max);
-    let bottleneck_rank = actives
-        .iter()
-        .position(|&a| a == bottleneck)
-        .expect("run has at least one rank");
+    let bottleneck_rank =
+        actives.iter().position(|&a| a == bottleneck).expect("run has at least one rank");
     let budget = bottleneck * (1.0 - headroom);
 
     let mut gears = Vec::with_capacity(actives.len());
@@ -119,10 +117,7 @@ mod tests {
         let c = Cluster::athlon_fast_ethernet();
         let baseline = profile(&c, 4);
         let plan = plan_gears(&c.node, &baseline, 0.0);
-        let (tuned, _) = c.run(
-            &ClusterConfig { nodes: 4, gears: plan.selection() },
-            imbalanced,
-        );
+        let (tuned, _) = c.run(&ClusterConfig { nodes: 4, gears: plan.selection() }, imbalanced);
         assert!(
             tuned.time_s <= baseline.time_s * 1.01,
             "plan slowed the run: {} vs {}",

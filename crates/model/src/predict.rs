@@ -76,10 +76,7 @@ impl ClusterModel {
         let ti: Vec<(usize, f64)> =
             decomps.iter().filter(|d| d.nodes > 1).map(|d| (d.nodes, d.idle_s)).collect();
         let comm = CommFit::fit(&ti);
-        let largest = decomps
-            .iter()
-            .max_by_key(|d| d.nodes)
-            .expect("at least one decomposition");
+        let largest = decomps.iter().max_by_key(|d| d.nodes).expect("at least one decomposition");
         let reducible_fraction = if largest.active_s > 0.0 {
             (largest.reducible_s / largest.active_s).clamp(0.0, 1.0)
         } else {
@@ -125,8 +122,7 @@ impl ClusterModel {
             (t, m as f64 * g.pg_w * g.sg * (tc + tr))
         } else {
             let t = g.sg * tc + tr + ti;
-            let e = m as f64
-                * (g.pg_w * g.sg * (tc + tr) + g.ig_w * (ti + tr - g.sg * tr));
+            let e = m as f64 * (g.pg_w * g.sg * (tc + tr) + g.ig_w * (ti + tr - g.sg * tr));
             (t, e)
         };
         Prediction { nodes: m, gear, time_s, energy_j }

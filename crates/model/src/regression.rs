@@ -52,8 +52,11 @@ mod tests {
     #[test]
     fn noisy_line_close() {
         let xs: Vec<f64> = (0..20).map(|i| i as f64).collect();
-        let ys: Vec<f64> =
-            xs.iter().enumerate().map(|(i, x)| 1.0 + 0.5 * x + if i % 2 == 0 { 0.1 } else { -0.1 }).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| 1.0 + 0.5 * x + if i % 2 == 0 { 0.1 } else { -0.1 })
+            .collect();
         let (a, b) = linear_fit(&xs, &ys);
         assert!((b - 0.5).abs() < 0.01, "b={b}");
         assert!((a - 1.0).abs() < 0.15, "a={a}");

@@ -38,14 +38,7 @@ fn profile_strategy() -> impl Strategy<Value = GearProfile> {
 }
 
 fn model_strategy() -> impl Strategy<Value = ClusterModel> {
-    (
-        50.0..2000.0f64,
-        0.0..0.3f64,
-        0.1..20.0f64,
-        0.0..5.0f64,
-        profile_strategy(),
-        0.0..1.0f64,
-    )
+    (50.0..2000.0f64, 0.0..0.3f64, 0.1..20.0f64, 0.0..5.0f64, profile_strategy(), 0.0..1.0f64)
         .prop_map(|(t1, fs, comm_a, comm_b, profile, reducible)| ClusterModel {
             amdahl: AmdahlFit::fit(&amdahl_series(t1, fs)),
             comm: CommFit::fit(&[

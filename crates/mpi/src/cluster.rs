@@ -205,10 +205,7 @@ impl Cluster {
                         (rank, out, counters, trace, power, end_s, final_gear)
                     }));
                 }
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("rank panicked"))
-                    .collect()
+                handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
             });
         per_rank.sort_by_key(|t| t.0);
 
@@ -412,8 +409,8 @@ mod tests {
         let n = 5;
         let (_, outs) = c.run(&ClusterConfig::uniform(n, 1), |comm| {
             let gathered = comm.gather(0, vec![comm.rank() as f64 + 1.0]);
-            let blocks = gathered
-                .map(|g| g.into_iter().map(|b| vec![b[0] * 2.0]).collect::<Vec<_>>());
+            let blocks =
+                gathered.map(|g| g.into_iter().map(|b| vec![b[0] * 2.0]).collect::<Vec<_>>());
             comm.scatter(0, blocks)
         });
         for (rank, out) in outs.iter().enumerate() {
@@ -715,9 +712,8 @@ mod prefix_tests {
         let n = 4;
         let (_, outs) = c.run(&ClusterConfig::uniform(n, 1), move |comm| {
             // Contribution of rank r to destination d: [r·10 + d; 2].
-            let blocks: Vec<Vec<f64>> = (0..comm.size())
-                .map(|d| vec![(comm.rank() * 10 + d) as f64; 2])
-                .collect();
+            let blocks: Vec<Vec<f64>> =
+                (0..comm.size()).map(|d| vec![(comm.rank() * 10 + d) as f64; 2]).collect();
             comm.reduce_scatter(blocks, ReduceOp::Sum)
         });
         for (rank, out) in outs.iter().enumerate() {
@@ -738,10 +734,8 @@ mod prefix_tests {
             // Reference: reduce whole concatenation to root, scatter.
             let flat: Vec<f64> = blocks.into_iter().flatten().collect();
             let reduced = comm.reduce(0, flat, ReduceOp::Sum);
-            let reference = comm.scatter(
-                0,
-                reduced.map(|r| r.chunks(1).map(|c| c.to_vec()).collect()),
-            );
+            let reference =
+                comm.scatter(0, reduced.map(|r| r.chunks(1).map(|c| c.to_vec()).collect()));
             (fused, reference)
         });
         for (fused, reference) in outs {

@@ -22,7 +22,7 @@ use crate::network::NetworkModel;
 use crate::payload::Payload;
 use crate::reduce::ReduceOp;
 use crate::router::{Envelope, MatchBuffer, Router};
-use crate::trace::{MpiOp, RankTrace, TraceEvent};
+use crate::trace::{GearShift, MpiOp, PhaseSpan, RankTrace, TraceEvent};
 use crossbeam::channel::Receiver;
 use psc_machine::{Counters, Gear, NodeSpec, PowerTrace, WorkBlock};
 use std::sync::Arc;
@@ -30,9 +30,6 @@ use std::sync::Arc;
 /// Tag namespace reserved for collective operations; user tags must stay
 /// below this value.
 pub const COLLECTIVE_TAG_BASE: u64 = 1 << 62;
-
-/// Peer value recorded in trace events for collective operations.
-pub const NO_PEER: usize = usize::MAX;
 
 /// A pending nonblocking receive, completed by [`Comm::wait`].
 ///
@@ -62,6 +59,7 @@ pub struct Comm {
     power: PowerTrace,
     coll_seq: u64,
     wire_scale: f64,
+    span_stack: Vec<(String, f64)>,
 }
 
 impl Comm {
@@ -91,6 +89,7 @@ impl Comm {
             power: PowerTrace::new(),
             coll_seq: 0,
             wire_scale: 1.0,
+            span_stack: Vec::new(),
         }
     }
 
@@ -168,7 +167,60 @@ impl Comm {
             self.power.push(self.clock_s, watts);
             self.counters.record_idle(dt);
         }
+        self.trace.record_gear_shift(GearShift {
+            t_s: self.clock_s,
+            from_gear: self.gear.index,
+            to_gear: new.index,
+            stall_s: if dt > 0.0 { dt } else { 0.0 },
+        });
         self.gear = new;
+    }
+
+    // ------------------------------------------------------------------
+    // Phase spans
+    // ------------------------------------------------------------------
+
+    /// Run a named application phase: everything the closure does —
+    /// compute, messaging, nested spans — is attributed to `name` in the
+    /// rank's trace. Spans nest; closing is automatic, so traces built
+    /// through this API are always well formed.
+    ///
+    /// ```
+    /// use psc_mpi::{Cluster, ClusterConfig};
+    /// use psc_machine::WorkBlock;
+    ///
+    /// let cluster = Cluster::athlon_fast_ethernet();
+    /// let (run, _) = cluster.run(&ClusterConfig::uniform(2, 1), |comm| {
+    ///     comm.span("halo", |comm| comm.barrier());
+    ///     comm.span("sweep", |comm| comm.compute(&WorkBlock::cpu_only(1.0e9)));
+    /// });
+    /// assert_eq!(run.ranks[0].trace.spans().len(), 2);
+    /// ```
+    pub fn span<R>(&mut self, name: &str, body: impl FnOnce(&mut Comm) -> R) -> R {
+        self.span_begin(name);
+        let out = body(self);
+        self.span_end();
+        out
+    }
+
+    /// Open a named phase span at the current virtual time. Prefer
+    /// [`Comm::span`]; this exists for phases whose boundaries do not
+    /// align with a lexical scope. Every `span_begin` must be paired
+    /// with a [`Comm::span_end`]; spans left open are closed at
+    /// finalize time.
+    pub fn span_begin(&mut self, name: &str) {
+        self.span_stack.push((name.to_string(), self.clock_s));
+    }
+
+    /// Close the innermost open span.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no span is open.
+    pub fn span_end(&mut self) {
+        let (name, t_start_s) = self.span_stack.pop().expect("span_end called with no open span");
+        let depth = self.span_stack.len();
+        self.trace.record_span(PhaseSpan { name, t_start_s, t_end_s: self.clock_s, depth });
     }
 
     // ------------------------------------------------------------------
@@ -202,7 +254,7 @@ impl Comm {
         assert!(tag < COLLECTIVE_TAG_BASE, "user tag collides with collective namespace");
         let t0 = self.clock_s;
         let bytes = self.raw_send(dst, tag, data);
-        self.finish_op(MpiOp::Send, t0, bytes, dst);
+        self.finish_op(MpiOp::Send, t0, bytes, Some(dst));
     }
 
     /// Blocking receive from a specific source and tag. There are no
@@ -211,7 +263,7 @@ impl Comm {
         assert!(tag < COLLECTIVE_TAG_BASE, "user tag collides with collective namespace");
         let t0 = self.clock_s;
         let (data, bytes) = self.raw_recv::<T>(src, tag);
-        self.finish_op(MpiOp::Recv, t0, bytes, src);
+        self.finish_op(MpiOp::Recv, t0, bytes, Some(src));
         data
     }
 
@@ -230,7 +282,7 @@ impl Comm {
         let t0 = self.clock_s;
         let sent = self.raw_send(dst, send_tag, data);
         let (data, recvd) = self.raw_recv::<U>(src, recv_tag);
-        self.finish_op(MpiOp::SendRecv, t0, sent + recvd, dst);
+        self.finish_op(MpiOp::SendRecv, t0, sent + recvd, Some(dst));
         data
     }
 
@@ -251,7 +303,7 @@ impl Comm {
         assert!(tag < COLLECTIVE_TAG_BASE, "user tag collides with collective namespace");
         assert!(src < self.size && src != self.rank, "invalid irecv source {src}");
         let t0 = self.clock_s;
-        self.finish_op(MpiOp::Irecv, t0, 0, src);
+        self.finish_op(MpiOp::Irecv, t0, 0, Some(src));
         RecvRequest { src, tag, _marker: std::marker::PhantomData }
     }
 
@@ -261,7 +313,7 @@ impl Comm {
     pub fn wait<T: Payload>(&mut self, req: RecvRequest<T>) -> T {
         let t0 = self.clock_s;
         let (data, bytes) = self.raw_recv::<T>(req.src, req.tag);
-        self.finish_op(MpiOp::Wait, t0, bytes, req.src);
+        self.finish_op(MpiOp::Wait, t0, bytes, Some(req.src));
         data
     }
 
@@ -279,7 +331,7 @@ impl Comm {
     pub fn barrier(&mut self) {
         let t0 = self.clock_s;
         let bytes = self.dissemination();
-        self.finish_op(MpiOp::Barrier, t0, bytes, NO_PEER);
+        self.finish_op(MpiOp::Barrier, t0, bytes, None);
     }
 
     /// One-to-all broadcast over a binomial tree (⌈log₂ n⌉ rounds).
@@ -289,7 +341,7 @@ impl Comm {
         let t0 = self.clock_s;
         let seq = self.next_coll_seq();
         let (out, bytes) = self.binomial_bcast(root, data, seq);
-        self.finish_op(MpiOp::Bcast, t0, bytes, NO_PEER);
+        self.finish_op(MpiOp::Bcast, t0, bytes, None);
         out
     }
 
@@ -299,7 +351,7 @@ impl Comm {
         let t0 = self.clock_s;
         let seq = self.next_coll_seq();
         let (out, bytes) = self.binomial_reduce(root, data, op, seq);
-        self.finish_op(MpiOp::Reduce, t0, bytes, NO_PEER);
+        self.finish_op(MpiOp::Reduce, t0, bytes, None);
         out
     }
 
@@ -311,7 +363,7 @@ impl Comm {
         let (reduced, b1) = self.binomial_reduce(0, data, op, seq_r);
         let seq_b = self.next_coll_seq();
         let (out, b2) = self.binomial_bcast(0, reduced.unwrap_or_default(), seq_b);
-        self.finish_op(MpiOp::Allreduce, t0, b1 + b2, NO_PEER);
+        self.finish_op(MpiOp::Allreduce, t0, b1 + b2, None);
         out
     }
 
@@ -340,7 +392,7 @@ impl Comm {
             bytes += b;
             blocks[recv_idx] = data;
         }
-        self.finish_op(MpiOp::Allgather, t0, bytes, NO_PEER);
+        self.finish_op(MpiOp::Allgather, t0, bytes, None);
         blocks
     }
 
@@ -364,7 +416,7 @@ impl Comm {
             bytes += b;
             out[src] = data;
         }
-        self.finish_op(MpiOp::Alltoall, t0, bytes, NO_PEER);
+        self.finish_op(MpiOp::Alltoall, t0, bytes, None);
         out
     }
 
@@ -389,7 +441,7 @@ impl Comm {
         if self.rank + 1 < self.size {
             bytes += self.raw_send(self.rank + 1, tag, acc.clone());
         }
-        self.finish_op(MpiOp::Scan, t0, bytes, NO_PEER);
+        self.finish_op(MpiOp::Scan, t0, bytes, None);
         acc
     }
 
@@ -414,7 +466,7 @@ impl Comm {
             op.combine(&mut fwd, &data);
             bytes += self.raw_send(self.rank + 1, tag, fwd);
         }
-        self.finish_op(MpiOp::Scan, t0, bytes, NO_PEER);
+        self.finish_op(MpiOp::Scan, t0, bytes, None);
         prefix
     }
 
@@ -454,7 +506,7 @@ impl Comm {
             bytes += self.raw_send(root, tag, mine);
             None
         };
-        self.finish_op(MpiOp::Gather, t0, bytes, NO_PEER);
+        self.finish_op(MpiOp::Gather, t0, bytes, None);
         result
     }
 
@@ -479,16 +531,21 @@ impl Comm {
             bytes += b;
             data
         };
-        self.finish_op(MpiOp::Scatter, t0, bytes, NO_PEER);
+        self.finish_op(MpiOp::Scatter, t0, bytes, None);
         mine
     }
 
     /// Finalize the rank's program: a trailing barrier (like
     /// `MPI_Finalize`) and trace closing. Called by the cluster driver.
     pub(crate) fn finalize(&mut self) {
+        // Close any spans the program left open so the trace stays well
+        // formed (e.g. a span around code that returned early).
+        while !self.span_stack.is_empty() {
+            self.span_end();
+        }
         let t0 = self.clock_s;
         let bytes = if self.size > 1 { self.dissemination() } else { 0 };
-        self.finish_op(MpiOp::Finalize, t0, bytes, NO_PEER);
+        self.finish_op(MpiOp::Finalize, t0, bytes, None);
         self.trace.end_s = self.clock_s;
         debug_assert!(
             self.buffer.is_empty(),
@@ -560,7 +617,7 @@ impl Comm {
 
     /// Close out a traced MPI operation that began at `t0`: extend the
     /// power profile at idle power, account idle time, record the event.
-    fn finish_op(&mut self, op: MpiOp, t0: f64, bytes: u64, peer: usize) {
+    fn finish_op(&mut self, op: MpiOp, t0: f64, bytes: u64, peer: Option<usize>) {
         let idle_w = self.node.idle_power_w(self.gear);
         self.power.push(self.clock_s, idle_w);
         self.counters.record_idle(self.clock_s - t0);

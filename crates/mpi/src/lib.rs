@@ -49,4 +49,4 @@ pub use cluster::{Cluster, ClusterConfig, GearSelection, RankResult, RunResult};
 pub use comm::{Comm, RecvRequest};
 pub use network::NetworkModel;
 pub use reduce::ReduceOp;
-pub use trace::{MpiOp, RankTrace, TraceEvent};
+pub use trace::{GearShift, MpiOp, PhaseSpan, RankTrace, TraceEvent};

@@ -39,12 +39,23 @@ pub struct NetworkModel {
 
 impl NetworkModel {
     /// Construct a validated network model (non-blocking switch).
-    pub fn new(latency_s: f64, bandwidth_bps: f64, send_overhead_s: f64, recv_overhead_s: f64) -> Self {
+    pub fn new(
+        latency_s: f64,
+        bandwidth_bps: f64,
+        send_overhead_s: f64,
+        recv_overhead_s: f64,
+    ) -> Self {
         assert!(latency_s >= 0.0 && latency_s.is_finite());
         assert!(bandwidth_bps > 0.0 && bandwidth_bps.is_finite());
         assert!(send_overhead_s >= 0.0 && send_overhead_s.is_finite());
         assert!(recv_overhead_s >= 0.0 && recv_overhead_s.is_finite());
-        NetworkModel { latency_s, bandwidth_bps, send_overhead_s, recv_overhead_s, backplane_bps: None }
+        NetworkModel {
+            latency_s,
+            bandwidth_bps,
+            send_overhead_s,
+            recv_overhead_s,
+            backplane_bps: None,
+        }
     }
 
     /// Limit the switch backplane (see [`NetworkModel::backplane_bps`]).

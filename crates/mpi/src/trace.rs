@@ -75,8 +75,8 @@ pub struct TraceEvent {
     pub t_exit_s: f64,
     /// Payload bytes moved by this rank in this call.
     pub bytes: u64,
-    /// Peer rank for point-to-point calls; `usize::MAX` for collectives.
-    pub peer: usize,
+    /// Peer rank for point-to-point calls; `None` for collectives.
+    pub peer: Option<usize>,
 }
 
 impl TraceEvent {
@@ -86,10 +86,54 @@ impl TraceEvent {
     }
 }
 
+/// A named application phase interval on one rank, recorded by the
+/// [`crate::comm::Comm::span`] API. Spans may nest; `depth` is the
+/// nesting level at which the span was opened (0 = outermost).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseSpan {
+    /// Phase name, e.g. `"jacobi-halo"`.
+    pub name: String,
+    /// Virtual time the span was opened, seconds.
+    pub t_start_s: f64,
+    /// Virtual time the span was closed, seconds.
+    pub t_end_s: f64,
+    /// Nesting depth at open time (0 = outermost).
+    pub depth: usize,
+}
+
+impl PhaseSpan {
+    /// Span length, seconds.
+    pub fn duration_s(&self) -> f64 {
+        self.t_end_s - self.t_start_s
+    }
+
+    /// Whether `other` lies entirely inside this span (used by the
+    /// well-nestedness check).
+    pub fn contains(&self, other: &PhaseSpan) -> bool {
+        self.t_start_s <= other.t_start_s && other.t_end_s <= self.t_end_s
+    }
+}
+
+/// A mid-run DVFS gear change on one rank, recorded by
+/// [`crate::comm::Comm::set_gear`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GearShift {
+    /// Virtual time at which the new gear took effect, seconds.
+    pub t_s: f64,
+    /// Gear index before the shift (1-based).
+    pub from_gear: usize,
+    /// Gear index after the shift (1-based).
+    pub to_gear: usize,
+    /// PLL-relock/voltage-ramp stall charged in `[t_s - stall_s, t_s]`.
+    pub stall_s: f64,
+}
+
 /// The full event log of one rank over one run.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct RankTrace {
     events: Vec<TraceEvent>,
+    spans: Vec<PhaseSpan>,
+    gear_shifts: Vec<GearShift>,
     /// Virtual time at which the rank's program ended.
     pub end_s: f64,
 }
@@ -109,9 +153,63 @@ impl RankTrace {
         self.events.push(ev);
     }
 
+    /// Append a completed phase span. Spans close in LIFO order, so they
+    /// arrive sorted by end time (inner spans before the spans that
+    /// contain them).
+    pub fn record_span(&mut self, span: PhaseSpan) {
+        debug_assert!(span.t_end_s >= span.t_start_s, "span closes before it opens");
+        self.spans.push(span);
+    }
+
+    /// Append a gear-shift mark. Shifts must be appended in time order.
+    pub fn record_gear_shift(&mut self, shift: GearShift) {
+        debug_assert!(
+            self.gear_shifts.last().is_none_or(|last| shift.t_s >= last.t_s - 1e-12),
+            "gear shifts out of order"
+        );
+        self.gear_shifts.push(shift);
+    }
+
     /// The recorded events in time order.
     pub fn events(&self) -> &[TraceEvent] {
         &self.events
+    }
+
+    /// Completed phase spans, in close order (inner before outer).
+    pub fn spans(&self) -> &[PhaseSpan] {
+        &self.spans
+    }
+
+    /// Mid-run gear shifts, in time order.
+    pub fn gear_shifts(&self) -> &[GearShift] {
+        &self.gear_shifts
+    }
+
+    /// Total time spent inside spans of the given name, seconds.
+    /// Instances of the same name do not overlap unless a span is nested
+    /// inside a same-named span, so this is normally wall time.
+    pub fn span_time_s(&self, name: &str) -> f64 {
+        self.spans.iter().filter(|s| s.name == name).map(PhaseSpan::duration_s).sum()
+    }
+
+    /// Whether the recorded spans are well nested: every pair of spans is
+    /// either disjoint or one contains the other, and depths are
+    /// consistent with containment. Holds by construction for traces
+    /// produced by the [`crate::comm::Comm::span`] API.
+    pub fn spans_well_nested(&self) -> bool {
+        const EPS: f64 = 1e-12;
+        for (i, a) in self.spans.iter().enumerate() {
+            if a.t_end_s < a.t_start_s {
+                return false;
+            }
+            for b in &self.spans[i + 1..] {
+                let disjoint = a.t_end_s <= b.t_start_s + EPS || b.t_end_s <= a.t_start_s + EPS;
+                if !disjoint && !a.contains(b) && !b.contains(a) {
+                    return false;
+                }
+            }
+        }
+        true
     }
 
     /// Active (compute) time `T^A`: total time outside MPI calls, seconds.
@@ -211,7 +309,7 @@ mod tests {
     use super::*;
 
     fn ev(op: MpiOp, t0: f64, t1: f64) -> TraceEvent {
-        TraceEvent { op, t_enter_s: t0, t_exit_s: t1, bytes: 8, peer: 0 }
+        TraceEvent { op, t_enter_s: t0, t_exit_s: t1, bytes: 8, peer: Some(0) }
     }
 
     #[test]
@@ -290,12 +388,65 @@ mod tests {
     #[test]
     fn bytes_and_counts() {
         let mut t = RankTrace::new();
-        t.record(TraceEvent { op: MpiOp::Send, t_enter_s: 0.0, t_exit_s: 0.1, bytes: 100, peer: 1 });
-        t.record(TraceEvent { op: MpiOp::Recv, t_enter_s: 0.1, t_exit_s: 0.2, bytes: 50, peer: 1 });
+        t.record(TraceEvent {
+            op: MpiOp::Send,
+            t_enter_s: 0.0,
+            t_exit_s: 0.1,
+            bytes: 100,
+            peer: Some(1),
+        });
+        t.record(TraceEvent {
+            op: MpiOp::Recv,
+            t_enter_s: 0.1,
+            t_exit_s: 0.2,
+            bytes: 50,
+            peer: Some(1),
+        });
         assert_eq!(t.bytes_sent(), 100);
         assert_eq!(t.count_op(MpiOp::Send), 1);
         assert_eq!(t.count_op(MpiOp::Recv), 1);
         assert_eq!(t.count_op(MpiOp::Barrier), 0);
+    }
+
+    fn span(name: &str, t0: f64, t1: f64, depth: usize) -> PhaseSpan {
+        PhaseSpan { name: name.to_string(), t_start_s: t0, t_end_s: t1, depth }
+    }
+
+    #[test]
+    fn span_time_sums_instances_by_name() {
+        let mut t = RankTrace::new();
+        t.record_span(span("halo", 0.0, 1.0, 0));
+        t.record_span(span("sweep", 1.0, 3.0, 0));
+        t.record_span(span("halo", 3.0, 3.5, 0));
+        assert!((t.span_time_s("halo") - 1.5).abs() < 1e-12);
+        assert!((t.span_time_s("sweep") - 2.0).abs() < 1e-12);
+        assert_eq!(t.span_time_s("missing"), 0.0);
+    }
+
+    #[test]
+    fn well_nested_accepts_containment_and_disjoint() {
+        let mut t = RankTrace::new();
+        t.record_span(span("inner", 1.0, 2.0, 1));
+        t.record_span(span("outer", 0.0, 3.0, 0));
+        t.record_span(span("later", 3.0, 4.0, 0));
+        assert!(t.spans_well_nested());
+    }
+
+    #[test]
+    fn well_nested_rejects_partial_overlap() {
+        let mut t = RankTrace::new();
+        t.record_span(span("a", 0.0, 2.0, 0));
+        t.record_span(span("b", 1.0, 3.0, 0));
+        assert!(!t.spans_well_nested());
+    }
+
+    #[test]
+    fn gear_shifts_recorded_in_order() {
+        let mut t = RankTrace::new();
+        t.record_gear_shift(GearShift { t_s: 1.0, from_gear: 1, to_gear: 4, stall_s: 0.01 });
+        t.record_gear_shift(GearShift { t_s: 2.0, from_gear: 4, to_gear: 2, stall_s: 0.01 });
+        assert_eq!(t.gear_shifts().len(), 2);
+        assert_eq!(t.gear_shifts()[0].to_gear, 4);
     }
 
     #[test]

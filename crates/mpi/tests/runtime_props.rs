@@ -41,8 +41,7 @@ fn execute(comm: &mut psc_mpi::Comm, steps: &[Step]) -> f64 {
             }
             Step::Bcast { root_mod, len } => {
                 let root = root_mod % comm.size();
-                let data =
-                    if comm.rank() == root { vec![acc; *len] } else { Vec::new() };
+                let data = if comm.rank() == root { vec![acc; *len] } else { Vec::new() };
                 let got = comm.bcast(root, data);
                 acc += got[0] * 1e-3;
             }

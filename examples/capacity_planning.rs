@@ -44,7 +44,10 @@ fn main() {
     );
 
     println!("Predicted energy-time curves (refined model):");
-    println!("{:>6} {:>5} {:>10} {:>11} {:>10}", "nodes", "gear", "time [s]", "energy [J]", "avg power");
+    println!(
+        "{:>6} {:>5} {:>10} {:>11} {:>10}",
+        "nodes", "gear", "time [s]", "energy [J]", "avg power"
+    );
     for m in [16usize, 25, 32] {
         for p in model.predict_curve(m, true) {
             println!(
@@ -63,10 +66,8 @@ fn main() {
     // minimum-energy gear moves down.
     for m in [16usize, 25, 32] {
         let curve = model.predict_curve(m, true);
-        let best = curve
-            .iter()
-            .min_by(|a, b| a.energy_j.partial_cmp(&b.energy_j).unwrap())
-            .unwrap();
+        let best =
+            curve.iter().min_by(|a, b| a.energy_j.partial_cmp(&b.energy_j).unwrap()).unwrap();
         println!("at {m:>2} nodes the minimum-energy gear is {}", best.gear);
     }
 }

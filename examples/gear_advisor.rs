@@ -52,10 +52,7 @@ fn main() {
     let plan = plan_gears(&cluster.node, &baseline, 0.0);
     println!("  plan: per-rank gears {:?} (bottleneck rank {})", plan.gears, plan.bottleneck_rank);
 
-    let (tuned, _) = cluster.run(
-        &ClusterConfig { nodes: 4, gears: plan.selection() },
-        imbalanced,
-    );
+    let (tuned, _) = cluster.run(&ClusterConfig { nodes: 4, gears: plan.selection() }, imbalanced);
     println!("  with the plan:       {:>7.2} s, {:>8.0} J", tuned.time_s, tuned.energy_j);
     println!(
         "\n  → {:.1}% energy saved for {:+.2}% time",

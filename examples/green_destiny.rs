@@ -31,7 +31,11 @@ fn main() {
     let mut rows: Vec<(String, f64, f64)> = Vec::new();
     rows.push({
         let g = fast.gear(1);
-        ("performance-at-all-costs (gear 1)".into(), fast.compute_time_s(&work, g), fast.compute_energy_j(&work, g))
+        (
+            "performance-at-all-costs (gear 1)".into(),
+            fast.compute_time_s(&work, g),
+            fast.compute_energy_j(&work, g),
+        )
     });
     for gear in [3usize, 5] {
         let g = fast.gear(gear);
@@ -43,7 +47,11 @@ fn main() {
     }
     rows.push({
         let g = cool.gear(1);
-        ("Green-Destiny-style low-power node".into(), cool.compute_time_s(&work, g), cool.compute_energy_j(&work, g))
+        (
+            "Green-Destiny-style low-power node".into(),
+            cool.compute_time_s(&work, g),
+            cool.compute_energy_j(&work, g),
+        )
     });
 
     let (t0, e0) = (rows[0].1, rows[0].2);

@@ -22,7 +22,9 @@ fn main() {
     let budget_w = 2500.0; // a 2004-era 20 A / 120 V rack circuit
     let slots = 42;
 
-    for (label, upm) in [("memory-bound (CG-like, UPM 8.6)", 8.6), ("CPU-bound (EP-like, UPM 844)", 844.0)] {
+    for (label, upm) in
+        [("memory-bound (CG-like, UPM 8.6)", 8.6), ("CPU-bound (EP-like, UPM 844)", 844.0)]
+    {
         let work = WorkBlock::with_upm(1.0e9, upm);
         println!("{label}, {budget_w:.0} W budget, {slots} slots:\n");
         println!(

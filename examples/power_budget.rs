@@ -28,7 +28,10 @@ fn main() {
     let configs = configs_of(&curves);
 
     println!("{} — Pareto-optimal (nodes, gear) configurations:\n", bench.name());
-    println!("{:>6} {:>5} {:>10} {:>11} {:>10}", "nodes", "gear", "time [s]", "energy [J]", "avg power");
+    println!(
+        "{:>6} {:>5} {:>10} {:>11} {:>10}",
+        "nodes", "gear", "time [s]", "energy [J]", "avg power"
+    );
     for c in pareto_frontier(&configs) {
         println!(
             "{:>6} {:>5} {:>10.1} {:>11.0} {:>9.1}W",

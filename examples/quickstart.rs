@@ -17,7 +17,10 @@ fn main() {
     let nodes = 4;
 
     println!("{} on {} simulated nodes, every gear:\n", bench.name(), nodes);
-    println!("{:>4} {:>9} {:>11} {:>10} {:>9} {:>9}", "gear", "MHz", "time [s]", "energy [J]", "delay", "savings");
+    println!(
+        "{:>4} {:>9} {:>11} {:>10} {:>9} {:>9}",
+        "gear", "MHz", "time [s]", "energy [J]", "delay", "savings"
+    );
 
     let mut baseline: Option<(f64, f64)> = None;
     for gear_index in 1..=cluster.node.gears.len() {

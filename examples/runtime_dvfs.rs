@@ -21,22 +21,19 @@ use powerscale::prelude::*;
 
 fn main() {
     let cluster = Cluster::athlon_fast_ethernet();
-    println!(
-        "DVFS transition cost: {:.0} µs per switch\n",
-        cluster.node.dvfs_transition_s * 1e6
-    );
+    println!("DVFS transition cost: {:.0} µs per switch\n", cluster.node.dvfs_transition_s * 1e6);
 
     // The controller reacts: it picks the gear for the NEXT phase from
     // the counters of the LAST one. It therefore thrives on programs
     // whose behaviour has temporal locality (long runs of similar
     // phases — the common case in iterative HPC codes) and is defeated
     // by adversarial strict alternation. Show both.
-    let blocked: Vec<f64> = std::iter::repeat_n(844.0, 5)
-        .chain(std::iter::repeat_n(8.6, 5))
-        .collect();
+    let blocked: Vec<f64> =
+        std::iter::repeat_n(844.0, 5).chain(std::iter::repeat_n(8.6, 5)).collect();
     let alternating: Vec<f64> = (0..10).map(|i| if i % 2 == 0 { 844.0 } else { 8.6 }).collect();
 
-    for (label, phases) in [("blocked phases (EEEEECCCCC)", blocked), ("alternating phases (ECECECECEC)", alternating)]
+    for (label, phases) in
+        [("blocked phases (EEEEECCCCC)", blocked), ("alternating phases (ECECECECEC)", alternating)]
     {
         let run = |adaptive: bool| {
             let phases = phases.clone();

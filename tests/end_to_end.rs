@@ -66,9 +66,8 @@ fn kernel_answers_do_not_depend_on_gear() {
 #[test]
 fn energy_accounting_is_internally_consistent() {
     let c = cluster();
-    let (run, _) = c.run(&ClusterConfig::uniform(3, 2), |comm| {
-        Benchmark::Jacobi.run(comm, ProblemClass::Test)
-    });
+    let (run, _) = c
+        .run(&ClusterConfig::uniform(3, 2), |comm| Benchmark::Jacobi.run(comm, ProblemClass::Test));
     // Cluster energy = sum of per-rank exact trace integrals.
     let per_rank: f64 = run.ranks.iter().map(|r| r.power.exact_energy_j()).sum();
     assert!((per_rank - run.energy_j).abs() < 1e-6 * run.energy_j);
@@ -108,9 +107,8 @@ fn model_predictions_track_actual_runs_at_unseen_node_counts() {
 #[test]
 fn decompositions_feed_the_model_pipeline() {
     let c = cluster();
-    let (run, _) = c.run(&ClusterConfig::uniform(4, 1), |comm| {
-        Benchmark::Cg.run(comm, ProblemClass::Test)
-    });
+    let (run, _) =
+        c.run(&ClusterConfig::uniform(4, 1), |comm| Benchmark::Cg.run(comm, ProblemClass::Test));
     let d = Decomposition::of(&run);
     assert_eq!(d.nodes, 4);
     assert!(d.active_s > 0.0);
@@ -122,9 +120,8 @@ fn decompositions_feed_the_model_pipeline() {
 fn sun_cluster_runs_the_same_programs() {
     let sun = sun_cluster();
     assert!(!sun.node.is_power_scalable());
-    let (run, outs) = sun.run(&ClusterConfig::uniform(4, 1), |comm| {
-        Benchmark::Mg.run(comm, ProblemClass::Test)
-    });
+    let (run, outs) =
+        sun.run(&ClusterConfig::uniform(4, 1), |comm| Benchmark::Mg.run(comm, ProblemClass::Test));
     assert!(run.time_s > 0.0);
     assert!(outs[0].residual.unwrap() < 1e-3);
 }
@@ -181,9 +178,8 @@ fn wattmeter_measurement_methodology_matches_paper() {
     // and must agree with the closed-form integral within a couple of
     // percent on a real kernel run.
     let c = cluster();
-    let (run, _) = c.run(&ClusterConfig::uniform(4, 3), |comm| {
-        Benchmark::Bt.run(comm, ProblemClass::Test)
-    });
+    let (run, _) =
+        c.run(&ClusterConfig::uniform(4, 3), |comm| Benchmark::Bt.run(comm, ProblemClass::Test));
     // Test-class runs last only a few virtual seconds, so the 30 Hz
     // sampler's quantization error is proportionally larger than on the
     // paper's minutes-long runs; a few percent is the right band here.

@@ -1,0 +1,185 @@
+//! Offline stand-in for `criterion`, vendored because the build
+//! environment has no access to crates.io.
+//!
+//! Benchmarks compiled against this stub smoke-run each body a handful
+//! of times and print a median wall-clock timing — enough to keep the
+//! `[[bench]]` targets building, catch panics, and give a rough number,
+//! without criterion's statistics, plots, or baselines.
+
+use std::time::Instant;
+
+/// How batched inputs are grouped between setup calls. Accepted for
+/// API compatibility; the stub always sets up per iteration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Opaque hint to the optimizer, re-exported from std.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Criterion {
+    /// Number of timed iterations per benchmark (default 5 in the stub).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.effective_samples(),
+            _parent: self,
+        }
+    }
+
+    /// Run a single named benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl AsRef<str>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(id.as_ref(), self.effective_samples(), f);
+        self
+    }
+
+    fn effective_samples(&self) -> usize {
+        if self.sample_size == 0 {
+            5
+        } else {
+            self.sample_size
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed iterations per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Run a benchmark within the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl AsRef<str>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id.as_ref()), self.sample_size, f);
+        self
+    }
+
+    /// Finish the group (a no-op in the stub).
+    pub fn finish(self) {}
+}
+
+fn run_one(id: &str, samples: usize, mut f: impl FnMut(&mut Bencher)) {
+    // Keep stub runs quick: a few samples regardless of configuration.
+    let samples = samples.clamp(1, 5);
+    let mut b = Bencher { timings_ns: Vec::with_capacity(samples) };
+    for _ in 0..samples {
+        f(&mut b);
+    }
+    b.timings_ns.sort_unstable();
+    let median = b.timings_ns.get(b.timings_ns.len() / 2).copied().unwrap_or(0);
+    println!("bench {id:<40} median {:>12.3} ms ({samples} samples)", median as f64 / 1e6);
+}
+
+/// Passed to each benchmark body to time its routine.
+pub struct Bencher {
+    timings_ns: Vec<u128>,
+}
+
+impl Bencher {
+    /// Time one execution of the routine.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        black_box(routine());
+        self.timings_ns.push(start.elapsed().as_nanos());
+    }
+
+    /// Time one execution with untimed setup.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let input = setup();
+        let start = Instant::now();
+        black_box(routine(input));
+        self.timings_ns.push(start.elapsed().as_nanos());
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Generate a `main` that runs benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_body() {
+        let mut c = Criterion::default();
+        let mut runs = 0;
+        c.bench_function("t", |b| {
+            b.iter(|| 1 + 1);
+            runs += 1;
+        });
+        assert!(runs >= 1);
+    }
+
+    #[test]
+    fn groups_run_and_finish() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2);
+        let mut hits = 0;
+        g.bench_function("x", |b| {
+            b.iter_batched(|| 3, |x| x * 2, BatchSize::SmallInput);
+            hits += 1;
+        });
+        g.finish();
+        assert!(hits >= 1);
+    }
+}

@@ -1,0 +1,47 @@
+//! Offline stand-in for `crossbeam`, vendored because the build
+//! environment has no access to crates.io.
+//!
+//! Only the `channel` module is provided, covering the API surface this
+//! workspace uses: `unbounded()`, `Sender::send`, `Receiver::recv`, and
+//! `Receiver::try_recv`. Backed by `std::sync::mpsc`, whose `Sender`
+//! has been `Sync` since Rust 1.72 — sufficient for sharing a message
+//! router across scoped threads.
+
+/// Multi-producer, single-consumer channels.
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, RecvError, SendError, Sender, TryRecvError};
+
+    /// Create an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn unbounded_delivers_in_order_across_threads() {
+        let (tx, rx) = channel::unbounded();
+        let tx2 = tx.clone();
+        std::thread::spawn(move || {
+            for i in 0..100 {
+                tx2.send(i).unwrap();
+            }
+        })
+        .join()
+        .unwrap();
+        drop(tx);
+        let got: Vec<i32> = rx.iter().collect();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn try_recv_reports_empty() {
+        let (tx, rx) = channel::unbounded::<u8>();
+        assert!(rx.try_recv().is_err());
+        tx.send(9).unwrap();
+        assert_eq!(rx.try_recv().unwrap(), 9);
+    }
+}

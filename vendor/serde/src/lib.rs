@@ -1,0 +1,739 @@
+//! Offline stand-in for `serde`, vendored into this repository because
+//! the build environment has no access to crates.io.
+//!
+//! It keeps the parts of serde this workspace actually uses — the
+//! `Serialize`/`Deserialize` traits, their derive macros, and a JSON
+//! text encoding — but trades serde's visitor architecture for a much
+//! smaller self-describing [`Value`] data model: serializing produces a
+//! `Value` tree, deserializing consumes one. The derive macros (from
+//! the sibling `serde_derive` stub) generate the same externally-tagged
+//! representation real serde would, so swapping the real crates back in
+//! later is a manifest-only change for this workspace.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A self-describing serialized value — the crate's entire data model.
+///
+/// Maps preserve insertion order (they are association lists, not
+/// hashed maps) so that serialized output is deterministic and
+/// human-diffable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer (kept separate so `u64::MAX` survives).
+    U64(u64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Sequence.
+    Seq(Vec<Value>),
+    /// Ordered map with string keys.
+    Map(Vec<(String, Value)>),
+}
+
+/// A (de)serialization error: a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl Error {
+    /// Construct an error from any displayable message.
+    pub fn msg(m: impl fmt::Display) -> Self {
+        Error(m.to_string())
+    }
+}
+
+/// Types that can turn themselves into a [`Value`].
+pub trait Serialize {
+    /// Serialize `self` into the value data model.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Deserialize from the value data model.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------
+// Value accessors (used by generated code and by hand-written readers)
+// ---------------------------------------------------------------------
+
+impl Value {
+    /// Map lookup by key; `None` for missing keys or non-map values.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Sequence element by index; `None` out of range or for non-seqs.
+    pub fn index(&self, i: usize) -> Option<&Value> {
+        match self {
+            Value::Seq(items) => items.get(i),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64` if it is any numeric variant.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::I64(n) => Some(n as f64),
+            Value::U64(n) => Some(n as f64),
+            Value::F64(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64` if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::I64(n) if n >= 0 => Some(n as u64),
+            Value::U64(n) => Some(n),
+            Value::F64(n) if n >= 0.0 && n.fract() == 0.0 && n <= u64::MAX as f64 => Some(n as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64` if it is an in-range integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::I64(n) => Some(n),
+            Value::U64(n) if n <= i64::MAX as u64 => Some(n as i64),
+            Value::F64(n) if n.fract() == 0.0 && n.abs() <= i64::MAX as f64 => Some(n as i64),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// A short name for the variant, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::I64(_) | Value::U64(_) | Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Helpers called by derive-generated code
+// ---------------------------------------------------------------------
+
+/// Deserialize a named struct field out of a map value.
+pub fn __from_field<T: Deserialize>(v: &Value, name: &str) -> Result<T, Error> {
+    let field =
+        v.get(name).ok_or_else(|| Error(format!("missing field `{name}` in {}", v.kind())))?;
+    T::from_value(field).map_err(|e| Error(format!("field `{name}`: {}", e.0)))
+}
+
+/// Deserialize a positional element out of a sequence value.
+pub fn __from_index<T: Deserialize>(v: &Value, i: usize) -> Result<T, Error> {
+    let item = v.index(i).ok_or_else(|| Error(format!("missing element {i} in {}", v.kind())))?;
+    T::from_value(item).map_err(|e| Error(format!("element {i}: {}", e.0)))
+}
+
+// ---------------------------------------------------------------------
+// Primitive and container impls
+// ---------------------------------------------------------------------
+
+macro_rules! impl_serde_int {
+    ($($t:ty => $variant:ident as $conv:ty),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::$variant(*self as $conv)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = v
+                    .as_i64()
+                    .map(|n| n as i128)
+                    .or_else(|| v.as_u64().map(|n| n as i128))
+                    .ok_or_else(|| Error(format!("expected integer, got {}", v.kind())))?;
+                <$t>::try_from(n).map_err(|_| Error(format!("integer {n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_serde_int! {
+    i8 => I64 as i64, i16 => I64 as i64, i32 => I64 as i64, i64 => I64 as i64,
+    isize => I64 as i64,
+    u8 => U64 as u64, u16 => U64 as u64, u32 => U64 as u64, u64 => U64 as u64,
+    usize => U64 as u64,
+}
+
+macro_rules! impl_serde_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::F64(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Null => Ok(<$t>::NAN), // non-finite floats encode as null
+                    _ => v
+                        .as_f64()
+                        .map(|n| n as $t)
+                        .ok_or_else(|| Error(format!("expected number, got {}", v.kind()))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serde_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error(format!("expected bool, got {}", v.kind()))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(String::from)
+            .ok_or_else(|| Error(format!("expected string, got {}", v.kind())))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for &'static str {
+    // Real serde borrows from the input; this stub deserializes from an
+    // owned `Value`, so the only way to hand back `&'static str` is to
+    // leak the (small, bounded: benchmark names and the like) string.
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let s = v.as_str().ok_or_else(|| Error(format!("expected string, got {}", v.kind())))?;
+        Ok(Box::leak(s.to_string().into_boxed_str()))
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let s = v.as_str().ok_or_else(|| Error(format!("expected string, got {}", v.kind())))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error(format!("expected single-character string, got {s:?}"))),
+        }
+    }
+}
+
+impl Serialize for () {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl Deserialize for () {
+    fn from_value(_: &Value) -> Result<Self, Error> {
+        Ok(())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(Error(format!("expected sequence, got {}", v.kind()))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items = <Vec<T>>::from_value(v)?;
+        let got = items.len();
+        items.try_into().map_err(|_| Error(format!("expected array of length {N}, got {got}")))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Seq(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok((__from_index(v, 0)?, __from_index(v, 1)?))
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Seq(vec![self.0.to_value(), self.1.to_value(), self.2.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok((__from_index(v, 0)?, __from_index(v, 1)?, __from_index(v, 2)?))
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect())
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Map(entries) => {
+                entries.iter().map(|(k, v)| Ok((k.clone(), V::from_value(v)?))).collect()
+            }
+            _ => Err(Error(format!("expected map, got {}", v.kind()))),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+// ---------------------------------------------------------------------
+// JSON text encoding
+// ---------------------------------------------------------------------
+
+/// JSON reading and writing for [`Value`] trees.
+pub mod json {
+    use super::{Deserialize, Error, Serialize, Value};
+    use std::fmt::Write as _;
+
+    /// Serialize any `Serialize` type to compact JSON.
+    pub fn to_string<T: Serialize + ?Sized>(value: &T) -> String {
+        let mut out = String::new();
+        write_value(&mut out, &value.to_value(), None, 0);
+        out
+    }
+
+    /// Serialize any `Serialize` type to pretty-printed JSON.
+    pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> String {
+        let mut out = String::new();
+        write_value(&mut out, &value.to_value(), Some(2), 0);
+        out.push('\n');
+        out
+    }
+
+    /// Parse JSON text and deserialize into `T`.
+    pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+        T::from_value(&parse(text)?)
+    }
+
+    /// Parse JSON text into a [`Value`] tree.
+    pub fn parse(text: &str) -> Result<Value, Error> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let v = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(Error(format!("trailing characters at byte {pos}")));
+        }
+        Ok(v)
+    }
+
+    fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+        match v {
+            Value::Null => out.push_str("null"),
+            Value::Bool(true) => out.push_str("true"),
+            Value::Bool(false) => out.push_str("false"),
+            Value::I64(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Value::U64(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Value::F64(n) => {
+                if n.is_finite() {
+                    // `{:?}` keeps a trailing `.0` on integral floats, so
+                    // the type survives a round-trip.
+                    let _ = write!(out, "{n:?}");
+                } else {
+                    out.push_str("null"); // JSON has no NaN/Infinity
+                }
+            }
+            Value::Str(s) => write_string(out, s),
+            Value::Seq(items) => {
+                write_bracketed(out, indent, depth, '[', ']', items.len(), |out, i, d| {
+                    write_value(out, &items[i], indent, d);
+                });
+            }
+            Value::Map(entries) => {
+                write_bracketed(out, indent, depth, '{', '}', entries.len(), |out, i, d| {
+                    write_string(out, &entries[i].0);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    write_value(out, &entries[i].1, indent, d);
+                });
+            }
+        }
+    }
+
+    fn write_bracketed(
+        out: &mut String,
+        indent: Option<usize>,
+        depth: usize,
+        open: char,
+        close: char,
+        n: usize,
+        mut item: impl FnMut(&mut String, usize, usize),
+    ) {
+        out.push(open);
+        for i in 0..n {
+            if i > 0 {
+                out.push(',');
+            }
+            if let Some(w) = indent {
+                out.push('\n');
+                out.push_str(&" ".repeat(w * (depth + 1)));
+            }
+            item(out, i, depth + 1);
+        }
+        if n > 0 {
+            if let Some(w) = indent {
+                out.push('\n');
+                out.push_str(&" ".repeat(w * depth));
+            }
+        }
+        out.push(close);
+    }
+
+    fn write_string(out: &mut String, s: &str) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    let _ = write!(out, "\\u{:04x}", c as u32);
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+
+    fn skip_ws(b: &[u8], pos: &mut usize) {
+        while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        }
+    }
+
+    fn expect(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), Error> {
+        if b[*pos..].starts_with(lit.as_bytes()) {
+            *pos += lit.len();
+            Ok(())
+        } else {
+            Err(Error(format!("expected `{lit}` at byte {}", *pos)))
+        }
+    }
+
+    fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, Error> {
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            None => Err(Error("unexpected end of input".into())),
+            Some(b'n') => expect(b, pos, "null").map(|_| Value::Null),
+            Some(b't') => expect(b, pos, "true").map(|_| Value::Bool(true)),
+            Some(b'f') => expect(b, pos, "false").map(|_| Value::Bool(false)),
+            Some(b'"') => parse_string(b, pos).map(Value::Str),
+            Some(b'[') => {
+                *pos += 1;
+                let mut items = Vec::new();
+                skip_ws(b, pos);
+                if b.get(*pos) == Some(&b']') {
+                    *pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                loop {
+                    items.push(parse_value(b, pos)?);
+                    skip_ws(b, pos);
+                    match b.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b']') => {
+                            *pos += 1;
+                            return Ok(Value::Seq(items));
+                        }
+                        _ => return Err(Error(format!("expected `,` or `]` at byte {}", *pos))),
+                    }
+                }
+            }
+            Some(b'{') => {
+                *pos += 1;
+                let mut entries = Vec::new();
+                skip_ws(b, pos);
+                if b.get(*pos) == Some(&b'}') {
+                    *pos += 1;
+                    return Ok(Value::Map(entries));
+                }
+                loop {
+                    skip_ws(b, pos);
+                    let key = parse_string(b, pos)?;
+                    skip_ws(b, pos);
+                    expect(b, pos, ":")?;
+                    let value = parse_value(b, pos)?;
+                    entries.push((key, value));
+                    skip_ws(b, pos);
+                    match b.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b'}') => {
+                            *pos += 1;
+                            return Ok(Value::Map(entries));
+                        }
+                        _ => return Err(Error(format!("expected `,` or `}}` at byte {}", *pos))),
+                    }
+                }
+            }
+            Some(_) => parse_number(b, pos),
+        }
+    }
+
+    fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, Error> {
+        expect(b, pos, "\"")?;
+        let mut out = String::new();
+        loop {
+            let start = *pos;
+            while *pos < b.len() && b[*pos] != b'"' && b[*pos] != b'\\' {
+                *pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&b[start..*pos])
+                    .map_err(|_| Error("invalid UTF-8 in string".into()))?,
+            );
+            match b.get(*pos) {
+                Some(b'"') => {
+                    *pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    *pos += 1;
+                    let esc = b.get(*pos).ok_or_else(|| Error("unterminated escape".into()))?;
+                    *pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = b
+                                .get(*pos..*pos + 4)
+                                .ok_or_else(|| Error("truncated \\u escape".into()))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| Error("bad \\u escape".into()))?,
+                                16,
+                            )
+                            .map_err(|_| Error("bad \\u escape".into()))?;
+                            *pos += 4;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error("invalid \\u code point".into()))?,
+                            );
+                        }
+                        other => {
+                            return Err(Error(format!("unknown escape `\\{}`", *other as char)))
+                        }
+                    }
+                }
+                _ => return Err(Error("unterminated string".into())),
+            }
+        }
+    }
+
+    fn parse_number(b: &[u8], pos: &mut usize) -> Result<Value, Error> {
+        let start = *pos;
+        if b.get(*pos) == Some(&b'-') {
+            *pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(&c) = b.get(*pos) {
+            match c {
+                b'0'..=b'9' => *pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    *pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text =
+            std::str::from_utf8(&b[start..*pos]).map_err(|_| Error("invalid number".into()))?;
+        if text.is_empty() || text == "-" {
+            return Err(Error(format!("expected number at byte {start}")));
+        }
+        if !is_float {
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(if n >= 0 { Value::U64(n as u64) } else { Value::I64(n) });
+            }
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::U64(n));
+            }
+        }
+        text.parse::<f64>().map(Value::F64).map_err(|_| Error(format!("invalid number `{text}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip_through_json() {
+        let v = (vec![1.5f64, -2.0], Some(7u64), "a \"quoted\"\nline".to_string());
+        let text = json::to_string(&v);
+        let back: (Vec<f64>, Option<u64>, String) = json::from_str(&text).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn integral_floats_keep_their_type() {
+        let text = json::to_string(&5.0f64);
+        assert_eq!(text, "5.0");
+        assert_eq!(json::parse(&text).unwrap(), Value::F64(5.0));
+    }
+
+    #[test]
+    fn map_order_is_preserved() {
+        let v = Value::Map(vec![("z".into(), Value::U64(1)), ("a".into(), Value::U64(2))]);
+        assert_eq!(json::to_string(&v), r#"{"z":1,"a":2}"#);
+        assert_eq!(json::parse(r#"{"z":1,"a":2}"#).unwrap(), v);
+    }
+
+    #[test]
+    fn non_finite_floats_encode_as_null() {
+        assert_eq!(json::to_string(&f64::NAN), "null");
+        let back: f64 = json::from_str("null").unwrap();
+        assert!(back.is_nan());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(json::parse("{").is_err());
+        assert!(json::parse("[1,]").is_err());
+        assert!(json::parse("12 34").is_err());
+        assert!(json::parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn unicode_escapes_parse() {
+        let v = json::parse(r#""é\t""#).unwrap();
+        assert_eq!(v, Value::Str("é\t".into()));
+    }
+}
