@@ -1,18 +1,23 @@
 //! Criterion bench regenerating Figure 1's data series (single-node
 //! gear sweeps for every NAS benchmark) at test scale.
+//!
+//! Each iteration builds a fresh serial [`Engine`] with an empty
+//! in-memory cache so the timing reflects real simulation work, not
+//! memoized replay.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use psc_experiments::harness::{cluster, measure_curve};
 use psc_kernels::{Benchmark, ProblemClass};
+use psc_runner::Engine;
 
 fn bench_fig1(c: &mut Criterion) {
-    let cl = cluster();
     let mut g = c.benchmark_group("fig1");
     g.sample_size(10);
     for bench in Benchmark::NAS {
         g.bench_function(bench.name(), |b| {
             b.iter(|| {
-                let curve = measure_curve(&cl, bench, ProblemClass::Test, 1);
+                let e = Engine::serial(cluster());
+                let curve = measure_curve(&e, bench, ProblemClass::Test, 1);
                 assert_eq!(curve.points.len(), 6);
                 curve
             })

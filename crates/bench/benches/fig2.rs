@@ -5,17 +5,18 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use psc_analysis::cases::classify_pair;
 use psc_experiments::harness::{cluster, fig2_nodes, measure_curve};
 use psc_kernels::{Benchmark, ProblemClass};
+use psc_runner::Engine;
 
 fn bench_fig2(c: &mut Criterion) {
-    let cl = cluster();
     let mut g = c.benchmark_group("fig2");
     g.sample_size(10);
     for bench in Benchmark::NAS {
         g.bench_function(bench.name(), |b| {
             b.iter(|| {
+                let e = Engine::serial(cluster());
                 let curves: Vec<_> = fig2_nodes(bench)
                     .into_iter()
-                    .map(|n| measure_curve(&cl, bench, ProblemClass::Test, n))
+                    .map(|n| measure_curve(&e, bench, ProblemClass::Test, n))
                     .collect();
                 for pair in curves.windows(2) {
                     let _ = classify_pair(&pair[0], &pair[1]);

@@ -4,14 +4,17 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use psc_experiments::harness::{cluster, measure_curve};
 use psc_kernels::{Benchmark, ProblemClass};
+use psc_runner::Engine;
 
 fn bench_fig3(c: &mut Criterion) {
-    let cl = cluster();
     let mut g = c.benchmark_group("fig3");
     g.sample_size(10);
     for nodes in [2usize, 4, 6, 8, 10] {
         g.bench_function(format!("jacobi-{nodes}n"), |b| {
-            b.iter(|| measure_curve(&cl, Benchmark::Jacobi, ProblemClass::Test, nodes))
+            b.iter(|| {
+                let e = Engine::serial(cluster());
+                measure_curve(&e, Benchmark::Jacobi, ProblemClass::Test, nodes)
+            })
         });
     }
     g.finish();

@@ -4,15 +4,16 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use psc_experiments::harness::{cluster, model_for};
 use psc_kernels::{Benchmark, ProblemClass};
+use psc_runner::Engine;
 
 fn bench_fig5(c: &mut Criterion) {
-    let cl = cluster();
     let mut g = c.benchmark_group("fig5");
     g.sample_size(10);
     for bench in Benchmark::NAS {
         g.bench_function(format!("{}-fit-and-extrapolate", bench.name()), |b| {
             b.iter(|| {
-                let model = model_for(&cl, bench, ProblemClass::Test, 9);
+                let e = Engine::serial(cluster());
+                let model = model_for(&e, bench, ProblemClass::Test, 9);
                 let mut curves = Vec::new();
                 for m in [16usize, 25, 32] {
                     curves.push(model.predict_curve(m, true));

@@ -1,0 +1,167 @@
+//! Tracked benchmark of the sweep engine itself (`cargo bench -p
+//! psc-bench --bench sweep`).
+//!
+//! Unlike the criterion figure benches this is a plain-`main` harness
+//! with three jobs:
+//!
+//! 1. **Time** a representative figure-style plan executed serially
+//!    (`jobs = 1`) and in parallel (worker pool), each from a cold
+//!    in-memory cache, plus a fully-cached replay.
+//! 2. **Gate** on determinism: the serial and parallel executions must
+//!    render byte-identical curve CSVs. Any divergence exits non-zero,
+//!    which fails the CI smoke job.
+//! 3. **Track**: the numbers land in `BENCH_sweep.json` (repo root, or
+//!    `$BENCH_OUT`), committed so regressions show up in review.
+//!
+//! `PSC_BENCH_QUICK=1` shrinks the plan for CI; the default plan covers
+//! every NAS benchmark at several node counts.
+
+use psc_experiments::harness::cluster;
+use psc_kernels::{Benchmark, ProblemClass};
+use psc_mpi::RunResult;
+use psc_runner::{Engine, RunCache, RunPlan};
+use serde::Serialize;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// What one `sweep` bench invocation measured.
+#[derive(Serialize)]
+struct SweepBenchReport {
+    /// True when `PSC_BENCH_QUICK` shrank the plan.
+    quick: bool,
+    /// Host CPUs visible to the worker pool.
+    host_cores: usize,
+    /// Runs the plan named (counting in-plan duplicates).
+    specs: u64,
+    /// Distinct simulations actually executed per cold pass.
+    unique_runs: u64,
+    /// Worker count used for the parallel pass.
+    parallel_jobs: usize,
+    /// Cold-cache wall-clock at `jobs = 1`, seconds.
+    serial_wall_s: f64,
+    /// Cold-cache wall-clock with the worker pool, seconds.
+    parallel_wall_s: f64,
+    /// `serial_wall_s / parallel_wall_s`.
+    speedup: f64,
+    /// Wall-clock replaying the whole plan from the warm cache.
+    replay_wall_s: f64,
+    /// Fraction of the replay served from cache (should be 1.0).
+    replay_hit_rate: f64,
+    /// Whether serial and parallel CSVs were byte-identical.
+    deterministic: bool,
+}
+
+/// The CSV a figure binary would write: shortest-round-trip floats, so
+/// byte equality means bit equality.
+fn curve_csv(plan: &RunPlan, runs: &[Arc<RunResult>]) -> String {
+    let mut csv = String::from("bench,nodes,gears,time_s,energy_j,measured_energy_j\n");
+    for (spec, run) in plan.specs.iter().zip(runs) {
+        csv.push_str(&format!(
+            "{},{},{:?},{},{},{}\n",
+            spec.bench.name(),
+            spec.nodes,
+            spec.resolved_gears(),
+            run.time_s,
+            run.energy_j,
+            run.measured_energy_j
+        ));
+    }
+    csv
+}
+
+/// A plan shaped like the figure suite: gear sweeps plus node sweeps,
+/// with deliberate cross-sweep overlap (the gear-1 points) so the cache
+/// has real work to do. Quick mode uses the tiny test class; the full
+/// plan runs class B — the class the paper measures — so per-run work
+/// is large enough for the worker pool to overlap meaningfully.
+fn representative_plan(quick: bool) -> RunPlan {
+    let mut plan = RunPlan::new();
+    if quick {
+        let class = ProblemClass::Test;
+        for bench in [Benchmark::Cg, Benchmark::Ep, Benchmark::Mg] {
+            plan.extend(RunPlan::gear_sweep(bench, class, 1, 6));
+        }
+        plan.extend(RunPlan::node_sweep(Benchmark::Cg, class, &[1, 2, 4]));
+    } else {
+        let class = ProblemClass::B;
+        for &bench in Benchmark::NAS.iter() {
+            plan.extend(RunPlan::gear_sweep(bench, class, 1, 6));
+            plan.extend(RunPlan::node_sweep(bench, class, &bench.valid_nodes(4)));
+        }
+    }
+    plan
+}
+
+fn main() {
+    let quick = std::env::var("PSC_BENCH_QUICK").map(|v| v != "0").unwrap_or(false);
+    let plan = representative_plan(quick);
+    println!("sweep bench ({} plan): {} spec(s)", if quick { "quick" } else { "full" }, plan.len());
+
+    // Cold serial pass: the reference both for timing and for bytes.
+    let serial = Engine::serial(cluster());
+    let t0 = Instant::now();
+    let serial_runs = serial.execute(&plan);
+    let serial_wall_s = t0.elapsed().as_secs_f64();
+    let csv_serial = curve_csv(&plan, &serial_runs);
+    let unique_runs = serial.cache_stats().misses;
+
+    // Cold parallel pass. Force at least a few workers even on small
+    // hosts so the determinism gate always exercises real interleaving.
+    let parallel_jobs = psc_mpi::default_jobs().max(4);
+    let parallel =
+        Engine::serial(cluster()).with_jobs(parallel_jobs).with_cache(RunCache::in_memory());
+    let t1 = Instant::now();
+    let parallel_runs = parallel.execute(&plan);
+    let parallel_wall_s = t1.elapsed().as_secs_f64();
+    let csv_parallel = curve_csv(&plan, &parallel_runs);
+
+    let deterministic = csv_serial == csv_parallel;
+
+    // Warm replay on the parallel engine: every lookup should hit.
+    let before = parallel.cache_stats();
+    let t2 = Instant::now();
+    let _ = parallel.execute(&plan);
+    let replay_wall_s = t2.elapsed().as_secs_f64();
+    let after = parallel.cache_stats();
+    let replay_hits = after.hits - before.hits;
+    let replay_hit_rate = replay_hits as f64 / plan.len() as f64;
+
+    let report = SweepBenchReport {
+        quick,
+        host_cores: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        specs: plan.len() as u64,
+        unique_runs,
+        parallel_jobs,
+        serial_wall_s,
+        parallel_wall_s,
+        speedup: serial_wall_s / parallel_wall_s,
+        replay_wall_s,
+        replay_hit_rate,
+        deterministic,
+    };
+
+    println!("  serial   (jobs=1):  {serial_wall_s:.3} s, {unique_runs} simulation(s)");
+    println!(
+        "  parallel (jobs={parallel_jobs}): {parallel_wall_s:.3} s, speedup {:.2}x",
+        report.speedup
+    );
+    println!(
+        "  replay   (cached):  {replay_wall_s:.4} s, hit rate {:.0}%",
+        replay_hit_rate * 100.0
+    );
+
+    let out = std::env::var("BENCH_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sweep.json").to_string()
+    });
+    std::fs::write(&out, serde::json::to_string_pretty(&report)).expect("write BENCH_sweep.json");
+    println!("wrote {out}");
+
+    if !deterministic {
+        eprintln!("DETERMINISM FAILURE: parallel sweep diverged from the serial reference");
+        std::process::exit(1);
+    }
+    if replay_hit_rate < 1.0 {
+        eprintln!("CACHE FAILURE: warm replay re-executed {} run(s)", after.misses - before.misses);
+        std::process::exit(1);
+    }
+}

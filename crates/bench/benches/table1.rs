@@ -1,24 +1,29 @@
 //! Criterion bench regenerating Table 1 (UPM + slope rows) at test
 //! scale.
+//!
+//! Each iteration uses a fresh serial [`Engine`]; within an iteration
+//! the run cache legitimately dedups the gear-1 run shared between the
+//! UPM probe and the curve, exactly as the `table1` binary does.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use psc_analysis::table::UpmTable;
 use psc_experiments::harness::{cluster, measure_curve, measure_upm};
 use psc_kernels::{Benchmark, ProblemClass};
+use psc_runner::Engine;
 
 fn bench_table1(c: &mut Criterion) {
-    let cl = cluster();
     let mut g = c.benchmark_group("table1");
     g.sample_size(10);
     g.bench_function("all-rows", |b| {
         b.iter(|| {
+            let e = Engine::serial(cluster());
             let entries: Vec<_> = Benchmark::NAS
                 .iter()
                 .map(|&bench| {
                     (
                         bench.name().to_string(),
-                        measure_upm(&cl, bench, ProblemClass::Test),
-                        measure_curve(&cl, bench, ProblemClass::Test, 1),
+                        measure_upm(&e, bench, ProblemClass::Test),
+                        measure_curve(&e, bench, ProblemClass::Test, 1),
                     )
                 })
                 .collect();

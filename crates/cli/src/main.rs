@@ -17,10 +17,13 @@
 use psc_analysis::curve::{EnergyTimeCurve, EnergyTimePoint};
 use psc_analysis::pareto::{configs_of, fastest_under_power_cap, pareto_frontier};
 use psc_analysis::plot::ascii_plot;
-use psc_experiments::harness::{class_label, cluster, measure_curve, model_for, predicted_curve};
+use psc_experiments::harness::{
+    class_label, cluster, engine_from_args, measure_curve, model_for, predicted_curve,
+};
 use psc_kernels::{Benchmark, ProblemClass};
 use psc_model::autogear::{gear_for_delay_budget, min_energy_gear};
 use psc_mpi::ClusterConfig;
+use psc_runner::{Engine, RunSpec};
 use psc_telemetry::{write_chrome_trace, RunManifest};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -61,17 +64,38 @@ powerscale — energy-time exploration on a simulated power-scalable cluster
 USAGE:
   powerscale run    --bench <NAME> [--nodes N] [--gear G] [--class b|test]
                     [--trace-out PATH] [--manifest-out PATH]
-  powerscale sweep  --bench <NAME> [--nodes N] [--class b|test] [--trace-out PATH]
+  powerscale sweep  --bench <NAME> [--nodes N] [--class b|test] [--jobs J]
+                    [--trace-out PATH]
   powerscale trace  --bench <NAME> [--nodes N] [--gear G] [--class b|test] [--out PATH]
-  powerscale curve  --bench <NAME> [--max-nodes N] [--class b|test]
-  powerscale model  --bench <NAME> [--predict M] [--class b|test]
+  powerscale curve  --bench <NAME> [--max-nodes N] [--class b|test] [--jobs J]
+  powerscale model  --bench <NAME> [--predict M] [--class b|test] [--jobs J]
   powerscale advise --upm <UPM> [--delay FRAC]
-  powerscale budget --bench <NAME> --power-cap <WATTS> [--max-nodes N] [--class b|test]
+  powerscale budget --bench <NAME> --power-cap <WATTS> [--max-nodes N]
+                    [--class b|test] [--jobs J]
   powerscale list
 
   --trace-out writes a Chrome Trace Event JSON file — open it in Perfetto
   (ui.perfetto.dev) or chrome://tracing. For sweep, one file per gear is
-  written with `-g<K>` inserted before the extension.";
+  written with `-g<K>` inserted before the extension.
+
+  Sweeping commands run independent configurations on a worker pool
+  (--jobs, or the PSC_JOBS environment variable; default = available
+  parallelism) and memoize results in a content-addressed cache under
+  target/psc-run-cache (PSC_CACHE_DIR overrides; PSC_CACHE=0 disables).
+  Results are bit-identical whatever the worker count.";
+
+/// A one-line account of what a sweep actually executed.
+fn print_cache_line(e: &Engine) {
+    let s = e.cache_stats();
+    println!(
+        "\n  [{} run(s): {} executed, {} from cache ({} disk), {} worker(s)]",
+        s.lookups(),
+        s.misses,
+        s.hits,
+        s.disk_hits,
+        e.jobs()
+    );
+}
 
 fn flag(args: &[String], name: &str) -> Option<String> {
     args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
@@ -198,17 +222,16 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
     if !bench.supports_nodes(nodes) {
         return Err(format!("{} cannot run on {nodes} nodes", bench.name()));
     }
-    let c = cluster();
+    let e = engine_from_args(args);
     let trace_out = flag(args, "--trace-out").map(PathBuf::from);
     let curve = match &trace_out {
-        None => measure_curve(&c, bench, class, nodes),
+        None => measure_curve(&e, bench, class, nodes),
         Some(base) => {
-            // Re-run per gear by hand so each run's trace can be exported.
-            let points = (1..=c.node.gears.len())
+            // Runs come through the engine (cached, per-rank traces
+            // included), then each one's trace is exported.
+            let points = (1..=e.gear_count())
                 .map(|gear| {
-                    let (run, _) = c.run(&ClusterConfig::uniform(nodes, gear), move |comm| {
-                        bench.run(comm, class)
-                    });
+                    let run = e.run(&RunSpec::uniform(bench, class, nodes, gear));
                     let path = path_with_gear(base, gear);
                     write_chrome_trace(&run, &path)
                         .map_err(|e| format!("writing {}: {e}", path.display()))?;
@@ -240,6 +263,7 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
         curve.min_energy_gear()
     );
     println!("\n{}", ascii_plot(std::slice::from_ref(&curve), 60, 12));
+    print_cache_line(&e);
     Ok(())
 }
 
@@ -247,13 +271,14 @@ fn cmd_curve(args: &[String]) -> Result<(), String> {
     let bench = parse_bench(args)?;
     let class = parse_class(args)?;
     let max_nodes: usize = parse_num(args, "--max-nodes", 8)?;
-    let c = cluster();
+    let e = engine_from_args(args);
     let curves: Vec<_> = bench
         .valid_nodes(max_nodes)
         .into_iter()
-        .map(|n| measure_curve(&c, bench, class, n))
+        .map(|n| measure_curve(&e, bench, class, n))
         .collect();
     println!("{}", ascii_plot(&curves, 70, 16));
+    print_cache_line(&e);
     Ok(())
 }
 
@@ -261,8 +286,8 @@ fn cmd_model(args: &[String]) -> Result<(), String> {
     let bench = parse_bench(args)?;
     let class = parse_class(args)?;
     let target: usize = parse_num(args, "--predict", 32)?;
-    let c = cluster();
-    let model = model_for(&c, bench, class, 9);
+    let e = engine_from_args(args);
+    let model = model_for(&e, bench, class, 9);
     println!("{} model (fit on ≤9 nodes):", bench.name());
     println!("  F_s ≈ {:.4} (slope {:+.5}/node)", model.amdahl.fs_mean(), model.amdahl.fs_slope);
     println!("  communication: {} (R² {:.3})", model.comm.shape, model.comm.r2);
@@ -274,6 +299,7 @@ fn cmd_model(args: &[String]) -> Result<(), String> {
     }
     let curve = predicted_curve(&model, bench, target, true);
     println!("\n{}", ascii_plot(std::slice::from_ref(&curve), 60, 12));
+    print_cache_line(&e);
     Ok(())
 }
 
@@ -311,11 +337,11 @@ fn cmd_budget(args: &[String]) -> Result<(), String> {
         return Err("missing or invalid --power-cap <WATTS>".into());
     }
     let max_nodes: usize = parse_num(args, "--max-nodes", 9)?;
-    let c = cluster();
+    let e = engine_from_args(args);
     let curves: Vec<_> = bench
         .valid_nodes(max_nodes)
         .into_iter()
-        .map(|n| measure_curve(&c, bench, class, n))
+        .map(|n| measure_curve(&e, bench, class, n))
         .collect();
     let configs = configs_of(&curves);
     println!("Pareto frontier for {} (≤{max_nodes} nodes):", bench.name());
@@ -339,6 +365,7 @@ fn cmd_budget(args: &[String]) -> Result<(), String> {
         ),
         None => println!("\nno configuration fits under {cap:.0} W"),
     }
+    print_cache_line(&e);
     Ok(())
 }
 

@@ -8,17 +8,28 @@
 //!    watch the energy-optimal gear move (the "heat-limited future"
 //!    discussion).
 
-use psc_experiments::harness::{cluster, decompositions, gear_profile};
+use psc_experiments::harness::{
+    cluster, decompositions, engine_from_args, finish_sweep, gear_profile,
+};
 use psc_experiments::report::{render_claims, write_artifact, Claim};
 use psc_kernels::{Benchmark, ProblemClass};
 use psc_machine::{CpuModel, GearTable, NodeSpec, PowerModel, WorkBlock};
 use psc_model::comm::{CommFit, CommShape};
 use psc_model::predict::ClusterModel;
 use psc_mpi::ClusterConfig;
+use psc_runner::RunSpec;
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
     let class =
-        if std::env::args().any(|a| a == "--test") { ProblemClass::Test } else { ProblemClass::B };
+        if args.iter().any(|a| a == "--test") { ProblemClass::Test } else { ProblemClass::B };
+    // Standard sweeps (decompositions, profiles, per-gear kernel runs)
+    // go through the engine; the bespoke closures below (overlapped
+    // Jacobi, the producer/consumer pipeline, the contended switch) are
+    // not content-addressable benchmark runs and use the cluster
+    // directly.
+    let e = engine_from_args(&args);
+    let started = std::time::Instant::now();
     let c = cluster();
     let mut claims = Vec::new();
     let mut out = String::new();
@@ -29,15 +40,13 @@ fn main() {
     // ------------------------------------------------------------------
     println!("Ablation 1: naive vs refined model (LU, 8 nodes)\n");
     let bench = Benchmark::Lu;
-    let decomps = decompositions(&c, bench, class, 9);
-    let profile = gear_profile(&c, bench, class);
+    let decomps = decompositions(&e, bench, class, 9);
+    let profile = gear_profile(&e, bench, class);
     let model = ClusterModel::fit(&decomps, profile);
     let mut naive_err_sum = 0.0;
     let mut refined_err_sum = 0.0;
     for gear in 1..=6usize {
-        let (run, _) = c.run(&ClusterConfig::uniform(8, gear), move |comm| {
-            bench.run(comm, class);
-        });
+        let run = e.run(&RunSpec::uniform(bench, class, 8, gear));
         let naive = model.naive(8, gear);
         let refined = model.refined(8, gear);
         let ne = (naive.time_s - run.time_s).abs() / run.time_s;
@@ -208,7 +217,7 @@ fn main() {
     // Ablation 2: forced communication shapes for CG.
     // ------------------------------------------------------------------
     println!("Ablation 2: communication-shape misclassification (CG → 32 nodes)\n");
-    let cg_decomps = decompositions(&c, Benchmark::Cg, class, 9);
+    let cg_decomps = decompositions(&e, Benchmark::Cg, class, 9);
     let ti: Vec<(usize, f64)> =
         cg_decomps.iter().filter(|d| d.nodes > 1).map(|d| (d.nodes, d.idle_s)).collect();
     let auto = CommFit::fit(&ti);
@@ -344,6 +353,7 @@ fn main() {
     println!("{text}");
     out.push_str(&text);
     write_artifact("ablations.txt", &out);
+    finish_sweep(&e, "ablations", started);
     if !all {
         std::process::exit(1);
     }

@@ -2,15 +2,17 @@
 //! the slowdown bound, the UPC effect, single-node savings numbers, and
 //! the monotonicity observations the figures rely on.
 
-use psc_experiments::harness::{cluster, measure_curve};
+use psc_experiments::harness::{engine_from_args, finish_sweep, measure_curve};
 use psc_experiments::report::{render_claims, write_artifact, Claim};
 use psc_kernels::{Benchmark, ProblemClass};
-use psc_mpi::ClusterConfig;
+use psc_runner::RunSpec;
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
     let class =
-        if std::env::args().any(|a| a == "--test") { ProblemClass::Test } else { ProblemClass::B };
-    let c = cluster();
+        if args.iter().any(|a| a == "--test") { ProblemClass::Test } else { ProblemClass::B };
+    let e = engine_from_args(&args);
+    let started = std::time::Instant::now();
     let mut claims = Vec::new();
 
     // ------------------------------------------------------------------
@@ -18,11 +20,11 @@ fn main() {
     // benchmark and every adjacent gear pair (single node).
     // ------------------------------------------------------------------
     for bench in Benchmark::NAS {
-        let curve = measure_curve(&c, bench, class, 1);
+        let curve = measure_curve(&e, bench, class, 1);
         let mut ok = true;
         for w in curve.points.windows(2) {
             let ratio = w[1].time_s / w[0].time_s;
-            let bound = c.node.gears.frequency_ratio(w[0].gear, w[1].gear);
+            let bound = e.cluster().node.gears.frequency_ratio(w[0].gear, w[1].gear);
             if !(ratio >= 1.0 - 1e-9 && ratio <= bound + 1e-9) {
                 ok = false;
             }
@@ -38,11 +40,10 @@ fn main() {
     // The UPC effect: for memory-bound programs, achieved µops/cycle
     // *increases* as frequency decreases; for CPU-bound EP it does not.
     // ------------------------------------------------------------------
+    // Gears 1 and 6 were already measured by the curves above, so both
+    // probes are cache hits.
     let upc_of = |bench: Benchmark, gear: usize| -> f64 {
-        let (run, _) = c.run(&ClusterConfig::uniform(1, gear), move |comm| {
-            bench.run(comm, class);
-        });
-        run.total_counters().upc()
+        e.run(&RunSpec::uniform(bench, class, 1, gear)).total_counters().upc()
     };
     let cg_up = upc_of(Benchmark::Cg, 6) / upc_of(Benchmark::Cg, 1);
     claims.push(Claim::boolean(
@@ -58,7 +59,7 @@ fn main() {
     // the class-B workload).
     // ------------------------------------------------------------------
     if class == ProblemClass::B {
-        let cg = measure_curve(&c, Benchmark::Cg, class, 1);
+        let cg = measure_curve(&e, Benchmark::Cg, class, 1);
         claims.push(Claim::numeric(
             "cg-best-savings-gear5",
             0.20,
@@ -73,7 +74,7 @@ fn main() {
         ));
         claims.push(Claim::numeric("cg-gear2-savings", 0.095, cg.savings(2).unwrap(), 0.5, 0.03));
 
-        let ep = measure_curve(&c, Benchmark::Ep, class, 1);
+        let ep = measure_curve(&e, Benchmark::Ep, class, 1);
         // "This delay is approximately the same as the increase in CPU
         // clock cycle" (2.0/1.8 − 1 = 11.1 %).
         claims.push(Claim::numeric(
@@ -97,6 +98,7 @@ fn main() {
     let (text, all) = render_claims("Headline claims (paper §3)", &claims);
     println!("{text}");
     write_artifact("claims.txt", &text);
+    finish_sweep(&e, "claims", started);
     if !all {
         std::process::exit(1);
     }

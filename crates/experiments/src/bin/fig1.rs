@@ -2,20 +2,22 @@
 //! on a single AMD machine": six benchmarks, six gears, one node.
 
 use psc_analysis::plot::{ascii_plot, to_csv};
-use psc_experiments::harness::{cluster, measure_curve, telemetry_snapshot};
+use psc_experiments::harness::{engine_from_args, finish_sweep, measure_curve, telemetry_snapshot};
 use psc_experiments::report::{render_claims, write_artifact, Claim};
 use psc_kernels::{Benchmark, ProblemClass};
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
     let class =
-        if std::env::args().any(|a| a == "--test") { ProblemClass::Test } else { ProblemClass::B };
-    let c = cluster();
+        if args.iter().any(|a| a == "--test") { ProblemClass::Test } else { ProblemClass::B };
+    let e = engine_from_args(&args);
+    let started = std::time::Instant::now();
 
     println!("Figure 1: NAS benchmarks on one Athlon-64 node, gears 1-6\n");
     let mut curves = Vec::new();
     let mut claims = Vec::new();
     for bench in Benchmark::NAS {
-        let curve = measure_curve(&c, bench, class, 1);
+        let curve = measure_curve(&e, bench, class, 1);
         println!("{} (1 node):", bench.name());
         println!("{}", ascii_plot(std::slice::from_ref(&curve), 64, 14));
         for gear in 2..=6 {
@@ -56,7 +58,7 @@ fn main() {
 
     // Where the joules of a representative configuration went:
     // archives a run manifest under results/ alongside the CSV.
-    let (attr_table, manifest) = telemetry_snapshot(&c, Benchmark::Cg, class, 1, 2);
+    let (attr_table, manifest) = telemetry_snapshot(&e, Benchmark::Cg, class, 1, 2);
     println!("Energy attribution (CG, 1 node, gear 2):");
     println!("{attr_table}");
     println!("wrote {}\n", manifest.display());
@@ -66,6 +68,7 @@ fn main() {
     let csv = write_artifact("fig1.csv", &to_csv(&curves));
     write_artifact("fig1_claims.txt", &text);
     println!("wrote {}", csv.display());
+    finish_sweep(&e, "fig1", started);
     if !all {
         std::process::exit(1);
     }

@@ -4,21 +4,25 @@
 
 use psc_analysis::cases::{classify_pair, ScalingCase};
 use psc_analysis::plot::{ascii_plot, to_csv};
-use psc_experiments::harness::{cluster, fig2_nodes, measure_curve, telemetry_snapshot};
+use psc_experiments::harness::{
+    engine_from_args, fig2_nodes, finish_sweep, measure_curve, telemetry_snapshot,
+};
 use psc_experiments::report::{render_claims, write_artifact, Claim};
 use psc_kernels::{Benchmark, ProblemClass};
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
     let class =
-        if std::env::args().any(|a| a == "--test") { ProblemClass::Test } else { ProblemClass::B };
-    let c = cluster();
+        if args.iter().any(|a| a == "--test") { ProblemClass::Test } else { ProblemClass::B };
+    let e = engine_from_args(&args);
+    let started = std::time::Instant::now();
 
     println!("Figure 2: NAS benchmarks on multiple nodes, gears 1-6\n");
     let mut all_curves = Vec::new();
     let mut claims = Vec::new();
     for bench in Benchmark::NAS {
         let nodes = fig2_nodes(bench);
-        let curves: Vec<_> = nodes.iter().map(|&n| measure_curve(&c, bench, class, n)).collect();
+        let curves: Vec<_> = nodes.iter().map(|&n| measure_curve(&e, bench, class, n)).collect();
         println!("{} on {:?} nodes:", bench.name(), nodes);
         println!("{}", ascii_plot(&curves, 64, 14));
         for pair in curves.windows(2) {
@@ -121,7 +125,7 @@ fn main() {
 
     // Where the joules of a representative configuration went:
     // archives a run manifest under results/ alongside the CSV.
-    let (attr_table, manifest) = telemetry_snapshot(&c, Benchmark::Cg, class, 4, 2);
+    let (attr_table, manifest) = telemetry_snapshot(&e, Benchmark::Cg, class, 4, 2);
     println!("Energy attribution (CG, 4 nodes, gear 2):");
     println!("{attr_table}");
     println!("wrote {}\n", manifest.display());
@@ -131,6 +135,7 @@ fn main() {
     let path = write_artifact("fig2.csv", &to_csv(&all_curves));
     write_artifact("fig2_claims.txt", &text);
     println!("wrote {}", path.display());
+    finish_sweep(&e, "fig2", started);
     if !all {
         std::process::exit(1);
     }

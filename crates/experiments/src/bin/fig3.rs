@@ -5,21 +5,23 @@
 
 use psc_analysis::cases::{classify_pair, ScalingCase};
 use psc_analysis::plot::{ascii_plot, to_csv};
-use psc_experiments::harness::{cluster, measure_curve, telemetry_snapshot};
+use psc_experiments::harness::{engine_from_args, finish_sweep, measure_curve, telemetry_snapshot};
 use psc_experiments::report::{render_claims, write_artifact, Claim};
 use psc_kernels::{Benchmark, ProblemClass};
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
     let class =
-        if std::env::args().any(|a| a == "--test") { ProblemClass::Test } else { ProblemClass::B };
-    let c = cluster();
+        if args.iter().any(|a| a == "--test") { ProblemClass::Test } else { ProblemClass::B };
+    let e = engine_from_args(&args);
+    let started = std::time::Instant::now();
     let node_counts = [2usize, 4, 6, 8, 10];
     let paper_speedups = [1.9, 3.6, 5.0, 6.4, 7.7];
 
     println!("Figure 3: Jacobi iteration on 2, 4, 6, 8, 10 nodes\n");
-    let t1 = measure_curve(&c, Benchmark::Jacobi, class, 1).fastest().time_s;
+    let t1 = measure_curve(&e, Benchmark::Jacobi, class, 1).fastest().time_s;
     let curves: Vec<_> =
-        node_counts.iter().map(|&n| measure_curve(&c, Benchmark::Jacobi, class, n)).collect();
+        node_counts.iter().map(|&n| measure_curve(&e, Benchmark::Jacobi, class, n)).collect();
     println!("{}", ascii_plot(&curves, 70, 16));
 
     let mut claims = Vec::new();
@@ -71,7 +73,7 @@ fn main() {
 
     // Where the joules of a representative configuration went:
     // archives a run manifest under results/ alongside the CSV.
-    let (attr_table, manifest) = telemetry_snapshot(&c, Benchmark::Jacobi, class, 8, 2);
+    let (attr_table, manifest) = telemetry_snapshot(&e, Benchmark::Jacobi, class, 8, 2);
     println!("Energy attribution (Jacobi, 8 nodes, gear 2):");
     println!("{attr_table}");
     println!("wrote {}\n", manifest.display());
@@ -81,6 +83,7 @@ fn main() {
     let path = write_artifact("fig3.csv", &to_csv(&curves));
     write_artifact("fig3_claims.txt", &text);
     println!("wrote {}", path.display());
+    finish_sweep(&e, "fig3", started);
     if !all {
         std::process::exit(1);
     }

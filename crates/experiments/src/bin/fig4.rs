@@ -4,20 +4,22 @@
 //! of the energy of gear 1 on 4 nodes and executes in half the time.
 
 use psc_analysis::plot::{ascii_plot, to_csv};
-use psc_experiments::harness::{cluster, measure_curve, telemetry_snapshot};
+use psc_experiments::harness::{engine_from_args, finish_sweep, measure_curve, telemetry_snapshot};
 use psc_experiments::report::{render_claims, write_artifact, Claim};
 use psc_kernels::{Benchmark, ProblemClass};
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
     let class =
-        if std::env::args().any(|a| a == "--test") { ProblemClass::Test } else { ProblemClass::B };
-    let c = cluster();
+        if args.iter().any(|a| a == "--test") { ProblemClass::Test } else { ProblemClass::B };
+    let e = engine_from_args(&args);
+    let started = std::time::Instant::now();
     let node_counts = [2usize, 4, 8];
 
     println!("Figure 4: synthetic high-memory-pressure benchmark on 2, 4, 8 nodes\n");
-    let t1_curve = measure_curve(&c, Benchmark::Synthetic, class, 1);
+    let t1_curve = measure_curve(&e, Benchmark::Synthetic, class, 1);
     let curves: Vec<_> =
-        node_counts.iter().map(|&n| measure_curve(&c, Benchmark::Synthetic, class, n)).collect();
+        node_counts.iter().map(|&n| measure_curve(&e, Benchmark::Synthetic, class, n)).collect();
     println!("{}", ascii_plot(&curves, 70, 16));
 
     let mut claims = Vec::new();
@@ -70,7 +72,7 @@ fn main() {
 
     // Where the joules of a representative configuration went:
     // archives a run manifest under results/ alongside the CSV.
-    let (attr_table, manifest) = telemetry_snapshot(&c, Benchmark::Synthetic, class, 8, 5);
+    let (attr_table, manifest) = telemetry_snapshot(&e, Benchmark::Synthetic, class, 8, 5);
     println!("Energy attribution (Synthetic, 8 nodes, gear 5):");
     println!("{attr_table}");
     println!("wrote {}\n", manifest.display());
@@ -82,6 +84,7 @@ fn main() {
     let path = write_artifact("fig4.csv", &to_csv(&all_curves));
     write_artifact("fig4_claims.txt", &text);
     println!("wrote {}", path.display());
+    finish_sweep(&e, "fig4", started);
     if !all {
         std::process::exit(1);
     }

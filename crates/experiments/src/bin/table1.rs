@@ -5,7 +5,7 @@
 //! too.
 
 use psc_analysis::table::UpmTable;
-use psc_experiments::harness::{cluster, measure_curve, measure_upm};
+use psc_experiments::harness::{engine_from_args, finish_sweep, measure_curve, measure_upm};
 use psc_experiments::report::{render_claims, write_artifact, Claim};
 use psc_kernels::{Benchmark, ProblemClass};
 
@@ -20,15 +20,19 @@ const PAPER_ROWS: [(&str, f64, f64, f64); 6] = [
 ];
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
     let class =
-        if std::env::args().any(|a| a == "--test") { ProblemClass::Test } else { ProblemClass::B };
-    let c = cluster();
+        if args.iter().any(|a| a == "--test") { ProblemClass::Test } else { ProblemClass::B };
+    let e = engine_from_args(&args);
+    let started = std::time::Instant::now();
 
+    // The UPM probe is the curve's gear-1 run; with the shared run
+    // cache the whole table costs the same runs as fig1.
     let entries: Vec<(String, f64, _)> = Benchmark::NAS
         .iter()
         .map(|&b| {
-            let upm = measure_upm(&c, b, class);
-            let curve = measure_curve(&c, b, class, 1);
+            let upm = measure_upm(&e, b, class);
+            let curve = measure_curve(&e, b, class, 1);
             (b.name().to_string(), upm, curve)
         })
         .collect();
@@ -99,6 +103,7 @@ fn main() {
     let path = write_artifact("table1.csv", &csv);
     write_artifact("table1.txt", &table.render());
     println!("wrote {}", path.display());
+    finish_sweep(&e, "table1", started);
     if !all {
         std::process::exit(1);
     }

@@ -1,13 +1,22 @@
 //! Shared measurement machinery for the experiment binaries.
+//!
+//! Every measurement goes through a [`psc_runner::Engine`]: runs of the
+//! same configuration are executed once (whether requested by a curve, a
+//! node sweep, or a gear profile — or by an earlier figure binary, via
+//! the disk cache), and distinct runs fan out across the engine's worker
+//! pool. Results are bit-identical to serial execution, so the figures
+//! do not depend on the worker count.
 
 use psc_analysis::curve::{EnergyTimeCurve, EnergyTimePoint};
 use psc_kernels::{Benchmark, ProblemClass};
 use psc_model::decompose::Decomposition;
 use psc_model::gears::GearProfile;
 use psc_model::predict::ClusterModel;
-use psc_mpi::{Cluster, ClusterConfig, NetworkModel};
-use psc_telemetry::RunManifest;
+use psc_mpi::{Cluster, NetworkModel};
+use psc_runner::{Engine, RunPlan, RunSpec};
+use psc_telemetry::{RunManifest, SweepManifest};
 use std::path::PathBuf;
+use std::time::Instant;
 
 /// The paper's testbed: ten Athlon-64 nodes on 100 Mb/s Ethernet.
 pub fn cluster() -> Cluster {
@@ -19,20 +28,45 @@ pub fn sun_cluster() -> Cluster {
     Cluster::new(psc_machine::presets::sun_cluster(), NetworkModel::fast_ethernet())
 }
 
+/// The engine the figure binaries use: the paper's testbed cluster,
+/// `PSC_JOBS`/available-parallelism workers, and the environment's cache
+/// configuration (`PSC_CACHE`, `PSC_CACHE_DIR`), with an optional
+/// `--jobs N` command-line override.
+pub fn engine_from_args(args: &[String]) -> Engine {
+    engine_for(cluster(), args)
+}
+
+/// Same, over an explicit cluster (e.g. [`sun_cluster`]).
+pub fn engine_for(c: Cluster, args: &[String]) -> Engine {
+    let mut e = Engine::new(c);
+    if let Some(i) = args.iter().position(|a| a == "--jobs") {
+        let jobs = args
+            .get(i + 1)
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| panic!("--jobs needs a positive integer"));
+        e = e.with_jobs(jobs);
+    }
+    e
+}
+
 /// Run `bench` on `nodes` nodes at every gear and return its
 /// energy-time curve.
 pub fn measure_curve(
-    c: &Cluster,
+    e: &Engine,
     bench: Benchmark,
     class: ProblemClass,
     nodes: usize,
 ) -> EnergyTimeCurve {
-    assert!(bench.supports_nodes(nodes), "{} cannot run on {nodes} nodes", bench.name());
-    let points = (1..=c.node.gears.len())
-        .map(|gear| {
-            let (run, _) =
-                c.run(&ClusterConfig::uniform(nodes, gear), move |comm| bench.run(comm, class));
-            EnergyTimePoint { gear, time_s: run.time_s, energy_j: run.energy_j }
+    let plan = RunPlan::gear_sweep(bench, class, nodes, e.gear_count());
+    let points = plan
+        .specs
+        .iter()
+        .zip(e.execute(&plan))
+        .map(|(spec, run)| EnergyTimePoint {
+            gear: spec.gears.gear_for(0),
+            time_s: run.time_s,
+            energy_j: run.energy_j,
         })
         .collect();
     EnergyTimeCurve::new(bench.name(), nodes, points)
@@ -40,46 +74,42 @@ pub fn measure_curve(
 
 /// Measure the benchmark's UPM (µops per L2 miss) from the simulated
 /// hardware counters of a single-node fastest-gear run.
-pub fn measure_upm(c: &Cluster, bench: Benchmark, class: ProblemClass) -> f64 {
-    let (run, _) = c.run(&ClusterConfig::uniform(1, 1), move |comm| bench.run(comm, class));
-    run.total_counters().upm()
+pub fn measure_upm(e: &Engine, bench: Benchmark, class: ProblemClass) -> f64 {
+    e.run(&RunSpec::uniform(bench, class, 1, 1)).total_counters().upm()
 }
 
 /// Fastest-gear trace decompositions across the benchmark's valid node
 /// counts up to `max_nodes` — the model's Step 1 input.
 pub fn decompositions(
-    c: &Cluster,
+    e: &Engine,
     bench: Benchmark,
     class: ProblemClass,
     max_nodes: usize,
 ) -> Vec<Decomposition> {
-    bench
-        .valid_nodes(max_nodes)
-        .into_iter()
-        .map(|n| {
-            let (run, _) = c.run(&ClusterConfig::uniform(n, 1), move |comm| bench.run(comm, class));
-            Decomposition::of(&run)
-        })
-        .collect()
+    let nodes = bench.valid_nodes(max_nodes);
+    let plan = RunPlan::node_sweep(bench, class, &nodes);
+    e.execute(&plan).iter().map(|run| Decomposition::of(run)).collect()
 }
 
 /// The model's Step 4 input: single-node per-gear profile.
-pub fn gear_profile(c: &Cluster, bench: Benchmark, class: ProblemClass) -> GearProfile {
-    psc_model::gears::profile_workload(c, move |comm| {
-        bench.run(comm, class);
-    })
+pub fn gear_profile(e: &Engine, bench: Benchmark, class: ProblemClass) -> GearProfile {
+    let plan = RunPlan::gear_sweep(bench, class, 1, e.gear_count());
+    let runs = e.execute(&plan);
+    let node = &e.cluster().node;
+    let ig: Vec<f64> = (1..=e.gear_count()).map(|g| node.idle_power_w(node.gear(g))).collect();
+    GearProfile::from_runs(&runs, &ig)
 }
 
 /// Fit the paper's full model for a benchmark from measurements up to
 /// `max_nodes` (the paper uses ≤ 9 on the power-scalable cluster).
 pub fn model_for(
-    c: &Cluster,
+    e: &Engine,
     bench: Benchmark,
     class: ProblemClass,
     max_nodes: usize,
 ) -> ClusterModel {
-    let decomps = decompositions(c, bench, class, max_nodes);
-    let profile = gear_profile(c, bench, class);
+    let decomps = decompositions(e, bench, class, max_nodes);
+    let profile = gear_profile(e, bench, class);
     ClusterModel::fit(&decomps, profile)
 }
 
@@ -106,26 +136,49 @@ pub fn class_label(class: ProblemClass) -> &'static str {
     }
 }
 
-/// Re-run one representative configuration with full telemetry: archive
-/// a JSON run manifest under the results directory and return the
-/// energy-attribution table (ready to print) together with the manifest
-/// path. The figure binaries call this so every figure ships an
+/// Measure one representative configuration with full telemetry (served
+/// from the run cache when an earlier curve already measured it):
+/// archive a JSON run manifest under the results directory and return
+/// the energy-attribution table (ready to print) together with the
+/// manifest path. The figure binaries call this so every figure ships an
 /// attribution of where its headline configuration spent its joules.
 pub fn telemetry_snapshot(
-    c: &Cluster,
+    e: &Engine,
     bench: Benchmark,
     class: ProblemClass,
     nodes: usize,
     gear: usize,
 ) -> (String, PathBuf) {
-    let cfg = ClusterConfig::uniform(nodes, gear);
-    let (run, _) = c.run(&cfg, move |comm| bench.run(comm, class));
-    let manifest = RunManifest::new(bench.name(), class_label(class), &cfg, &run);
+    let spec = RunSpec::uniform(bench, class, nodes, gear);
+    let run = e.run(&spec);
+    let manifest = RunManifest::new(bench.name(), class_label(class), &spec.config(), &run);
     let name =
         manifest.default_path().file_name().expect("manifest path has a file name").to_os_string();
     let path = crate::report::results_dir().join(name);
     manifest.write(&path).unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
     (manifest.attribution.table(), path)
+}
+
+/// Close out a binary's sweep: snapshot the engine's cache accounting
+/// into a [`SweepManifest`], archive it as `<label>.sweep.json` under
+/// the results directory, print the one-line summary, and return the
+/// path.
+pub fn finish_sweep(e: &Engine, label: &str, started: Instant) -> PathBuf {
+    let stats = e.cache_stats();
+    let manifest = SweepManifest {
+        label: label.to_string(),
+        jobs: e.jobs(),
+        total_specs: stats.lookups(),
+        unique_runs: stats.misses,
+        cache_hits: stats.hits,
+        cache_misses: stats.misses,
+        disk_hits: stats.disk_hits,
+        wall_s: started.elapsed().as_secs_f64(),
+    };
+    let path = crate::report::results_dir().join(format!("{label}.sweep.json"));
+    manifest.write(&path).unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+    println!("{}", manifest.summary());
+    path
 }
 
 /// The node counts Figure 2 uses per benchmark: 2, 4, 8 — "or 4 and 9
@@ -140,20 +193,31 @@ pub fn fig2_nodes(bench: Benchmark) -> Vec<usize> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use psc_runner::RunCache;
+
+    /// A hermetic engine: environment jobs, but never the disk cache
+    /// (tests must not observe other processes' results).
+    fn test_engine() -> Engine {
+        Engine::new(cluster()).with_cache(RunCache::in_memory())
+    }
+
+    /// Serializes the tests that point `RESULTS_DIR` at a temp dir.
+    static RESULTS_ENV: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
     #[test]
     fn curve_measured_at_every_gear() {
-        let c = cluster();
-        let curve = measure_curve(&c, Benchmark::Ep, ProblemClass::Test, 2);
+        let e = test_engine();
+        let curve = measure_curve(&e, Benchmark::Ep, ProblemClass::Test, 2);
         assert_eq!(curve.points.len(), 6);
         assert!(curve.fastest_gear_is_fastest_point());
+        assert_eq!(e.cache_stats().misses, 6);
     }
 
     #[test]
     fn measured_upm_matches_charged_upm() {
-        let c = cluster();
+        let e = test_engine();
         for b in [Benchmark::Cg, Benchmark::Ep, Benchmark::Sp] {
-            let upm = measure_upm(&c, b, ProblemClass::Test);
+            let upm = measure_upm(&e, b, ProblemClass::Test);
             assert!(
                 (upm - b.upm()).abs() / b.upm() < 0.02,
                 "{}: measured {upm} vs table {}",
@@ -164,9 +228,47 @@ mod tests {
     }
 
     #[test]
+    fn gear1_runs_are_deduplicated_across_harness_calls() {
+        // The gear-1, 2-node point is requested three times: by the
+        // energy-time curve, by the decomposition sweep, and directly.
+        // It must execute once, and the cached replays must return the
+        // exact same numbers.
+        let e = test_engine();
+        let curve = measure_curve(&e, Benchmark::Cg, ProblemClass::Test, 2);
+        let after_curve = e.cache_stats();
+        assert_eq!(after_curve.misses, 6);
+        assert_eq!(after_curve.hits, 0);
+
+        let decomps = decompositions(&e, Benchmark::Cg, ProblemClass::Test, 2);
+        let after_decomp = e.cache_stats();
+        assert_eq!(decomps.len(), 2, "CG runs on 1 and 2 nodes");
+        assert_eq!(after_decomp.misses, 7, "only the 1-node gear-1 run is new");
+        assert_eq!(after_decomp.hits, 1, "the 2-node gear-1 run came from the cache");
+
+        let cached = e.run(&RunSpec::uniform(Benchmark::Cg, ProblemClass::Test, 2, 1));
+        assert_eq!(e.cache_stats().misses, 7, "third request still executes nothing");
+        let p1 = &curve.points[0];
+        assert_eq!(p1.gear, 1);
+        assert_eq!(cached.time_s.to_bits(), p1.time_s.to_bits());
+        assert_eq!(cached.energy_j.to_bits(), p1.energy_j.to_bits());
+    }
+
+    #[test]
+    fn gear_profile_reuses_the_single_node_curve() {
+        let e = test_engine();
+        let _curve = measure_curve(&e, Benchmark::Mg, ProblemClass::Test, 1);
+        let profile = gear_profile(&e, Benchmark::Mg, ProblemClass::Test);
+        assert_eq!(profile.len(), 6);
+        assert!(profile.is_physical());
+        let s = e.cache_stats();
+        assert_eq!(s.misses, 6, "profile re-used every curve run");
+        assert_eq!(s.hits, 6);
+    }
+
+    #[test]
     fn model_fits_from_test_class() {
-        let c = cluster();
-        let model = model_for(&c, Benchmark::Jacobi, ProblemClass::Test, 8);
+        let e = test_engine();
+        let model = model_for(&e, Benchmark::Jacobi, ProblemClass::Test, 8);
         let p = model.refined(16, 3);
         assert!(p.time_s > 0.0 && p.energy_j > 0.0);
         assert!(model.profile.is_physical());
@@ -179,18 +281,46 @@ mod tests {
     }
 
     #[test]
+    fn engine_from_args_parses_jobs_override() {
+        let args: Vec<String> = ["--test", "--jobs", "3"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(engine_for(cluster(), &args).jobs(), 3);
+        assert!(engine_for(cluster(), &[]).jobs() >= 1);
+    }
+
+    #[test]
     fn telemetry_snapshot_archives_a_manifest() {
+        let _guard = RESULTS_ENV.lock().unwrap();
         let dir = std::env::temp_dir().join("psc-harness-telemetry-test");
         let _ = std::fs::remove_dir_all(&dir);
         std::env::set_var("RESULTS_DIR", &dir);
-        let c = cluster();
-        let (table, path) = telemetry_snapshot(&c, Benchmark::Ep, ProblemClass::Test, 2, 2);
+        let e = test_engine();
+        let (table, path) = telemetry_snapshot(&e, Benchmark::Ep, ProblemClass::Test, 2, 2);
         std::env::remove_var("RESULTS_DIR");
         assert!(table.contains("compute"), "table should list the compute category");
         let text = std::fs::read_to_string(&path).unwrap();
         let m = RunManifest::from_json(&text).unwrap();
         assert_eq!(m.bench, "EP");
         assert_eq!(m.nodes, 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn finish_sweep_archives_cache_accounting() {
+        let _guard = RESULTS_ENV.lock().unwrap();
+        let dir = std::env::temp_dir().join("psc-harness-sweep-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::env::set_var("RESULTS_DIR", &dir);
+        let e = test_engine();
+        let started = Instant::now();
+        let _ = measure_curve(&e, Benchmark::Ep, ProblemClass::Test, 1);
+        let _ = measure_curve(&e, Benchmark::Ep, ProblemClass::Test, 1); // all hits
+        let path = finish_sweep(&e, "test-sweep", started);
+        std::env::remove_var("RESULTS_DIR");
+        let m = SweepManifest::from_json(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(m.total_specs, 12);
+        assert_eq!(m.unique_runs, 6);
+        assert_eq!(m.cache_hits, 6);
+        assert!((m.hit_rate() - 0.5).abs() < 1e-12);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -53,6 +53,13 @@ impl PowerTrace {
         PowerTrace::default()
     }
 
+    /// An empty trace with room for `segments` appends before the
+    /// backing buffer reallocates. The cluster driver pre-sizes rank
+    /// traces with this so steady-state runs append without growth.
+    pub fn with_capacity(segments: usize) -> Self {
+        PowerTrace { segments: Vec::with_capacity(segments) }
+    }
+
     /// Append a segment ending at `t1_s` with the given power. The segment
     /// starts at the end of the previous segment (or 0). Out-of-order
     /// appends are a programmer error.
@@ -86,9 +93,58 @@ impl PowerTrace {
         &self.segments
     }
 
+    /// Merge adjacent segments that are contiguous in time and have
+    /// bitwise-equal wattage. Long runs at a fixed gear emit constant
+    /// power punctuated only by MPI idling, so traces that alternate
+    /// between two levels — or that were stitched together from
+    /// serialized parts — compact substantially.
+    ///
+    /// Compaction is *exact*: [`PowerTrace::exact_energy_j`] and
+    /// [`PowerTrace::end_s`] return bitwise-identical values before and
+    /// after, because the energy integral is computed over maximal
+    /// equal-power runs (see below) — exactly the runs this merges.
+    pub fn compact(&mut self) {
+        let mut out = 0usize; // last written segment
+        for i in 1..self.segments.len() {
+            let cur = self.segments[i];
+            let prev = &mut self.segments[out];
+            if Self::mergeable(prev, &cur) {
+                prev.t1_s = cur.t1_s;
+            } else {
+                out += 1;
+                self.segments[out] = cur;
+            }
+        }
+        self.segments.truncate(if self.segments.is_empty() { 0 } else { out + 1 });
+    }
+
+    /// Whether `b` directly continues `a` at the same power level.
+    #[inline]
+    fn mergeable(a: &Segment, b: &Segment) -> bool {
+        a.t1_s == b.t0_s && a.watts == b.watts
+    }
+
     /// Exact energy: the closed-form integral of the step function, joules.
+    ///
+    /// The sum is taken per maximal run of contiguous equal-power
+    /// segments — `(t_end − t_start) · watts` for the whole run rather
+    /// than per segment — so it is invariant (bitwise) under
+    /// [`PowerTrace::compact`], which merges exactly those runs.
     pub fn exact_energy_j(&self) -> f64 {
-        self.segments.iter().map(Segment::energy_j).sum()
+        let mut acc = 0.0;
+        let mut i = 0;
+        while i < self.segments.len() {
+            let start = self.segments[i];
+            let mut j = i;
+            while j + 1 < self.segments.len()
+                && Self::mergeable(&self.segments[j], &self.segments[j + 1])
+            {
+                j += 1;
+            }
+            acc += (self.segments[j].t1_s - start.t0_s) * start.watts;
+            i = j + 1;
+        }
+        acc
     }
 
     /// Instantaneous power at time `t_s`, watts. Between segments and after
@@ -187,9 +243,11 @@ impl Wattmeter {
 }
 
 /// Sum the exact energies of a set of node traces — the paper's
-/// "cumulative energy of all nodes used" (Figure 2).
-pub fn cluster_energy_j(traces: &[PowerTrace]) -> f64 {
-    traces.iter().map(PowerTrace::exact_energy_j).sum()
+/// "cumulative energy of all nodes used" (Figure 2). Accepts any
+/// iterator of trace references, so callers holding traces inside
+/// larger per-rank records can sum them without cloning.
+pub fn cluster_energy_j<'a>(traces: impl IntoIterator<Item = &'a PowerTrace>) -> f64 {
+    traces.into_iter().map(PowerTrace::exact_energy_j).sum()
 }
 
 #[cfg(test)]
@@ -290,6 +348,70 @@ mod tests {
     }
 
     #[test]
+    fn compact_merges_contiguous_equal_power_runs() {
+        // Build a trace whose segments alternate then repeat a level by
+        // constructing it from serialized parts (push would already have
+        // merged live appends).
+        let mut t = PowerTrace {
+            segments: vec![
+                Segment { t0_s: 0.0, t1_s: 1.0, watts: 145.0 },
+                Segment { t0_s: 1.0, t1_s: 1.5, watts: 145.0 },
+                Segment { t0_s: 1.5, t1_s: 2.0, watts: 92.0 },
+                Segment { t0_s: 2.0, t1_s: 2.25, watts: 92.0 },
+                Segment { t0_s: 2.25, t1_s: 3.0, watts: 145.0 },
+            ],
+        };
+        let energy = t.exact_energy_j();
+        let end = t.end_s();
+        t.compact();
+        assert_eq!(t.segments().len(), 3);
+        assert_eq!(t.exact_energy_j().to_bits(), energy.to_bits(), "energy must be exact");
+        assert_eq!(t.end_s().to_bits(), end.to_bits());
+        assert_eq!(t.power_at(1.2), 145.0);
+        assert_eq!(t.power_at(2.1), 92.0);
+    }
+
+    #[test]
+    fn compact_keeps_gaps_and_distinct_levels() {
+        let mut t = PowerTrace {
+            segments: vec![
+                Segment { t0_s: 0.0, t1_s: 1.0, watts: 100.0 },
+                // Gap in time: must NOT merge even at equal watts.
+                Segment { t0_s: 2.0, t1_s: 3.0, watts: 100.0 },
+            ],
+        };
+        t.compact();
+        assert_eq!(t.segments().len(), 2);
+        assert_eq!(t.power_at(1.5), 0.0);
+    }
+
+    #[test]
+    fn compact_on_empty_and_singleton_is_noop() {
+        let mut e = PowerTrace::new();
+        e.compact();
+        assert!(e.segments().is_empty());
+        let mut s = PowerTrace::new();
+        s.push(1.0, 50.0);
+        s.compact();
+        assert_eq!(s.segments().len(), 1);
+    }
+
+    #[test]
+    fn with_capacity_behaves_like_new() {
+        let mut t = PowerTrace::with_capacity(16);
+        t.push(1.0, 100.0);
+        assert_eq!(t.exact_energy_j(), 100.0);
+    }
+
+    #[test]
+    fn cluster_energy_accepts_borrowed_traces() {
+        let t = two_level_trace();
+        let refs = [&t, &t];
+        let total = cluster_energy_j(refs.iter().copied());
+        assert!((total - 2.0 * t.exact_energy_j()).abs() < 1e-9);
+    }
+
+    #[test]
     fn empty_trace_is_zero_everywhere() {
         let t = PowerTrace::new();
         assert_eq!(t.exact_energy_j(), 0.0);
@@ -303,5 +425,66 @@ mod tests {
         let mut t = PowerTrace::new();
         t.push(2.0, 100.0);
         t.push(1.0, 100.0);
+    }
+}
+
+#[cfg(test)]
+mod props {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Arbitrary fragmented traces: contiguous runs (often repeating a
+    /// power level, so there is something to merge) with occasional
+    /// gaps, built directly from segments the way deserialized or
+    /// stitched traces arrive — `push` would have pre-merged them.
+    fn fragmented_trace() -> impl Strategy<Value = PowerTrace> {
+        let level = prop_oneof![Just(92.0f64), Just(118.5), Just(145.0), 50.0..200.0f64];
+        proptest::collection::vec((0.001..0.7f64, 0.0..0.3f64, level, 0u8..2), 1..40).prop_map(
+            |parts| {
+                let mut segments = Vec::new();
+                let mut t = 0.0f64;
+                for (dur, gap, watts, gapped) in parts {
+                    if gapped == 1 {
+                        t += gap;
+                    }
+                    segments.push(Segment { t0_s: t, t1_s: t + dur, watts });
+                    t += dur;
+                }
+                PowerTrace { segments }
+            },
+        )
+    }
+
+    proptest! {
+        /// The satellite invariant: compaction preserves the energy
+        /// integral and the end time EXACTLY (bitwise), not just to
+        /// within a tolerance.
+        #[test]
+        fn compact_preserves_energy_and_end_bitwise(mut trace in fragmented_trace()) {
+            let energy = trace.exact_energy_j();
+            let end = trace.end_s();
+            let original = trace.clone();
+            trace.compact();
+            prop_assert_eq!(trace.exact_energy_j().to_bits(), energy.to_bits());
+            prop_assert_eq!(trace.end_s().to_bits(), end.to_bits());
+            // No mergeable pair survives, and the step function still
+            // reads the same wattage inside every original segment.
+            for w in trace.segments().windows(2) {
+                prop_assert!(!(w[0].t1_s == w[1].t0_s && w[0].watts == w[1].watts));
+            }
+            for s in original.segments() {
+                let mid = 0.5 * (s.t0_s + s.t1_s);
+                prop_assert_eq!(trace.power_at(mid).to_bits(), s.watts.to_bits());
+            }
+        }
+
+        /// Compaction is idempotent.
+        #[test]
+        fn compact_is_idempotent(mut trace in fragmented_trace()) {
+            trace.compact();
+            let once = trace.clone();
+            trace.compact();
+            prop_assert_eq!(trace.segments(), once.segments());
+        }
     }
 }

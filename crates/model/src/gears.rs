@@ -38,15 +38,16 @@ impl GearProfile {
     /// measured energy divided by measured time — of the *compute*
     /// portion. Our traces make the split directly available: compute
     /// energy = total − idle-power × idle-time.
-    pub fn from_runs(runs: &[RunResult], ig_w: &[f64]) -> GearProfile {
+    pub fn from_runs<R: std::borrow::Borrow<RunResult>>(runs: &[R], ig_w: &[f64]) -> GearProfile {
         assert_eq!(runs.len(), ig_w.len(), "need idle power for every gear");
         assert!(!runs.is_empty());
         for r in runs {
-            assert_eq!(r.ranks.len(), 1, "gear profiling uses sequential (1-node) runs");
+            assert_eq!(r.borrow().ranks.len(), 1, "gear profiling uses sequential (1-node) runs");
         }
-        let t1 = runs[0].time_s;
+        let t1 = runs[0].borrow().time_s;
         let points = runs
             .iter()
+            .map(std::borrow::Borrow::borrow)
             .zip(ig_w)
             .enumerate()
             .map(|(i, (run, &ig))| {
@@ -91,20 +92,20 @@ impl GearProfile {
 /// sequentially at every gear.
 ///
 /// `workload` is any single-rank program (e.g. a kernel at Test class);
-/// it runs once per gear on a 1-node cluster.
+/// it runs once per gear on a 1-node cluster. The per-gear runs are
+/// independent, so they execute as a batch across the default worker
+/// pool ([`psc_mpi::default_jobs`]) — results are identical to the
+/// serial loop, just faster on a multi-core host.
 pub fn profile_workload<F>(cluster: &psc_mpi::Cluster, workload: F) -> GearProfile
 where
     F: Fn(&mut psc_mpi::Comm) + Sync,
 {
     let gears = cluster.node.gears.len();
-    let mut runs = Vec::with_capacity(gears);
-    let mut ig = Vec::with_capacity(gears);
-    for g in 1..=gears {
-        let cfg = psc_mpi::ClusterConfig::uniform(1, g);
-        let (run, _) = cluster.run(&cfg, |comm| workload(comm));
-        ig.push(cluster.node.idle_power_w(cluster.node.gear(g)));
-        runs.push(run);
-    }
+    let cfgs: Vec<psc_mpi::ClusterConfig> =
+        (1..=gears).map(|g| psc_mpi::ClusterConfig::uniform(1, g)).collect();
+    let runs = cluster.run_many(&cfgs, |comm| workload(comm), psc_mpi::default_jobs());
+    let ig: Vec<f64> =
+        (1..=gears).map(|g| cluster.node.idle_power_w(cluster.node.gear(g))).collect();
     GearProfile::from_runs(&runs, &ig)
 }
 

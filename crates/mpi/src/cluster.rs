@@ -12,6 +12,7 @@ use crate::router::Router;
 use crate::trace::RankTrace;
 use psc_machine::wattmeter::cluster_energy_j;
 use psc_machine::{Counters, NodeSpec, PowerTrace, Wattmeter};
+use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
 /// Which gear each rank runs at.
@@ -50,7 +51,7 @@ impl ClusterConfig {
 }
 
 /// Per-rank measurement products of a run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RankResult {
     /// Rank id.
     pub rank: usize,
@@ -66,7 +67,7 @@ pub struct RankResult {
 }
 
 /// The measurement products of one cluster run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunResult {
     /// Wall-clock (virtual) execution time: the latest rank end, seconds.
     pub time_s: f64,
@@ -221,11 +222,12 @@ impl Cluster {
             if power.end_s() < time_s {
                 power.push(time_s, idle_w);
             }
+            power.compact();
             ranks.push(RankResult { rank, gear_index, counters, trace, power });
             outputs.push(out);
         }
 
-        let energy_j = cluster_energy_j(&ranks.iter().map(|r| r.power.clone()).collect::<Vec<_>>());
+        let energy_j = cluster_energy_j(ranks.iter().map(|r| &r.power));
         let measured_energy_j =
             ranks.iter().map(|r| self.wattmeter.measure_energy_j(&r.power)).sum();
 

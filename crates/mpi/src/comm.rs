@@ -85,8 +85,10 @@ impl Comm {
             buffer: MatchBuffer::new(),
             clock_s: 0.0,
             counters: Counters::default(),
-            trace: RankTrace::new(),
-            power: PowerTrace::new(),
+            // Pre-sized for steady-state kernels: hundreds of MPI events
+            // and an alternating compute/idle power profile per rank.
+            trace: RankTrace::with_capacity(512, 16),
+            power: PowerTrace::with_capacity(256),
             coll_seq: 0,
             wire_scale: 1.0,
             span_stack: Vec::new(),

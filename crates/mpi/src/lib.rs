@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod batch;
 pub mod cluster;
 pub mod comm;
 pub mod network;
@@ -45,6 +46,7 @@ pub mod reduce;
 pub mod router;
 pub mod trace;
 
+pub use batch::default_jobs;
 pub use cluster::{Cluster, ClusterConfig, GearSelection, RankResult, RunResult};
 pub use comm::{Comm, RecvRequest};
 pub use network::NetworkModel;

@@ -129,7 +129,7 @@ pub struct GearShift {
 }
 
 /// The full event log of one rank over one run.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct RankTrace {
     events: Vec<TraceEvent>,
     spans: Vec<PhaseSpan>,
@@ -142,6 +142,17 @@ impl RankTrace {
     /// An empty trace.
     pub fn new() -> Self {
         RankTrace::default()
+    }
+
+    /// An empty trace with pre-sized event/span buffers, so kernels
+    /// that emit thousands of events do not pay repeated reallocation.
+    pub fn with_capacity(events: usize, spans: usize) -> Self {
+        RankTrace {
+            events: Vec::with_capacity(events),
+            spans: Vec::with_capacity(spans),
+            gear_shifts: Vec::new(),
+            end_s: 0.0,
+        }
     }
 
     /// Append an event. Events must be appended in time order.

@@ -1,0 +1,274 @@
+//! The content-addressed run cache.
+//!
+//! Results are keyed by an FNV-1a hash of a canonical description of
+//! everything that determines a run's outcome: the benchmark, problem
+//! class, node count, resolved per-rank gears, and the cluster's node
+//! spec, network model, and wattmeter (all serialized with exact
+//! float round-tripping). Two layers:
+//!
+//! * a **memory** layer (`Mutex<HashMap>` of `Arc<RunResult>`) shared by
+//!   every lookup in the process, and
+//! * an optional **disk** layer (one JSON file per key, written with an
+//!   atomic temp-file + rename), which lets separate processes — the
+//!   figure binaries, say — share results.
+//!
+//! The cache is *memoization*, not verification: it assumes the kernel
+//! implementations have not changed since a result was written. Wipe
+//! the directory (or set `PSC_CACHE=0`) after editing kernels.
+
+use psc_mpi::RunResult;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Version tag baked into every cache key; bump when the `RunResult`
+/// schema or the run semantics change so stale disk entries miss.
+pub const CACHE_SCHEMA: &str = "psc-run-cache-v1";
+
+/// 64-bit FNV-1a over a byte string.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Cache traffic counters for one [`RunCache`] instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache (memory or disk) or deduplicated
+    /// within a plan.
+    pub hits: u64,
+    /// Lookups that had to execute a run.
+    pub misses: u64,
+    /// The subset of `hits` answered by reading a disk entry.
+    pub disk_hits: u64,
+}
+
+impl CacheStats {
+    /// Total lookups.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of lookups answered without running, in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups() as f64
+        }
+    }
+}
+
+/// A memoization table for [`RunResult`]s, optionally backed by disk.
+#[derive(Debug)]
+pub struct RunCache {
+    mem: Mutex<HashMap<u64, Arc<RunResult>>>,
+    disk: Option<PathBuf>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    disk_hits: AtomicU64,
+}
+
+impl RunCache {
+    /// A memory-only cache (no cross-process sharing).
+    pub fn in_memory() -> Self {
+        RunCache {
+            mem: Mutex::new(HashMap::new()),
+            disk: None,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
+        }
+    }
+
+    /// A cache that also persists each entry as `<key>.json` in `dir`.
+    /// The directory is created on first write.
+    pub fn with_disk(dir: impl Into<PathBuf>) -> Self {
+        let mut c = RunCache::in_memory();
+        c.disk = Some(dir.into());
+        c
+    }
+
+    /// The cache described by the environment: `PSC_CACHE=0` (or `off`)
+    /// disables the disk layer; `PSC_CACHE_DIR` overrides the location;
+    /// otherwise `target/psc-run-cache`.
+    pub fn from_env() -> Self {
+        match std::env::var("PSC_CACHE") {
+            Ok(v) if v == "0" || v.eq_ignore_ascii_case("off") => return RunCache::in_memory(),
+            _ => {}
+        }
+        let dir = std::env::var("PSC_CACHE_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|_| PathBuf::from("target/psc-run-cache"));
+        RunCache::with_disk(dir)
+    }
+
+    /// Whether a disk layer is configured.
+    pub fn is_disk_backed(&self) -> bool {
+        self.disk.is_some()
+    }
+
+    /// The disk directory, if any.
+    pub fn disk_dir(&self) -> Option<&Path> {
+        self.disk.as_deref()
+    }
+
+    /// Counting lookup: memory first, then disk. A disk hit is promoted
+    /// into the memory layer.
+    pub fn lookup(&self, key: u64) -> Option<Arc<RunResult>> {
+        if let Some(run) = self.mem.lock().unwrap().get(&key).cloned() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Some(run);
+        }
+        if let Some(run) = self.read_disk(key) {
+            let run = Arc::new(run);
+            self.mem.lock().unwrap().insert(key, Arc::clone(&run));
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.disk_hits.fetch_add(1, Ordering::Relaxed);
+            return Some(run);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Store a result under `key` (memory, and disk when configured).
+    /// Does not touch the traffic counters.
+    pub fn insert(&self, key: u64, run: Arc<RunResult>) {
+        self.write_disk(key, &run);
+        self.mem.lock().unwrap().insert(key, run);
+    }
+
+    /// Record a hit that never reached `lookup` — a duplicate spec
+    /// deduplicated inside one plan shares the first occurrence's run.
+    pub(crate) fn note_shared_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A snapshot of the traffic counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+        }
+    }
+
+    fn entry_path(dir: &Path, key: u64) -> PathBuf {
+        dir.join(format!("{key:016x}.json"))
+    }
+
+    fn read_disk(&self, key: u64) -> Option<RunResult> {
+        let dir = self.disk.as_ref()?;
+        let text = std::fs::read_to_string(Self::entry_path(dir, key)).ok()?;
+        // A corrupt or schema-stale entry is a miss; the fresh result
+        // will overwrite it.
+        serde::json::from_str::<RunResult>(&text).ok()
+    }
+
+    fn write_disk(&self, key: u64, run: &RunResult) {
+        let Some(dir) = self.disk.as_ref() else { return };
+        if std::fs::create_dir_all(dir).is_err() {
+            return; // Disk layer is best-effort; memory still serves.
+        }
+        let text = serde::json::to_string(run);
+        // Atomic publish: unique temp name (pid + key) then rename, so
+        // concurrent processes never observe a half-written entry.
+        let tmp = dir.join(format!(".tmp-{}-{key:016x}", std::process::id()));
+        if std::fs::write(&tmp, text).is_ok() {
+            let _ = std::fs::rename(&tmp, Self::entry_path(dir, key));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psc_machine::WorkBlock;
+    use psc_mpi::{Cluster, ClusterConfig};
+
+    fn some_run() -> Arc<RunResult> {
+        let c = Cluster::athlon_fast_ethernet();
+        let (run, _) = c.run(&ClusterConfig::uniform(2, 3), |comm| {
+            comm.compute(&WorkBlock::with_upm(1.0e8, 70.0));
+            comm.barrier();
+        });
+        Arc::new(run)
+    }
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Standard FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn memory_cache_counts_hits_and_misses() {
+        let cache = RunCache::in_memory();
+        assert!(cache.lookup(42).is_none());
+        cache.insert(42, some_run());
+        assert!(cache.lookup(42).is_some());
+        assert!(cache.lookup(7).is_none());
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.disk_hits), (1, 2, 0));
+        assert!((s.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disk_cache_round_trips_bitwise_across_instances() {
+        let dir = std::env::temp_dir().join(format!("psc-cache-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let run = some_run();
+        let writer = RunCache::with_disk(&dir);
+        writer.insert(99, Arc::clone(&run));
+
+        // A fresh instance (fresh memory layer) must hit via disk.
+        let reader = RunCache::with_disk(&dir);
+        let got = reader.lookup(99).expect("disk entry readable");
+        assert_eq!(got.time_s.to_bits(), run.time_s.to_bits());
+        assert_eq!(got.energy_j.to_bits(), run.energy_j.to_bits());
+        assert_eq!(got.measured_energy_j.to_bits(), run.measured_energy_j.to_bits());
+        assert_eq!(*got, *run, "full RunResult must round-trip through JSON");
+        let s = reader.stats();
+        assert_eq!((s.hits, s.misses, s.disk_hits), (1, 0, 1));
+
+        // Promotion: second lookup is a memory hit, not another read.
+        assert!(reader.lookup(99).is_some());
+        assert_eq!(reader.stats().disk_hits, 1);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_disk_entry_is_a_miss() {
+        let dir = std::env::temp_dir().join(format!("psc-cache-corrupt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join(format!("{:016x}.json", 5u64)), "not json").unwrap();
+
+        let cache = RunCache::with_disk(&dir);
+        assert!(cache.lookup(5).is_none());
+        assert_eq!(cache.stats().misses, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn from_env_honors_cache_toggle() {
+        // Only this test touches these variables.
+        std::env::set_var("PSC_CACHE", "0");
+        assert!(!RunCache::from_env().is_disk_backed());
+        std::env::remove_var("PSC_CACHE");
+        std::env::set_var("PSC_CACHE_DIR", "/tmp/psc-some-cache");
+        let c = RunCache::from_env();
+        assert_eq!(c.disk_dir(), Some(Path::new("/tmp/psc-some-cache")));
+        std::env::remove_var("PSC_CACHE_DIR");
+        assert!(RunCache::from_env().is_disk_backed());
+    }
+}

@@ -1,0 +1,241 @@
+//! The sweep engine: bounded-parallel, memoized plan execution.
+
+use crate::cache::{fnv1a64, CacheStats, RunCache, CACHE_SCHEMA};
+use crate::plan::{RunPlan, RunSpec};
+use psc_mpi::{default_jobs, Cluster, RunResult};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Executes [`RunPlan`]s on a [`Cluster`] with a worker pool and a
+/// [`RunCache`].
+///
+/// ```
+/// use psc_kernels::{Benchmark, ProblemClass};
+/// use psc_mpi::Cluster;
+/// use psc_runner::{Engine, RunCache, RunPlan};
+///
+/// let e = Engine::new(Cluster::athlon_fast_ethernet())
+///     .with_cache(RunCache::in_memory()); // hermetic: ignore any disk cache
+/// let plan = RunPlan::gear_sweep(Benchmark::Ep, ProblemClass::Test, 1, 3);
+/// let runs = e.execute(&plan);
+/// assert_eq!(runs.len(), 3);
+/// assert!(runs[0].time_s <= runs[2].time_s); // gear 1 is fastest
+/// assert_eq!(e.cache_stats().misses, 3);
+/// assert_eq!(e.execute(&plan).len(), 3); // replay: all hits
+/// assert_eq!(e.cache_stats().hits, 3);
+/// ```
+#[derive(Debug)]
+pub struct Engine {
+    cluster: Cluster,
+    jobs: usize,
+    cache: RunCache,
+}
+
+impl Engine {
+    /// An engine with environment defaults: `PSC_JOBS` workers (or the
+    /// host's available parallelism) and the `PSC_CACHE`/`PSC_CACHE_DIR`
+    /// cache configuration.
+    pub fn new(cluster: Cluster) -> Self {
+        Engine { cluster, jobs: default_jobs(), cache: RunCache::from_env() }
+    }
+
+    /// A single-worker engine with a memory-only cache — the serial
+    /// reference configuration for determinism checks.
+    pub fn serial(cluster: Cluster) -> Self {
+        Engine { cluster, jobs: 1, cache: RunCache::in_memory() }
+    }
+
+    /// Pin the worker count (must be ≥ 1).
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        assert!(jobs >= 1, "worker count must be at least 1");
+        self.jobs = jobs;
+        self
+    }
+
+    /// Replace the cache.
+    pub fn with_cache(mut self, cache: RunCache) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// The cluster runs execute on.
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// The worker count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Number of gears on this cluster's nodes.
+    pub fn gear_count(&self) -> usize {
+        self.cluster.node.gears.len()
+    }
+
+    /// Snapshot of the cache traffic counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// The content key of a spec on this engine's cluster: a hash of
+    /// the spec plus everything about the cluster that shapes the
+    /// result. Floats serialize with exact round-tripping, so the key
+    /// is stable across processes.
+    pub fn cache_key(&self, spec: &RunSpec) -> u64 {
+        let desc = format!(
+            "{CACHE_SCHEMA}|bench={}|class={:?}|nodes={}|gears={:?}|node={}|net={}|meter={}",
+            spec.bench.name(),
+            spec.class,
+            spec.nodes,
+            spec.resolved_gears(),
+            serde::json::to_string(&self.cluster.node),
+            serde::json::to_string(&self.cluster.network),
+            serde::json::to_string(&self.cluster.wattmeter),
+        );
+        fnv1a64(desc.as_bytes())
+    }
+
+    /// Run a single spec through the cache.
+    pub fn run(&self, spec: &RunSpec) -> Arc<RunResult> {
+        let key = self.cache_key(spec);
+        if let Some(run) = self.cache.lookup(key) {
+            return run;
+        }
+        let run = Arc::new(self.execute_spec(spec));
+        self.cache.insert(key, Arc::clone(&run));
+        run
+    }
+
+    /// Execute a plan: cached results are reused, distinct uncached
+    /// specs fan out across the worker pool, and results return in plan
+    /// order. Bit-identical to running every spec serially.
+    ///
+    /// Accounting invariant: over one call, `hits + misses` grows by
+    /// exactly `plan.len()` — duplicates of an uncached spec count as
+    /// hits (they share the first occurrence's run).
+    pub fn execute(&self, plan: &RunPlan) -> Vec<Arc<RunResult>> {
+        // Pass 1: resolve each *distinct* key against the cache once;
+        // collect the keys that need an actual run.
+        let keys: Vec<u64> = plan.specs.iter().map(|s| self.cache_key(s)).collect();
+        let mut resolved: HashMap<u64, Arc<RunResult>> = HashMap::new();
+        let mut to_run: Vec<(u64, &RunSpec)> = Vec::new();
+        for (spec, &key) in plan.specs.iter().zip(&keys) {
+            if resolved.contains_key(&key) || to_run.iter().any(|(k, _)| *k == key) {
+                // Duplicate inside this plan: shares whatever the first
+                // occurrence resolves to.
+                self.cache.note_shared_hit();
+                continue;
+            }
+            match self.cache.lookup(key) {
+                Some(run) => {
+                    resolved.insert(key, run);
+                }
+                None => to_run.push((key, spec)),
+            }
+        }
+
+        // Pass 2: the worker pool drains the miss list. Each run is
+        // inserted into the cache as soon as it completes, so a
+        // concurrently executing plan in this process can reuse it.
+        let slots: Vec<OnceLock<Arc<RunResult>>> = to_run.iter().map(|_| OnceLock::new()).collect();
+        let next = AtomicUsize::new(0);
+        let workers = self.jobs.min(to_run.len().max(1));
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let k = next.fetch_add(1, Ordering::Relaxed);
+                    if k >= to_run.len() {
+                        break;
+                    }
+                    let (key, spec) = to_run[k];
+                    let run = Arc::new(self.execute_spec(spec));
+                    self.cache.insert(key, Arc::clone(&run));
+                    let _ = slots[k].set(run);
+                });
+            }
+        });
+        for ((key, _), slot) in to_run.iter().zip(slots) {
+            resolved.insert(*key, slot.into_inner().expect("pool filled every slot"));
+        }
+
+        keys.iter().map(|k| Arc::clone(&resolved[k])).collect()
+    }
+
+    fn execute_spec(&self, spec: &RunSpec) -> RunResult {
+        let (run, _outputs) =
+            self.cluster.run(&spec.config(), |comm| spec.bench.run(comm, spec.class));
+        run
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psc_kernels::{Benchmark, ProblemClass};
+
+    fn engine() -> Engine {
+        Engine::serial(Cluster::athlon_fast_ethernet()).with_jobs(4)
+    }
+
+    fn small_plan() -> RunPlan {
+        let mut plan = RunPlan::gear_sweep(Benchmark::Ep, ProblemClass::Test, 1, 3);
+        plan.extend(RunPlan::node_sweep(Benchmark::Ep, ProblemClass::Test, &[1, 2]));
+        plan // EP n=1 g=1 appears twice: one in-plan duplicate
+    }
+
+    #[test]
+    fn execute_accounts_every_spec() {
+        let e = engine();
+        let plan = small_plan();
+        let runs = e.execute(&plan);
+        assert_eq!(runs.len(), plan.len());
+        let s = e.cache_stats();
+        assert_eq!(s.lookups(), plan.len() as u64);
+        assert_eq!(s.misses, 4, "4 distinct specs");
+        assert_eq!(s.hits, 1, "the in-plan duplicate");
+        // The duplicate shares the very same allocation.
+        assert!(Arc::ptr_eq(&runs[0], &runs[3]));
+    }
+
+    #[test]
+    fn replay_is_all_hits_and_identical() {
+        let e = engine();
+        let plan = small_plan();
+        let first = e.execute(&plan);
+        let again = e.execute(&plan);
+        let s = e.cache_stats();
+        assert_eq!(s.misses, 4);
+        assert_eq!(s.hits, 1 + plan.len() as u64);
+        for (a, b) in first.iter().zip(&again) {
+            assert!(Arc::ptr_eq(a, b), "replay must reuse cached results");
+        }
+    }
+
+    #[test]
+    fn single_run_matches_plan_run_bitwise() {
+        let e = engine();
+        let spec = RunSpec::uniform(Benchmark::Mg, ProblemClass::Test, 2, 2);
+        let direct = e.run(&spec);
+        let planned = e.execute(&RunPlan { specs: vec![spec] });
+        assert_eq!(direct.time_s.to_bits(), planned[0].time_s.to_bits());
+        assert_eq!(direct.energy_j.to_bits(), planned[0].energy_j.to_bits());
+    }
+
+    #[test]
+    fn cache_key_separates_every_axis() {
+        let e = engine();
+        let base = RunSpec::uniform(Benchmark::Cg, ProblemClass::Test, 2, 1);
+        let k = |s: &RunSpec| e.cache_key(s);
+        assert_ne!(k(&base), k(&RunSpec::uniform(Benchmark::Mg, ProblemClass::Test, 2, 1)));
+        assert_ne!(k(&base), k(&RunSpec::uniform(Benchmark::Cg, ProblemClass::B, 2, 1)));
+        assert_ne!(k(&base), k(&RunSpec::uniform(Benchmark::Cg, ProblemClass::Test, 4, 1)));
+        assert_ne!(k(&base), k(&RunSpec::uniform(Benchmark::Cg, ProblemClass::Test, 2, 2)));
+        // A different cluster changes the key even for the same spec.
+        let mut sun = Cluster::athlon_fast_ethernet();
+        sun.network.latency_s *= 2.0;
+        let e2 = Engine::serial(sun);
+        assert_ne!(k(&base), e2.cache_key(&base));
+    }
+}

@@ -1,0 +1,145 @@
+//! Run specifications and plans.
+
+use psc_kernels::{Benchmark, ProblemClass};
+use psc_mpi::{ClusterConfig, GearSelection};
+
+/// One independent measurement: a benchmark at a problem class, node
+/// count, and gear selection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSpec {
+    /// The kernel to run.
+    pub bench: Benchmark,
+    /// Problem class (size).
+    pub class: ProblemClass,
+    /// Node count (one rank per node).
+    pub nodes: usize,
+    /// Gear selection for the ranks.
+    pub gears: GearSelection,
+}
+
+impl RunSpec {
+    /// A spec with every node at the same gear.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the benchmark does not support the node count (e.g. BT
+    /// and SP need square counts), so a bad plan fails at construction
+    /// rather than mid-sweep.
+    pub fn uniform(bench: Benchmark, class: ProblemClass, nodes: usize, gear: usize) -> Self {
+        assert!(bench.supports_nodes(nodes), "{} does not support {} node(s)", bench.name(), nodes);
+        RunSpec { bench, class, nodes, gears: GearSelection::Uniform(gear) }
+    }
+
+    /// The cluster configuration this spec runs under.
+    pub fn config(&self) -> ClusterConfig {
+        ClusterConfig { nodes: self.nodes, gears: self.gears.clone() }
+    }
+
+    /// The gear of each rank, resolved to a concrete per-rank list.
+    pub fn resolved_gears(&self) -> Vec<usize> {
+        (0..self.nodes).map(|r| self.gears.gear_for(r)).collect()
+    }
+}
+
+/// An ordered list of independent [`RunSpec`]s.
+///
+/// Order is the *output* order of [`crate::Engine::execute`]; it does
+/// not constrain execution order (all specs are independent).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunPlan {
+    /// The specs, in output order. Duplicates are allowed — the engine
+    /// executes each distinct spec once and shares the result.
+    pub specs: Vec<RunSpec>,
+}
+
+impl RunPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        RunPlan::default()
+    }
+
+    /// Append one spec.
+    pub fn push(&mut self, spec: RunSpec) {
+        self.specs.push(spec);
+    }
+
+    /// Append every spec of another plan.
+    pub fn extend(&mut self, other: RunPlan) {
+        self.specs.extend(other.specs);
+    }
+
+    /// Number of specs (counting duplicates).
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Whether the plan holds no specs.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// A full gear sweep: `bench` at `nodes` nodes, gears `1..=gear_count`.
+    pub fn gear_sweep(
+        bench: Benchmark,
+        class: ProblemClass,
+        nodes: usize,
+        gear_count: usize,
+    ) -> Self {
+        let specs = (1..=gear_count).map(|g| RunSpec::uniform(bench, class, nodes, g)).collect();
+        RunPlan { specs }
+    }
+
+    /// A fastest-gear node sweep: `bench` at gear 1 on each node count.
+    pub fn node_sweep(bench: Benchmark, class: ProblemClass, node_counts: &[usize]) -> Self {
+        let specs = node_counts.iter().map(|&n| RunSpec::uniform(bench, class, n, 1)).collect();
+        RunPlan { specs }
+    }
+}
+
+impl FromIterator<RunSpec> for RunPlan {
+    fn from_iter<I: IntoIterator<Item = RunSpec>>(iter: I) -> Self {
+        RunPlan { specs: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gear_sweep_builds_one_spec_per_gear() {
+        let plan = RunPlan::gear_sweep(Benchmark::Cg, ProblemClass::Test, 2, 6);
+        assert_eq!(plan.len(), 6);
+        for (i, s) in plan.specs.iter().enumerate() {
+            assert_eq!(s.nodes, 2);
+            assert_eq!(s.gears, GearSelection::Uniform(i + 1));
+        }
+    }
+
+    #[test]
+    fn node_sweep_is_fastest_gear_everywhere() {
+        let plan = RunPlan::node_sweep(Benchmark::Lu, ProblemClass::Test, &[1, 2, 4, 8]);
+        assert_eq!(plan.len(), 4);
+        assert!(plan.specs.iter().all(|s| s.gears == GearSelection::Uniform(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not support")]
+    fn uniform_rejects_unsupported_node_counts() {
+        // BT needs a square node count.
+        let _ = RunSpec::uniform(Benchmark::Bt, ProblemClass::Test, 2, 1);
+    }
+
+    #[test]
+    fn resolved_gears_expand_uniform_and_per_rank() {
+        let u = RunSpec::uniform(Benchmark::Ep, ProblemClass::Test, 4, 4);
+        assert_eq!(u.resolved_gears(), vec![4, 4, 4, 4]);
+        let p = RunSpec {
+            bench: Benchmark::Ep,
+            class: ProblemClass::Test,
+            nodes: 2,
+            gears: GearSelection::PerRank(vec![1, 6]),
+        };
+        assert_eq!(p.resolved_gears(), vec![1, 6]);
+    }
+}

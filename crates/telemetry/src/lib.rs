@@ -15,6 +15,9 @@
 //! * [`manifest`] — a JSON run manifest (configuration, gear selection,
 //!   aggregate counters, attribution tables) for archival under
 //!   `results/`.
+//! * [`sweep`] — a JSON sweep manifest (worker count, run-cache
+//!   hit/miss accounting, wall-clock) describing how a whole
+//!   measurement campaign executed.
 //!
 //! Telemetry is passive: everything here post-processes the traces a run
 //! already collects, so simulation cost is unchanged when no exporter is
@@ -26,9 +29,11 @@
 pub mod attribution;
 pub mod chrome;
 pub mod manifest;
+pub mod sweep;
 
 pub use attribution::{
     CategorySlice, EnergyCategory, PhaseEnergy, RankAttribution, RunAttribution,
 };
 pub use chrome::{chrome_trace, write_chrome_trace};
 pub use manifest::RunManifest;
+pub use sweep::SweepManifest;

@@ -15,14 +15,14 @@ use powerscale::model::predict::ClusterModel;
 use powerscale::prelude::*;
 
 fn main() {
-    let cluster = Cluster::athlon_fast_ethernet();
+    let engine = Engine::new(Cluster::athlon_fast_ethernet());
     let bench = Benchmark::Sp;
     let class = ProblemClass::B;
 
     // Steps 1-2: trace-derived decompositions on the nodes we own, plus
     // the single-node per-gear profile (S_g, P_g, I_g).
     println!("Measuring {} on the available configurations...", bench.name());
-    let decomps = decompositions(&cluster, bench, class, 9);
+    let decomps = decompositions(&engine, bench, class, 9);
     for d in &decomps {
         println!(
             "  {:>2} nodes: T^A {:>7.1} s, T^I {:>6.1} s ({:>4.1}% idle)",
@@ -32,7 +32,7 @@ fn main() {
             100.0 * d.idle_fraction()
         );
     }
-    let profile = gear_profile(&cluster, bench, class);
+    let profile = gear_profile(&engine, bench, class);
 
     // Steps 3-5: fit and extrapolate.
     let model = ClusterModel::fit(&decomps, profile);

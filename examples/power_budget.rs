@@ -16,14 +16,14 @@ use powerscale::kernels::{Benchmark, ProblemClass};
 use powerscale::prelude::*;
 
 fn main() {
-    let cluster = Cluster::athlon_fast_ethernet();
+    let engine = Engine::new(Cluster::athlon_fast_ethernet());
     let bench = Benchmark::Lu;
 
     // Measure the full configuration space up to 8 nodes.
     let curves: Vec<EnergyTimeCurve> = bench
         .valid_nodes(8)
         .into_iter()
-        .map(|n| measure_curve(&cluster, bench, ProblemClass::B, n))
+        .map(|n| measure_curve(&engine, bench, ProblemClass::B, n))
         .collect();
     let configs = configs_of(&curves);
 

@@ -11,6 +11,7 @@
 //! * [`kernels`] — NAS-like benchmarks (CG, EP, MG, LU, BT, SP), Jacobi,
 //!   and the synthetic high-memory-pressure benchmark.
 //! * [`model`] — the paper's five-step energy-time prediction model.
+//! * [`runner`] — the parallel sweep engine and memoizing run cache.
 //! * [`analysis`] — energy-time curves, slopes, UPM predictor, the
 //!   case 1/2/3 taxonomy, Pareto frontiers and report formatting.
 //! * [`experiments`] — harnesses that regenerate every table and figure.
@@ -24,6 +25,7 @@ pub use psc_kernels as kernels;
 pub use psc_machine as machine;
 pub use psc_model as model;
 pub use psc_mpi as mpi;
+pub use psc_runner as runner;
 
 /// Commonly used items, importable with `use powerscale::prelude::*`.
 pub mod prelude {
@@ -32,4 +34,5 @@ pub mod prelude {
     pub use psc_mpi::cluster::{Cluster, ClusterConfig, RunResult};
     pub use psc_mpi::comm::Comm;
     pub use psc_mpi::network::NetworkModel;
+    pub use psc_runner::{Engine, RunCache, RunPlan, RunSpec};
 }

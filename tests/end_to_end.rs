@@ -7,14 +7,15 @@ use powerscale::analysis::pareto::{configs_of, fastest_under_power_cap, pareto_f
 use powerscale::experiments::harness::{cluster, measure_curve, model_for, sun_cluster};
 use powerscale::kernels::{Benchmark, ProblemClass};
 use powerscale::model::decompose::Decomposition;
+use powerscale::prelude::Engine;
 use powerscale::prelude::*;
 
 #[test]
 fn every_benchmark_produces_consistent_measurements_across_gears() {
-    let c = cluster();
+    let e = Engine::serial(cluster());
     for bench in Benchmark::ALL {
         let nodes = if bench.supports_nodes(2) { 2 } else { 4 };
-        let curve = measure_curve(&c, bench, ProblemClass::Test, nodes);
+        let curve = measure_curve(&e, bench, ProblemClass::Test, nodes);
         // Fastest gear is fastest; energy positive; times monotone.
         assert!(curve.fastest_gear_is_fastest_point(), "{}", bench.name());
         for w in curve.points.windows(2) {
@@ -26,12 +27,12 @@ fn every_benchmark_produces_consistent_measurements_across_gears() {
 
 #[test]
 fn slowdown_bound_holds_for_every_benchmark_and_gear_pair() {
-    let c = cluster();
+    let e = Engine::serial(cluster());
     for bench in Benchmark::ALL {
-        let curve = measure_curve(&c, bench, ProblemClass::Test, 1);
+        let curve = measure_curve(&e, bench, ProblemClass::Test, 1);
         for w in curve.points.windows(2) {
             let ratio = w[1].time_s / w[0].time_s;
-            let bound = c.node.gears.frequency_ratio(w[0].gear, w[1].gear);
+            let bound = e.cluster().node.gears.frequency_ratio(w[0].gear, w[1].gear);
             assert!(
                 (1.0 - 1e-9..=bound + 1e-9).contains(&ratio),
                 "{}: gear {}→{} ratio {ratio} outside [1, {bound}]",
@@ -86,9 +87,10 @@ fn energy_accounting_is_internally_consistent() {
 
 #[test]
 fn model_predictions_track_actual_runs_at_unseen_node_counts() {
+    let e = Engine::serial(cluster());
     let c = cluster();
     for bench in [Benchmark::Jacobi, Benchmark::Ep] {
-        let model = model_for(&c, bench, ProblemClass::Test, 6);
+        let model = model_for(&e, bench, ProblemClass::Test, 6);
         // Predict an unmeasured configuration and compare to an actual run.
         let target = 12;
         for gear in [1usize, 4] {
@@ -128,10 +130,10 @@ fn sun_cluster_runs_the_same_programs() {
 
 #[test]
 fn case_taxonomy_and_pareto_agree_on_dominance() {
-    let c = cluster();
+    let e = Engine::serial(cluster());
     let bench = Benchmark::Jacobi;
-    let c4 = measure_curve(&c, bench, ProblemClass::Test, 4);
-    let c8 = measure_curve(&c, bench, ProblemClass::Test, 8);
+    let c4 = measure_curve(&e, bench, ProblemClass::Test, 4);
+    let c8 = measure_curve(&e, bench, ProblemClass::Test, 8);
     let case = classify_pair(&c4, &c8);
     let frontier = pareto_frontier(&configs_of(&[c4.clone(), c8.clone()]));
     match case {
@@ -151,10 +153,10 @@ fn case_taxonomy_and_pareto_agree_on_dominance() {
 
 #[test]
 fn power_cap_planning_prefers_more_slower_nodes_under_tight_caps() {
-    let c = cluster();
+    let e = Engine::serial(cluster());
     let curves: Vec<EnergyTimeCurve> = [1usize, 2, 4, 8]
         .iter()
-        .map(|&n| measure_curve(&c, Benchmark::Synthetic, ProblemClass::Test, n))
+        .map(|&n| measure_curve(&e, Benchmark::Synthetic, ProblemClass::Test, n))
         .collect();
     let configs = configs_of(&curves);
     // A generous cap picks the globally fastest configuration; a
