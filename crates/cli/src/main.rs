@@ -18,8 +18,10 @@ use psc_analysis::curve::{EnergyTimeCurve, EnergyTimePoint};
 use psc_analysis::pareto::{configs_of, fastest_under_power_cap, pareto_frontier};
 use psc_analysis::plot::ascii_plot;
 use psc_experiments::harness::{
-    class_label, cluster, engine_from_args, measure_curve, model_for, predicted_curve,
+    class_label, cluster, engine_from_args, faults_from_args, measure_curve, model_for,
+    predicted_curve,
 };
+use psc_faults::{FaultPlan, DEFAULT_NOISE_LEVEL};
 use psc_kernels::{Benchmark, ProblemClass};
 use psc_model::autogear::{gear_for_delay_budget, min_energy_gear};
 use psc_mpi::ClusterConfig;
@@ -42,6 +44,7 @@ fn main() -> ExitCode {
         "model" => cmd_model(&args),
         "advise" => cmd_advise(&args),
         "budget" => cmd_budget(&args),
+        "faults" => cmd_faults(&args),
         "list" => cmd_list(),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
@@ -72,11 +75,20 @@ USAGE:
   powerscale advise --upm <UPM> [--delay FRAC]
   powerscale budget --bench <NAME> --power-cap <WATTS> [--max-nodes N]
                     [--class b|test] [--jobs J]
+  powerscale faults [--seed N] [--level FRAC] [--out PATH] | --inspect PATH
   powerscale list
 
   --trace-out writes a Chrome Trace Event JSON file — open it in Perfetto
   (ui.perfetto.dev) or chrome://tracing. For sweep, one file per gear is
   written with `-g<K>` inserted before the extension.
+
+  Fault injection: `powerscale faults` generates a deterministic fault
+  plan (JSON) at a noise level, or summarizes one with --inspect. The
+  measuring commands (run, trace, sweep, curve, model, budget) accept
+  --faults <plan.json> to run under a plan and --fault-seed <N> as a
+  shorthand for the default-noise preset at that seed. Identical plan
+  and seed reproduce byte-identical results at any --jobs; fault
+  activations appear in exported traces on the \"fault\" category.
 
   Sweeping commands run independent configurations on a worker pool
   (--jobs, or the PSC_JOBS environment variable; default = available
@@ -139,7 +151,8 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         return Err(format!("gear must be 1..={}", c.node.gears.len()));
     }
     let cfg = ClusterConfig::uniform(nodes, gear);
-    let (run, outs) = c.run(&cfg, move |comm| bench.run(comm, class));
+    let faults = faults_from_args(args);
+    let (run, outs) = c.run_with_faults(&cfg, faults.as_ref(), move |comm| bench.run(comm, class));
     let out = &outs[0];
     println!("{} on {nodes} node(s) at gear {gear}:", bench.name());
     println!("  time    {:>12.2} s", run.time_s);
@@ -192,7 +205,8 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
         return Err(format!("gear must be 1..={}", c.node.gears.len()));
     }
     let cfg = ClusterConfig::uniform(nodes, gear);
-    let (run, _) = c.run(&cfg, move |comm| bench.run(comm, class));
+    let faults = faults_from_args(args);
+    let (run, _) = c.run_with_faults(&cfg, faults.as_ref(), move |comm| bench.run(comm, class));
     let m = RunManifest::new(bench.name(), class_label(class), &cfg, &run);
     println!(
         "{} on {nodes} node(s) at gear {gear}: {:.2} s, {:.0} J\n",
@@ -366,6 +380,32 @@ fn cmd_budget(args: &[String]) -> Result<(), String> {
         None => println!("\nno configuration fits under {cap:.0} W"),
     }
     print_cache_line(&e);
+    Ok(())
+}
+
+fn cmd_faults(args: &[String]) -> Result<(), String> {
+    if let Some(path) = flag(args, "--inspect") {
+        let text = std::fs::read_to_string(&path).map_err(|e| format!("reading {path}: {e}"))?;
+        let plan = FaultPlan::from_json(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+        println!("fault plan {path}:");
+        println!("{}", plan.summary());
+        return Ok(());
+    }
+    let seed: u64 = parse_num(args, "--seed", 42)?;
+    let level: f64 = parse_num(args, "--level", DEFAULT_NOISE_LEVEL)?;
+    if !(0.0..=0.5).contains(&level) {
+        return Err(format!("--level must be in [0, 0.5], got {level}"));
+    }
+    let plan = if level == 0.0 { FaultPlan::quiet(seed) } else { FaultPlan::noise(seed, level) };
+    plan.validate()?;
+    match flag(args, "--out") {
+        Some(path) => {
+            std::fs::write(&path, plan.to_json()).map_err(|e| format!("writing {path}: {e}"))?;
+            println!("wrote {path}");
+            println!("{}", plan.summary());
+        }
+        None => println!("{}", plan.to_json()),
+    }
     Ok(())
 }
 

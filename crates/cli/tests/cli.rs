@@ -87,3 +87,152 @@ fn invalid_inputs_fail_cleanly() {
     assert!(!powerscale(&[]).status.success());
     assert!(powerscale(&["--help"]).status.success());
 }
+
+/// Run powerscale hermetically: no disk cache, so stdout depends only
+/// on the arguments (the cache line reports the same counts every time).
+fn powerscale_hermetic(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_powerscale"))
+        .args(args)
+        .env("PSC_CACHE", "0")
+        .output()
+        .expect("failed to launch powerscale")
+}
+
+#[test]
+fn faults_generates_a_valid_plan_deterministically() {
+    let args = ["faults", "--seed", "7", "--level", "0.05"];
+    let a = powerscale(&args);
+    let b = powerscale(&args);
+    assert!(a.status.success());
+    assert_eq!(a.stdout, b.stdout, "plan generation must be deterministic");
+    let text = String::from_utf8(a.stdout).unwrap();
+    for needle in ["\"seed\":7", "clock_jitter", "network", "wattmeter"] {
+        assert!(text.contains(needle), "missing {needle} in:\n{text}");
+    }
+
+    // The emitted plan round-trips through --inspect.
+    let dir = std::env::temp_dir().join(format!("psc-cli-faults-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("plan.json");
+    let out = powerscale(&["faults", "--seed", "7", "--out", path.to_str().unwrap()]);
+    assert!(out.status.success());
+    let inspect = powerscale(&["faults", "--inspect", path.to_str().unwrap()]);
+    assert!(inspect.status.success());
+    let text = String::from_utf8(inspect.stdout).unwrap();
+    for needle in ["seed", "clock jitter", "network", "wattmeter"] {
+        assert!(text.contains(needle), "inspect output missing {needle}:\n{text}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn faults_rejects_bad_inputs() {
+    assert!(!powerscale(&["faults", "--level", "0.9"]).status.success());
+    assert!(!powerscale(&["faults", "--level", "lots"]).status.success());
+    assert!(!powerscale(&["faults", "--inspect", "/nonexistent/plan.json"]).status.success());
+}
+
+/// Golden stability: sweep stdout is a pure function of the arguments —
+/// same invocation twice, and again at a different worker count, all
+/// byte-identical.
+#[test]
+fn sweep_stdout_is_stable_across_invocations_and_jobs() {
+    let args = ["sweep", "--bench", "CG", "--nodes", "2", "--class", "test", "--jobs", "1"];
+    let a = powerscale_hermetic(&args);
+    let b = powerscale_hermetic(&args);
+    assert!(a.status.success(), "{}", String::from_utf8_lossy(&a.stderr));
+    assert_eq!(a.stdout, b.stdout, "same invocation must be byte-identical");
+    let args8 = ["sweep", "--bench", "CG", "--nodes", "2", "--class", "test", "--jobs", "8"];
+    let c = powerscale_hermetic(&args8);
+    let a_text = String::from_utf8(a.stdout).unwrap();
+    let c_text = String::from_utf8(c.stdout).unwrap();
+    // Everything but the worker-count line matches.
+    let strip =
+        |s: &str| s.lines().filter(|l| !l.contains("worker(s)")).collect::<Vec<_>>().join("\n");
+    assert_eq!(strip(&a_text), strip(&c_text), "results must not depend on --jobs");
+}
+
+#[test]
+fn faulted_sweep_is_deterministic_and_differs_from_clean() {
+    let faulted = [
+        "sweep",
+        "--bench",
+        "EP",
+        "--nodes",
+        "2",
+        "--class",
+        "test",
+        "--jobs",
+        "2",
+        "--fault-seed",
+        "11",
+    ];
+    let a = powerscale_hermetic(&faulted);
+    let b = powerscale_hermetic(&faulted);
+    assert!(a.status.success(), "{}", String::from_utf8_lossy(&a.stderr));
+    assert_eq!(a.stdout, b.stdout, "--fault-seed must reproduce byte-identical output");
+
+    let clean = ["sweep", "--bench", "EP", "--nodes", "2", "--class", "test", "--jobs", "2"];
+    let c = powerscale_hermetic(&clean);
+    assert!(c.status.success());
+    assert_ne!(a.stdout, c.stdout, "injected noise must actually perturb the sweep");
+
+    let other_seed = [
+        "sweep",
+        "--bench",
+        "EP",
+        "--nodes",
+        "2",
+        "--class",
+        "test",
+        "--jobs",
+        "2",
+        "--fault-seed",
+        "12",
+    ];
+    let d = powerscale_hermetic(&other_seed);
+    assert_ne!(a.stdout, d.stdout, "a different seed must perturb differently");
+}
+
+#[test]
+fn faulted_trace_exports_fault_category() {
+    let dir = std::env::temp_dir().join(format!("psc-cli-trace-faults-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let plan_path = dir.join("plan.json");
+    let out = powerscale(&[
+        "faults",
+        "--seed",
+        "3",
+        "--level",
+        "0.05",
+        "--out",
+        plan_path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+
+    let trace_path = dir.join("cg.trace.json");
+    let out = Command::new(env!("CARGO_BIN_EXE_powerscale"))
+        .args([
+            "trace",
+            "--bench",
+            "CG",
+            "--nodes",
+            "2",
+            "--gear",
+            "2",
+            "--class",
+            "test",
+            "--faults",
+            plan_path.to_str().unwrap(),
+            "--out",
+            trace_path.to_str().unwrap(),
+        ])
+        .env("RESULTS_DIR", dir.to_str().unwrap())
+        .current_dir(&dir)
+        .output()
+        .expect("failed to launch powerscale");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let trace = std::fs::read_to_string(&trace_path).unwrap();
+    assert!(trace.contains("\"fault\""), "trace must carry fault instant events");
+    let _ = std::fs::remove_dir_all(&dir);
+}

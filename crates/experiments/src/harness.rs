@@ -8,6 +8,7 @@
 //! do not depend on the worker count.
 
 use psc_analysis::curve::{EnergyTimeCurve, EnergyTimePoint};
+use psc_faults::{FaultPlan, DEFAULT_NOISE_LEVEL};
 use psc_kernels::{Benchmark, ProblemClass};
 use psc_model::decompose::Decomposition;
 use psc_model::gears::GearProfile;
@@ -30,15 +31,16 @@ pub fn sun_cluster() -> Cluster {
 
 /// The engine the figure binaries use: the paper's testbed cluster,
 /// `PSC_JOBS`/available-parallelism workers, and the environment's cache
-/// configuration (`PSC_CACHE`, `PSC_CACHE_DIR`), with an optional
-/// `--jobs N` command-line override.
+/// configuration (`PSC_CACHE`, `PSC_CACHE_DIR`), with optional
+/// `--jobs N`, `--faults <plan.json>`, and `--fault-seed N`
+/// command-line overrides.
 pub fn engine_from_args(args: &[String]) -> Engine {
     engine_for(cluster(), args)
 }
 
 /// Same, over an explicit cluster (e.g. [`sun_cluster`]).
 pub fn engine_for(c: Cluster, args: &[String]) -> Engine {
-    let mut e = Engine::new(c);
+    let mut e = Engine::new(c).with_faults(faults_from_args(args));
     if let Some(i) = args.iter().position(|a| a == "--jobs") {
         let jobs = args
             .get(i + 1)
@@ -48,6 +50,37 @@ pub fn engine_for(c: Cluster, args: &[String]) -> Engine {
         e = e.with_jobs(jobs);
     }
     e
+}
+
+/// The fault plan the command line asks for, if any:
+///
+/// * `--faults <plan.json>` loads a serialized [`FaultPlan`];
+/// * `--fault-seed <N>` derives the default-noise preset
+///   (`FaultPlan::noise(N, DEFAULT_NOISE_LEVEL)`) — or, combined with
+///   `--faults`, re-seeds the loaded plan.
+pub fn faults_from_args(args: &[String]) -> Option<FaultPlan> {
+    let value_of = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .map(|i| args.get(i + 1).cloned().unwrap_or_else(|| panic!("{flag} needs a value")))
+    };
+    let mut plan = value_of("--faults").map(|path| {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("reading fault plan {path}: {e}"));
+        FaultPlan::from_json(&text).unwrap_or_else(|e| panic!("parsing fault plan {path}: {e}"))
+    });
+    if let Some(seed) = value_of("--fault-seed") {
+        let seed: u64 =
+            seed.parse().unwrap_or_else(|_| panic!("--fault-seed needs an unsigned integer"));
+        plan = Some(match plan.take() {
+            Some(mut p) => {
+                p.seed = seed;
+                p
+            }
+            None => FaultPlan::noise(seed, DEFAULT_NOISE_LEVEL),
+        });
+    }
+    plan
 }
 
 /// Run `bench` on `nodes` nodes at every gear and return its
@@ -285,6 +318,38 @@ mod tests {
         let args: Vec<String> = ["--test", "--jobs", "3"].iter().map(|s| s.to_string()).collect();
         assert_eq!(engine_for(cluster(), &args).jobs(), 3);
         assert!(engine_for(cluster(), &[]).jobs() >= 1);
+    }
+
+    #[test]
+    fn fault_args_build_the_expected_plan() {
+        let to_args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert!(faults_from_args(&to_args(&["--test"])).is_none());
+
+        // --fault-seed alone: the default-noise preset at that seed.
+        let p = faults_from_args(&to_args(&["--fault-seed", "7"])).unwrap();
+        assert_eq!((p.seed, p.clock_jitter.unwrap().amplitude), (7, DEFAULT_NOISE_LEVEL));
+
+        // --faults loads a plan file; adding --fault-seed re-seeds it.
+        let path = std::env::temp_dir().join("psc-harness-fault-plan.json");
+        std::fs::write(&path, FaultPlan::noise(1, 0.1).to_json()).unwrap();
+        let path_s = path.to_str().unwrap();
+        let loaded = faults_from_args(&to_args(&["--faults", path_s])).unwrap();
+        assert_eq!((loaded.seed, loaded.clock_jitter.unwrap().amplitude), (1, 0.1));
+        let reseeded =
+            faults_from_args(&to_args(&["--faults", path_s, "--fault-seed", "9"])).unwrap();
+        assert_eq!((reseeded.seed, reseeded.clock_jitter.unwrap().amplitude), (9, 0.1));
+        let _ = std::fs::remove_file(&path);
+
+        // The engine picks the plan up as its default.
+        let e = engine_for(cluster(), &to_args(&["--fault-seed", "7"]));
+        assert_eq!(e.faults().map(|p| p.seed), Some(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "--fault-seed needs an unsigned integer")]
+    fn bad_fault_seed_is_rejected() {
+        let args: Vec<String> = ["--fault-seed", "many"].iter().map(|s| s.to_string()).collect();
+        let _ = faults_from_args(&args);
     }
 
     #[test]

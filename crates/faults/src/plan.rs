@@ -1,0 +1,613 @@
+//! The fault plan: what goes wrong, where, and how badly.
+//!
+//! A [`FaultPlan`] is a *schedule of perturbations*, not a log: it
+//! describes distributions and windows, and the deterministic RNG turns
+//! them into concrete events at simulation time. Two design rules make
+//! the plans compatible with the paper's invariants:
+//!
+//! 1. **Logical-index scheduling.** Perturbations are keyed by
+//!    `(rank, compute-block index)` or `(rank, message index)` — never
+//!    by virtual time. The same blocks jitter and the same messages
+//!    drop at every gear, so gear-relative quantities (the slowdown
+//!    bound `1 ≤ T_j/T_i ≤ f_i/f_j`, the case taxonomy) stay provable
+//!    under noise: multiplicative jitter cancels in the ratio, and
+//!    memory/network perturbations add frequency-independent time,
+//!    which only pulls the ratio toward 1.
+//! 2. **Per-rank locality.** A rank's fault stream depends only on its
+//!    own counters, so injection is independent of thread scheduling
+//!    and of the sweep engine's worker count.
+
+use crate::rng::FaultRng;
+use serde::{Deserialize, Serialize};
+
+/// RNG stream ids: one disjoint stream per fault class.
+const STREAM_JITTER: u64 = 1;
+const STREAM_SEND: u64 = 2;
+const STREAM_METER: u64 = 3;
+
+/// The documented default noise level for robustness runs: the level
+/// `ablate-faults` must survive (±2 % compute jitter, 2 % latency
+/// spikes, 1 % message drop, 2 % wattmeter dropout and 2 % Gaussian
+/// sample noise — see [`FaultPlan::noise`]).
+pub const DEFAULT_NOISE_LEVEL: f64 = 0.02;
+
+/// Per-rank multiplicative compute-time jitter.
+///
+/// Every compute block's duration is scaled by `1 + amplitude·u` with
+/// `u` uniform in `[-1, 1)`, drawn per `(rank, block index)`. The same
+/// scale applies at every gear, so per-block gear ratios — and with
+/// them the slowdown bound — are preserved exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClockJitter {
+    /// Relative amplitude in `[0, 1)`; 0.02 means up to ±2 % per block.
+    pub amplitude: f64,
+}
+
+/// A node pinned to a slower gear than the run asked for — a cluster
+/// whose DVFS driver wedged, or a thermally throttled straggler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Straggler {
+    /// The afflicted rank.
+    pub rank: usize,
+    /// The gear (1-based) the rank actually runs at, regardless of the
+    /// configured gear selection.
+    pub gear: usize,
+}
+
+/// A window of elevated memory pressure on one rank: a co-resident
+/// process polluting the L2, so every compute block in the window sees
+/// its miss count multiplied. The extra stall time is
+/// frequency-independent, exactly like real DRAM contention.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemoryBurst {
+    /// The afflicted rank.
+    pub rank: usize,
+    /// First compute-block index (per-rank, 0-based) in the burst.
+    pub start_block: u64,
+    /// Number of consecutive compute blocks affected.
+    pub blocks: u64,
+    /// L2-miss multiplier over the window (≥ 1).
+    pub miss_factor: f64,
+}
+
+impl MemoryBurst {
+    /// Whether the burst covers compute block `idx`.
+    pub fn covers(&self, idx: u64) -> bool {
+        idx >= self.start_block && idx - self.start_block < self.blocks
+    }
+}
+
+/// Link-level noise: latency spikes, and message drop repaired by a
+/// retransmit-with-backoff protocol (the sender waits `retry_timeout_s`
+/// scaled by `backoff^attempt` before each resend, and every resend
+/// pays the injection cost again). All of it is charged in
+/// frequency-independent network time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetworkFaults {
+    /// Probability a message's delivery latency spikes.
+    pub spike_prob: f64,
+    /// Extra one-way latency of a spiked message, seconds.
+    pub spike_latency_s: f64,
+    /// Probability a transmission attempt is dropped.
+    pub drop_prob: f64,
+    /// Retransmission attempts before the runtime gives up and the
+    /// message goes through anyway (a real MPI would abort; we saturate
+    /// so runs always complete and stay comparable).
+    pub max_retries: u64,
+    /// Sender-side timeout before the first retransmission, seconds.
+    pub retry_timeout_s: f64,
+    /// Timeout multiplier per successive retry (≥ 1).
+    pub backoff: f64,
+}
+
+/// Wall-outlet measurement noise: the sampling computer occasionally
+/// misses a poll (sample-and-hold of the previous reading) and every
+/// reading carries relative Gaussian error — the realistic multimeter
+/// of Guermouche et al.'s "realistic environment" critique. Affects
+/// only `measured_energy_j`, never the exact integral the simulator
+/// also reports.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WattmeterFaults {
+    /// Probability a sample is dropped (previous reading is held).
+    pub dropout_prob: f64,
+    /// Relative standard deviation of per-sample Gaussian noise.
+    pub noise_sigma: f64,
+}
+
+/// A complete, serde round-trippable fault schedule for one run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Master seed; every stochastic decision derives from it.
+    pub seed: u64,
+    /// Per-rank compute-time jitter, if any.
+    pub clock_jitter: Option<ClockJitter>,
+    /// Ranks pinned to a gear other than the configured one.
+    pub stragglers: Vec<Straggler>,
+    /// Windows of elevated memory pressure.
+    pub memory_bursts: Vec<MemoryBurst>,
+    /// Link-level noise, if any.
+    pub network: Option<NetworkFaults>,
+    /// Measurement-rig noise, if any.
+    pub wattmeter: Option<WattmeterFaults>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (useful as a neutral baseline: the
+    /// runtime treats it like having no plan at all, except for the
+    /// cache key).
+    pub fn quiet(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            clock_jitter: None,
+            stragglers: Vec::new(),
+            memory_bursts: Vec::new(),
+            network: None,
+            wattmeter: None,
+        }
+    }
+
+    /// The standard escalating-noise preset used by `ablate-faults` and
+    /// `--fault-seed`: at `level` (e.g. [`DEFAULT_NOISE_LEVEL`]) every
+    /// knob scales together — compute jitter amplitude `level`, latency
+    /// spikes of 0.5 ms with probability `level`, drop probability
+    /// `level/2` repaired by up to 3 retries (1 ms timeout, 2× backoff),
+    /// wattmeter dropout `level` and relative sample noise `level`.
+    ///
+    /// Stragglers and memory bursts change *which* work runs rather
+    /// than adding symmetric noise, so they are not part of the preset;
+    /// inject them explicitly (CLI: `powerscale faults --straggler`).
+    pub fn noise(seed: u64, level: f64) -> Self {
+        assert!((0.0..1.0).contains(&level), "noise level must be in [0, 1)");
+        if level == 0.0 {
+            return FaultPlan::quiet(seed);
+        }
+        FaultPlan {
+            seed,
+            clock_jitter: Some(ClockJitter { amplitude: level }),
+            stragglers: Vec::new(),
+            memory_bursts: Vec::new(),
+            network: Some(NetworkFaults {
+                spike_prob: level,
+                spike_latency_s: 500e-6,
+                drop_prob: level / 2.0,
+                max_retries: 3,
+                retry_timeout_s: 1e-3,
+                backoff: 2.0,
+            }),
+            wattmeter: Some(WattmeterFaults { dropout_prob: level, noise_sigma: level }),
+        }
+    }
+
+    /// Whether the plan injects nothing at all.
+    pub fn is_quiet(&self) -> bool {
+        self.clock_jitter.is_none()
+            && self.stragglers.is_empty()
+            && self.memory_bursts.is_empty()
+            && self.network.is_none()
+            && self.wattmeter.is_none()
+    }
+
+    /// Validate every parameter; returns a description of the first
+    /// problem found. Run this on plans loaded from files.
+    pub fn validate(&self) -> Result<(), String> {
+        if let Some(j) = &self.clock_jitter {
+            if !(0.0..1.0).contains(&j.amplitude) {
+                return Err(format!("clock_jitter.amplitude {} not in [0, 1)", j.amplitude));
+            }
+        }
+        let mut seen = Vec::new();
+        for s in &self.stragglers {
+            if s.gear == 0 {
+                return Err(format!("straggler rank {} has gear 0 (gears are 1-based)", s.rank));
+            }
+            if seen.contains(&s.rank) {
+                return Err(format!("rank {} listed as straggler twice", s.rank));
+            }
+            seen.push(s.rank);
+        }
+        for b in &self.memory_bursts {
+            if b.miss_factor < 1.0 || !b.miss_factor.is_finite() {
+                return Err(format!("memory burst miss_factor {} must be ≥ 1", b.miss_factor));
+            }
+        }
+        if let Some(n) = &self.network {
+            for (name, p) in [("spike_prob", n.spike_prob), ("drop_prob", n.drop_prob)] {
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(format!("network.{name} {p} not in [0, 1]"));
+                }
+            }
+            if n.drop_prob > 0.0 && n.max_retries == 0 {
+                return Err("network.drop_prob > 0 needs max_retries ≥ 1".to_string());
+            }
+            if n.spike_latency_s < 0.0 || n.retry_timeout_s < 0.0 {
+                return Err("network latencies must be non-negative".to_string());
+            }
+            if n.backoff < 1.0 || !n.backoff.is_finite() {
+                return Err(format!("network.backoff {} must be ≥ 1", n.backoff));
+            }
+        }
+        if let Some(w) = &self.wattmeter {
+            if !(0.0..=1.0).contains(&w.dropout_prob) {
+                return Err(format!("wattmeter.dropout_prob {} not in [0, 1]", w.dropout_prob));
+            }
+            if w.noise_sigma < 0.0 || !w.noise_sigma.is_finite() {
+                return Err(format!("wattmeter.noise_sigma {} must be ≥ 0", w.noise_sigma));
+            }
+        }
+        Ok(())
+    }
+
+    /// The gear this plan pins `rank` to, if it is a straggler.
+    pub fn forced_gear(&self, rank: usize) -> Option<usize> {
+        self.stragglers.iter().find(|s| s.rank == rank).map(|s| s.gear)
+    }
+
+    /// The per-rank runtime state for `rank`.
+    pub fn rank_faults(&self, rank: usize) -> RankFaults {
+        RankFaults { plan: self.clone(), rank, compute_idx: 0, send_idx: 0 }
+    }
+
+    /// Serialize the plan to JSON.
+    pub fn to_json(&self) -> String {
+        serde::json::to_string(self)
+    }
+
+    /// Parse a plan from JSON and validate it.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let plan: FaultPlan =
+            serde::json::from_str(text).map_err(|e| format!("invalid fault plan JSON: {e:?}"))?;
+        plan.validate()?;
+        Ok(plan)
+    }
+
+    /// A short human-readable description, one component per line.
+    pub fn summary(&self) -> String {
+        let mut lines = vec![format!("seed                {}", self.seed)];
+        match &self.clock_jitter {
+            Some(j) => lines.push(format!(
+                "clock jitter        ±{:.2}% per compute block",
+                j.amplitude * 100.0
+            )),
+            None => lines.push("clock jitter        off".to_string()),
+        }
+        if self.stragglers.is_empty() {
+            lines.push("stragglers          none".to_string());
+        } else {
+            for s in &self.stragglers {
+                lines
+                    .push(format!("straggler           rank {} pinned to gear {}", s.rank, s.gear));
+            }
+        }
+        if self.memory_bursts.is_empty() {
+            lines.push("memory bursts       none".to_string());
+        } else {
+            for b in &self.memory_bursts {
+                lines.push(format!(
+                    "memory burst        rank {} blocks {}..{} misses ×{:.1}",
+                    b.rank,
+                    b.start_block,
+                    b.start_block + b.blocks,
+                    b.miss_factor
+                ));
+            }
+        }
+        match &self.network {
+            Some(n) => lines.push(format!(
+                "network             spikes {:.1}% (+{:.0} µs), drop {:.1}% (≤{} retries, {:.0} µs timeout, ×{:.1} backoff)",
+                n.spike_prob * 100.0,
+                n.spike_latency_s * 1e6,
+                n.drop_prob * 100.0,
+                n.max_retries,
+                n.retry_timeout_s * 1e6,
+                n.backoff
+            )),
+            None => lines.push("network             clean".to_string()),
+        }
+        match &self.wattmeter {
+            Some(w) => lines.push(format!(
+                "wattmeter           dropout {:.1}%, sample noise σ={:.1}%",
+                w.dropout_prob * 100.0,
+                w.noise_sigma * 100.0
+            )),
+            None => lines.push("wattmeter           exact".to_string()),
+        }
+        lines.join("\n")
+    }
+}
+
+/// The perturbation applied to one compute block.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ComputePerturb {
+    /// Multiplier on the block's execution time (gear-invariant jitter).
+    pub time_scale: f64,
+    /// Multiplier on the block's L2 miss count (memory pressure).
+    pub miss_factor: f64,
+}
+
+impl ComputePerturb {
+    /// The identity perturbation.
+    pub fn none() -> Self {
+        ComputePerturb { time_scale: 1.0, miss_factor: 1.0 }
+    }
+}
+
+/// The perturbation applied to one message transmission.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SendPerturb {
+    /// Extra one-way delivery latency, seconds.
+    pub extra_latency_s: f64,
+    /// Number of dropped transmission attempts before success.
+    pub retries: u64,
+    /// Total sender-side timeout spent waiting between attempts, seconds.
+    pub retry_wait_s: f64,
+}
+
+impl SendPerturb {
+    /// The identity perturbation.
+    pub fn none() -> Self {
+        SendPerturb { extra_latency_s: 0.0, retries: 0, retry_wait_s: 0.0 }
+    }
+}
+
+/// Per-rank fault state: the plan plus this rank's logical-event
+/// counters. Owned by one simulated rank; never shared across threads.
+#[derive(Debug, Clone)]
+pub struct RankFaults {
+    plan: FaultPlan,
+    rank: usize,
+    compute_idx: u64,
+    send_idx: u64,
+}
+
+impl RankFaults {
+    /// The rank this state belongs to.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// The plan's master seed.
+    pub fn seed(&self) -> u64 {
+        self.plan.seed
+    }
+
+    /// Draw the perturbation for the next compute block and advance the
+    /// block counter. Pure in `(seed, rank, block index)`.
+    pub fn next_compute(&mut self) -> ComputePerturb {
+        let idx = self.compute_idx;
+        self.compute_idx += 1;
+        let mut p = ComputePerturb::none();
+        if let Some(j) = &self.plan.clock_jitter {
+            let mut rng = FaultRng::keyed(self.plan.seed, &[self.rank as u64, STREAM_JITTER, idx]);
+            p.time_scale = 1.0 + j.amplitude * rng.symmetric_f64();
+        }
+        for b in &self.plan.memory_bursts {
+            if b.rank == self.rank && b.covers(idx) {
+                p.miss_factor *= b.miss_factor;
+            }
+        }
+        p
+    }
+
+    /// Draw the perturbation for the next message transmission and
+    /// advance the message counter. Pure in `(seed, rank, msg index)`.
+    pub fn next_send(&mut self) -> SendPerturb {
+        let idx = self.send_idx;
+        self.send_idx += 1;
+        let mut p = SendPerturb::none();
+        if let Some(n) = &self.plan.network {
+            let mut rng = FaultRng::keyed(self.plan.seed, &[self.rank as u64, STREAM_SEND, idx]);
+            if n.spike_prob > 0.0 && rng.chance(n.spike_prob) {
+                p.extra_latency_s = n.spike_latency_s;
+            }
+            if n.drop_prob > 0.0 {
+                let mut timeout = n.retry_timeout_s;
+                while p.retries < n.max_retries && rng.chance(n.drop_prob) {
+                    p.retries += 1;
+                    p.retry_wait_s += timeout;
+                    timeout *= n.backoff;
+                }
+            }
+        }
+        p
+    }
+}
+
+/// The keyed wattmeter-sample stream: the perturbed reading for sample
+/// `sample_idx` of `rank`'s power trace, given the true instantaneous
+/// power. Returns `None` when the sample is dropped (the rig holds the
+/// previous reading). Kept here — next to the other streams — so every
+/// consumer of the plan draws from the same construction.
+pub fn meter_sample(
+    faults: &WattmeterFaults,
+    seed: u64,
+    rank: usize,
+    sample_idx: u64,
+    true_watts: f64,
+) -> Option<f64> {
+    let mut rng = FaultRng::keyed(seed, &[rank as u64, STREAM_METER, sample_idx]);
+    if faults.dropout_prob > 0.0 && rng.chance(faults.dropout_prob) {
+        return None;
+    }
+    let noisy = if faults.noise_sigma > 0.0 {
+        true_watts * (1.0 + faults.noise_sigma * rng.gaussian())
+    } else {
+        true_watts
+    };
+    Some(noisy.max(0.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn busy_plan() -> FaultPlan {
+        FaultPlan {
+            seed: 42,
+            clock_jitter: Some(ClockJitter { amplitude: 0.05 }),
+            stragglers: vec![Straggler { rank: 1, gear: 4 }],
+            memory_bursts: vec![MemoryBurst {
+                rank: 0,
+                start_block: 2,
+                blocks: 3,
+                miss_factor: 4.0,
+            }],
+            network: Some(NetworkFaults {
+                spike_prob: 0.1,
+                spike_latency_s: 400e-6,
+                drop_prob: 0.05,
+                max_retries: 3,
+                retry_timeout_s: 1e-3,
+                backoff: 2.0,
+            }),
+            wattmeter: Some(WattmeterFaults { dropout_prob: 0.1, noise_sigma: 0.03 }),
+        }
+    }
+
+    #[test]
+    fn plan_round_trips_through_json() {
+        for plan in [FaultPlan::quiet(7), FaultPlan::noise(3, 0.02), busy_plan()] {
+            let text = plan.to_json();
+            let back = FaultPlan::from_json(&text).expect("round trip");
+            assert_eq!(back, plan);
+        }
+    }
+
+    #[test]
+    fn from_json_rejects_garbage_and_invalid_plans() {
+        assert!(FaultPlan::from_json("not json").is_err());
+        assert!(FaultPlan::from_json("{}").is_err());
+        let mut bad = busy_plan();
+        bad.clock_jitter = Some(ClockJitter { amplitude: 1.5 });
+        assert!(FaultPlan::from_json(&bad.to_json()).is_err());
+        let mut bad = busy_plan();
+        bad.network.as_mut().unwrap().max_retries = 0;
+        assert!(FaultPlan::from_json(&bad.to_json()).is_err());
+        let mut bad = busy_plan();
+        bad.memory_bursts[0].miss_factor = 0.5;
+        assert!(FaultPlan::from_json(&bad.to_json()).is_err());
+        let mut bad = busy_plan();
+        bad.stragglers.push(Straggler { rank: 1, gear: 2 });
+        assert!(bad.validate().is_err(), "duplicate straggler rank");
+    }
+
+    #[test]
+    fn noise_preset_scales_and_validates() {
+        for level in [0.0, 0.01, 0.02, 0.1, 0.5] {
+            let plan = FaultPlan::noise(11, level);
+            plan.validate().expect("preset must validate");
+            assert_eq!(plan.is_quiet(), level == 0.0);
+        }
+        assert!(FaultPlan::noise(0, DEFAULT_NOISE_LEVEL).clock_jitter.is_some());
+    }
+
+    #[test]
+    fn quiet_plan_injects_nothing() {
+        let plan = FaultPlan::quiet(9);
+        assert!(plan.is_quiet());
+        let mut rf = plan.rank_faults(0);
+        for _ in 0..16 {
+            assert_eq!(rf.next_compute(), ComputePerturb::none());
+            assert_eq!(rf.next_send(), SendPerturb::none());
+        }
+    }
+
+    #[test]
+    fn rank_streams_are_reproducible_and_independent() {
+        let plan = busy_plan();
+        let mut a = plan.rank_faults(0);
+        let mut b = plan.rank_faults(0);
+        let mut other = plan.rank_faults(2);
+        let seq_a: Vec<ComputePerturb> = (0..32).map(|_| a.next_compute()).collect();
+        let seq_b: Vec<ComputePerturb> = (0..32).map(|_| b.next_compute()).collect();
+        assert_eq!(seq_a, seq_b, "same rank, same stream");
+        // Interleaving sends must not shift the compute stream.
+        let mut c = plan.rank_faults(0);
+        let interleaved: Vec<ComputePerturb> = (0..32)
+            .map(|_| {
+                let _ = c.next_send();
+                c.next_compute()
+            })
+            .collect();
+        assert_eq!(seq_a, interleaved, "streams are keyed by their own counters");
+        let seq_other: Vec<ComputePerturb> = (0..32).map(|_| other.next_compute()).collect();
+        assert_ne!(seq_a, seq_other, "ranks draw from different streams");
+    }
+
+    #[test]
+    fn jitter_stays_within_amplitude() {
+        let plan = FaultPlan::noise(5, 0.03);
+        let mut rf = plan.rank_faults(3);
+        for _ in 0..500 {
+            let p = rf.next_compute();
+            assert!((p.time_scale - 1.0).abs() <= 0.03 + 1e-12, "scale {}", p.time_scale);
+            assert_eq!(p.miss_factor, 1.0);
+        }
+    }
+
+    #[test]
+    fn bursts_cover_their_window_only() {
+        let plan = busy_plan();
+        let mut rf = plan.rank_faults(0);
+        let factors: Vec<f64> = (0..8).map(|_| rf.next_compute().miss_factor).collect();
+        assert_eq!(factors[0..2], [1.0, 1.0]);
+        assert_eq!(factors[2..5], [4.0, 4.0, 4.0]);
+        assert_eq!(factors[5..8], [1.0, 1.0, 1.0]);
+        // A different rank sees no burst.
+        let mut other = plan.rank_faults(3);
+        assert!((0..8).all(|_| other.next_compute().miss_factor == 1.0));
+    }
+
+    #[test]
+    fn retries_are_capped_and_cost_backoff() {
+        let plan = FaultPlan {
+            network: Some(NetworkFaults {
+                spike_prob: 0.0,
+                spike_latency_s: 0.0,
+                drop_prob: 1.0, // every attempt drops: always hits the cap
+                max_retries: 3,
+                retry_timeout_s: 1e-3,
+                backoff: 2.0,
+            }),
+            ..FaultPlan::quiet(1)
+        };
+        let mut rf = plan.rank_faults(0);
+        let p = rf.next_send();
+        assert_eq!(p.retries, 3);
+        // 1 ms + 2 ms + 4 ms of backoff.
+        assert!((p.retry_wait_s - 7e-3).abs() < 1e-12, "wait {}", p.retry_wait_s);
+    }
+
+    #[test]
+    fn forced_gear_reads_stragglers() {
+        let plan = busy_plan();
+        assert_eq!(plan.forced_gear(1), Some(4));
+        assert_eq!(plan.forced_gear(0), None);
+    }
+
+    #[test]
+    fn meter_sample_is_deterministic_and_nonnegative() {
+        let wf = WattmeterFaults { dropout_prob: 0.3, noise_sigma: 0.5 };
+        let mut dropped = 0;
+        for k in 0..2000u64 {
+            let a = meter_sample(&wf, 77, 1, k, 120.0);
+            let b = meter_sample(&wf, 77, 1, k, 120.0);
+            assert_eq!(a, b, "sample {k} must be reproducible");
+            match a {
+                None => dropped += 1,
+                Some(w) => assert!(w >= 0.0 && w.is_finite()),
+            }
+        }
+        let rate = dropped as f64 / 2000.0;
+        assert!((rate - 0.3).abs() < 0.05, "dropout rate {rate}");
+    }
+
+    #[test]
+    fn summary_mentions_every_component() {
+        let s = busy_plan().summary();
+        for needle in ["seed", "jitter", "straggler", "burst", "drop", "dropout"] {
+            assert!(s.contains(needle), "summary missing {needle}: {s}");
+        }
+        let q = FaultPlan::quiet(1).summary();
+        assert!(q.contains("off") && q.contains("none") && q.contains("clean"));
+    }
+}

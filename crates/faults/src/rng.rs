@@ -1,0 +1,132 @@
+//! Counter-keyed deterministic random numbers.
+//!
+//! Fault injection must be reproducible to the bit at any worker count,
+//! so it cannot share one sequential RNG across ranks (the interleaving
+//! would depend on thread scheduling). Instead every decision point
+//! derives a fresh generator from `(seed, rank, stream, index)` — a
+//! *counter-based* construction in the spirit of Salmon et al.'s
+//! "Parallel random numbers: as easy as 1, 2, 3" (random123): the
+//! stream identifies the fault class, the index the logical event.
+
+/// A small SplitMix64 generator seeded from a keyed hash.
+///
+/// SplitMix64 (Steele, Lea & Flood; the seeder of `java.util.SplittableRandom`
+/// and of xoshiro) passes BigCrush at 64-bit output and is exactly the
+/// right shape here: cheap to construct per event, no state carried
+/// between events.
+#[derive(Debug, Clone)]
+pub struct FaultRng {
+    state: u64,
+}
+
+const GOLDEN_GAMMA: u64 = 0x9e37_79b9_7f4a_7c15;
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(GOLDEN_GAMMA);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl FaultRng {
+    /// A generator keyed by the plan seed and a list of domain parts
+    /// (rank, stream id, event index, ...). Equal inputs yield equal
+    /// streams on every platform.
+    pub fn keyed(seed: u64, parts: &[u64]) -> Self {
+        // Absorb each part through one SplitMix64 round so that nearby
+        // keys (rank 0 vs rank 1, event k vs k+1) land far apart.
+        let mut state = seed;
+        let _ = splitmix64(&mut state);
+        for &p in parts {
+            state ^= p.wrapping_mul(GOLDEN_GAMMA);
+            let _ = splitmix64(&mut state);
+        }
+        FaultRng { state }
+    }
+
+    /// Next raw 64-bit draw.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        splitmix64(&mut self.state)
+    }
+
+    /// Uniform in `[0, 1)`, with 53 bits of precision.
+    #[inline]
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `[-1, 1)`.
+    #[inline]
+    pub fn symmetric_f64(&mut self) -> f64 {
+        2.0 * self.unit_f64() - 1.0
+    }
+
+    /// Bernoulli draw: true with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.unit_f64() < p
+    }
+
+    /// A standard normal deviate via Box–Muller. Uses two uniform
+    /// draws; the logarithm argument is kept strictly positive.
+    pub fn gaussian(&mut self) -> f64 {
+        let u1 = 1.0 - self.unit_f64(); // (0, 1]
+        let u2 = self.unit_f64();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_keys_give_equal_streams() {
+        let mut a = FaultRng::keyed(7, &[1, 2, 3]);
+        let mut b = FaultRng::keyed(7, &[1, 2, 3]);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_parts_decorrelate() {
+        let a = FaultRng::keyed(7, &[0, 0, 0]).next_u64();
+        let b = FaultRng::keyed(7, &[0, 0, 1]).next_u64();
+        let c = FaultRng::keyed(7, &[0, 1, 0]).next_u64();
+        let d = FaultRng::keyed(8, &[0, 0, 0]).next_u64();
+        assert!(a != b && a != c && a != d && b != c);
+    }
+
+    #[test]
+    fn unit_is_in_range_and_not_constant() {
+        let mut r = FaultRng::keyed(13, &[0]);
+        let draws: Vec<f64> = (0..1000).map(|_| r.unit_f64()).collect();
+        assert!(draws.iter().all(|x| (0.0..1.0).contains(x)));
+        let mean = draws.iter().sum::<f64>() / draws.len() as f64;
+        assert!((mean - 0.5).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn chance_frequency_tracks_probability() {
+        let mut r = FaultRng::keyed(99, &[4]);
+        let hits = (0..10_000).filter(|_| r.chance(0.25)).count();
+        let freq = hits as f64 / 10_000.0;
+        assert!((freq - 0.25).abs() < 0.02, "freq {freq}");
+    }
+
+    #[test]
+    fn gaussian_has_zero_mean_unit_variance() {
+        let mut r = FaultRng::keyed(5, &[9]);
+        let n = 20_000;
+        let draws: Vec<f64> = (0..n).map(|_| r.gaussian()).collect();
+        let mean = draws.iter().sum::<f64>() / n as f64;
+        let var = draws.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+        assert!(draws.iter().all(|x| x.is_finite()));
+    }
+}

@@ -231,6 +231,44 @@ impl Wattmeter {
         acc
     }
 
+    /// Measure energy like [`Wattmeter::measure_energy_j`], but through
+    /// a faulty rig: each sample may be dropped (the integrator holds
+    /// the previous reading — 0 W before the first successful poll) and
+    /// every reading carries relative Gaussian noise, clamped at 0 W.
+    ///
+    /// Deterministic: sample `k` of rank `rank` perturbs identically
+    /// for a given `seed`, independent of host scheduling. Only the
+    /// *measured* energy is affected; [`PowerTrace::exact_energy_j`]
+    /// still reports the true integral.
+    pub fn measure_energy_j_faulted(
+        &self,
+        trace: &PowerTrace,
+        faults: &psc_faults::WattmeterFaults,
+        seed: u64,
+        rank: usize,
+    ) -> f64 {
+        let end = trace.end_s();
+        if end == 0.0 {
+            return 0.0;
+        }
+        let dt = 1.0 / self.sample_hz;
+        let n = (end / dt).ceil() as u64;
+        let mut acc = 0.0;
+        let mut held = 0.0;
+        for k in 0..n {
+            let t0 = k as f64 * dt;
+            let t1 = (t0 + dt).min(end);
+            let mid = 0.5 * (t0 + t1);
+            if let Some(w) =
+                psc_faults::plan::meter_sample(faults, seed, rank, k, trace.power_at(mid))
+            {
+                held = w;
+            }
+            acc += held * (t1 - t0);
+        }
+        acc
+    }
+
     /// Measure average power of a trace, watts.
     pub fn measure_average_w(&self, trace: &PowerTrace) -> f64 {
         let d = trace.end_s();
@@ -425,6 +463,48 @@ mod tests {
         let mut t = PowerTrace::new();
         t.push(2.0, 100.0);
         t.push(1.0, 100.0);
+    }
+
+    #[test]
+    fn faulted_measurement_with_quiet_faults_matches_clean() {
+        let t = two_level_trace();
+        let m = Wattmeter::default();
+        let quiet = psc_faults::WattmeterFaults { dropout_prob: 0.0, noise_sigma: 0.0 };
+        let clean = m.measure_energy_j(&t);
+        let faulted = m.measure_energy_j_faulted(&t, &quiet, 123, 0);
+        assert_eq!(faulted.to_bits(), clean.to_bits(), "no faults ⇒ identical integration");
+    }
+
+    #[test]
+    fn faulted_measurement_is_deterministic_per_seed_and_rank() {
+        let t = two_level_trace();
+        let m = Wattmeter::default();
+        let wf = psc_faults::WattmeterFaults { dropout_prob: 0.2, noise_sigma: 0.1 };
+        let a = m.measure_energy_j_faulted(&t, &wf, 9, 3);
+        let b = m.measure_energy_j_faulted(&t, &wf, 9, 3);
+        assert_eq!(a.to_bits(), b.to_bits());
+        assert_ne!(a.to_bits(), m.measure_energy_j_faulted(&t, &wf, 10, 3).to_bits());
+        assert_ne!(a.to_bits(), m.measure_energy_j_faulted(&t, &wf, 9, 4).to_bits());
+    }
+
+    #[test]
+    fn faulted_measurement_error_stays_small_at_mild_noise() {
+        // At the default robustness level the measured energy must stay
+        // within a few percent of the exact integral — otherwise the
+        // figure-level energy claims could break on measurement noise
+        // alone.
+        let mut t = PowerTrace::new();
+        t.push(5.0, 145.0);
+        t.push(6.0, 92.0);
+        t.push(12.0, 131.0);
+        let m = Wattmeter::default();
+        let wf = psc_faults::WattmeterFaults { dropout_prob: 0.02, noise_sigma: 0.02 };
+        let exact = t.exact_energy_j();
+        for seed in 0..8u64 {
+            let e = m.measure_energy_j_faulted(&t, &wf, seed, 0);
+            let rel = (e - exact).abs() / exact;
+            assert!(rel < 0.03, "seed {seed}: relative error {rel}");
+        }
     }
 }
 

@@ -10,6 +10,7 @@ use crate::comm::Comm;
 use crate::network::NetworkModel;
 use crate::router::Router;
 use crate::trace::RankTrace;
+use psc_faults::FaultPlan;
 use psc_machine::wattmeter::cluster_energy_j;
 use psc_machine::{Counters, NodeSpec, PowerTrace, Wattmeter};
 use serde::{Deserialize, Serialize};
@@ -175,31 +176,75 @@ impl Cluster {
         R: Send,
         F: Fn(&mut Comm) -> R + Sync,
     {
+        self.run_with_faults(cfg, None, program)
+    }
+
+    /// [`Cluster::run`] under a fault plan: per-rank clock jitter,
+    /// straggler gears, memory-pressure bursts, link noise, and
+    /// wattmeter faults, all drawn deterministically from the plan's
+    /// seed. `faults: None` (or a quiet plan) is arithmetically
+    /// identical to [`Cluster::run`].
+    ///
+    /// Injection is keyed by per-rank logical event indices, so results
+    /// are byte-identical across repeated runs and independent of host
+    /// scheduling — the same guarantee the fault-free runtime gives.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid plan (bad probabilities, straggler gear out
+    /// of the node's gear table) in addition to [`Cluster::run`]'s
+    /// conditions.
+    pub fn run_with_faults<R, F>(
+        &self,
+        cfg: &ClusterConfig,
+        faults: Option<&FaultPlan>,
+        program: F,
+    ) -> (RunResult, Vec<R>)
+    where
+        R: Send,
+        F: Fn(&mut Comm) -> R + Sync,
+    {
         assert!(cfg.nodes >= 1, "cluster run needs at least one node");
         if let GearSelection::PerRank(v) = &cfg.gears {
             assert_eq!(v.len(), cfg.nodes, "per-rank gear list length must equal node count");
         }
+        if let Some(plan) = faults {
+            if let Err(e) = plan.validate() {
+                panic!("invalid fault plan: {e}");
+            }
+        }
+        // The gear each rank actually runs at: a straggler entry in the
+        // plan overrides the configured selection.
+        let effective_gear = |rank: usize| {
+            faults.and_then(|p| p.forced_gear(rank)).unwrap_or_else(|| cfg.gears.gear_for(rank))
+        };
         // Validate gear indices up front (gear() panics with context).
         for rank in 0..cfg.nodes {
-            let _ = self.node.gear(cfg.gears.gear_for(rank));
+            let _ = self.node.gear(effective_gear(rank));
         }
 
         let (router, outlets) = Router::new(cfg.nodes);
         let router = Arc::new(router);
         let node = Arc::new(self.node.clone());
         let program = &program;
+        let effective_gear = &effective_gear;
 
         let mut per_rank: Vec<(usize, R, Counters, RankTrace, PowerTrace, f64, usize)> =
             std::thread::scope(|scope| {
                 let mut handles = Vec::with_capacity(cfg.nodes);
                 for (rank, inbox) in outlets.into_iter().enumerate() {
-                    let gear = self.node.gear(cfg.gears.gear_for(rank));
+                    let gear_index = effective_gear(rank);
+                    let gear = self.node.gear(gear_index);
+                    let forced_from =
+                        (gear_index != cfg.gears.gear_for(rank)).then(|| cfg.gears.gear_for(rank));
+                    let rank_faults = faults.map(|p| p.rank_faults(rank));
                     let router = Arc::clone(&router);
                     let node = Arc::clone(&node);
                     let network = self.network;
                     handles.push(scope.spawn(move || {
                         let mut comm =
                             Comm::new(rank, cfg.nodes, gear, node, network, router, inbox);
+                        comm.set_faults(rank_faults, forced_from);
                         let out = program(&mut comm);
                         comm.finalize();
                         let (counters, trace, power, end_s, final_gear) = comm.into_results();
@@ -228,8 +273,14 @@ impl Cluster {
         }
 
         let energy_j = cluster_energy_j(ranks.iter().map(|r| &r.power));
-        let measured_energy_j =
-            ranks.iter().map(|r| self.wattmeter.measure_energy_j(&r.power)).sum();
+        let measured_energy_j = match faults.and_then(|p| p.wattmeter.as_ref().map(|w| (p.seed, w)))
+        {
+            Some((seed, wf)) => ranks
+                .iter()
+                .map(|r| self.wattmeter.measure_energy_j_faulted(&r.power, wf, seed, r.rank))
+                .sum(),
+            None => ranks.iter().map(|r| self.wattmeter.measure_energy_j(&r.power)).sum(),
+        };
 
         (RunResult { time_s, energy_j, measured_energy_j, ranks }, outputs)
     }
@@ -657,6 +708,212 @@ mod tests {
         assert_eq!(a.time_s, b.time_s);
         assert_eq!(a.energy_j, b.energy_j);
         assert_eq!(outs_a, outs_b);
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use crate::reduce::ReduceOp;
+    use crate::trace::FaultKind;
+    use psc_faults::plan::{MemoryBurst, NetworkFaults, Straggler};
+    use psc_faults::FaultPlan;
+    use psc_machine::WorkBlock;
+
+    fn cluster() -> Cluster {
+        Cluster::athlon_fast_ethernet()
+    }
+
+    fn program(comm: &mut Comm) -> f64 {
+        for _ in 0..4 {
+            comm.compute(&WorkBlock::with_upm(4.0e8, 70.0));
+            comm.allreduce_scalar(comm.rank() as f64, ReduceOp::Sum);
+        }
+        comm.now_s()
+    }
+
+    #[test]
+    fn no_plan_and_quiet_plan_are_bitwise_identical() {
+        let c = cluster();
+        let cfg = ClusterConfig::uniform(3, 2);
+        let (bare, _) = c.run(&cfg, program);
+        let (none, _) = c.run_with_faults(&cfg, None, program);
+        let quiet = FaultPlan::quiet(123);
+        let (q, _) = c.run_with_faults(&cfg, Some(&quiet), program);
+        for other in [&none, &q] {
+            assert_eq!(other.time_s.to_bits(), bare.time_s.to_bits());
+            assert_eq!(other.energy_j.to_bits(), bare.energy_j.to_bits());
+            assert_eq!(other.measured_energy_j.to_bits(), bare.measured_energy_j.to_bits());
+            assert_eq!(*other, bare);
+        }
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic() {
+        let c = cluster();
+        let cfg = ClusterConfig::uniform(4, 3);
+        let plan = FaultPlan::noise(7, 0.05);
+        let (a, _) = c.run_with_faults(&cfg, Some(&plan), program);
+        let (b, _) = c.run_with_faults(&cfg, Some(&plan), program);
+        assert_eq!(a, b, "same seed + plan must be byte-identical");
+        let other = FaultPlan::noise(8, 0.05);
+        let (d, _) = c.run_with_faults(&cfg, Some(&other), program);
+        assert_ne!(a.time_s.to_bits(), d.time_s.to_bits(), "different seed must differ");
+    }
+
+    #[test]
+    fn jitter_perturbs_time_and_records_activations() {
+        let c = cluster();
+        let cfg = ClusterConfig::uniform(2, 1);
+        let (base, _) = c.run(&cfg, program);
+        let plan = FaultPlan::noise(3, 0.05);
+        let (noisy, _) = c.run_with_faults(&cfg, Some(&plan), program);
+        assert_ne!(noisy.time_s.to_bits(), base.time_s.to_bits());
+        // Bounded perturbation: a 5 % noise level cannot move total
+        // time by more than ~tens of percent.
+        assert!((noisy.time_s / base.time_s - 1.0).abs() < 0.3);
+        let activations: usize = noisy.ranks.iter().map(|r| r.trace.fault_events().len()).sum();
+        assert!(activations > 0, "activations must be visible in the traces");
+        assert!(noisy
+            .ranks
+            .iter()
+            .flat_map(|r| r.trace.fault_events())
+            .any(|f| f.kind == FaultKind::ClockJitter));
+    }
+
+    #[test]
+    fn straggler_pins_one_rank_and_slows_the_run() {
+        let c = cluster();
+        let cfg = ClusterConfig::uniform(2, 1);
+        let plan =
+            FaultPlan { stragglers: vec![Straggler { rank: 1, gear: 6 }], ..FaultPlan::quiet(0) };
+        let (base, _) = c.run(&cfg, |comm: &mut Comm| {
+            comm.compute(&WorkBlock::cpu_only(4.0e9));
+            comm.barrier();
+        });
+        let (strag, _) = c.run_with_faults(&cfg, Some(&plan), |comm: &mut Comm| {
+            comm.compute(&WorkBlock::cpu_only(4.0e9));
+            comm.barrier();
+        });
+        assert_eq!(strag.ranks[1].gear_index, 6, "forced gear recorded");
+        assert_eq!(strag.ranks[0].gear_index, 1, "other ranks untouched");
+        // Gear 6 is 800 MHz vs 2 GHz: the straggler stretches the run.
+        assert!(strag.time_s > base.time_s * 2.0, "{} vs {}", strag.time_s, base.time_s);
+        let evs = strag.ranks[1].trace.fault_events();
+        assert!(evs.iter().any(|f| f.kind == FaultKind::StragglerGear && f.magnitude == 6.0));
+        assert!(strag.ranks[0].trace.fault_events().is_empty());
+    }
+
+    #[test]
+    fn memory_burst_adds_frequency_independent_time() {
+        let c = cluster();
+        let plan = FaultPlan {
+            memory_bursts: vec![MemoryBurst {
+                rank: 0,
+                start_block: 0,
+                blocks: 4,
+                miss_factor: 8.0,
+            }],
+            ..FaultPlan::quiet(0)
+        };
+        let prog = |comm: &mut Comm| {
+            for _ in 0..4 {
+                comm.compute(&WorkBlock::with_upm(1.0e9, 100.0));
+            }
+        };
+        for gear in [1usize, 6] {
+            let cfg = ClusterConfig::uniform(1, gear);
+            let (base, _) = c.run(&cfg, prog);
+            let (burst, _) = c.run_with_faults(&cfg, Some(&plan), prog);
+            let extra = burst.time_s - base.time_s;
+            // 7 extra misses per original miss × 4e7 misses × stall:
+            // the same absolute stall time at either gear.
+            assert!(extra > 0.0, "burst must slow the run at gear {gear}");
+            let expect = 7.0 * 4.0 * 1.0e7 * c.node.cpu.stall_per_miss_s;
+            assert!((extra - expect).abs() / expect < 1e-9, "gear {gear}: extra {extra}");
+        }
+    }
+
+    #[test]
+    fn drops_and_spikes_slow_messaging_but_never_lose_data() {
+        let c = cluster();
+        let cfg = ClusterConfig::uniform(4, 1);
+        let plan = FaultPlan {
+            network: Some(NetworkFaults {
+                spike_prob: 0.5,
+                spike_latency_s: 2e-3,
+                drop_prob: 0.5,
+                max_retries: 4,
+                retry_timeout_s: 1e-3,
+                backoff: 2.0,
+            }),
+            ..FaultPlan::quiet(5)
+        };
+        let prog = |comm: &mut Comm| comm.allreduce_scalar(comm.rank() as f64, ReduceOp::Sum);
+        let (base, outs) = c.run(&cfg, prog);
+        let (noisy, fouts) = c.run_with_faults(&cfg, Some(&plan), prog);
+        assert_eq!(outs, fouts, "payloads survive drop/retry untouched");
+        assert!(noisy.time_s > base.time_s, "retries and spikes must cost time");
+        let kinds: Vec<FaultKind> =
+            noisy.ranks.iter().flat_map(|r| r.trace.fault_events()).map(|f| f.kind).collect();
+        assert!(kinds.contains(&FaultKind::MessageDrop));
+        assert!(kinds.contains(&FaultKind::LatencySpike));
+    }
+
+    #[test]
+    fn wattmeter_faults_touch_only_measured_energy() {
+        let c = cluster();
+        let cfg = ClusterConfig::uniform(2, 2);
+        let plan = FaultPlan {
+            wattmeter: Some(psc_faults::WattmeterFaults { dropout_prob: 0.1, noise_sigma: 0.05 }),
+            ..FaultPlan::quiet(11)
+        };
+        let (base, _) = c.run(&cfg, program);
+        let (noisy, _) = c.run_with_faults(&cfg, Some(&plan), program);
+        assert_eq!(noisy.time_s.to_bits(), base.time_s.to_bits());
+        assert_eq!(noisy.energy_j.to_bits(), base.energy_j.to_bits());
+        assert_ne!(noisy.measured_energy_j.to_bits(), base.measured_energy_j.to_bits());
+        // Still a plausible measurement of the same run.
+        let rel = (noisy.measured_energy_j - noisy.energy_j).abs() / noisy.energy_j;
+        assert!(rel < 0.2, "measured energy off by {rel}");
+    }
+
+    #[test]
+    fn slowdown_bound_survives_noise() {
+        let c = cluster();
+        let plan = FaultPlan::noise(17, 0.05);
+        for (i, j) in [(1usize, 2usize), (2, 3), (5, 6), (1, 6)] {
+            let t = |g: usize| {
+                let (r, _) = c.run_with_faults(&ClusterConfig::uniform(2, g), Some(&plan), program);
+                r.time_s
+            };
+            let ratio = t(j) / t(i);
+            let bound = c.node.gears.frequency_ratio(i, j);
+            assert!(
+                ratio >= 1.0 - 1e-12 && ratio <= bound + 1e-9,
+                "gears {i}->{j}: ratio {ratio} outside [1, {bound}]"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid fault plan")]
+    fn invalid_plan_is_rejected_up_front() {
+        let c = cluster();
+        let plan = FaultPlan {
+            clock_jitter: Some(psc_faults::ClockJitter { amplitude: 2.0 }),
+            ..FaultPlan::quiet(0)
+        };
+        let _ = c.run_with_faults(&ClusterConfig::uniform(1, 1), Some(&plan), |_| ());
+    }
+
+    #[test]
+    #[should_panic(expected = "gear")]
+    fn straggler_gear_out_of_range_is_rejected() {
+        let c = cluster();
+        let plan =
+            FaultPlan { stragglers: vec![Straggler { rank: 0, gear: 99 }], ..FaultPlan::quiet(0) };
+        let _ = c.run_with_faults(&ClusterConfig::uniform(1, 1), Some(&plan), |_| ());
     }
 }
 

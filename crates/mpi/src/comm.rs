@@ -22,8 +22,9 @@ use crate::network::NetworkModel;
 use crate::payload::Payload;
 use crate::reduce::ReduceOp;
 use crate::router::{Envelope, MatchBuffer, Router};
-use crate::trace::{GearShift, MpiOp, PhaseSpan, RankTrace, TraceEvent};
+use crate::trace::{FaultEvent, FaultKind, GearShift, MpiOp, PhaseSpan, RankTrace, TraceEvent};
 use crossbeam::channel::Receiver;
+use psc_faults::RankFaults;
 use psc_machine::{Counters, Gear, NodeSpec, PowerTrace, WorkBlock};
 use std::sync::Arc;
 
@@ -60,6 +61,7 @@ pub struct Comm {
     coll_seq: u64,
     wire_scale: f64,
     span_stack: Vec<(String, f64)>,
+    faults: Option<RankFaults>,
 }
 
 impl Comm {
@@ -92,6 +94,23 @@ impl Comm {
             coll_seq: 0,
             wire_scale: 1.0,
             span_stack: Vec::new(),
+            faults: None,
+        }
+    }
+
+    /// Arm this rank's fault injection. Called by the cluster driver
+    /// before the program runs; `forced_from` carries the configured
+    /// gear when the plan pinned this rank to a different one, so the
+    /// straggler activation lands in the trace at t = 0.
+    pub(crate) fn set_faults(&mut self, faults: Option<RankFaults>, forced_from: Option<usize>) {
+        self.faults = faults;
+        if let Some(configured) = forced_from {
+            debug_assert_ne!(configured, self.gear.index);
+            self.trace.record_fault(FaultEvent {
+                t_s: 0.0,
+                kind: FaultKind::StragglerGear,
+                magnitude: self.gear.index as f64,
+            });
         }
     }
 
@@ -231,12 +250,40 @@ impl Comm {
 
     /// Execute a work block: advance virtual time by the CPU model and
     /// draw application power `P_g` for its duration.
+    ///
+    /// Under an active fault plan the block may be perturbed first:
+    /// a memory-pressure burst multiplies its L2 misses (adding
+    /// frequency-*independent* stall time, like real DRAM contention)
+    /// and clock jitter scales its duration by a gear-invariant factor.
+    /// Both perturbations are keyed by the rank's compute-block index,
+    /// so the same block is hit identically at every gear — which is
+    /// what keeps the paper's slowdown bound intact under noise.
     pub fn compute(&mut self, work: &WorkBlock) {
-        let dt = self.node.compute_time_s(work, self.gear);
-        let watts = self.node.compute_power_w(work, self.gear);
+        let mut work = *work;
+        let mut time_scale = 1.0;
+        if let Some(p) = self.faults.as_mut().map(RankFaults::next_compute) {
+            if p.miss_factor != 1.0 {
+                work = WorkBlock::new(work.uops, work.l2_misses * p.miss_factor);
+                self.trace.record_fault(FaultEvent {
+                    t_s: self.clock_s,
+                    kind: FaultKind::MemoryBurst,
+                    magnitude: p.miss_factor,
+                });
+            }
+            if p.time_scale != 1.0 {
+                time_scale = p.time_scale;
+                self.trace.record_fault(FaultEvent {
+                    t_s: self.clock_s,
+                    kind: FaultKind::ClockJitter,
+                    magnitude: p.time_scale,
+                });
+            }
+        }
+        let dt = self.node.compute_time_s(&work, self.gear) * time_scale;
+        let watts = self.node.compute_power_w(&work, self.gear);
         self.clock_s += dt;
         self.power.push(self.clock_s, watts);
-        self.counters.record_compute(work, dt, self.gear.freq_hz);
+        self.counters.record_compute(&work, dt, self.gear.freq_hz);
     }
 
     /// Convenience: execute `uops` micro-operations at the given UPM
@@ -575,12 +622,41 @@ impl Comm {
 
     /// Untraced send: advances the clock by the injection cost and
     /// delivers the envelope. Returns bytes sent.
+    ///
+    /// Under an active fault plan the transmission may be perturbed,
+    /// keyed by the rank's message index: dropped attempts cost the
+    /// sender a timeout (with backoff) plus a fresh injection each
+    /// retry, and a latency spike delays the delivery. Both costs are
+    /// frequency-independent network time, so they shrink — never
+    /// violate — the gear-relative slowdown bound.
     fn raw_send<T: Payload>(&mut self, dst: usize, tag: u64, data: T) -> u64 {
         assert!(dst < self.size, "send to rank {dst} out of range (size {})", self.size);
         assert_ne!(dst, self.rank, "send to self would deadlock a matching recv");
         let bytes = ((data.byte_size() as f64 * self.wire_scale).round() as u64).max(8);
-        self.clock_s += self.network.send_time_s_at(bytes, self.size);
-        let arrival = self.clock_s + self.network.wire_time_s();
+        let inject_s = self.network.send_time_s_at(bytes, self.size);
+        self.clock_s += inject_s;
+        let mut extra_latency_s = 0.0;
+        if let Some(p) = self.faults.as_mut().map(RankFaults::next_send) {
+            if p.retries > 0 {
+                // Each dropped attempt: wait out the (backed-off)
+                // timeout, then pay the injection cost again.
+                self.clock_s += p.retry_wait_s + p.retries as f64 * inject_s;
+                self.trace.record_fault(FaultEvent {
+                    t_s: self.clock_s,
+                    kind: FaultKind::MessageDrop,
+                    magnitude: p.retries as f64,
+                });
+            }
+            if p.extra_latency_s > 0.0 {
+                extra_latency_s = p.extra_latency_s;
+                self.trace.record_fault(FaultEvent {
+                    t_s: self.clock_s,
+                    kind: FaultKind::LatencySpike,
+                    magnitude: p.extra_latency_s,
+                });
+            }
+        }
+        let arrival = self.clock_s + self.network.wire_time_s() + extra_latency_s;
         self.router.deliver(
             dst,
             Envelope { src: self.rank, tag, arrival_s: arrival, bytes, data: Box::new(data) },

@@ -51,4 +51,4 @@ pub use cluster::{Cluster, ClusterConfig, GearSelection, RankResult, RunResult};
 pub use comm::{Comm, RecvRequest};
 pub use network::NetworkModel;
 pub use reduce::ReduceOp;
-pub use trace::{GearShift, MpiOp, PhaseSpan, RankTrace, TraceEvent};
+pub use trace::{FaultEvent, FaultKind, GearShift, MpiOp, PhaseSpan, RankTrace, TraceEvent};

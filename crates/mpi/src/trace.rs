@@ -128,12 +128,44 @@ pub struct GearShift {
     pub stall_s: f64,
 }
 
+/// The class of an injected-fault activation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// A compute block's duration was jittered (magnitude = time scale).
+    ClockJitter,
+    /// A compute block ran under a memory-pressure burst (magnitude =
+    /// L2-miss multiplier).
+    MemoryBurst,
+    /// The rank was pinned to a gear other than the configured one
+    /// (magnitude = the forced gear index).
+    StragglerGear,
+    /// A message's delivery latency spiked (magnitude = extra seconds).
+    LatencySpike,
+    /// A message was dropped and retransmitted (magnitude = retries).
+    MessageDrop,
+}
+
+/// One fault-injection activation on one rank, recorded when a
+/// scheduled perturbation actually fired. Exported to Chrome traces as
+/// instant events so injected noise is visible next to the phases it
+/// perturbed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// Virtual time at which the perturbation took effect, seconds.
+    pub t_s: f64,
+    /// What kind of fault fired.
+    pub kind: FaultKind,
+    /// Kind-specific magnitude (see [`FaultKind`]).
+    pub magnitude: f64,
+}
+
 /// The full event log of one rank over one run.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct RankTrace {
     events: Vec<TraceEvent>,
     spans: Vec<PhaseSpan>,
     gear_shifts: Vec<GearShift>,
+    faults: Vec<FaultEvent>,
     /// Virtual time at which the rank's program ended.
     pub end_s: f64,
 }
@@ -151,6 +183,7 @@ impl RankTrace {
             events: Vec::with_capacity(events),
             spans: Vec::with_capacity(spans),
             gear_shifts: Vec::new(),
+            faults: Vec::new(),
             end_s: 0.0,
         }
     }
@@ -194,6 +227,21 @@ impl RankTrace {
     /// Mid-run gear shifts, in time order.
     pub fn gear_shifts(&self) -> &[GearShift] {
         &self.gear_shifts
+    }
+
+    /// Append a fault activation. Activations arrive in time order.
+    pub fn record_fault(&mut self, ev: FaultEvent) {
+        debug_assert!(
+            self.faults.last().is_none_or(|last| ev.t_s >= last.t_s - 1e-12),
+            "fault activations out of order"
+        );
+        self.faults.push(ev);
+    }
+
+    /// Injected-fault activations, in time order. Empty for runs
+    /// without an active fault plan.
+    pub fn fault_events(&self) -> &[FaultEvent] {
+        &self.faults
     }
 
     /// Total time spent inside spans of the given name, seconds.
@@ -449,6 +497,17 @@ mod tests {
         t.record_span(span("a", 0.0, 2.0, 0));
         t.record_span(span("b", 1.0, 3.0, 0));
         assert!(!t.spans_well_nested());
+    }
+
+    #[test]
+    fn fault_events_recorded_in_order_and_serialized() {
+        let mut t = RankTrace::new();
+        t.record_fault(FaultEvent { t_s: 0.5, kind: FaultKind::ClockJitter, magnitude: 1.02 });
+        t.record_fault(FaultEvent { t_s: 1.5, kind: FaultKind::MessageDrop, magnitude: 2.0 });
+        assert_eq!(t.fault_events().len(), 2);
+        assert_eq!(t.fault_events()[1].kind, FaultKind::MessageDrop);
+        let back: RankTrace = serde::json::from_str(&serde::json::to_string(&t)).unwrap();
+        assert_eq!(back, t);
     }
 
     #[test]

@@ -24,7 +24,9 @@ use std::sync::{Arc, Mutex};
 
 /// Version tag baked into every cache key; bump when the `RunResult`
 /// schema or the run semantics change so stale disk entries miss.
-pub const CACHE_SCHEMA: &str = "psc-run-cache-v1";
+/// v2: `RankTrace` gained fault-activation events (fault-injection
+/// layer), so v1 entries no longer deserialize.
+pub const CACHE_SCHEMA: &str = "psc-run-cache-v2";
 
 /// 64-bit FNV-1a over a byte string.
 pub fn fnv1a64(bytes: &[u8]) -> u64 {
@@ -256,6 +258,66 @@ mod tests {
         let cache = RunCache::with_disk(&dir);
         assert!(cache.lookup(5).is_none());
         assert_eq!(cache.stats().misses, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Every flavor of on-disk damage — truncated JSON, binary garbage,
+    /// an empty file, a wrong-but-valid JSON document, a stale entry
+    /// missing newer fields — must read as a miss, never a panic.
+    #[test]
+    fn damaged_disk_entries_never_panic() {
+        let dir = std::env::temp_dir().join(format!("psc-cache-damage-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let run = some_run();
+        let valid = serde::json::to_string(&*run);
+        let damages: Vec<(u64, String)> = vec![
+            (1, valid[..valid.len() / 2].to_string()), // truncated mid-document
+            (2, "\u{0}\u{1}\u{2}binary trash".to_string()),
+            (3, String::new()),                        // empty file
+            (4, "{\"wrong\": \"shape\"}".to_string()), // valid JSON, wrong schema
+            (5, "[1, 2, 3]".to_string()),              // valid JSON, wrong type
+        ];
+        for (key, text) in &damages {
+            std::fs::write(dir.join(format!("{key:016x}.json")), text).unwrap();
+        }
+
+        let cache = RunCache::with_disk(&dir);
+        for (key, _) in &damages {
+            assert!(cache.lookup(*key).is_none(), "damaged entry {key} must miss");
+        }
+        assert_eq!(cache.stats().misses, damages.len() as u64);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// After a corrupt entry misses, re-simulating and inserting must
+    /// atomically overwrite it with a readable entry (no temp litter).
+    #[test]
+    fn corrupt_entry_is_overwritten_atomically_after_miss() {
+        let dir = std::env::temp_dir().join(format!("psc-cache-heal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let key = 77u64;
+        let path = dir.join(format!("{key:016x}.json"));
+        std::fs::write(&path, "{ truncated garba").unwrap();
+
+        let cache = RunCache::with_disk(&dir);
+        assert!(cache.lookup(key).is_none(), "corrupt entry is a miss");
+        let run = some_run();
+        cache.insert(key, Arc::clone(&run)); // the re-simulated result
+
+        // A fresh instance reads the healed entry from disk.
+        let reader = RunCache::with_disk(&dir);
+        let got = reader.lookup(key).expect("healed entry readable");
+        assert_eq!(*got, *run);
+        // No temp files left behind by the atomic publish.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().starts_with(".tmp-"))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files must not survive: {leftovers:?}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

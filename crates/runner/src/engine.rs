@@ -2,6 +2,7 @@
 
 use crate::cache::{fnv1a64, CacheStats, RunCache, CACHE_SCHEMA};
 use crate::plan::{RunPlan, RunSpec};
+use psc_faults::FaultPlan;
 use psc_mpi::{default_jobs, Cluster, RunResult};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -30,6 +31,7 @@ pub struct Engine {
     cluster: Cluster,
     jobs: usize,
     cache: RunCache,
+    faults: Option<FaultPlan>,
 }
 
 impl Engine {
@@ -37,13 +39,13 @@ impl Engine {
     /// host's available parallelism) and the `PSC_CACHE`/`PSC_CACHE_DIR`
     /// cache configuration.
     pub fn new(cluster: Cluster) -> Self {
-        Engine { cluster, jobs: default_jobs(), cache: RunCache::from_env() }
+        Engine { cluster, jobs: default_jobs(), cache: RunCache::from_env(), faults: None }
     }
 
     /// A single-worker engine with a memory-only cache — the serial
     /// reference configuration for determinism checks.
     pub fn serial(cluster: Cluster) -> Self {
-        Engine { cluster, jobs: 1, cache: RunCache::in_memory() }
+        Engine { cluster, jobs: 1, cache: RunCache::in_memory(), faults: None }
     }
 
     /// Pin the worker count (must be ≥ 1).
@@ -57,6 +59,24 @@ impl Engine {
     pub fn with_cache(mut self, cache: RunCache) -> Self {
         self.cache = cache;
         self
+    }
+
+    /// Set (or clear) the engine's default fault plan. Specs without
+    /// their own plan run under this one; a spec-level plan wins.
+    pub fn with_faults(mut self, faults: Option<FaultPlan>) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// The engine's default fault plan, if any.
+    pub fn faults(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
+    }
+
+    /// The plan a spec effectively runs under: the spec's own, else the
+    /// engine default, else none.
+    fn effective_faults<'a>(&'a self, spec: &'a RunSpec) -> Option<&'a FaultPlan> {
+        spec.faults.as_ref().or(self.faults.as_ref())
     }
 
     /// The cluster runs execute on.
@@ -84,7 +104,7 @@ impl Engine {
     /// result. Floats serialize with exact round-tripping, so the key
     /// is stable across processes.
     pub fn cache_key(&self, spec: &RunSpec) -> u64 {
-        let desc = format!(
+        let mut desc = format!(
             "{CACHE_SCHEMA}|bench={}|class={:?}|nodes={}|gears={:?}|node={}|net={}|meter={}",
             spec.bench.name(),
             spec.class,
@@ -94,6 +114,12 @@ impl Engine {
             serde::json::to_string(&self.cluster.network),
             serde::json::to_string(&self.cluster.wattmeter),
         );
+        // Fault-free runs keep the plain key, so an existing warm cache
+        // stays valid; a plan (even a quiet one) gets its own keyspace.
+        if let Some(plan) = self.effective_faults(spec) {
+            desc.push_str("|faults=");
+            desc.push_str(&plan.to_json());
+        }
         fnv1a64(desc.as_bytes())
     }
 
@@ -165,7 +191,9 @@ impl Engine {
 
     fn execute_spec(&self, spec: &RunSpec) -> RunResult {
         let (run, _outputs) =
-            self.cluster.run(&spec.config(), |comm| spec.bench.run(comm, spec.class));
+            self.cluster.run_with_faults(&spec.config(), self.effective_faults(spec), |comm| {
+                spec.bench.run(comm, spec.class)
+            });
         run
     }
 }
@@ -237,5 +265,59 @@ mod tests {
         sun.network.latency_s *= 2.0;
         let e2 = Engine::serial(sun);
         assert_ne!(k(&base), e2.cache_key(&base));
+    }
+
+    #[test]
+    fn fault_plans_get_their_own_keyspace() {
+        use psc_faults::FaultPlan;
+        let e = engine();
+        let clean = RunSpec::uniform(Benchmark::Cg, ProblemClass::Test, 2, 1);
+        let k_clean = e.cache_key(&clean);
+
+        // A plan — even a quiet one — separates the key from fault-free.
+        let quiet = clean.clone().with_faults(FaultPlan::quiet(1));
+        assert_ne!(k_clean, e.cache_key(&quiet));
+
+        // Seed and noise level each separate keys from one another.
+        let n1 = clean.clone().with_faults(FaultPlan::noise(1, 0.02));
+        let n2 = clean.clone().with_faults(FaultPlan::noise(2, 0.02));
+        let n3 = clean.clone().with_faults(FaultPlan::noise(1, 0.05));
+        assert_ne!(e.cache_key(&n1), e.cache_key(&n2));
+        assert_ne!(e.cache_key(&n1), e.cache_key(&n3));
+        assert_ne!(e.cache_key(&quiet), e.cache_key(&n1));
+    }
+
+    #[test]
+    fn engine_default_plan_applies_only_to_bare_specs() {
+        use psc_faults::FaultPlan;
+        let clean = RunSpec::uniform(Benchmark::Ep, ProblemClass::Test, 1, 2);
+        let e_clean = engine();
+        let e_noisy = engine().with_faults(Some(FaultPlan::noise(9, 0.02)));
+
+        // The engine default shifts a bare spec's key...
+        assert_ne!(e_clean.cache_key(&clean), e_noisy.cache_key(&clean));
+        // ...and matches the same plan attached at the spec level.
+        let spec_noisy = clean.clone().with_faults(FaultPlan::noise(9, 0.02));
+        assert_eq!(e_noisy.cache_key(&clean), e_clean.cache_key(&spec_noisy));
+        // A spec-level plan wins over the engine default.
+        let pinned = clean.clone().with_faults(FaultPlan::quiet(3));
+        assert_eq!(e_noisy.cache_key(&pinned), e_clean.cache_key(&pinned));
+    }
+
+    #[test]
+    fn faulted_execution_is_deterministic_and_distinct_from_clean() {
+        use psc_faults::FaultPlan;
+        let e = engine();
+        let clean = RunSpec::uniform(Benchmark::Cg, ProblemClass::Test, 2, 3);
+        let noisy = clean.clone().with_faults(FaultPlan::noise(7, 0.05));
+        let r_clean = e.run(&clean);
+        let r_noisy = e.run(&noisy);
+        assert_ne!(r_clean.time_s.to_bits(), r_noisy.time_s.to_bits());
+
+        // A fresh engine reproduces the faulted run bit-for-bit.
+        let again = engine().run(&noisy);
+        assert_eq!(r_noisy.time_s.to_bits(), again.time_s.to_bits());
+        assert_eq!(r_noisy.energy_j.to_bits(), again.energy_j.to_bits());
+        assert_eq!(r_noisy.measured_energy_j.to_bits(), again.measured_energy_j.to_bits());
     }
 }

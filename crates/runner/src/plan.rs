@@ -1,10 +1,11 @@
 //! Run specifications and plans.
 
+use psc_faults::FaultPlan;
 use psc_kernels::{Benchmark, ProblemClass};
 use psc_mpi::{ClusterConfig, GearSelection};
 
 /// One independent measurement: a benchmark at a problem class, node
-/// count, and gear selection.
+/// count, and gear selection — optionally perturbed by a fault plan.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunSpec {
     /// The kernel to run.
@@ -15,6 +16,10 @@ pub struct RunSpec {
     pub nodes: usize,
     /// Gear selection for the ranks.
     pub gears: GearSelection,
+    /// Fault plan for this spec. `None` falls back to the engine's
+    /// default plan (usually also none). Participates in the cache key:
+    /// a faulted run never aliases a clean one.
+    pub faults: Option<FaultPlan>,
 }
 
 impl RunSpec {
@@ -27,7 +32,13 @@ impl RunSpec {
     /// rather than mid-sweep.
     pub fn uniform(bench: Benchmark, class: ProblemClass, nodes: usize, gear: usize) -> Self {
         assert!(bench.supports_nodes(nodes), "{} does not support {} node(s)", bench.name(), nodes);
-        RunSpec { bench, class, nodes, gears: GearSelection::Uniform(gear) }
+        RunSpec { bench, class, nodes, gears: GearSelection::Uniform(gear), faults: None }
+    }
+
+    /// The same spec under a fault plan.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
     }
 
     /// The cluster configuration this spec runs under.
@@ -139,7 +150,20 @@ mod tests {
             class: ProblemClass::Test,
             nodes: 2,
             gears: GearSelection::PerRank(vec![1, 6]),
+            faults: None,
         };
         assert_eq!(p.resolved_gears(), vec![1, 6]);
+    }
+
+    #[test]
+    fn with_faults_attaches_a_plan() {
+        use psc_faults::FaultPlan;
+        let s = RunSpec::uniform(Benchmark::Ep, ProblemClass::Test, 1, 1);
+        assert!(s.faults.is_none());
+        let f = s.clone().with_faults(FaultPlan::noise(1, 0.02));
+        assert_eq!(f.faults.as_ref().map(|p| p.seed), Some(1));
+        // Sweeps built by the plan constructors start fault-free.
+        let plan = RunPlan::gear_sweep(Benchmark::Cg, ProblemClass::Test, 2, 6);
+        assert!(plan.specs.iter().all(|s| s.faults.is_none()));
     }
 }

@@ -7,7 +7,8 @@
 //! (`pid` = rank id), with two threads per rank — `tid` 0 carries the
 //! application phase spans, `tid` 1 the MPI operations — plus a
 //! per-rank `power_w` counter track sampled at every power-trace step
-//! and instant events marking DVFS gear shifts.
+//! and instant events marking DVFS gear shifts and fault-injection
+//! activations (cat `"fault"`), when the run carried a fault plan.
 
 use psc_mpi::RunResult;
 use serde::{json, Value};
@@ -91,6 +92,22 @@ pub fn chrome_trace(run: &RunResult) -> Value {
                 ("pid", Value::U64(pid as u64)),
                 ("tid", Value::U64(TID_PHASES)),
                 ("args", obj(vec![("stall_us", Value::F64(shift.stall_s * 1e6))])),
+            ]));
+        }
+
+        // Fault activations: thread-scoped instant events on the phase
+        // track, so injected perturbations line up with the compute and
+        // MPI activity they distorted.
+        for fault in r.trace.fault_events() {
+            events.push(obj(vec![
+                ("name", Value::Str(format!("{:?}", fault.kind))),
+                ("cat", Value::Str("fault".to_string())),
+                ("ph", Value::Str("i".to_string())),
+                ("s", Value::Str("t".to_string())),
+                ("ts", us(fault.t_s)),
+                ("pid", Value::U64(pid as u64)),
+                ("tid", Value::U64(TID_PHASES)),
+                ("args", obj(vec![("magnitude", Value::F64(fault.magnitude))])),
             ]));
         }
 
@@ -230,6 +247,45 @@ mod tests {
                 "rank {rank} has no power counter events"
             );
         }
+    }
+
+    /// A run under a fault plan exports its activations as `cat
+    /// "fault"` instant events, and the export still passes the schema
+    /// walk performed by `export_is_valid_trace_event_json`.
+    #[test]
+    fn faulted_run_exports_fault_instants() {
+        use psc_faults::FaultPlan;
+        let c = Cluster::athlon_fast_ethernet();
+        let plan = FaultPlan::noise(11, 0.05);
+        let (run, _) = c.run_with_faults(&ClusterConfig::uniform(2, 2), Some(&plan), |comm| {
+            comm.span("work", |comm| {
+                comm.compute(&WorkBlock::with_upm(1.0e8, 50.0));
+                comm.allreduce(vec![1.0], ReduceOp::Sum);
+            });
+        });
+        let doc = chrome_trace(&run);
+        let events = match doc.get("traceEvents") {
+            Some(Value::Seq(events)) => events,
+            _ => unreachable!(),
+        };
+        let faults: Vec<&Value> = events
+            .iter()
+            .filter(|e| e.get("cat").and_then(Value::as_str) == Some("fault"))
+            .collect();
+        assert!(!faults.is_empty(), "faulted run must export fault instants");
+        for ev in &faults {
+            assert_eq!(ev.get("ph").and_then(Value::as_str), Some("i"));
+            assert_eq!(ev.get("s").and_then(Value::as_str), Some("t"));
+            assert!(ev.get("ts").and_then(Value::as_f64).is_some());
+            assert!(ev.get("args").and_then(|a| a.get("magnitude")).is_some());
+        }
+        // A clean run exports none.
+        let clean = chrome_trace(&sample_run());
+        let clean_events = match clean.get("traceEvents") {
+            Some(Value::Seq(events)) => events,
+            _ => unreachable!(),
+        };
+        assert!(clean_events.iter().all(|e| e.get("cat").and_then(Value::as_str) != Some("fault")));
     }
 
     #[test]

@@ -11,6 +11,9 @@
 //! * [`kernels`] — NAS-like benchmarks (CG, EP, MG, LU, BT, SP), Jacobi,
 //!   and the synthetic high-memory-pressure benchmark.
 //! * [`model`] — the paper's five-step energy-time prediction model.
+//! * [`faults`] — deterministic fault injection: scheduled clock
+//!   jitter, stragglers, memory bursts, network faults, and wattmeter
+//!   noise, all reproducible from a seed at any worker count.
 //! * [`runner`] — the parallel sweep engine and memoizing run cache.
 //! * [`analysis`] — energy-time curves, slopes, UPM predictor, the
 //!   case 1/2/3 taxonomy, Pareto frontiers and report formatting.
@@ -21,6 +24,7 @@
 
 pub use psc_analysis as analysis;
 pub use psc_experiments as experiments;
+pub use psc_faults as faults;
 pub use psc_kernels as kernels;
 pub use psc_machine as machine;
 pub use psc_model as model;
@@ -30,6 +34,7 @@ pub use psc_runner as runner;
 /// Commonly used items, importable with `use powerscale::prelude::*`.
 pub mod prelude {
     pub use psc_analysis::curve::{EnergyTimeCurve, EnergyTimePoint};
+    pub use psc_faults::{FaultPlan, DEFAULT_NOISE_LEVEL};
     pub use psc_machine::{CpuModel, Gear, GearTable, NodeSpec, PowerModel, WorkBlock};
     pub use psc_mpi::cluster::{Cluster, ClusterConfig, RunResult};
     pub use psc_mpi::comm::Comm;
