@@ -1,0 +1,18 @@
+//! Standalone entry point: `psc-analyze [--deny] [--format json]
+//! [--baseline <file>] [--root <dir>]`.
+//!
+//! The same analysis is reachable as `powerscale analyze`; this binary
+//! exists so the lint pass can run without building the full simulator.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match psc_analyze::cli::run(&args) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,365 @@
+//! C family — cache-key completeness.
+//!
+//! The sweep engine's memoizing cache assumes its key covers everything
+//! that shapes a run's outcome. The exact historical failure mode this
+//! rule exists for: a field added to `RunSpec` that never reaches
+//! `Engine::cache_key`, silently serving stale cached results for specs
+//! that differ only in the new field.
+//!
+//! * **C001** — every field of `struct RunSpec` (in
+//!   `crates/runner/src/plan.rs`) must be *referenced* by the body of
+//!   `Engine::cache_key` (in `crates/runner/src/engine.rs`). A field is
+//!   referenced when some identifier in the body contains its name —
+//!   `spec.bench` directly, `resolved_gears()` for `gears`,
+//!   `effective_faults(spec)` for `faults`.
+//! * **C002** — the nested `FaultPlan` participates via its serde
+//!   serialization (`plan.to_json()` inside the key), so `FaultPlan`
+//!   must derive `Serialize` and no field may be `#[serde(skip)]`-ed
+//!   out of the encoding.
+
+use crate::report::{Finding, Severity};
+use crate::scan::{tokenize, Tok};
+
+/// A struct field as parsed from source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Field name.
+    pub name: String,
+    /// 1-based line of the declaration.
+    pub line: u32,
+    /// Whether a `#[serde(skip…)]` attribute precedes the field.
+    pub serde_skipped: bool,
+}
+
+/// Parse the `pub` fields of `struct <name>` out of `src`. Returns
+/// `None` when the struct is not found.
+pub fn struct_fields(src: &str, name: &str) -> Option<Vec<Field>> {
+    let toks = tokenize(src);
+    let mut i = 0;
+    // Find `struct <name>` followed (eventually) by `{`.
+    let start = loop {
+        if i + 1 >= toks.len() {
+            return None;
+        }
+        if toks[i].text == "struct" && toks[i + 1].text == name {
+            break i + 2;
+        }
+        i += 1;
+    };
+    let mut i = start;
+    while i < toks.len() && toks[i].text != "{" {
+        if toks[i].text == ";" {
+            return Some(Vec::new()); // unit struct
+        }
+        i += 1;
+    }
+    i += 1; // past '{'
+    let mut depth = 1usize;
+    let mut fields = Vec::new();
+    let mut pending_skip = false;
+    while i < toks.len() && depth > 0 {
+        match toks[i].text.as_str() {
+            "{" | "(" | "[" | "<" => {
+                if toks[i].text == "{" {
+                    depth += 1;
+                }
+                i += 1;
+            }
+            "}" => {
+                depth -= 1;
+                i += 1;
+            }
+            // `#[serde(skip…)]` marks the *next* field as excluded.
+            "#" if depth == 1 => {
+                let attr_start = i;
+                i += 1;
+                if toks.get(i).is_some_and(|t| t.text == "[") {
+                    let mut adepth = 1;
+                    i += 1;
+                    let mut attr = Vec::new();
+                    while i < toks.len() && adepth > 0 {
+                        match toks[i].text.as_str() {
+                            "[" => adepth += 1,
+                            "]" => adepth -= 1,
+                            _ => attr.push(toks[i].text.clone()),
+                        }
+                        i += 1;
+                    }
+                    if attr.first().is_some_and(|t| t == "serde")
+                        && attr.iter().any(|t| t.starts_with("skip"))
+                    {
+                        pending_skip = true;
+                    }
+                } else {
+                    i = attr_start + 1;
+                }
+            }
+            "pub" if depth == 1 => {
+                // `pub name :` — collect the field.
+                if toks.get(i + 1).is_some_and(Tok::is_ident)
+                    && toks.get(i + 2).is_some_and(|t| t.text == ":")
+                {
+                    fields.push(Field {
+                        name: toks[i + 1].text.clone(),
+                        line: toks[i + 1].line,
+                        serde_skipped: pending_skip,
+                    });
+                    pending_skip = false;
+                }
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    Some(fields)
+}
+
+/// The tokens of `fn <name>`'s body, plus the line the function starts
+/// on. `None` when the function is not found.
+pub fn fn_body(src: &str, name: &str) -> Option<(Vec<Tok>, u32)> {
+    let toks = tokenize(src);
+    let mut i = 0;
+    let start = loop {
+        if i + 1 >= toks.len() {
+            return None;
+        }
+        if toks[i].text == "fn" && toks[i + 1].text == name {
+            break i;
+        }
+        i += 1;
+    };
+    let line = toks[start].line;
+    let mut i = start;
+    while i < toks.len() && toks[i].text != "{" {
+        i += 1;
+    }
+    i += 1;
+    let body_start = i;
+    let mut depth = 1usize;
+    while i < toks.len() && depth > 0 {
+        match toks[i].text.as_str() {
+            "{" => depth += 1,
+            "}" => depth -= 1,
+            _ => {}
+        }
+        i += 1;
+    }
+    Some((toks[body_start..i.saturating_sub(1)].to_vec(), line))
+}
+
+/// Whether the `derive(...)` attribute list preceding `struct <name>`
+/// contains `trait_name`.
+pub fn struct_derives(src: &str, name: &str, trait_name: &str) -> bool {
+    let toks = tokenize(src);
+    let mut last_derive: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i + 1 < toks.len() {
+        if toks[i].text == "derive" && toks.get(i + 1).is_some_and(|t| t.text == "(") {
+            let mut depth = 1;
+            let mut j = i + 2;
+            last_derive.clear();
+            while j < toks.len() && depth > 0 {
+                match toks[j].text.as_str() {
+                    "(" => depth += 1,
+                    ")" => depth -= 1,
+                    _ => last_derive.push(toks[j].text.clone()),
+                }
+                j += 1;
+            }
+            i = j;
+            continue;
+        }
+        if toks[i].text == "struct" && toks[i + 1].text == name {
+            return last_derive.iter().any(|t| t == trait_name);
+        }
+        // Any non-attribute item between a derive and the next struct
+        // invalidates the association.
+        if toks[i].text == "fn" || toks[i].text == "impl" {
+            last_derive.clear();
+        }
+        i += 1;
+    }
+    false
+}
+
+/// C001: check that every field of `RunSpec` (as declared in
+/// `plan_src`) is referenced by `Engine::cache_key` (in `engine_src`).
+pub fn check_cache_key(plan_src: &str, engine_src: &str) -> Vec<Finding> {
+    const PLAN: &str = "crates/runner/src/plan.rs";
+    const ENGINE: &str = "crates/runner/src/engine.rs";
+    let mut out = Vec::new();
+
+    let Some(fields) = struct_fields(plan_src, "RunSpec") else {
+        out.push(Finding::new(
+            "C001",
+            Severity::Error,
+            PLAN,
+            1,
+            "struct RunSpec not found — the cache-key completeness check cannot run",
+        ));
+        return out;
+    };
+    let Some((body, fn_line)) = fn_body(engine_src, "cache_key") else {
+        out.push(Finding::new(
+            "C001",
+            Severity::Error,
+            ENGINE,
+            1,
+            "fn cache_key not found — every RunSpec field must be hashed into the run-cache key",
+        ));
+        return out;
+    };
+    for f in &fields {
+        let covered = body.iter().any(|t| t.is_ident() && t.text.contains(&f.name));
+        if !covered {
+            out.push(Finding::new(
+                "C001",
+                Severity::Error,
+                ENGINE,
+                fn_line,
+                format!(
+                    "RunSpec field `{}` (plan.rs:{}) is not referenced by cache_key — a spec \
+                     differing only in `{}` would alias a stale cached result",
+                    f.name, f.line, f.name
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// C002: `FaultPlan` reaches the key through its serde encoding, so the
+/// encoding must cover every field.
+pub fn check_fault_plan_encoding(faults_plan_src: &str) -> Vec<Finding> {
+    const PATH: &str = "crates/faults/src/plan.rs";
+    let mut out = Vec::new();
+    let Some(fields) = struct_fields(faults_plan_src, "FaultPlan") else {
+        out.push(Finding::new(
+            "C002",
+            Severity::Error,
+            PATH,
+            1,
+            "struct FaultPlan not found — the cache-key completeness check cannot run",
+        ));
+        return out;
+    };
+    if !struct_derives(faults_plan_src, "FaultPlan", "Serialize") {
+        out.push(Finding::new(
+            "C002",
+            Severity::Error,
+            PATH,
+            1,
+            "FaultPlan must derive Serialize — the cache key embeds the plan's JSON encoding",
+        ));
+    }
+    for f in fields.iter().filter(|f| f.serde_skipped) {
+        out.push(Finding::new(
+            "C002",
+            Severity::Error,
+            PATH,
+            f.line,
+            format!(
+                "FaultPlan field `{}` is #[serde(skip)]-ed out of the encoding, so it never \
+                 reaches the cache key — two plans differing only in `{}` would alias",
+                f.name, f.name
+            ),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PLAN: &str = "
+        pub struct RunSpec {
+            pub bench: Benchmark,
+            pub class: ProblemClass,
+            pub nodes: usize,
+            pub gears: GearSelection,
+            pub faults: Option<FaultPlan>,
+        }
+    ";
+
+    const ENGINE_OK: &str = "
+        impl Engine {
+            pub fn cache_key(&self, spec: &RunSpec) -> u64 {
+                let mut desc = format!(\"{}|{}|{}\", spec.bench.name(), spec.class_tag(), spec.nodes);
+                desc.push_str(&format!(\"{:?}\", spec.resolved_gears()));
+                if let Some(plan) = self.effective_faults(spec) { desc.push_str(&plan.to_json()); }
+                fnv1a64(desc.as_bytes())
+            }
+        }
+    ";
+
+    #[test]
+    fn complete_key_passes() {
+        assert!(check_cache_key(PLAN, ENGINE_OK).is_empty());
+    }
+
+    #[test]
+    fn dropping_a_field_from_the_hash_fails() {
+        // Delete the gears contribution while the field stays on RunSpec.
+        let engine_bad =
+            ENGINE_OK.replace("desc.push_str(&format!(\"{:?}\", spec.resolved_gears()));", "");
+        let f = check_cache_key(PLAN, &engine_bad);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "C001");
+        assert!(f[0].message.contains("`gears`"));
+    }
+
+    #[test]
+    fn adding_an_unhashed_field_fails() {
+        let plan_grown = PLAN.replace(
+            "pub faults: Option<FaultPlan>,",
+            "pub faults: Option<FaultPlan>,\n pub deadline_s: f64,",
+        );
+        let f = check_cache_key(&plan_grown, ENGINE_OK);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("`deadline_s`"));
+    }
+
+    #[test]
+    fn missing_cache_key_fn_is_fatal() {
+        let f = check_cache_key(PLAN, "impl Engine {}");
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("fn cache_key not found"));
+    }
+
+    const FAULTS_OK: &str = "
+        #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+        pub struct FaultPlan {
+            pub seed: u64,
+            pub clock_jitter: Option<ClockJitter>,
+        }
+    ";
+
+    #[test]
+    fn serialized_fault_plan_passes() {
+        assert!(check_fault_plan_encoding(FAULTS_OK).is_empty());
+    }
+
+    #[test]
+    fn serde_skip_on_a_fault_field_fails() {
+        let bad = FAULTS_OK.replace("pub seed: u64,", "#[serde(skip)]\n pub seed: u64,");
+        let f = check_fault_plan_encoding(&bad);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "C002");
+        assert!(f[0].message.contains("`seed`"));
+    }
+
+    #[test]
+    fn missing_serialize_derive_fails() {
+        let bad = FAULTS_OK.replace("Serialize, ", "");
+        let f = check_fault_plan_encoding(&bad);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("derive Serialize"));
+    }
+
+    #[test]
+    fn struct_fields_sees_attrs_and_unit_structs() {
+        assert_eq!(struct_fields("pub struct X;", "X"), Some(vec![]));
+        assert!(struct_fields("fn nothing() {}", "X").is_none());
+    }
+}

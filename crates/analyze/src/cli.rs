@@ -1,0 +1,89 @@
+//! The shared command-line driver behind both entry points: the
+//! standalone `psc-analyze` binary and `powerscale analyze`.
+
+use crate::{analyze_workspace, find_workspace_root, Baseline, Report};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+psc-analyze — workspace static analysis (determinism, units, cache keys)
+
+USAGE:
+  psc-analyze [--deny] [--format text|json] [--baseline FILE] [--root DIR]
+
+  --deny            exit non-zero when any non-baselined finding exists
+  --format json     machine-readable output
+  --baseline FILE   grandfather the findings listed in FILE
+  --root DIR        workspace root (default: discovered from the cwd)";
+
+/// The usage text, shared by both entry points.
+pub fn usage() -> &'static str {
+    USAGE
+}
+
+/// Parse arguments, run the analysis, render the report; returns the
+/// process exit code (0 clean, 1 fresh findings under `--deny`).
+pub fn run(args: &[String]) -> Result<ExitCode, String> {
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return Ok(ExitCode::SUCCESS);
+    }
+    let value_of = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .map(|i| args.get(i + 1).cloned().ok_or_else(|| format!("{flag} needs a value")))
+            .transpose()
+    };
+    let mut skip = false;
+    for a in args {
+        if skip {
+            skip = false;
+            continue;
+        }
+        match a.as_str() {
+            "--deny" => {}
+            "--format" | "--baseline" | "--root" => skip = true,
+            other => return Err(format!("unknown argument '{other}'\n{USAGE}")),
+        }
+    }
+    let deny = args.iter().any(|a| a == "--deny");
+    let json = match value_of("--format")? {
+        None => false,
+        Some(f) if f == "json" => true,
+        Some(f) if f == "text" => false,
+        Some(f) => return Err(format!("unknown format '{f}' (expected text or json)")),
+    };
+    let root = match value_of("--root")? {
+        Some(dir) => PathBuf::from(dir),
+        None => {
+            let cwd = std::env::current_dir().map_err(|e| format!("cwd: {e}"))?;
+            find_workspace_root(&cwd)
+                .ok_or("no workspace root found above the current directory")?
+        }
+    };
+    let baseline = match value_of("--baseline")? {
+        Some(path) => {
+            let resolved = if PathBuf::from(&path).is_absolute() {
+                PathBuf::from(&path)
+            } else {
+                root.join(&path)
+            };
+            let text = std::fs::read_to_string(&resolved)
+                .map_err(|e| format!("reading baseline {}: {e}", resolved.display()))?;
+            Baseline::from_json(&text)?
+        }
+        None => Baseline::default(),
+    };
+
+    let findings = analyze_workspace(&root).map_err(|e| format!("analyzing workspace: {e}"))?;
+    let report = Report::against(findings, &baseline);
+    if json {
+        println!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_text());
+    }
+    if deny && !report.fresh.is_empty() {
+        return Ok(ExitCode::FAILURE);
+    }
+    Ok(ExitCode::SUCCESS)
+}

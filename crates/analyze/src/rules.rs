@@ -1,0 +1,415 @@
+//! The per-file rule families.
+//!
+//! | id   | family        | fires on |
+//! |------|---------------|----------|
+//! | D001 | determinism   | `Instant::now` / `SystemTime::now` / `UNIX_EPOCH` outside an allowlisted host-timing file |
+//! | D002 | determinism   | nondeterministically seeded RNG or hasher (`thread_rng`, `from_entropy`, `rand::`, `RandomState`, `fastrand`) |
+//! | D003 | determinism   | environment reads (`env::var*`, `env::set_var`) inside a simulation crate |
+//! | D004 | determinism   | `HashMap` / `HashSet` inside a simulation crate (iteration order can leak into results) |
+//! | U001 | units         | public scalar field or `f64`-returning `pub fn` named after a quantity without its unit suffix |
+//! | F001 | fault purity  | a stochastic construct inside `psc-faults` that bypasses the counter-keyed `rng` module |
+//!
+//! (The C family — cache-key completeness — is structural rather than
+//! per-token and lives in [`crate::cachekey`].)
+
+use crate::report::{Finding, Severity};
+use crate::scan::Tok;
+
+/// What the analyzer knows about the file being scanned: enough to
+/// scope the crate-sensitive rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FileCtx<'a> {
+    /// Workspace-relative path, e.g. `crates/mpi/src/comm.rs`.
+    pub path: &'a str,
+    /// The crate directory name under `crates/` (`mpi`, `runner`, ...),
+    /// or `""` for the root package.
+    pub crate_dir: &'a str,
+}
+
+/// Crates whose code paths produce simulation results: everything here
+/// must be a pure function of (RunSpec, FaultPlan, seed).
+pub const SIM_CRATES: &[&str] = &["mpi", "kernels", "machine", "model", "faults", "runner"];
+
+impl FileCtx<'_> {
+    /// Whether the file belongs to a simulation crate.
+    pub fn is_sim(&self) -> bool {
+        SIM_CRATES.contains(&self.crate_dir)
+    }
+
+    /// Whether the file is the fault layer's sanctioned RNG module.
+    pub fn is_fault_rng_module(&self) -> bool {
+        self.path.ends_with("crates/faults/src/rng.rs") || self.path == "crates/faults/src/rng.rs"
+    }
+}
+
+/// Run every per-token rule over one file's token stream.
+pub fn check_tokens(ctx: &FileCtx<'_>, toks: &[Tok]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    wall_clock(ctx, toks, &mut out);
+    nondet_rng(ctx, toks, &mut out);
+    env_reads(ctx, toks, &mut out);
+    unordered_collections(ctx, toks, &mut out);
+    unit_suffixes(ctx, toks, &mut out);
+    out
+}
+
+/// `a :: b` starting at `i`?
+fn is_path(toks: &[Tok], i: usize, a: &str, b: &str) -> bool {
+    toks.len() > i + 3
+        && toks[i].text == a
+        && toks[i + 1].text == ":"
+        && toks[i + 2].text == ":"
+        && toks[i + 3].text == b
+}
+
+// --------------------------------------------------------------------
+// D001 — wall-clock reads
+// --------------------------------------------------------------------
+
+fn wall_clock(ctx: &FileCtx<'_>, toks: &[Tok], out: &mut Vec<Finding>) {
+    for (i, t) in toks.iter().enumerate() {
+        let hit = (is_path(toks, i, "Instant", "now") && t.text == "Instant")
+            || (is_path(toks, i, "SystemTime", "now") && t.text == "SystemTime")
+            || t.text == "UNIX_EPOCH";
+        if hit {
+            out.push(Finding::new(
+                "D001",
+                Severity::Error,
+                ctx.path,
+                t.line,
+                format!(
+                    "wall-clock read `{}` — simulated results must not depend on host time; \
+                     route host timing through psc_experiments::timing::HostTimer",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
+// --------------------------------------------------------------------
+// D002 — nondeterministically seeded randomness  (F001 inside psc-faults)
+// --------------------------------------------------------------------
+
+const RNG_BANNED: &[&str] = &["thread_rng", "from_entropy", "RandomState", "fastrand"];
+
+fn nondet_rng(ctx: &FileCtx<'_>, toks: &[Tok], out: &mut Vec<Finding>) {
+    // Inside psc-faults the same constructs are reported by the
+    // stricter F001 rule instead (fault-stream purity).
+    if ctx.crate_dir == "faults" {
+        fault_stream_purity(ctx, toks, out);
+        return;
+    }
+    for (i, t) in toks.iter().enumerate() {
+        let banned = RNG_BANNED.contains(&t.text.as_str())
+            || (t.text == "rand" && toks.get(i + 1).is_some_and(|n| n.text == ":"));
+        if banned {
+            out.push(Finding::new(
+                "D002",
+                Severity::Error,
+                ctx.path,
+                t.line,
+                format!(
+                    "nondeterministically seeded randomness `{}` — derive every draw from an \
+                     explicit seed (see psc_faults::rng::FaultRng)",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
+// --------------------------------------------------------------------
+// F001 — fault-stream purity (psc-faults only)
+// --------------------------------------------------------------------
+
+fn fault_stream_purity(ctx: &FileCtx<'_>, toks: &[Tok], out: &mut Vec<Finding>) {
+    if ctx.is_fault_rng_module() {
+        return; // the sanctioned module itself
+    }
+    for (i, t) in toks.iter().enumerate() {
+        let banned = RNG_BANNED.contains(&t.text.as_str())
+            || (t.text == "rand" && toks.get(i + 1).is_some_and(|n| n.text == ":"))
+            || t.text == "splitmix64"
+            || t.text == "SmallRng"
+            || t.text == "StdRng";
+        if banned {
+            out.push(Finding::new(
+                "F001",
+                Severity::Error,
+                ctx.path,
+                t.line,
+                format!(
+                    "stochastic construct `{}` outside the rng module — every draw in psc-faults \
+                     must route through the counter-keyed FaultRng::keyed(seed, parts)",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
+// --------------------------------------------------------------------
+// D003 — environment reads in simulation crates
+// --------------------------------------------------------------------
+
+const ENV_FNS: &[&str] = &["var", "var_os", "vars", "vars_os", "set_var", "remove_var"];
+
+fn env_reads(ctx: &FileCtx<'_>, toks: &[Tok], out: &mut Vec<Finding>) {
+    if !ctx.is_sim() {
+        return;
+    }
+    for (i, t) in toks.iter().enumerate() {
+        if t.text == "env"
+            && toks.get(i + 1).is_some_and(|n| n.text == ":")
+            && toks.get(i + 3).is_some_and(|n| ENV_FNS.contains(&n.text.as_str()))
+        {
+            out.push(Finding::new(
+                "D003",
+                Severity::Warning,
+                ctx.path,
+                t.line,
+                format!(
+                    "environment read `env::{}` in simulation crate psc-{} — results must be a \
+                     pure function of (RunSpec, FaultPlan, seed)",
+                    toks[i + 3].text,
+                    ctx.crate_dir
+                ),
+            ));
+        }
+    }
+}
+
+// --------------------------------------------------------------------
+// D004 — unordered collections in simulation crates
+// --------------------------------------------------------------------
+
+fn unordered_collections(ctx: &FileCtx<'_>, toks: &[Tok], out: &mut Vec<Finding>) {
+    if !ctx.is_sim() {
+        return;
+    }
+    for t in toks {
+        if t.text == "HashMap" || t.text == "HashSet" {
+            out.push(Finding::new(
+                "D004",
+                Severity::Warning,
+                ctx.path,
+                t.line,
+                format!(
+                    "unordered collection `{}` in simulation crate psc-{} — iteration order can \
+                     leak into manifests and CSVs; use BTreeMap/BTreeSet or keyed lookups only",
+                    t.text, ctx.crate_dir
+                ),
+            ));
+        }
+    }
+}
+
+// --------------------------------------------------------------------
+// U001 — unit-suffix discipline
+// --------------------------------------------------------------------
+
+/// Quantity words that must never terminate a public scalar name: the
+/// name should end in the unit instead (`energy_j`, `power_w`, ...).
+const BARE_STEMS: &[&str] = &[
+    "energy",
+    "power",
+    "time",
+    "freq",
+    "frequency",
+    "watts",
+    "joules",
+    "seconds",
+    "hertz",
+    "latency",
+    "duration",
+    "volts",
+    "wattage",
+];
+
+/// The accepted unit suffixes (`crates/machine/src/lib.rs` "Units").
+pub const UNIT_SUFFIXES: &[&str] = &["j", "w", "s", "hz", "mhz", "ghz", "v", "ms", "us"];
+
+fn bare_stem(name: &str) -> Option<&'static str> {
+    let last = name.rsplit('_').next().unwrap_or(name);
+    BARE_STEMS.iter().find(|&&s| s == last).copied()
+}
+
+fn unit_suffixes(ctx: &FileCtx<'_>, toks: &[Tok], out: &mut Vec<Finding>) {
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].text != "pub" {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        // pub(crate) / pub(in path) restrictions.
+        if toks.get(j).is_some_and(|t| t.text == "(") {
+            let mut depth = 1;
+            j += 1;
+            while j < toks.len() && depth > 0 {
+                match toks[j].text.as_str() {
+                    "(" => depth += 1,
+                    ")" => depth -= 1,
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+        let Some(head) = toks.get(j) else { break };
+        match head.text.as_str() {
+            "fn" => {
+                if let Some(f) = check_pub_fn(ctx, toks, j + 1) {
+                    out.push(f);
+                }
+            }
+            // A field: `pub name: f64` (struct context). Skip keywords
+            // that introduce non-field items.
+            "struct" | "enum" | "mod" | "use" | "const" | "static" | "type" | "trait" | "impl"
+            | "unsafe" | "async" | "crate" | "in" => {}
+            _ if head.is_ident()
+                && toks.get(j + 1).is_some_and(|t| t.text == ":")
+                && toks.get(j + 2).is_some_and(|t| t.text != ":") =>
+            {
+                let ty = &toks[j + 2].text;
+                let scalar = ty == "f64" || ty == "f32";
+                let terminated = toks.get(j + 3).is_some_and(|t| t.text == "," || t.text == "}");
+                if scalar && terminated {
+                    if let Some(stem) = bare_stem(&head.text) {
+                        out.push(unit_finding(ctx, head, stem, "field"));
+                    }
+                }
+            }
+            _ => {}
+        }
+        i = j + 1;
+    }
+}
+
+fn check_pub_fn(ctx: &FileCtx<'_>, toks: &[Tok], mut i: usize) -> Option<Finding> {
+    let name = toks.get(i)?.clone();
+    // Skip generics to the parameter list.
+    while i < toks.len() && toks[i].text != "(" {
+        if toks[i].text == "{" || toks[i].text == ";" {
+            return None;
+        }
+        i += 1;
+    }
+    // Skip the parameter list.
+    let mut depth = 0;
+    while i < toks.len() {
+        match toks[i].text.as_str() {
+            "(" => depth += 1,
+            ")" => {
+                depth -= 1;
+                if depth == 0 {
+                    i += 1;
+                    break;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    // `-> f64` (or f32), directly: a scalar quantity return.
+    if toks.get(i).is_some_and(|t| t.text == "-")
+        && toks.get(i + 1).is_some_and(|t| t.text == ">")
+        && toks.get(i + 2).is_some_and(|t| t.text == "f64" || t.text == "f32")
+        && toks.get(i + 3).is_some_and(|t| t.text == "{" || t.text == ";" || t.text == "where")
+    {
+        if let Some(stem) = bare_stem(&name.text) {
+            return Some(unit_finding(ctx, &name, stem, "function"));
+        }
+    }
+    None
+}
+
+fn unit_finding(ctx: &FileCtx<'_>, tok: &Tok, stem: &str, kind: &str) -> Finding {
+    Finding::new(
+        "U001",
+        Severity::Warning,
+        ctx.path,
+        tok.line,
+        format!(
+            "public {kind} `{}` carries a {stem} value without a unit suffix — name the unit \
+             (`_j` joules, `_w` watts, `_s` seconds, `_hz`/`_mhz` frequency, `_v` volts)",
+            tok.text
+        ),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::tokenize;
+
+    fn ctx<'a>(path: &'a str, crate_dir: &'a str) -> FileCtx<'a> {
+        FileCtx { path, crate_dir }
+    }
+
+    fn rules_on(src: &str, path: &str, crate_dir: &str) -> Vec<Finding> {
+        check_tokens(&ctx(path, crate_dir), &tokenize(src))
+    }
+
+    #[test]
+    fn wall_clock_fires_everywhere_but_strings() {
+        let f = rules_on("fn f() { let t = Instant::now(); }", "crates/cli/src/main.rs", "cli");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "D001");
+        assert!(rules_on("// Instant::now", "a.rs", "cli").is_empty());
+    }
+
+    #[test]
+    fn env_and_hash_rules_scope_to_sim_crates() {
+        let src = "use std::collections::HashMap; fn f() { let v = std::env::var(\"X\"); }";
+        let sim = rules_on(src, "crates/mpi/src/x.rs", "mpi");
+        let ids: Vec<_> = sim.iter().map(|f| f.rule.as_str()).collect();
+        assert!(ids.contains(&"D003") && ids.contains(&"D004"));
+        assert!(rules_on(src, "crates/cli/src/main.rs", "cli").is_empty());
+    }
+
+    #[test]
+    fn rng_rule_reports_f001_inside_faults() {
+        let src = "fn f() { let r = thread_rng(); }";
+        assert_eq!(rules_on(src, "crates/model/src/x.rs", "model")[0].rule, "D002");
+        assert_eq!(rules_on(src, "crates/faults/src/plan.rs", "faults")[0].rule, "F001");
+        assert!(rules_on(src, "crates/faults/src/rng.rs", "faults").is_empty());
+    }
+
+    #[test]
+    fn raw_splitmix_outside_rng_module_is_impure() {
+        let src = "fn f(s: &mut u64) -> u64 { splitmix64(s) }";
+        let f = rules_on(src, "crates/faults/src/plan.rs", "faults");
+        assert_eq!(f[0].rule, "F001");
+        assert!(rules_on(src, "crates/faults/src/rng.rs", "faults").is_empty());
+    }
+
+    #[test]
+    fn unit_rule_wants_suffixes_on_quantity_names() {
+        let bad = "pub struct S { pub energy: f64, pub power: f64 }";
+        let f = rules_on(bad, "crates/machine/src/x.rs", "machine");
+        assert_eq!(f.iter().filter(|f| f.rule == "U001").count(), 2);
+
+        let good = "pub struct S { pub energy_j: f64, pub idle_power_w: f64, pub time_scale: f64 }";
+        assert!(rules_on(good, "crates/machine/src/x.rs", "machine").is_empty());
+    }
+
+    #[test]
+    fn unit_rule_checks_scalar_returning_pub_fns() {
+        let bad = "impl S { pub fn total_energy(&self) -> f64 { 0.0 } }";
+        let f = rules_on(bad, "crates/mpi/src/x.rs", "mpi");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "U001");
+
+        let good = "impl S { pub fn total_energy_j(&self) -> f64 { 0.0 } \
+                    pub fn frequency_ratio(&self) -> f64 { 1.0 } }";
+        assert!(rules_on(good, "crates/mpi/src/x.rs", "mpi").is_empty());
+    }
+
+    #[test]
+    fn unit_rule_ignores_non_scalar_and_private_items() {
+        let src = "struct S { energy: f64 } pub struct T { pub energy: Option<f64> } \
+                   pub fn times(&self) -> Vec<f64> { vec![] }";
+        assert!(rules_on(src, "crates/mpi/src/x.rs", "mpi").is_empty());
+    }
+}

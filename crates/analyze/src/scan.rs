@@ -1,0 +1,331 @@
+//! A small hand-rolled Rust token scanner.
+//!
+//! The analyzer must run with no dependency on `syn` (only stub crates
+//! are vendored), so it works on a flat token stream instead of a
+//! syntax tree. The scanner strips comments, string/char literals, and
+//! lifetimes — exactly the places where a banned name like
+//! `Instant::now` may legitimately appear as prose — and records the
+//! 1-based line of every remaining token. A post-pass drops items under
+//! `#[cfg(test)]`, since test code measures host time and sets
+//! environment variables on purpose.
+
+/// One token: an identifier, a number, or a single punctuation char.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// The token text (identifiers whole, punctuation one char each).
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+impl Tok {
+    fn new(text: impl Into<String>, line: u32) -> Self {
+        Tok { text: text.into(), line }
+    }
+
+    /// Whether the token is an identifier (or keyword).
+    pub fn is_ident(&self) -> bool {
+        self.text.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+    }
+}
+
+/// Tokenize Rust source, skipping whitespace, comments (line, doc, and
+/// nested block), string/byte/raw-string literals, char literals, and
+/// lifetimes. Numbers are kept as single tokens so they can never be
+/// mistaken for identifiers.
+pub fn tokenize(src: &str) -> Vec<Tok> {
+    let b: Vec<char> = src.chars().collect();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    let mut line: u32 = 1;
+    let n = b.len();
+
+    let count_lines = |s: &[char]| s.iter().filter(|&&c| c == '\n').count() as u32;
+
+    while i < n {
+        let c = b[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if i + 1 < n && b[i + 1] == '/' => {
+                while i < n && b[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if i + 1 < n && b[i + 1] == '*' => {
+                let start = i;
+                let mut depth = 1;
+                i += 2;
+                while i < n && depth > 0 {
+                    if i + 1 < n && b[i] == '/' && b[i + 1] == '*' {
+                        depth += 1;
+                        i += 2;
+                    } else if i + 1 < n && b[i] == '*' && b[i + 1] == '/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                line += count_lines(&b[start..i]);
+            }
+            '"' => {
+                let start = i;
+                i += 1;
+                while i < n {
+                    if b[i] == '\\' {
+                        i += 2;
+                    } else if b[i] == '"' {
+                        i += 1;
+                        break;
+                    } else {
+                        i += 1;
+                    }
+                }
+                line += count_lines(&b[start..i.min(n)]);
+            }
+            'r' | 'b' if is_raw_or_byte_string(&b, i) => {
+                let start = i;
+                i = skip_raw_or_byte_string(&b, i);
+                line += count_lines(&b[start..i.min(n)]);
+            }
+            '\'' => {
+                // Char literal or lifetime. `'\x'`, `'a'` are literals;
+                // `'a` followed by anything but `'` is a lifetime.
+                if i + 1 < n && b[i + 1] == '\\' {
+                    i += 2; // opening quote + backslash
+                    while i < n && b[i] != '\'' {
+                        i += 1;
+                    }
+                    i += 1; // closing quote
+                } else if i + 2 < n && b[i + 2] == '\'' {
+                    i += 3; // 'a'
+                } else {
+                    // Lifetime: skip the quote and the identifier.
+                    i += 1;
+                    while i < n && (b[i].is_ascii_alphanumeric() || b[i] == '_') {
+                        i += 1;
+                    }
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < n && (b[i].is_ascii_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+                toks.push(Tok::new(b[start..i].iter().collect::<String>(), line));
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < n && (b[i].is_ascii_alphanumeric() || b[i] == '_' || b[i] == '.') {
+                    // Stop a number's `.` from eating a method call like
+                    // `1.max(2)`: only consume the dot when a digit follows.
+                    if b[i] == '.' && !(i + 1 < n && b[i + 1].is_ascii_digit()) {
+                        break;
+                    }
+                    i += 1;
+                }
+                toks.push(Tok::new(b[start..i].iter().collect::<String>(), line));
+            }
+            _ => {
+                toks.push(Tok::new(c.to_string(), line));
+                i += 1;
+            }
+        }
+    }
+    toks
+}
+
+fn is_raw_or_byte_string(b: &[char], i: usize) -> bool {
+    // r"..."   r#"..."#   b"..."   br"..."   br#"..."#
+    let rest = &b[i..];
+    match rest {
+        ['r', '"', ..] | ['b', '"', ..] => true,
+        ['r', '#', ..] => {
+            let mut j = 1;
+            while j < rest.len() && rest[j] == '#' {
+                j += 1;
+            }
+            j < rest.len() && rest[j] == '"'
+        }
+        ['b', 'r', ..] => {
+            let mut j = 2;
+            while j < rest.len() && rest[j] == '#' {
+                j += 1;
+            }
+            j < rest.len() && rest[j] == '"'
+        }
+        _ => false,
+    }
+}
+
+fn skip_raw_or_byte_string(b: &[char], mut i: usize) -> usize {
+    let n = b.len();
+    if b[i] == 'b' {
+        i += 1;
+    }
+    let raw = i < n && b[i] == 'r';
+    if raw {
+        i += 1;
+    }
+    let mut hashes = 0;
+    while i < n && b[i] == '#' {
+        hashes += 1;
+        i += 1;
+    }
+    debug_assert!(i < n && b[i] == '"');
+    i += 1; // opening quote
+    if raw {
+        // Ends at `"` followed by `hashes` hash marks; no escapes.
+        while i < n {
+            if b[i] == '"'
+                && b[i + 1..].iter().take(hashes).filter(|&&c| c == '#').count() == hashes
+            {
+                return i + 1 + hashes;
+            }
+            i += 1;
+        }
+        n
+    } else {
+        // Plain byte string: escapes apply.
+        while i < n {
+            if b[i] == '\\' {
+                i += 2;
+            } else if b[i] == '"' {
+                return i + 1;
+            } else {
+                i += 1;
+            }
+        }
+        n
+    }
+}
+
+/// Drop every item annotated `#[cfg(test)]` (including any further
+/// attributes between the cfg and the item). Items ending in `{ ... }`
+/// are skipped to the matching brace; brace-less items (a `use`, say)
+/// are skipped to the `;`.
+pub fn strip_cfg_test(toks: &[Tok]) -> Vec<Tok> {
+    let mut out = Vec::with_capacity(toks.len());
+    let mut i = 0;
+    while i < toks.len() {
+        if is_cfg_test_attr(toks, i) {
+            i += 7; // '#' '[' 'cfg' '(' 'test' ')' ']'
+                    // Skip any further attributes on the same item.
+            while i + 1 < toks.len() && toks[i].text == "#" && toks[i + 1].text == "[" {
+                i += 2;
+                let mut depth = 1;
+                while i < toks.len() && depth > 0 {
+                    match toks[i].text.as_str() {
+                        "[" => depth += 1,
+                        "]" => depth -= 1,
+                        _ => {}
+                    }
+                    i += 1;
+                }
+            }
+            // Skip the item body: to the matching `}` or the first `;`.
+            while i < toks.len() && toks[i].text != "{" && toks[i].text != ";" {
+                i += 1;
+            }
+            if i < toks.len() && toks[i].text == "{" {
+                let mut depth = 1;
+                i += 1;
+                while i < toks.len() && depth > 0 {
+                    match toks[i].text.as_str() {
+                        "{" => depth += 1,
+                        "}" => depth -= 1,
+                        _ => {}
+                    }
+                    i += 1;
+                }
+            } else if i < toks.len() {
+                i += 1; // the ';'
+            }
+        } else {
+            out.push(toks[i].clone());
+            i += 1;
+        }
+    }
+    out
+}
+
+fn is_cfg_test_attr(toks: &[Tok], i: usize) -> bool {
+    toks.len() >= i + 7
+        && toks[i].text == "#"
+        && toks[i + 1].text == "["
+        && toks[i + 2].text == "cfg"
+        && toks[i + 3].text == "("
+        && toks[i + 4].text == "test"
+        && toks[i + 5].text == ")"
+        && toks[i + 6].text == "]"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        tokenize(src).into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_stripped() {
+        let src = r##"
+            // Instant::now in a comment
+            /* HashMap in /* a nested */ block */
+            let s = "Instant::now inside a string";
+            let r = r#"SystemTime::now raw"#;
+            let c = 'x';
+            fn real() {}
+        "##;
+        let t = texts(src);
+        assert!(!t.contains(&"Instant".to_string()));
+        assert!(!t.contains(&"HashMap".to_string()));
+        assert!(!t.contains(&"SystemTime".to_string()));
+        assert!(t.contains(&"real".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_do_not_eat_following_tokens() {
+        let t = texts("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert!(t.contains(&"str".to_string()));
+        assert!(!t.contains(&"a".to_string()), "lifetime names are skipped");
+    }
+
+    #[test]
+    fn lines_are_tracked_through_multiline_constructs() {
+        let src = "/* two\nlines */\nlet x = 1;\n\"str\ning\"\nfinal_tok";
+        let toks = tokenize(src);
+        let last = toks.last().unwrap();
+        assert_eq!(last.text, "final_tok");
+        assert_eq!(last.line, 6);
+    }
+
+    #[test]
+    fn cfg_test_items_are_removed() {
+        let src = "
+            fn keep() {}
+            #[cfg(test)]
+            mod tests {
+                fn gone() { let t = Instant::now(); }
+            }
+            fn also_keep() {}
+        ";
+        let toks = strip_cfg_test(&tokenize(src));
+        let t: Vec<_> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert!(t.contains(&"keep"));
+        assert!(t.contains(&"also_keep"));
+        assert!(!t.contains(&"Instant"));
+    }
+
+    #[test]
+    fn method_calls_on_float_literals_survive() {
+        let t = texts("let y = 1.max(x) + 2.5;");
+        assert!(t.contains(&"max".to_string()));
+        assert!(t.contains(&"2.5".to_string()));
+    }
+}

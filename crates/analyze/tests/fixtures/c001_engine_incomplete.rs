@@ -1,0 +1,12 @@
+//! Fixture: a cache key that covers every RunSpec field except `gears`
+//! (see `c001_runspec.rs`) — C001 must fire exactly once.
+
+impl Engine {
+    pub fn cache_key(&self, spec: &RunSpec) -> u64 {
+        let mut desc = format!("{}|{:?}|{}", spec.bench.name(), spec.class, spec.nodes);
+        if let Some(plan) = self.effective_faults(spec) {
+            desc.push_str(&plan.to_json());
+        }
+        fnv1a64(desc.as_bytes())
+    }
+}

@@ -1,0 +1,10 @@
+//! Fixture: a RunSpec whose `gears` field the paired engine fixture
+//! (`c001_engine_incomplete.rs`) forgets to hash — C001 must fire.
+
+pub struct RunSpec {
+    pub bench: Benchmark,
+    pub class: ProblemClass,
+    pub nodes: usize,
+    pub gears: GearSelection,
+    pub faults: Option<FaultPlan>,
+}

@@ -1,0 +1,9 @@
+//! Fixture: a FaultPlan field `#[serde(skip)]`-ed out of the encoding
+//! never reaches the cache key — C002 must fire on that field.
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    pub seed: u64,
+    #[serde(skip)]
+    pub clock_jitter: Option<ClockJitter>,
+}

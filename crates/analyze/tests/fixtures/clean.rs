@@ -1,0 +1,18 @@
+//! Fixture: a fully compliant simulation-crate file — no rule fires.
+
+use std::collections::BTreeMap;
+
+pub struct Profile {
+    pub energy_j: f64,
+    pub power_w: f64,
+    pub time_s: f64,
+    pub by_gear: BTreeMap<usize, f64>,
+}
+
+pub fn average_power_w(p: &Profile) -> f64 {
+    if p.time_s > 0.0 {
+        p.energy_j / p.time_s
+    } else {
+        0.0
+    }
+}

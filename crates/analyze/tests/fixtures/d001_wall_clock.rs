@@ -1,0 +1,8 @@
+//! Fixture: every wall-clock read below must trip D001.
+
+pub fn elapsed_s() -> f64 {
+    let started = std::time::Instant::now();
+    let _ = std::time::SystemTime::now();
+    let _epoch = std::time::UNIX_EPOCH;
+    started.elapsed().as_secs_f64()
+}

@@ -1,0 +1,10 @@
+//! Fixture: nondeterministically seeded randomness must trip D002.
+
+pub fn jitter() -> f64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}
+
+pub fn entropy_seeded() -> u64 {
+    SmallRng::from_entropy().next_u64()
+}

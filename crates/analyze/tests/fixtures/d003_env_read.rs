@@ -1,0 +1,9 @@
+//! Fixture: environment reads inside a simulation crate must trip D003
+//! (the integration test scans this as a `crates/mpi` file).
+
+pub fn jobs() -> usize {
+    match std::env::var("PSC_JOBS") {
+        Ok(v) => v.parse().unwrap_or(1),
+        Err(_) => 1,
+    }
+}

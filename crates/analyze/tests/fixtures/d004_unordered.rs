@@ -1,0 +1,8 @@
+//! Fixture: unordered collections inside a simulation crate must trip
+//! D004 (the integration test scans this as a `crates/runner` file).
+
+use std::collections::HashMap;
+
+pub struct Registry {
+    pub by_rank: HashMap<usize, f64>,
+}

@@ -1,0 +1,6 @@
+//! Fixture: a private RNG inside psc-faults (outside the sanctioned
+//! `rng` module) must trip F001.
+
+pub fn draw(seed: u64) -> u64 {
+    splitmix64(seed ^ 0x9e37_79b9)
+}

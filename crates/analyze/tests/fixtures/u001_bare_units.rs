@@ -1,0 +1,13 @@
+//! Fixture: public scalar quantities without unit suffixes must trip
+//! U001; the suffixed twins must not.
+
+pub struct Sample {
+    pub energy: f64,
+    pub power: f64,
+    pub energy_j: f64,
+    pub power_w: f64,
+}
+
+pub fn total_energy(samples: &[Sample]) -> f64 {
+    samples.iter().map(|s| s.energy_j).sum()
+}

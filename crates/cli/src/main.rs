@@ -9,6 +9,7 @@
 //! powerscale model --bench SP --predict 32            fit the paper's model, extrapolate
 //! powerscale advise --upm 8.6 --delay 0.05            gear advice from memory pressure
 //! powerscale budget --bench CG --power-cap 600        fastest config under a power cap
+//! powerscale analyze --deny                           workspace determinism/unit lints
 //! powerscale list                                     available benchmarks
 //! ```
 //!
@@ -36,6 +37,17 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
+    // `analyze` picks its own exit code (findings under --deny fail the
+    // run without being an *error*), so it bypasses the Result dispatch.
+    if cmd == "analyze" {
+        return match psc_analyze::cli::run(&args[1..]) {
+            Ok(code) => code,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
     let result = match cmd.as_str() {
         "run" => cmd_run(&args),
         "sweep" => cmd_sweep(&args),
@@ -76,6 +88,7 @@ USAGE:
   powerscale budget --bench <NAME> --power-cap <WATTS> [--max-nodes N]
                     [--class b|test] [--jobs J]
   powerscale faults [--seed N] [--level FRAC] [--out PATH] | --inspect PATH
+  powerscale analyze [--deny] [--format text|json] [--baseline FILE] [--root DIR]
   powerscale list
 
   --trace-out writes a Chrome Trace Event JSON file — open it in Perfetto
@@ -89,6 +102,13 @@ USAGE:
   shorthand for the default-noise preset at that seed. Identical plan
   and seed reproduce byte-identical results at any --jobs; fault
   activations appear in exported traces on the \"fault\" category.
+
+  Static analysis: `powerscale analyze` scans the workspace sources for
+  determinism hazards (wall-clock reads, unseeded RNG, unordered
+  collections in simulation crates), unit-suffix discipline on public
+  quantities, cache-key completeness, and fault-stream purity. --deny
+  exits non-zero on fresh findings; --baseline FILE tolerates the
+  findings recorded in FILE. See DESIGN.md for the rule catalogue.
 
   Sweeping commands run independent configurations on a worker pool
   (--jobs, or the PSC_JOBS environment variable; default = available

@@ -12,6 +12,7 @@ use psc_experiments::harness::{
     cluster, decompositions, engine_from_args, finish_sweep, gear_profile,
 };
 use psc_experiments::report::{render_claims, write_artifact, Claim};
+use psc_experiments::timing::HostTimer;
 use psc_kernels::{Benchmark, ProblemClass};
 use psc_machine::{CpuModel, GearTable, NodeSpec, PowerModel, WorkBlock};
 use psc_model::comm::{CommFit, CommShape};
@@ -29,7 +30,7 @@ fn main() {
     // not content-addressable benchmark runs and use the cluster
     // directly.
     let e = engine_from_args(&args);
-    let started = std::time::Instant::now();
+    let timer = HostTimer::start();
     let c = cluster();
     let mut claims = Vec::new();
     let mut out = String::new();
@@ -353,7 +354,7 @@ fn main() {
     println!("{text}");
     out.push_str(&text);
     write_artifact("ablations.txt", &out);
-    finish_sweep(&e, "ablations", started);
+    finish_sweep(&e, "ablations", timer);
     if !all {
         std::process::exit(1);
     }

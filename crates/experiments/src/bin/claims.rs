@@ -4,6 +4,7 @@
 
 use psc_experiments::harness::{engine_from_args, finish_sweep, measure_curve};
 use psc_experiments::report::{render_claims, write_artifact, Claim};
+use psc_experiments::timing::HostTimer;
 use psc_kernels::{Benchmark, ProblemClass};
 use psc_runner::RunSpec;
 
@@ -12,7 +13,7 @@ fn main() {
     let class =
         if args.iter().any(|a| a == "--test") { ProblemClass::Test } else { ProblemClass::B };
     let e = engine_from_args(&args);
-    let started = std::time::Instant::now();
+    let timer = HostTimer::start();
     let mut claims = Vec::new();
 
     // ------------------------------------------------------------------
@@ -98,7 +99,7 @@ fn main() {
     let (text, all) = render_claims("Headline claims (paper §3)", &claims);
     println!("{text}");
     write_artifact("claims.txt", &text);
-    finish_sweep(&e, "claims", started);
+    finish_sweep(&e, "claims", timer);
     if !all {
         std::process::exit(1);
     }

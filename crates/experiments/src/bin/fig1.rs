@@ -4,6 +4,7 @@
 use psc_analysis::plot::{ascii_plot, to_csv};
 use psc_experiments::harness::{engine_from_args, finish_sweep, measure_curve, telemetry_snapshot};
 use psc_experiments::report::{render_claims, write_artifact, Claim};
+use psc_experiments::timing::HostTimer;
 use psc_kernels::{Benchmark, ProblemClass};
 
 fn main() {
@@ -11,7 +12,7 @@ fn main() {
     let class =
         if args.iter().any(|a| a == "--test") { ProblemClass::Test } else { ProblemClass::B };
     let e = engine_from_args(&args);
-    let started = std::time::Instant::now();
+    let timer = HostTimer::start();
 
     println!("Figure 1: NAS benchmarks on one Athlon-64 node, gears 1-6\n");
     let mut curves = Vec::new();
@@ -68,7 +69,7 @@ fn main() {
     let csv = write_artifact("fig1.csv", &to_csv(&curves));
     write_artifact("fig1_claims.txt", &text);
     println!("wrote {}", csv.display());
-    finish_sweep(&e, "fig1", started);
+    finish_sweep(&e, "fig1", timer);
     if !all {
         std::process::exit(1);
     }

@@ -8,6 +8,7 @@ use psc_experiments::harness::{
     engine_from_args, fig2_nodes, finish_sweep, measure_curve, telemetry_snapshot,
 };
 use psc_experiments::report::{render_claims, write_artifact, Claim};
+use psc_experiments::timing::HostTimer;
 use psc_kernels::{Benchmark, ProblemClass};
 
 fn main() {
@@ -15,7 +16,7 @@ fn main() {
     let class =
         if args.iter().any(|a| a == "--test") { ProblemClass::Test } else { ProblemClass::B };
     let e = engine_from_args(&args);
-    let started = std::time::Instant::now();
+    let timer = HostTimer::start();
 
     println!("Figure 2: NAS benchmarks on multiple nodes, gears 1-6\n");
     let mut all_curves = Vec::new();
@@ -135,7 +136,7 @@ fn main() {
     let path = write_artifact("fig2.csv", &to_csv(&all_curves));
     write_artifact("fig2_claims.txt", &text);
     println!("wrote {}", path.display());
-    finish_sweep(&e, "fig2", started);
+    finish_sweep(&e, "fig2", timer);
     if !all {
         std::process::exit(1);
     }

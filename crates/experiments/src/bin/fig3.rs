@@ -7,6 +7,7 @@ use psc_analysis::cases::{classify_pair, ScalingCase};
 use psc_analysis::plot::{ascii_plot, to_csv};
 use psc_experiments::harness::{engine_from_args, finish_sweep, measure_curve, telemetry_snapshot};
 use psc_experiments::report::{render_claims, write_artifact, Claim};
+use psc_experiments::timing::HostTimer;
 use psc_kernels::{Benchmark, ProblemClass};
 
 fn main() {
@@ -14,7 +15,7 @@ fn main() {
     let class =
         if args.iter().any(|a| a == "--test") { ProblemClass::Test } else { ProblemClass::B };
     let e = engine_from_args(&args);
-    let started = std::time::Instant::now();
+    let timer = HostTimer::start();
     let node_counts = [2usize, 4, 6, 8, 10];
     let paper_speedups = [1.9, 3.6, 5.0, 6.4, 7.7];
 
@@ -83,7 +84,7 @@ fn main() {
     let path = write_artifact("fig3.csv", &to_csv(&curves));
     write_artifact("fig3_claims.txt", &text);
     println!("wrote {}", path.display());
-    finish_sweep(&e, "fig3", started);
+    finish_sweep(&e, "fig3", timer);
     if !all {
         std::process::exit(1);
     }

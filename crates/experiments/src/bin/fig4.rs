@@ -6,6 +6,7 @@
 use psc_analysis::plot::{ascii_plot, to_csv};
 use psc_experiments::harness::{engine_from_args, finish_sweep, measure_curve, telemetry_snapshot};
 use psc_experiments::report::{render_claims, write_artifact, Claim};
+use psc_experiments::timing::HostTimer;
 use psc_kernels::{Benchmark, ProblemClass};
 
 fn main() {
@@ -13,7 +14,7 @@ fn main() {
     let class =
         if args.iter().any(|a| a == "--test") { ProblemClass::Test } else { ProblemClass::B };
     let e = engine_from_args(&args);
-    let started = std::time::Instant::now();
+    let timer = HostTimer::start();
     let node_counts = [2usize, 4, 8];
 
     println!("Figure 4: synthetic high-memory-pressure benchmark on 2, 4, 8 nodes\n");
@@ -84,7 +85,7 @@ fn main() {
     let path = write_artifact("fig4.csv", &to_csv(&all_curves));
     write_artifact("fig4_claims.txt", &text);
     println!("wrote {}", path.display());
-    finish_sweep(&e, "fig4", started);
+    finish_sweep(&e, "fig4", timer);
     if !all {
         std::process::exit(1);
     }

@@ -9,6 +9,7 @@ use psc_experiments::harness::{
     predicted_curve, sun_cluster, telemetry_snapshot,
 };
 use psc_experiments::report::{render_claims, write_artifact, Claim};
+use psc_experiments::timing::HostTimer;
 use psc_kernels::{Benchmark, ProblemClass};
 use psc_model::predict::ClusterModel;
 use psc_model::validate::ValidationReport;
@@ -20,7 +21,7 @@ fn main() {
         if args.iter().any(|a| a == "--test") { ProblemClass::Test } else { ProblemClass::B };
     let e = engine_from_args(&args);
     let sun = engine_for(sun_cluster(), &args);
-    let started = std::time::Instant::now();
+    let timer = HostTimer::start();
     let targets = [16usize, 25, 32];
 
     println!("Figure 5: model-driven extrapolation to 16/25/32 nodes\n");
@@ -155,8 +156,8 @@ fn main() {
     let path = write_artifact("fig5.csv", &to_csv(&all_curves));
     write_artifact("fig5_claims.txt", &text);
     println!("wrote {}", path.display());
-    finish_sweep(&e, "fig5", started);
-    finish_sweep(&sun, "fig5-sun", started);
+    finish_sweep(&e, "fig5", timer);
+    finish_sweep(&sun, "fig5-sun", timer);
     if !all {
         std::process::exit(1);
     }

@@ -7,6 +7,7 @@
 use psc_analysis::table::UpmTable;
 use psc_experiments::harness::{engine_from_args, finish_sweep, measure_curve, measure_upm};
 use psc_experiments::report::{render_claims, write_artifact, Claim};
+use psc_experiments::timing::HostTimer;
 use psc_kernels::{Benchmark, ProblemClass};
 
 /// The paper's Table 1, for reference output.
@@ -24,7 +25,7 @@ fn main() {
     let class =
         if args.iter().any(|a| a == "--test") { ProblemClass::Test } else { ProblemClass::B };
     let e = engine_from_args(&args);
-    let started = std::time::Instant::now();
+    let timer = HostTimer::start();
 
     // The UPM probe is the curve's gear-1 run; with the shared run
     // cache the whole table costs the same runs as fig1.
@@ -103,7 +104,7 @@ fn main() {
     let path = write_artifact("table1.csv", &csv);
     write_artifact("table1.txt", &table.render());
     println!("wrote {}", path.display());
-    finish_sweep(&e, "table1", started);
+    finish_sweep(&e, "table1", timer);
     if !all {
         std::process::exit(1);
     }

@@ -7,6 +7,7 @@
 //! pool. Results are bit-identical to serial execution, so the figures
 //! do not depend on the worker count.
 
+use crate::timing::HostTimer;
 use psc_analysis::curve::{EnergyTimeCurve, EnergyTimePoint};
 use psc_faults::{FaultPlan, DEFAULT_NOISE_LEVEL};
 use psc_kernels::{Benchmark, ProblemClass};
@@ -17,7 +18,6 @@ use psc_mpi::{Cluster, NetworkModel};
 use psc_runner::{Engine, RunPlan, RunSpec};
 use psc_telemetry::{RunManifest, SweepManifest};
 use std::path::PathBuf;
-use std::time::Instant;
 
 /// The paper's testbed: ten Athlon-64 nodes on 100 Mb/s Ethernet.
 pub fn cluster() -> Cluster {
@@ -195,8 +195,9 @@ pub fn telemetry_snapshot(
 /// Close out a binary's sweep: snapshot the engine's cache accounting
 /// into a [`SweepManifest`], archive it as `<label>.sweep.json` under
 /// the results directory, print the one-line summary, and return the
-/// path.
-pub fn finish_sweep(e: &Engine, label: &str, started: Instant) -> PathBuf {
+/// path. The timer comes from [`crate::timing::HostTimer::start`] — the
+/// workspace's single allowlisted host-timing location.
+pub fn finish_sweep(e: &Engine, label: &str, timer: HostTimer) -> PathBuf {
     let stats = e.cache_stats();
     let manifest = SweepManifest {
         label: label.to_string(),
@@ -206,7 +207,7 @@ pub fn finish_sweep(e: &Engine, label: &str, started: Instant) -> PathBuf {
         cache_hits: stats.hits,
         cache_misses: stats.misses,
         disk_hits: stats.disk_hits,
-        wall_s: started.elapsed().as_secs_f64(),
+        wall_s: timer.elapsed_s(),
     };
     let path = crate::report::results_dir().join(format!("{label}.sweep.json"));
     manifest.write(&path).unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
@@ -376,10 +377,10 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         std::env::set_var("RESULTS_DIR", &dir);
         let e = test_engine();
-        let started = Instant::now();
+        let timer = HostTimer::start();
         let _ = measure_curve(&e, Benchmark::Ep, ProblemClass::Test, 1);
         let _ = measure_curve(&e, Benchmark::Ep, ProblemClass::Test, 1); // all hits
-        let path = finish_sweep(&e, "test-sweep", started);
+        let path = finish_sweep(&e, "test-sweep", timer);
         std::env::remove_var("RESULTS_DIR");
         let m = SweepManifest::from_json(&std::fs::read_to_string(&path).unwrap()).unwrap();
         assert_eq!(m.total_specs, 12);

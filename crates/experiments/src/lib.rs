@@ -24,3 +24,4 @@
 
 pub mod harness;
 pub mod report;
+pub mod timing;

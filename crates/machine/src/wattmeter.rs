@@ -14,7 +14,7 @@
 
 use serde::{Deserialize, Serialize};
 
-/// A period of constant power draw `[t0_s, t1_s)` at `watts`.
+/// A period of constant power draw `[t0_s, t1_s)` at `power_w`.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Segment {
     /// Segment start time, seconds of virtual time.
@@ -22,7 +22,7 @@ pub struct Segment {
     /// Segment end time, seconds of virtual time.
     pub t1_s: f64,
     /// Constant power over the segment, watts.
-    pub watts: f64,
+    pub power_w: f64,
 }
 
 impl Segment {
@@ -35,7 +35,7 @@ impl Segment {
     /// Exact energy of the segment, joules.
     #[inline]
     pub fn energy_j(&self) -> f64 {
-        self.duration_s() * self.watts
+        self.duration_s() * self.power_w
     }
 }
 
@@ -63,23 +63,23 @@ impl PowerTrace {
     /// Append a segment ending at `t1_s` with the given power. The segment
     /// starts at the end of the previous segment (or 0). Out-of-order
     /// appends are a programmer error.
-    pub fn push(&mut self, t1_s: f64, watts: f64) {
+    pub fn push(&mut self, t1_s: f64, power_w: f64) {
         let t0_s = self.end_s();
         assert!(
             t1_s >= t0_s - 1e-12,
             "power trace must be appended in time order ({t1_s} < {t0_s})"
         );
-        assert!(watts.is_finite() && watts >= 0.0, "power must be finite and non-negative");
+        assert!(power_w.is_finite() && power_w >= 0.0, "power must be finite and non-negative");
         if t1_s > t0_s {
             // Coalesce with the previous segment when the wattage matches,
             // keeping traces compact over long alternating runs.
             if let Some(last) = self.segments.last_mut() {
-                if (last.watts - watts).abs() < 1e-9 {
+                if (last.power_w - power_w).abs() < 1e-9 {
                     last.t1_s = t1_s;
                     return;
                 }
             }
-            self.segments.push(Segment { t0_s, t1_s, watts });
+            self.segments.push(Segment { t0_s, t1_s, power_w });
         }
     }
 
@@ -121,13 +121,13 @@ impl PowerTrace {
     /// Whether `b` directly continues `a` at the same power level.
     #[inline]
     fn mergeable(a: &Segment, b: &Segment) -> bool {
-        a.t1_s == b.t0_s && a.watts == b.watts
+        a.t1_s == b.t0_s && a.power_w == b.power_w
     }
 
     /// Exact energy: the closed-form integral of the step function, joules.
     ///
     /// The sum is taken per maximal run of contiguous equal-power
-    /// segments — `(t_end − t_start) · watts` for the whole run rather
+    /// segments — `(t_end − t_start) · power_w` for the whole run rather
     /// than per segment — so it is invariant (bitwise) under
     /// [`PowerTrace::compact`], which merges exactly those runs.
     pub fn exact_energy_j(&self) -> f64 {
@@ -141,7 +141,7 @@ impl PowerTrace {
             {
                 j += 1;
             }
-            acc += (self.segments[j].t1_s - start.t0_s) * start.watts;
+            acc += (self.segments[j].t1_s - start.t0_s) * start.power_w;
             i = j + 1;
         }
         acc
@@ -160,7 +160,7 @@ impl PowerTrace {
                 std::cmp::Ordering::Equal
             }
         }) {
-            Ok(i) => self.segments[i].watts,
+            Ok(i) => self.segments[i].power_w,
             Err(_) => 0.0,
         }
     }
@@ -174,10 +174,13 @@ impl PowerTrace {
         if t1_s <= t0_s {
             return 0.0;
         }
-        self.segments.iter().map(|s| (s.t1_s.min(t1_s) - s.t0_s.max(t0_s)).max(0.0) * s.watts).sum()
+        self.segments
+            .iter()
+            .map(|s| (s.t1_s.min(t1_s) - s.t0_s.max(t0_s)).max(0.0) * s.power_w)
+            .sum()
     }
 
-    /// Average power over the trace duration, watts (0 for an empty trace).
+    /// Average power over the trace duration, power_w (0 for an empty trace).
     pub fn average_w(&self) -> f64 {
         let d = self.end_s();
         if d == 0.0 {
@@ -392,11 +395,11 @@ mod tests {
         // merged live appends).
         let mut t = PowerTrace {
             segments: vec![
-                Segment { t0_s: 0.0, t1_s: 1.0, watts: 145.0 },
-                Segment { t0_s: 1.0, t1_s: 1.5, watts: 145.0 },
-                Segment { t0_s: 1.5, t1_s: 2.0, watts: 92.0 },
-                Segment { t0_s: 2.0, t1_s: 2.25, watts: 92.0 },
-                Segment { t0_s: 2.25, t1_s: 3.0, watts: 145.0 },
+                Segment { t0_s: 0.0, t1_s: 1.0, power_w: 145.0 },
+                Segment { t0_s: 1.0, t1_s: 1.5, power_w: 145.0 },
+                Segment { t0_s: 1.5, t1_s: 2.0, power_w: 92.0 },
+                Segment { t0_s: 2.0, t1_s: 2.25, power_w: 92.0 },
+                Segment { t0_s: 2.25, t1_s: 3.0, power_w: 145.0 },
             ],
         };
         let energy = t.exact_energy_j();
@@ -413,9 +416,9 @@ mod tests {
     fn compact_keeps_gaps_and_distinct_levels() {
         let mut t = PowerTrace {
             segments: vec![
-                Segment { t0_s: 0.0, t1_s: 1.0, watts: 100.0 },
+                Segment { t0_s: 0.0, t1_s: 1.0, power_w: 100.0 },
                 // Gap in time: must NOT merge even at equal watts.
-                Segment { t0_s: 2.0, t1_s: 3.0, watts: 100.0 },
+                Segment { t0_s: 2.0, t1_s: 3.0, power_w: 100.0 },
             ],
         };
         t.compact();
@@ -523,11 +526,11 @@ mod props {
             |parts| {
                 let mut segments = Vec::new();
                 let mut t = 0.0f64;
-                for (dur, gap, watts, gapped) in parts {
+                for (dur, gap, power_w, gapped) in parts {
                     if gapped == 1 {
                         t += gap;
                     }
-                    segments.push(Segment { t0_s: t, t1_s: t + dur, watts });
+                    segments.push(Segment { t0_s: t, t1_s: t + dur, power_w });
                     t += dur;
                 }
                 PowerTrace { segments }
@@ -550,11 +553,11 @@ mod props {
             // No mergeable pair survives, and the step function still
             // reads the same wattage inside every original segment.
             for w in trace.segments().windows(2) {
-                prop_assert!(!(w[0].t1_s == w[1].t0_s && w[0].watts == w[1].watts));
+                prop_assert!(!(w[0].t1_s == w[1].t0_s && w[0].power_w == w[1].power_w));
             }
             for s in original.segments() {
                 let mid = 0.5 * (s.t0_s + s.t1_s);
-                prop_assert_eq!(trace.power_at(mid).to_bits(), s.watts.to_bits());
+                prop_assert_eq!(trace.power_at(mid).to_bits(), s.power_w.to_bits());
             }
         }
 

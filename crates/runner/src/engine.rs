@@ -4,7 +4,7 @@ use crate::cache::{fnv1a64, CacheStats, RunCache, CACHE_SCHEMA};
 use crate::plan::{RunPlan, RunSpec};
 use psc_faults::FaultPlan;
 use psc_mpi::{default_jobs, Cluster, RunResult};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 
@@ -143,9 +143,10 @@ impl Engine {
     /// hits (they share the first occurrence's run).
     pub fn execute(&self, plan: &RunPlan) -> Vec<Arc<RunResult>> {
         // Pass 1: resolve each *distinct* key against the cache once;
-        // collect the keys that need an actual run.
+        // collect the keys that need an actual run. Ordered map (D004):
+        // nothing result-shaping may iterate in hash order.
         let keys: Vec<u64> = plan.specs.iter().map(|s| self.cache_key(s)).collect();
-        let mut resolved: HashMap<u64, Arc<RunResult>> = HashMap::new();
+        let mut resolved: BTreeMap<u64, Arc<RunResult>> = BTreeMap::new();
         let mut to_run: Vec<(u64, &RunSpec)> = Vec::new();
         for (spec, &key) in plan.specs.iter().zip(&keys) {
             if resolved.contains_key(&key) || to_run.iter().any(|(k, _)| *k == key) {

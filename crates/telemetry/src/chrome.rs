@@ -120,7 +120,7 @@ pub fn chrome_trace(run: &RunResult) -> Value {
                 ("ph", Value::Str("C".to_string())),
                 ("ts", us(seg.t0_s)),
                 ("pid", Value::U64(pid as u64)),
-                ("args", obj(vec![("watts", Value::F64(seg.watts))])),
+                ("args", obj(vec![("watts", Value::F64(seg.power_w))])),
             ]));
         }
         events.push(obj(vec![

@@ -6,6 +6,10 @@
 //! `[[bench]]` targets building, catch panics, and give a rough number,
 //! without criterion's statistics, plots, or baselines.
 
+// A benchmark stub exists to read the wall clock; exempt from the
+// workspace-wide wall-clock ban (clippy.toml disallowed-methods).
+#![allow(clippy::disallowed_methods)]
+
 use std::time::Instant;
 
 /// How batched inputs are grouped between setup calls. Accepted for
