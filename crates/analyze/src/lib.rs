@@ -8,8 +8,9 @@
 //! an unseeded RNG, an unordered iteration, or an unhashed `RunSpec`
 //! field sneaks in. This crate enforces those invariants at CI time
 //! with a dependency-light analyzer (no `syn` — a small hand-rolled
-//! token scanner, see [`scan`]) and four rule families (see [`rules`]
-//! and [`cachekey`]).
+//! token scanner, see [`scan`]) and five rule families (see [`rules`],
+//! [`cachekey`], and [`metricsrule`] for the metrics observation-only
+//! boundary).
 //!
 //! ## Suppressions
 //!
@@ -29,6 +30,7 @@
 
 pub mod cachekey;
 pub mod cli;
+pub mod metricsrule;
 pub mod report;
 pub mod rules;
 pub mod scan;
@@ -176,10 +178,13 @@ pub fn analyze_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
         findings.extend(analyze_source(&rel, &src));
     }
 
-    // C family: structural checks over specific files.
+    // C and M families: structural checks over specific files.
     let read = |rel: &str| std::fs::read_to_string(root.join(rel));
     match (read("crates/runner/src/plan.rs"), read("crates/runner/src/engine.rs")) {
-        (Ok(plan), Ok(engine)) => findings.extend(cachekey::check_cache_key(&plan, &engine)),
+        (Ok(plan), Ok(engine)) => {
+            findings.extend(cachekey::check_cache_key(&plan, &engine));
+            findings.extend(metricsrule::check_metrics_boundary(&plan, &engine));
+        }
         _ => findings.push(Finding::new(
             "C001",
             Severity::Error,

@@ -1,0 +1,154 @@
+//! M family — the metrics observation-only boundary.
+//!
+//! PR 6 threads `psc-metrics` through the sweep engine. Metrics are
+//! host-side *observation*: they read wall clocks and bump atomics, so
+//! by construction they must never steer what a simulation computes —
+//! otherwise the `--jobs 1` vs `--jobs 8` byte-identity gates and the
+//! run cache both break in the quietest possible way (results that
+//! depend on how fast the host happened to be).
+//!
+//! **M001** enforces the boundary statically, in two parts:
+//!
+//! * a per-token part (in [`crate::rules`]): simulation crates other
+//!   than the runner must not reference `psc_metrics` at all — the
+//!   runner is the single sanctioned integration point;
+//! * a structural part (this module): inside the runner, the two
+//!   functions that *shape results* — `Engine::cache_key` (what a run
+//!   is) and `Engine::execute_spec` (what a run computes) — must stay
+//!   metrics-free, and no `RunSpec` field may carry metrics state. The
+//!   instrumentation lives around those functions, never in them.
+
+use crate::cachekey::{fn_body, struct_fields};
+use crate::report::{Finding, Severity};
+
+const PLAN: &str = "crates/runner/src/plan.rs";
+const ENGINE: &str = "crates/runner/src/engine.rs";
+
+/// Identifier shapes that reveal metrics machinery on a result path.
+fn is_metrics_ident(text: &str) -> bool {
+    let lower = text.to_ascii_lowercase();
+    lower.contains("metrics") || lower.contains("profiler") || lower.contains("stopwatch")
+}
+
+/// M001 (structural): `cache_key` and `execute_spec` bodies and the
+/// `RunSpec` fields must be free of metrics machinery.
+pub fn check_metrics_boundary(plan_src: &str, engine_src: &str) -> Vec<Finding> {
+    let mut out = Vec::new();
+
+    for fn_name in ["cache_key", "execute_spec"] {
+        let Some((body, fn_line)) = fn_body(engine_src, fn_name) else {
+            out.push(Finding::new(
+                "M001",
+                Severity::Error,
+                ENGINE,
+                1,
+                format!("fn {fn_name} not found — the metrics-boundary check cannot run"),
+            ));
+            continue;
+        };
+        for t in body.iter().filter(|t| t.is_ident() && is_metrics_ident(&t.text)) {
+            out.push(Finding::new(
+                "M001",
+                Severity::Error,
+                ENGINE,
+                t.line,
+                format!(
+                    "metrics machinery `{}` inside {fn_name} (declared line {fn_line}) — \
+                     metrics are observation-only and must never reach a cache key or a \
+                     simulated result; instrument around this function, not in it",
+                    t.text
+                ),
+            ));
+        }
+    }
+
+    match struct_fields(plan_src, "RunSpec") {
+        Some(fields) => {
+            for f in fields.iter().filter(|f| is_metrics_ident(&f.name)) {
+                out.push(Finding::new(
+                    "M001",
+                    Severity::Error,
+                    PLAN,
+                    f.line,
+                    format!(
+                        "RunSpec field `{}` carries metrics state — a spec must describe a \
+                         simulation, never the host observing it",
+                        f.name
+                    ),
+                ));
+            }
+        }
+        None => out.push(Finding::new(
+            "M001",
+            Severity::Error,
+            PLAN,
+            1,
+            "struct RunSpec not found — the metrics-boundary check cannot run",
+        )),
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PLAN_OK: &str = "
+        pub struct RunSpec {
+            pub bench: Benchmark,
+            pub gears: GearSelection,
+        }
+    ";
+
+    const ENGINE_CLEAN: &str = "
+        impl Engine {
+            pub fn cache_key(&self, spec: &RunSpec) -> u64 {
+                fnv1a64(format!(\"{}|{:?}\", spec.bench.name(), spec.gears).as_bytes())
+            }
+            fn execute_spec(&self, spec: &RunSpec) -> RunResult {
+                self.cluster.run(&spec.config(), |comm| spec.bench.run(comm))
+            }
+        }
+    ";
+
+    #[test]
+    fn clean_runner_passes() {
+        assert!(check_metrics_boundary(PLAN_OK, ENGINE_CLEAN).is_empty());
+    }
+
+    #[test]
+    fn metrics_in_cache_key_is_flagged() {
+        let bad = ENGINE_CLEAN.replace("fnv1a64(", "let t = self.metrics.stopwatch(); fnv1a64(");
+        let f = check_metrics_boundary(PLAN_OK, &bad);
+        assert!(!f.is_empty());
+        assert!(f.iter().all(|f| f.rule == "M001"));
+        assert!(f[0].message.contains("cache_key"));
+    }
+
+    #[test]
+    fn timing_inside_execute_spec_is_flagged() {
+        let bad = ENGINE_CLEAN
+            .replace("self.cluster.run(", "let sw = Stopwatch::start(); self.cluster.run(");
+        let f = check_metrics_boundary(PLAN_OK, &bad);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("execute_spec"));
+        assert!(f[0].message.contains("Stopwatch"));
+    }
+
+    #[test]
+    fn metrics_field_on_runspec_is_flagged() {
+        let bad = PLAN_OK.replace(
+            "pub gears: GearSelection,",
+            "pub gears: GearSelection,\n pub metrics_hint: f64,",
+        );
+        let f = check_metrics_boundary(&bad, ENGINE_CLEAN);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("`metrics_hint`"));
+    }
+
+    #[test]
+    fn missing_functions_are_fatal() {
+        let f = check_metrics_boundary(PLAN_OK, "impl Engine {}");
+        assert_eq!(f.len(), 2, "both protected functions must exist");
+    }
+}

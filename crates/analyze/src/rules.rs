@@ -8,9 +8,11 @@
 //! | D004 | determinism   | `HashMap` / `HashSet` inside a simulation crate (iteration order can leak into results) |
 //! | U001 | units         | public scalar field or `f64`-returning `pub fn` named after a quantity without its unit suffix |
 //! | F001 | fault purity  | a stochastic construct inside `psc-faults` that bypasses the counter-keyed `rng` module |
+//! | M001 | observability | `psc_metrics` referenced from a simulation crate other than the runner (the single sanctioned integration point) |
 //!
-//! (The C family — cache-key completeness — is structural rather than
-//! per-token and lives in [`crate::cachekey`].)
+//! (The C family — cache-key completeness — and the structural half of
+//! M001 are structural rather than per-token and live in
+//! [`crate::cachekey`] and [`crate::metricsrule`].)
 
 use crate::report::{Finding, Severity};
 use crate::scan::Tok;
@@ -50,6 +52,7 @@ pub fn check_tokens(ctx: &FileCtx<'_>, toks: &[Tok]) -> Vec<Finding> {
     env_reads(ctx, toks, &mut out);
     unordered_collections(ctx, toks, &mut out);
     unit_suffixes(ctx, toks, &mut out);
+    metrics_boundary(ctx, toks, &mut out);
     out
 }
 
@@ -202,6 +205,33 @@ fn unordered_collections(ctx: &FileCtx<'_>, toks: &[Tok], out: &mut Vec<Finding>
                 ),
             ));
         }
+    }
+}
+
+// --------------------------------------------------------------------
+// M001 — metrics observation-only boundary (token half)
+// --------------------------------------------------------------------
+
+/// Simulation crates must not observe themselves: `psc_metrics` may be
+/// referenced only by the runner (where the structural half of M001 —
+/// [`crate::metricsrule`] — keeps it out of the result path) and by
+/// non-simulation crates (CLI, experiments, telemetry).
+fn metrics_boundary(ctx: &FileCtx<'_>, toks: &[Tok], out: &mut Vec<Finding>) {
+    if !ctx.is_sim() || ctx.crate_dir == "runner" {
+        return;
+    }
+    for t in toks.iter().filter(|t| t.text == "psc_metrics") {
+        out.push(Finding::new(
+            "M001",
+            Severity::Error,
+            ctx.path,
+            t.line,
+            format!(
+                "`psc_metrics` referenced from simulation crate psc-{} — metrics are \
+                 observation-only and integrate solely through the runner's engine",
+                ctx.crate_dir
+            ),
+        ));
     }
 }
 
@@ -404,6 +434,18 @@ mod tests {
         let good = "impl S { pub fn total_energy_j(&self) -> f64 { 0.0 } \
                     pub fn frequency_ratio(&self) -> f64 { 1.0 } }";
         assert!(rules_on(good, "crates/mpi/src/x.rs", "mpi").is_empty());
+    }
+
+    #[test]
+    fn metrics_imports_are_banned_in_sim_crates_except_runner() {
+        let src = "use psc_metrics::Stopwatch; fn f() { let sw = Stopwatch::start(); }";
+        let f = rules_on(src, "crates/mpi/src/comm.rs", "mpi");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "M001");
+        // The runner is the sanctioned integration point…
+        assert!(rules_on(src, "crates/runner/src/metrics.rs", "runner").is_empty());
+        // …and non-sim crates may consume metrics freely.
+        assert!(rules_on(src, "crates/cli/src/main.rs", "cli").is_empty());
     }
 
     #[test]

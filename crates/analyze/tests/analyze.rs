@@ -82,6 +82,18 @@ fn c002_fires_on_the_skipped_field_fixture() {
 }
 
 #[test]
+fn m001_fires_on_metrics_use_in_sim_crate_only() {
+    let src = fixture("m001_metrics_in_sim.rs");
+    let h = hits("crates/machine/src/fixture.rs", &src);
+    let lines: Vec<u32> = h.iter().filter(|(r, _)| r == "M001").map(|&(_, l)| l).collect();
+    assert_eq!(lines, vec![5, 8], "findings: {h:?}");
+    // The runner is the sanctioned integration point, and non-sim
+    // crates (CLI, bench) consume metrics freely.
+    assert!(hits("crates/runner/src/fixture.rs", &src).is_empty());
+    assert!(hits("crates/cli/src/fixture.rs", &src).is_empty());
+}
+
+#[test]
 fn clean_fixture_produces_no_findings() {
     let h = hits("crates/machine/src/fixture.rs", &fixture("clean.rs"));
     assert!(h.is_empty(), "clean fixture must not fire: {h:?}");
@@ -153,7 +165,7 @@ fn deny_fails_on_each_seeded_fixture_violation() {
         "crates/runner/src/plan.rs",
         "pub struct RunSpec {\n    pub bench: Benchmark,\n    pub nodes: usize,\n    pub gears: GearSelection,\n    pub faults: Option<FaultPlan>,\n}\n",
     );
-    let engine_ok = "impl Engine {\n    pub fn cache_key(&self, spec: &RunSpec) -> u64 {\n        let d = format!(\"{}|{}|{:?}\", spec.bench.name(), spec.nodes, spec.resolved_gears());\n        let f = self.effective_faults(spec);\n        fnv1a64(d.as_bytes()) ^ f.map_or(0, |p| fnv1a64(p.to_json().as_bytes()))\n    }\n}\n";
+    let engine_ok = "impl Engine {\n    pub fn cache_key(&self, spec: &RunSpec) -> u64 {\n        let d = format!(\"{}|{}|{:?}\", spec.bench.name(), spec.nodes, spec.resolved_gears());\n        let f = self.effective_faults(spec);\n        fnv1a64(d.as_bytes()) ^ f.map_or(0, |p| fnv1a64(p.to_json().as_bytes()))\n    }\n    fn execute_spec(&self, spec: &RunSpec) -> RunResult {\n        self.cluster.run(&spec.config(), |comm| spec.bench.run(comm))\n    }\n}\n";
     write("crates/runner/src/engine.rs", engine_ok);
     let faults_ok = "#[derive(Debug, Clone, Serialize, Deserialize)]\npub struct FaultPlan {\n    pub seed: u64,\n}\n";
     write("crates/faults/src/plan.rs", faults_ok);
@@ -167,6 +179,7 @@ fn deny_fails_on_each_seeded_fixture_violation() {
         ("d004_unordered.rs", "crates/runner/src/bad.rs"),
         ("u001_bare_units.rs", "crates/analysis/src/bad.rs"),
         ("f001_fault_purity.rs", "crates/faults/src/bad.rs"),
+        ("m001_metrics_in_sim.rs", "crates/machine/src/bad.rs"),
     ];
     for (fix, dest) in cases {
         write(dest, &fixture(fix));

@@ -1,0 +1,11 @@
+//! Fixture: referencing `psc_metrics` from a simulation crate other
+//! than the runner must trip M001 (the integration test scans this as
+//! a `crates/machine` file).
+
+use psc_metrics::Stopwatch;
+
+pub fn timed_step(&mut self, dt_s: f64) {
+    let sw = psc_metrics::Stopwatch::start();
+    self.advance(dt_s);
+    self.last_step_s = sw.elapsed_s();
+}

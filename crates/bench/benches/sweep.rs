@@ -2,15 +2,21 @@
 //! psc-bench --bench sweep`).
 //!
 //! Unlike the criterion figure benches this is a plain-`main` harness
-//! with three jobs:
+//! with four jobs:
 //!
 //! 1. **Time** a representative figure-style plan executed serially
 //!    (`jobs = 1`) and in parallel (worker pool), each from a cold
 //!    in-memory cache, plus a fully-cached replay.
 //! 2. **Gate** on determinism: the serial and parallel executions must
-//!    render byte-identical curve CSVs. Any divergence exits non-zero,
-//!    which fails the CI smoke job.
-//! 3. **Track**: the numbers land in `BENCH_sweep.json` (repo root, or
+//!    render byte-identical curve CSVs — and so must a serial pass with
+//!    engine metrics disabled (metrics are observation-only). Any
+//!    divergence exits non-zero, which fails the CI smoke job.
+//! 3. **Measure** the metrics subsystem: wall-clock overhead of the
+//!    enabled-vs-disabled serial pass (`metrics_overhead_frac`,
+//!    optionally gated at 3% via `PSC_BENCH_GATE_OVERHEAD=1`) and a
+//!    summary of the engine's own metrics snapshot (cache layers,
+//!    per-kernel wall histograms, queue wait, pool utilization).
+//! 4. **Track**: the numbers land in `BENCH_sweep.json` (repo root, or
 //!    `$BENCH_OUT`), committed so regressions show up in review.
 //!
 //! `PSC_BENCH_QUICK=1` shrinks the plan for CI; the default plan covers
@@ -18,13 +24,34 @@
 
 use psc_experiments::harness::cluster;
 use psc_kernels::{Benchmark, ProblemClass};
+use psc_metrics::{SampleValue, Snapshot};
 use psc_mpi::RunResult;
-use psc_runner::{Engine, RunCache, RunPlan};
+use psc_runner::{Engine, EngineMetrics, PoolUtilization, RunCache, RunPlan};
 use serde::Serialize;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Instant;
 
 /// What one `sweep` bench invocation measured.
+///
+/// ## Field semantics
+///
+/// * `speedup_vs_serial` is cold parallel wall vs cold serial wall on
+///   **this host**. It is bounded above by `speedup_bound =
+///   min(parallel_jobs, host_cores)` — on a 1-core CI runner a value
+///   near 1.0 is the expected ceiling, not a regression. (An earlier
+///   revision published this as a bare `speedup`, which read as a
+///   regression whenever CI had fewer cores than workers.)
+/// * `worker_utilization` is busy worker-seconds over pool capacity
+///   (`workers × pool wall`) for the cold parallel pass; the gap is
+///   queue starvation plus coordinator time.
+/// * `queue_wait_*` summarize the enqueue-to-start latency histogram of
+///   the cold parallel pass.
+/// * `metrics_overhead_frac` is the median over interleaved on/off
+///   group pairs of `(on wall − off wall) / off wall`; CI gates it
+///   only when `PSC_BENCH_GATE_OVERHEAD=1`.
+/// * `metrics_identical` must always be true: the serial CSV is
+///   byte-identical with metrics enabled and disabled.
 #[derive(Serialize)]
 struct SweepBenchReport {
     /// True when `PSC_BENCH_QUICK` shrank the plan.
@@ -37,18 +64,130 @@ struct SweepBenchReport {
     unique_runs: u64,
     /// Worker count used for the parallel pass.
     parallel_jobs: usize,
-    /// Cold-cache wall-clock at `jobs = 1`, seconds.
+    /// Cold-cache wall-clock at `jobs = 1`, metrics enabled, seconds
+    /// (minimum over the interleaved groups).
     serial_wall_s: f64,
     /// Cold-cache wall-clock with the worker pool, seconds.
     parallel_wall_s: f64,
-    /// `serial_wall_s / parallel_wall_s`.
-    speedup: f64,
+    /// `serial_wall_s / parallel_wall_s` — read with `speedup_bound`.
+    speedup_vs_serial: f64,
+    /// `min(parallel_jobs, host_cores)`: the ceiling for the line above.
+    speedup_bound: f64,
+    /// Busy worker-seconds over pool capacity for the parallel pass.
+    worker_utilization: f64,
+    /// Enqueue-to-start latency, parallel pass, 50th percentile.
+    queue_wait_p50_s: f64,
+    /// Enqueue-to-start latency, parallel pass, 95th percentile.
+    queue_wait_p95_s: f64,
+    /// Largest enqueue-to-start latency observed in the parallel pass.
+    queue_wait_max_s: f64,
     /// Wall-clock replaying the whole plan from the warm cache.
     replay_wall_s: f64,
     /// Fraction of the replay served from cache (should be 1.0).
     replay_hit_rate: f64,
     /// Whether serial and parallel CSVs were byte-identical.
     deterministic: bool,
+    /// Whether metrics-on and metrics-off serial CSVs were identical.
+    metrics_identical: bool,
+    /// Relative serial wall-clock cost of enabling metrics (median of
+    /// interleaved pair ratios).
+    metrics_overhead_frac: f64,
+    /// Summary of the parallel engine's own metrics snapshot.
+    metrics: MetricsSummary,
+}
+
+/// Per-kernel wall-time digest from `engine_run_wall_seconds`.
+#[derive(Serialize)]
+struct KernelWall {
+    runs: u64,
+    p50_s: f64,
+    p95_s: f64,
+    max_s: f64,
+}
+
+/// The engine's metrics snapshot, reduced to the review-diffable core.
+#[derive(Serialize)]
+struct MetricsSummary {
+    /// `engine_cache_lookups_total` by layer answer.
+    cache_lookups: BTreeMap<String, u64>,
+    /// `engine_runs_total` by outcome.
+    runs_by_outcome: BTreeMap<String, u64>,
+    /// High-water mark of the miss queue.
+    queue_depth_high_water: f64,
+    /// Summed busy worker-seconds.
+    pool_busy_s: f64,
+    /// Worker-seconds of pool capacity.
+    pool_slot_s: f64,
+    /// Wall seconds the pool was open.
+    pool_wall_s: f64,
+    /// Time serializing results for the disk layer.
+    io_serialize_s: f64,
+    /// Time reading and parsing disk entries.
+    io_disk_read_s: f64,
+    /// Time in the atomic disk write + rename.
+    io_disk_write_s: f64,
+    /// Executed-run wall digests, pooled across gears per kernel.
+    run_wall_by_kernel: BTreeMap<String, KernelWall>,
+}
+
+/// JSON has no NaN/Inf; empty histograms report 0 here.
+fn fin(v: f64) -> f64 {
+    if v.is_finite() {
+        v
+    } else {
+        0.0
+    }
+}
+
+fn labelled_counts(snap: &Snapshot, family: &str, key: &str) -> BTreeMap<String, u64> {
+    snap.family(family)
+        .into_iter()
+        .filter_map(|s| Some((s.label(key)?.to_string(), s.scalar() as u64)))
+        .collect()
+}
+
+impl MetricsSummary {
+    fn from_snapshot(snap: &Snapshot) -> Self {
+        let u = PoolUtilization::from_snapshot(snap);
+        let mut run_wall_by_kernel: BTreeMap<String, psc_metrics::HistogramSnapshot> =
+            BTreeMap::new();
+        for s in snap.family("engine_run_wall_seconds") {
+            let (Some(bench), SampleValue::Histogram(h)) = (s.label("bench"), &s.value) else {
+                continue;
+            };
+            match run_wall_by_kernel.get_mut(bench) {
+                Some(acc) => *acc = acc.merged(h),
+                None => {
+                    run_wall_by_kernel.insert(bench.to_string(), h.clone());
+                }
+            }
+        }
+        MetricsSummary {
+            cache_lookups: labelled_counts(snap, "engine_cache_lookups_total", "result"),
+            runs_by_outcome: labelled_counts(snap, "engine_runs_total", "outcome"),
+            queue_depth_high_water: snap.family_total("engine_queue_depth"),
+            pool_busy_s: u.busy_s,
+            pool_slot_s: u.slot_s,
+            pool_wall_s: u.pool_wall_s,
+            io_serialize_s: snap.family_total("engine_cache_serialize_seconds_total"),
+            io_disk_read_s: snap.family_total("engine_cache_disk_read_seconds_total"),
+            io_disk_write_s: snap.family_total("engine_cache_disk_write_seconds_total"),
+            run_wall_by_kernel: run_wall_by_kernel
+                .into_iter()
+                .map(|(k, h)| {
+                    (
+                        k,
+                        KernelWall {
+                            runs: h.count,
+                            p50_s: fin(h.quantile(0.50)),
+                            p95_s: fin(h.quantile(0.95)),
+                            max_s: fin(h.max),
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
 }
 
 /// The CSV a figure binary would write: shortest-round-trip floats, so
@@ -92,18 +231,114 @@ fn representative_plan(quick: bool) -> RunPlan {
     plan
 }
 
+/// One timed group of `reps` cold serial executions (fresh engine and
+/// in-memory cache per execution), metrics `enabled` or disabled.
+/// Returns the per-execution wall-clock, the curve CSV, and the
+/// distinct-run count. `reps > 1` stretches the timed region so short
+/// quick-mode plans are not drowned in scheduler noise.
+fn serial_group(plan: &RunPlan, enabled: bool, reps: usize) -> (f64, String, u64) {
+    let mut csv = String::new();
+    let mut unique_runs = 0;
+    let t = Instant::now();
+    for _ in 0..reps {
+        let mut e = Engine::serial(cluster());
+        if !enabled {
+            e = e.with_metrics(EngineMetrics::disabled());
+        }
+        let runs = e.execute(plan);
+        csv = curve_csv(plan, &runs);
+        unique_runs = e.cache_stats().misses;
+    }
+    (t.elapsed().as_secs_f64() / reps as f64, csv, unique_runs)
+}
+
+/// The cold serial measurement, metrics on and off.
+struct SerialMeasurement {
+    /// Best per-execution wall, metrics on.
+    on_wall_s: f64,
+    /// Best per-execution wall, metrics off.
+    off_wall_s: f64,
+    /// Median of the per-pair `(on − off) / off` ratios.
+    overhead_frac: f64,
+    /// Every per-pair ratio, sorted ascending.
+    ratios: Vec<f64>,
+    csv_on: String,
+    csv_off: String,
+    unique_runs: u64,
+}
+
+/// Measure `passes` interleaved on/off group pairs. Each pair is
+/// adjacent in time, so host drift hits both modes alike and the pair
+/// ratio isolates the metrics cost; the median across pairs discards
+/// pairs a preemption disturbed. The within-pair order alternates
+/// (on/off, then off/on) so a steady host slowdown or speedup biases
+/// even and odd pairs in opposite directions and cancels in the
+/// median, instead of reading as overhead.
+fn serial_on_off(plan: &RunPlan, passes: usize, reps: usize) -> SerialMeasurement {
+    let mut m = SerialMeasurement {
+        on_wall_s: f64::INFINITY,
+        off_wall_s: f64::INFINITY,
+        overhead_frac: 0.0,
+        ratios: Vec::new(),
+        csv_on: String::new(),
+        csv_off: String::new(),
+        unique_runs: 0,
+    };
+    // One untimed execution first: page-cache and allocator warm-up
+    // otherwise lands entirely on the first on-group and skews pair 1.
+    let _ = serial_group(plan, true, 1);
+    let mut ratios = Vec::with_capacity(passes);
+    for pass in 0..passes {
+        let (on, off, csv_on, csv_off, misses) = if pass % 2 == 0 {
+            let (on, csv_on, misses) = serial_group(plan, true, reps);
+            let (off, csv_off, _) = serial_group(plan, false, reps);
+            (on, off, csv_on, csv_off, misses)
+        } else {
+            let (off, csv_off, _) = serial_group(plan, false, reps);
+            let (on, csv_on, misses) = serial_group(plan, true, reps);
+            (on, off, csv_on, csv_off, misses)
+        };
+        m.on_wall_s = m.on_wall_s.min(on);
+        m.off_wall_s = m.off_wall_s.min(off);
+        m.csv_on = csv_on;
+        m.csv_off = csv_off;
+        m.unique_runs = misses;
+        ratios.push((on - off) / off);
+    }
+    ratios.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    m.overhead_frac = ratios[ratios.len() / 2];
+    m.ratios = ratios;
+    m
+}
+
+/// Whether the overhead measurement shows a *consistent* cost above
+/// `threshold`. Three conditions, all required: the median pair ratio
+/// exceeds it, at least two-thirds of the pairs do, and the ratio of
+/// the *best* walls does too. Scheduler noise is additive and
+/// one-sided — a preemption inflates a group, never deflates it — so
+/// the minimum walls shed it, while a real metrics regression is
+/// multiplicative and survives in every execution including the best
+/// ones.
+fn overhead_exceeds(m: &SerialMeasurement, threshold: f64) -> bool {
+    let exceeders = m.ratios.iter().filter(|r| **r > threshold).count();
+    let best_ratio = (m.on_wall_s - m.off_wall_s) / m.off_wall_s;
+    m.overhead_frac > threshold && exceeders * 3 >= m.ratios.len() * 2 && best_ratio > threshold
+}
+
 fn main() {
     let quick = std::env::var("PSC_BENCH_QUICK").map(|v| v != "0").unwrap_or(false);
     let plan = representative_plan(quick);
     println!("sweep bench ({} plan): {} spec(s)", if quick { "quick" } else { "full" }, plan.len());
 
-    // Cold serial pass: the reference both for timing and for bytes.
-    let serial = Engine::serial(cluster());
-    let t0 = Instant::now();
-    let serial_runs = serial.execute(&plan);
-    let serial_wall_s = t0.elapsed().as_secs_f64();
-    let csv_serial = curve_csv(&plan, &serial_runs);
-    let unique_runs = serial.cache_stats().misses;
+    // Cold serial passes, metrics on and off: the reference for bytes,
+    // and the wall-clock delta is the metrics subsystem's whole cost.
+    let reps = if quick { 10 } else { 1 };
+    let passes = if quick { 9 } else { 3 };
+    let serial = serial_on_off(&plan, passes, reps);
+    let (serial_wall_s, unique_runs) = (serial.on_wall_s, serial.unique_runs);
+    let csv_serial = &serial.csv_on;
+    let metrics_identical = serial.csv_off == *csv_serial;
+    let metrics_overhead_frac = serial.overhead_frac;
 
     // Cold parallel pass. Force at least a few workers even on small
     // hosts so the determinism gate always exercises real interleaving.
@@ -114,8 +349,16 @@ fn main() {
     let parallel_runs = parallel.execute(&plan);
     let parallel_wall_s = t1.elapsed().as_secs_f64();
     let csv_parallel = curve_csv(&plan, &parallel_runs);
+    let deterministic = *csv_serial == csv_parallel;
 
-    let deterministic = csv_serial == csv_parallel;
+    // Snapshot the parallel engine's metrics before the replay so the
+    // queue/pool numbers describe the cold pass alone.
+    let cold_snap = parallel.metrics().snapshot();
+    let util = PoolUtilization::from_snapshot(&cold_snap);
+    let queue_wait = cold_snap.get("engine_queue_wait_seconds", &[]).and_then(|s| match &s.value {
+        SampleValue::Histogram(h) => Some(h.clone()),
+        _ => None,
+    });
 
     // Warm replay on the parallel engine: every lookup should hit.
     let before = parallel.cache_stats();
@@ -126,28 +369,43 @@ fn main() {
     let replay_hits = after.hits - before.hits;
     let replay_hit_rate = replay_hits as f64 / plan.len() as f64;
 
+    let host_cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let report = SweepBenchReport {
         quick,
-        host_cores: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        host_cores,
         specs: plan.len() as u64,
         unique_runs,
         parallel_jobs,
         serial_wall_s,
         parallel_wall_s,
-        speedup: serial_wall_s / parallel_wall_s,
+        speedup_vs_serial: serial_wall_s / parallel_wall_s,
+        speedup_bound: parallel_jobs.min(host_cores) as f64,
+        worker_utilization: util.utilization(),
+        queue_wait_p50_s: fin(queue_wait.as_ref().map_or(0.0, |h| h.quantile(0.50))),
+        queue_wait_p95_s: fin(queue_wait.as_ref().map_or(0.0, |h| h.quantile(0.95))),
+        queue_wait_max_s: fin(queue_wait.as_ref().map_or(0.0, |h| h.max)),
         replay_wall_s,
         replay_hit_rate,
         deterministic,
+        metrics_identical,
+        metrics_overhead_frac,
+        metrics: MetricsSummary::from_snapshot(&cold_snap),
     };
 
     println!("  serial   (jobs=1):  {serial_wall_s:.3} s, {unique_runs} simulation(s)");
     println!(
-        "  parallel (jobs={parallel_jobs}): {parallel_wall_s:.3} s, speedup {:.2}x",
-        report.speedup
+        "  parallel (jobs={parallel_jobs}): {parallel_wall_s:.3} s, speedup {:.2}x (ceiling {:.0}x on this host), utilization {:.0}%",
+        report.speedup_vs_serial,
+        report.speedup_bound,
+        100.0 * report.worker_utilization
     );
     println!(
         "  replay   (cached):  {replay_wall_s:.4} s, hit rate {:.0}%",
         replay_hit_rate * 100.0
+    );
+    println!(
+        "  metrics  overhead:  {:+.1}% of serial wall, identical bytes: {metrics_identical}",
+        100.0 * metrics_overhead_frac
     );
 
     let out = std::env::var("BENCH_OUT").unwrap_or_else(|_| {
@@ -160,8 +418,23 @@ fn main() {
         eprintln!("DETERMINISM FAILURE: parallel sweep diverged from the serial reference");
         std::process::exit(1);
     }
+    if !metrics_identical {
+        eprintln!("OBSERVATION FAILURE: enabling metrics changed the serial CSV bytes");
+        std::process::exit(1);
+    }
     if replay_hit_rate < 1.0 {
         eprintln!("CACHE FAILURE: warm replay re-executed {} run(s)", after.misses - before.misses);
+        std::process::exit(1);
+    }
+    let gate_overhead = std::env::var("PSC_BENCH_GATE_OVERHEAD").map(|v| v != "0").unwrap_or(false);
+    if gate_overhead && overhead_exceeds(&serial, 0.03) {
+        eprintln!(
+            "OVERHEAD FAILURE: metrics consistently cost {:.1}% of serial wall \
+             (gate: 3%, best-wall ratio {:.1}%, pair ratios {:?})",
+            100.0 * metrics_overhead_frac,
+            100.0 * (serial.on_wall_s - serial.off_wall_s) / serial.off_wall_s,
+            serial.ratios
+        );
         std::process::exit(1);
     }
 }

@@ -5,6 +5,7 @@
 //! powerscale run --bench CG --nodes 4 --gear 2        one measured run
 //! powerscale trace --bench CG --nodes 4 --gear 2      energy attribution + Perfetto trace
 //! powerscale sweep --bench LU --nodes 8               all gears at one node count
+//! powerscale stats --bench CG --nodes 4               engine self-profile of that sweep
 //! powerscale curve --bench MG --max-nodes 8           full node×gear sweep
 //! powerscale model --bench SP --predict 32            fit the paper's model, extrapolate
 //! powerscale advise --upm 8.6 --delay 0.05            gear advice from memory pressure
@@ -27,9 +28,11 @@ use psc_kernels::{Benchmark, ProblemClass};
 use psc_model::autogear::{gear_for_delay_budget, min_energy_gear};
 use psc_mpi::ClusterConfig;
 use psc_runner::{Engine, RunSpec};
-use psc_telemetry::{write_chrome_trace, RunManifest};
+use psc_telemetry::{write_chrome_trace, write_self_trace, RunManifest};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+
+mod stats;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -51,6 +54,7 @@ fn main() -> ExitCode {
     let result = match cmd.as_str() {
         "run" => cmd_run(&args),
         "sweep" => cmd_sweep(&args),
+        "stats" => cmd_stats(&args),
         "trace" => cmd_trace(&args),
         "curve" => cmd_curve(&args),
         "model" => cmd_model(&args),
@@ -80,7 +84,11 @@ USAGE:
   powerscale run    --bench <NAME> [--nodes N] [--gear G] [--class b|test]
                     [--trace-out PATH] [--manifest-out PATH]
   powerscale sweep  --bench <NAME> [--nodes N] [--class b|test] [--jobs J]
-                    [--trace-out PATH]
+                    [--trace-out PATH] [--metrics-out PATH]
+                    [--self-trace-out PATH] [--events-out PATH]
+  powerscale stats  --bench <NAME> [--nodes N] [--class b|test] [--jobs J]
+                    [--metrics-out PATH] [--self-trace-out PATH]
+                    [--events-out PATH]
   powerscale trace  --bench <NAME> [--nodes N] [--gear G] [--class b|test] [--out PATH]
   powerscale curve  --bench <NAME> [--max-nodes N] [--class b|test] [--jobs J]
   powerscale model  --bench <NAME> [--predict M] [--class b|test] [--jobs J]
@@ -110,11 +118,62 @@ USAGE:
   exits non-zero on fresh findings; --baseline FILE tolerates the
   findings recorded in FILE. See DESIGN.md for the rule catalogue.
 
+  Engine observability: `powerscale stats` runs a gear sweep and reports
+  what the *engine* did — cache hit rate, per-kernel wall-time
+  histograms (p50/p95/max), queue wait, worker utilization, disk-I/O
+  time. `sweep` and `stats` also export the raw engine metrics:
+  --metrics-out writes a Prometheus text-exposition snapshot,
+  --self-trace-out a flamegraph of the engine's own resolve/worker
+  spans (Trace Event JSON, open in Perfetto), --events-out a structured
+  JSONL event log. Metrics are observation-only: results are
+  byte-identical with or without them (analyzer rule M001).
+
   Sweeping commands run independent configurations on a worker pool
   (--jobs, or the PSC_JOBS environment variable; default = available
   parallelism) and memoize results in a content-addressed cache under
   target/psc-run-cache (PSC_CACHE_DIR overrides; PSC_CACHE=0 disables).
   Results are bit-identical whatever the worker count.";
+
+/// Honour the metrics export flags shared by `sweep` and `stats`:
+/// `--metrics-out` (Prometheus text exposition), `--self-trace-out`
+/// (engine flamegraph, Trace Event Format), `--events-out` (structured
+/// JSONL event log). Paths echo on stdout; the lines are deterministic
+/// (same path whatever the worker count), so the `--jobs` byte-identity
+/// gates are unaffected.
+fn export_metrics(e: &Engine, args: &[String]) -> Result<(), String> {
+    let wants_export = ["--metrics-out", "--self-trace-out", "--events-out"]
+        .iter()
+        .any(|f| flag(args, f).is_some());
+    if !wants_export {
+        return Ok(());
+    }
+    let snap = e.metrics().snapshot();
+    let spans = e.metrics().spans();
+    let write = |path: &str, text: String| -> Result<(), String> {
+        let path = Path::new(path);
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)
+                    .map_err(|e| format!("creating {}: {e}", parent.display()))?;
+            }
+        }
+        std::fs::write(path, text).map_err(|e| format!("writing {}: {e}", path.display()))
+    };
+    if let Some(path) = flag(args, "--metrics-out") {
+        write(&path, psc_metrics::render_prometheus(&snap))?;
+        println!("  metrics  {path}");
+    }
+    if let Some(path) = flag(args, "--self-trace-out") {
+        write_self_trace(&spans, &snap, Path::new(&path))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!("  self-trace {path} (open in Perfetto)");
+    }
+    if let Some(path) = flag(args, "--events-out") {
+        write(&path, psc_metrics::events_jsonl(&snap, &spans))?;
+        println!("  events   {path}");
+    }
+    Ok(())
+}
 
 /// A one-line account of what a sweep actually executed.
 fn print_cache_line(e: &Engine) {
@@ -298,6 +357,33 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
     );
     println!("\n{}", ascii_plot(std::slice::from_ref(&curve), 60, 12));
     print_cache_line(&e);
+    export_metrics(&e, args)?;
+    Ok(())
+}
+
+/// `powerscale stats`: drive a figure-1-style gear sweep through the
+/// engine, then report what the engine itself did — cache hit rate,
+/// per-kernel wall-time histograms, queue behaviour, worker-pool
+/// utilization, disk-I/O breakdown. The simulated results are
+/// unaffected by the observation (analyzer rule M001); run it twice to
+/// see the cold-vs-warm cache difference.
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let bench = parse_bench(args)?;
+    let class = parse_class(args)?;
+    let nodes: usize = parse_num(args, "--nodes", 1)?;
+    if !bench.supports_nodes(nodes) {
+        return Err(format!("{} cannot run on {nodes} nodes", bench.name()));
+    }
+    let e = engine_from_args(args);
+    let curve = measure_curve(&e, bench, class, nodes);
+    println!(
+        "engine stats for the {} gear sweep on {nodes} node(s) ({} gear(s), {} worker(s)):\n",
+        bench.name(),
+        curve.points.len(),
+        e.jobs()
+    );
+    print!("{}", stats::render_stats(&e.metrics().snapshot()));
+    export_metrics(&e, args)?;
     Ok(())
 }
 

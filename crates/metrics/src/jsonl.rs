@@ -1,0 +1,109 @@
+//! Structured JSONL event log (`--events-out`).
+//!
+//! One JSON object per line, machine-consumable without a trace viewer:
+//! first every profiling span (in the deterministic [`Profiler`] sort
+//! order), then every metric sample from the registry snapshot. Each
+//! line carries a `"type"` discriminator (`"span"` or `"metric"`) so a
+//! consumer can `grep`/`jq` one stream without schema negotiation.
+//!
+//! [`Profiler`]: crate::span::Profiler
+
+use crate::registry::{SampleValue, Snapshot};
+use crate::span::SpanRecord;
+use serde::{json, Value};
+
+fn obj(pairs: Vec<(&str, Value)>) -> Value {
+    Value::Map(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+fn str_map(pairs: &[(String, String)]) -> Value {
+    Value::Map(pairs.iter().map(|(k, v)| (k.clone(), Value::Str(v.clone()))).collect())
+}
+
+fn span_line(s: &SpanRecord) -> Value {
+    obj(vec![
+        ("type", Value::Str("span".into())),
+        ("name", Value::Str(s.name.clone())),
+        ("cat", Value::Str(s.cat.clone())),
+        ("tid", Value::U64(s.tid)),
+        ("t_start_us", Value::F64(s.t_start_us)),
+        ("dur_us", Value::F64(s.dur_us)),
+        ("args", str_map(&s.args)),
+    ])
+}
+
+/// Render spans and a metrics snapshot as JSONL. The output ends with a
+/// newline (unless both inputs are empty) and its order is
+/// deterministic for given inputs.
+pub fn events_jsonl(snap: &Snapshot, spans: &[SpanRecord]) -> String {
+    let mut out = String::new();
+    for s in spans {
+        out.push_str(&json::to_string(&span_line(s)));
+        out.push('\n');
+    }
+    for s in &snap.samples {
+        let value = match &s.value {
+            SampleValue::Int(n) => Value::U64(*n),
+            SampleValue::Float(v) => Value::F64(*v),
+            SampleValue::Histogram(h) => obj(vec![
+                ("bounds", Value::Seq(h.bounds.iter().map(|&b| Value::F64(b)).collect())),
+                ("counts", Value::Seq(h.counts.iter().map(|&c| Value::U64(c)).collect())),
+                ("count", Value::U64(h.count)),
+                ("sum", Value::F64(h.sum)),
+                ("p50", Value::F64(h.quantile(0.5))),
+                ("p95", Value::F64(h.quantile(0.95))),
+            ]),
+        };
+        let line = obj(vec![
+            ("type", Value::Str("metric".into())),
+            ("name", Value::Str(s.name.clone())),
+            ("kind", Value::Str(s.kind.prometheus_type().into())),
+            ("labels", str_map(&s.labels)),
+            ("value", value),
+        ]);
+        out.push_str(&json::to_string(&line));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::Stopwatch;
+    use crate::registry::Registry;
+    use crate::span::Profiler;
+    use serde::json::from_str;
+
+    #[test]
+    fn every_line_is_a_typed_json_object() {
+        let reg = Registry::new();
+        reg.counter("hits_total", "hits", &[("layer", "mem")]).add(7);
+        reg.time_histogram("wall_seconds", "wall", &[]).observe(0.01);
+        let prof = Profiler::new();
+        let sw = Stopwatch::start();
+        prof.record("resolve", "engine", 0, &sw, &[("specs", "3".to_string())]);
+
+        let text = events_jsonl(&reg.snapshot(), &prof.records());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3, "one span + two metric samples");
+        for line in &lines {
+            let v: Value = from_str(line).expect("each line parses as JSON");
+            match v {
+                Value::Map(pairs) => {
+                    assert!(pairs.iter().any(|(k, _)| k == "type"), "line has a type field")
+                }
+                other => panic!("line is not an object: {other:?}"),
+            }
+        }
+        assert!(lines[0].contains("\"type\":\"span\""));
+        assert!(lines[1].contains("\"type\":\"metric\""));
+        assert!(text.contains("\"hits_total\""));
+        assert!(text.contains("\"p95\""));
+    }
+
+    #[test]
+    fn empty_inputs_render_empty() {
+        assert_eq!(events_jsonl(&Snapshot::default(), &[]), "");
+    }
+}

@@ -1,0 +1,247 @@
+//! Render a registry [`Snapshot`] in the Prometheus text exposition
+//! format (version 0.0.4) — the format `--metrics-out` writes and the
+//! one a future sweep job server would serve on `/metrics`.
+//!
+//! Counters and gauges render as one sample line each; histograms
+//! render as cumulative `_bucket{le="…"}` lines (including the
+//! mandatory `le="+Inf"`) plus `_sum` and `_count`. Families are
+//! emitted in snapshot order (deterministic) with a single
+//! `# HELP` / `# TYPE` header per family.
+
+use crate::registry::{Sample, SampleValue, Snapshot};
+use std::fmt::Write as _;
+
+/// Escape a HELP text: backslashes and newlines.
+fn escape_help(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Escape a label value: backslashes, quotes, and newlines.
+fn escape_label(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+/// Format a float the way Prometheus expects (`+Inf`/`-Inf`/`NaN`
+/// spelled out, shortest round-trip otherwise).
+fn fmt_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Render a label set `{k="v",…}`, with an optional extra pair appended
+/// (used for the histogram `le` label). Empty sets render as nothing.
+fn label_block(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    let mut pairs: Vec<String> =
+        labels.iter().map(|(k, v)| format!("{k}=\"{}\"", escape_label(v))).collect();
+    if let Some((k, v)) = extra {
+        pairs.push(format!("{k}=\"{}\"", escape_label(v)));
+    }
+    if pairs.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", pairs.join(","))
+    }
+}
+
+fn render_sample(out: &mut String, s: &Sample) {
+    match &s.value {
+        SampleValue::Int(n) => {
+            let _ = writeln!(out, "{}{} {}", s.name, label_block(&s.labels, None), n);
+        }
+        SampleValue::Float(v) => {
+            let _ = writeln!(out, "{}{} {}", s.name, label_block(&s.labels, None), fmt_f64(*v));
+        }
+        SampleValue::Histogram(h) => {
+            let mut cumulative: u64 = 0;
+            for (i, &c) in h.counts.iter().enumerate() {
+                cumulative += c;
+                let le = if i < h.bounds.len() { fmt_f64(h.bounds[i]) } else { "+Inf".into() };
+                let _ = writeln!(
+                    out,
+                    "{}_bucket{} {}",
+                    s.name,
+                    label_block(&s.labels, Some(("le", &le))),
+                    cumulative
+                );
+            }
+            let _ =
+                writeln!(out, "{}_sum{} {}", s.name, label_block(&s.labels, None), fmt_f64(h.sum));
+            let _ = writeln!(out, "{}_count{} {}", s.name, label_block(&s.labels, None), h.count);
+        }
+    }
+}
+
+/// Render the whole snapshot. The output ends with a newline and is
+/// deterministic for a given snapshot.
+pub fn render_prometheus(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    let mut last_family: Option<&str> = None;
+    for s in &snap.samples {
+        if last_family != Some(s.name.as_str()) {
+            let _ = writeln!(out, "# HELP {} {}", s.name, escape_help(&s.help));
+            let _ = writeln!(out, "# TYPE {} {}", s.name, s.kind.prometheus_type());
+            last_family = Some(s.name.as_str());
+        }
+        render_sample(&mut out, s);
+    }
+    out
+}
+
+/// A structural validity check for text-exposition output, used by the
+/// test suite (and handy for debugging scrapes): every non-comment line
+/// must be `name[{labels}] value`, every `# TYPE` must name a known
+/// type, histogram buckets must be cumulative and end in `+Inf`.
+/// Returns the number of sample lines on success.
+pub fn validate_exposition(text: &str) -> Result<usize, String> {
+    let mut samples = 0usize;
+    let mut last_bucket: Option<(String, u64)> = None;
+    for (no, line) in text.lines().enumerate() {
+        let at = |msg: &str| format!("line {}: {msg}: {line:?}", no + 1);
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.splitn(2, ' ');
+            let (_name, ty) = (it.next().unwrap_or(""), it.next().unwrap_or(""));
+            if !matches!(ty, "counter" | "gauge" | "histogram" | "summary" | "untyped") {
+                return Err(at("unknown TYPE"));
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        let (series, value) =
+            line.rsplit_once(' ').ok_or_else(|| at("sample line has no value"))?;
+        let name = series.split('{').next().unwrap_or("");
+        if name.is_empty()
+            || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+            || name.starts_with(|c: char| c.is_ascii_digit())
+        {
+            return Err(at("invalid metric name"));
+        }
+        if series.contains('{') && !series.ends_with('}') {
+            return Err(at("unterminated label block"));
+        }
+        let parsed = match value {
+            "+Inf" => f64::INFINITY,
+            "-Inf" => f64::NEG_INFINITY,
+            "NaN" => f64::NAN,
+            v => v.parse::<f64>().map_err(|_| at("unparsable value"))?,
+        };
+        if name.ends_with("_bucket") {
+            let cum = parsed as u64;
+            if let Some((prev_series, prev)) = &last_bucket {
+                let same_family = series.split("le=").next() == prev_series.split("le=").next();
+                if same_family && cum < *prev {
+                    return Err(at("histogram buckets are not cumulative"));
+                }
+            }
+            if series.contains("le=\"+Inf\"") {
+                last_bucket = None; // family complete
+            } else {
+                last_bucket = Some((series.to_string(), cum));
+            }
+        } else if last_bucket.is_some() {
+            return Err(at("histogram bucket run ended without an le=\"+Inf\" bucket"));
+        }
+        samples += 1;
+    }
+    if last_bucket.is_some() {
+        return Err("exposition ended mid-histogram without le=\"+Inf\"".to_string());
+    }
+    Ok(samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    fn demo() -> Registry {
+        let reg = Registry::new();
+        reg.counter(
+            "engine_cache_lookups_total",
+            "Cache lookups by result.",
+            &[("result", "mem_hit")],
+        )
+        .add(3);
+        reg.counter(
+            "engine_cache_lookups_total",
+            "Cache lookups by result.",
+            &[("result", "miss")],
+        )
+        .add(2);
+        reg.gauge("engine_worker_utilization", "Busy fraction of the pool.", &[]).set(0.82);
+        let h = reg.time_histogram(
+            "engine_run_wall_seconds",
+            "Host wall-clock per executed run.",
+            &[("bench", "cg")],
+        );
+        for v in [0.002, 0.004, 0.01, 2.0] {
+            h.observe(v);
+        }
+        reg
+    }
+
+    #[test]
+    fn renders_help_type_and_samples() {
+        let text = render_prometheus(&demo().snapshot());
+        assert!(text.contains("# HELP engine_cache_lookups_total Cache lookups by result."));
+        assert!(text.contains("# TYPE engine_cache_lookups_total counter"));
+        assert!(text.contains("engine_cache_lookups_total{result=\"mem_hit\"} 3"));
+        assert!(text.contains("# TYPE engine_run_wall_seconds histogram"));
+        assert!(text.contains("engine_run_wall_seconds_bucket{bench=\"cg\",le=\"+Inf\"} 4"));
+        assert!(text.contains("engine_run_wall_seconds_count{bench=\"cg\"} 4"));
+        assert!(text.contains("engine_worker_utilization 0.82"));
+        // exactly one header pair per family
+        assert_eq!(text.matches("# TYPE engine_cache_lookups_total").count(), 1);
+    }
+
+    #[test]
+    fn output_passes_the_validator() {
+        let text = render_prometheus(&demo().snapshot());
+        let n = validate_exposition(&text).expect("valid exposition");
+        // 2 counter series + 1 gauge + (25 buckets + sum + count)
+        assert_eq!(n, 2 + 1 + 25 + 2);
+    }
+
+    #[test]
+    fn buckets_are_cumulative() {
+        let text = render_prometheus(&demo().snapshot());
+        let counts: Vec<u64> = text
+            .lines()
+            .filter(|l| l.starts_with("engine_run_wall_seconds_bucket"))
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        assert!(counts.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(*counts.last().unwrap(), 4);
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let reg = Registry::new();
+        reg.counter("c_total", "help", &[("k", "a\"b\\c\nd")]).inc();
+        let text = render_prometheus(&reg.snapshot());
+        assert!(text.contains(r#"c_total{k="a\"b\\c\nd"} 1"#));
+        validate_exposition(&text).expect("escaped output stays valid");
+    }
+
+    #[test]
+    fn validator_rejects_garbage() {
+        assert!(validate_exposition("9bad_name 1\n").is_err());
+        assert!(validate_exposition("name_no_value\n").is_err());
+        assert!(validate_exposition("ok{le=\"1\"} x\n").is_err());
+        assert!(
+            validate_exposition("h_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\n").is_err(),
+            "non-cumulative buckets must be rejected"
+        );
+    }
+}

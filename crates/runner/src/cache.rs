@@ -17,6 +17,7 @@
 //! implementations have not changed since a result was written. Wipe
 //! the directory (or set `PSC_CACHE=0`) after editing kernels.
 
+use crate::metrics::CacheHooks;
 use psc_mpi::RunResult;
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -41,7 +42,9 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
     h
 }
 
-/// Cache traffic counters for one [`RunCache`] instance.
+/// Cache traffic counters, either for one [`RunCache`] instance
+/// ([`RunCache::stats`]) or accumulated across every instance in the
+/// process ([`RunCache::process_stats`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
     /// Lookups answered from the cache (memory or disk) or deduplicated
@@ -51,6 +54,12 @@ pub struct CacheStats {
     pub misses: u64,
     /// The subset of `hits` answered by reading a disk entry.
     pub disk_hits: u64,
+    /// The subset of `hits` deduplicated inside a plan (the duplicate
+    /// joined an occurrence that was already resolved or in flight).
+    pub shared_hits: u64,
+    /// Damaged disk entries encountered (each read as a miss and was
+    /// healed by the re-executed result's insert).
+    pub disk_corrupt: u64,
 }
 
 impl CacheStats {
@@ -69,6 +78,27 @@ impl CacheStats {
     }
 }
 
+/// Process-lifetime accumulators, bumped alongside every instance's own
+/// counters. A fresh [`RunCache`] (a new engine built by a figure
+/// binary, say) starts its *instance* counters at zero, but these keep
+/// counting — so "how much did this process actually simulate?" has an
+/// answer that survives engine churn.
+struct ProcessCounters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    disk_hits: AtomicU64,
+    shared_hits: AtomicU64,
+    disk_corrupt: AtomicU64,
+}
+
+static PROCESS: ProcessCounters = ProcessCounters {
+    hits: AtomicU64::new(0),
+    misses: AtomicU64::new(0),
+    disk_hits: AtomicU64::new(0),
+    shared_hits: AtomicU64::new(0),
+    disk_corrupt: AtomicU64::new(0),
+};
+
 /// A memoization table for [`RunResult`]s, optionally backed by disk.
 #[derive(Debug)]
 pub struct RunCache {
@@ -77,6 +107,19 @@ pub struct RunCache {
     hits: AtomicU64,
     misses: AtomicU64,
     disk_hits: AtomicU64,
+    shared_hits: AtomicU64,
+    disk_corrupt: AtomicU64,
+    /// Observation-only hooks attached by the engine (analyzer rule
+    /// M001); never consulted for what to return.
+    hooks: Mutex<Option<CacheHooks>>,
+}
+
+/// What a disk probe found, so corrupt entries are visible to the
+/// stats instead of blending into "file absent".
+enum DiskEntry {
+    Absent,
+    Corrupt,
+    Ok(RunResult),
 }
 
 impl RunCache {
@@ -88,6 +131,9 @@ impl RunCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             disk_hits: AtomicU64::new(0),
+            shared_hits: AtomicU64::new(0),
+            disk_corrupt: AtomicU64::new(0),
+            hooks: Mutex::new(None),
         }
     }
 
@@ -127,21 +173,47 @@ impl RunCache {
         self.disk.as_deref()
     }
 
+    /// Attach (or replace) the engine's observation hooks.
+    pub(crate) fn attach_hooks(&self, hooks: CacheHooks) {
+        *self.hooks.lock().unwrap() = Some(hooks);
+    }
+
+    fn with_hooks(&self, f: impl FnOnce(&CacheHooks)) {
+        if let Some(hooks) = self.hooks.lock().unwrap().as_ref() {
+            f(hooks);
+        }
+    }
+
     /// Counting lookup: memory first, then disk. A disk hit is promoted
     /// into the memory layer.
     pub fn lookup(&self, key: u64) -> Option<Arc<RunResult>> {
         if let Some(run) = self.mem.lock().unwrap().get(&key).cloned() {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            PROCESS.hits.fetch_add(1, Ordering::Relaxed);
+            self.with_hooks(|h| h.on_lookup("mem_hit"));
             return Some(run);
         }
-        if let Some(run) = self.read_disk(key) {
-            let run = Arc::new(run);
-            self.mem.lock().unwrap().insert(key, Arc::clone(&run));
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            self.disk_hits.fetch_add(1, Ordering::Relaxed);
-            return Some(run);
+        match self.read_disk(key) {
+            DiskEntry::Ok(run) => {
+                let run = Arc::new(run);
+                self.mem.lock().unwrap().insert(key, Arc::clone(&run));
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                PROCESS.hits.fetch_add(1, Ordering::Relaxed);
+                PROCESS.disk_hits.fetch_add(1, Ordering::Relaxed);
+                self.with_hooks(|h| h.on_lookup("disk_hit"));
+                return Some(run);
+            }
+            DiskEntry::Corrupt => {
+                self.disk_corrupt.fetch_add(1, Ordering::Relaxed);
+                PROCESS.disk_corrupt.fetch_add(1, Ordering::Relaxed);
+                self.with_hooks(|h| h.on_corrupt());
+            }
+            DiskEntry::Absent => {}
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        PROCESS.misses.fetch_add(1, Ordering::Relaxed);
+        self.with_hooks(|h| h.on_lookup("miss"));
         None
     }
 
@@ -156,27 +228,75 @@ impl RunCache {
     /// deduplicated inside one plan shares the first occurrence's run.
     pub(crate) fn note_shared_hit(&self) {
         self.hits.fetch_add(1, Ordering::Relaxed);
+        self.shared_hits.fetch_add(1, Ordering::Relaxed);
+        PROCESS.hits.fetch_add(1, Ordering::Relaxed);
+        PROCESS.shared_hits.fetch_add(1, Ordering::Relaxed);
+        self.with_hooks(|h| h.on_dedup_join());
     }
 
-    /// A snapshot of the traffic counters.
+    /// A snapshot of this instance's traffic counters (zeroed at
+    /// construction and by [`RunCache::reset`]).
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            shared_hits: self.shared_hits.load(Ordering::Relaxed),
+            disk_corrupt: self.disk_corrupt.load(Ordering::Relaxed),
         }
+    }
+
+    /// Zero this instance's traffic counters (process-lifetime
+    /// accumulators are unaffected; the cached entries stay).
+    pub fn reset(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        self.disk_hits.store(0, Ordering::Relaxed);
+        self.shared_hits.store(0, Ordering::Relaxed);
+        self.disk_corrupt.store(0, Ordering::Relaxed);
+    }
+
+    /// Traffic accumulated by **every** `RunCache` instance in this
+    /// process since start (or since [`RunCache::reset_process_stats`]).
+    /// Instance counters vanish when an engine is dropped or rebuilt;
+    /// these do not.
+    pub fn process_stats() -> CacheStats {
+        CacheStats {
+            hits: PROCESS.hits.load(Ordering::Relaxed),
+            misses: PROCESS.misses.load(Ordering::Relaxed),
+            disk_hits: PROCESS.disk_hits.load(Ordering::Relaxed),
+            shared_hits: PROCESS.shared_hits.load(Ordering::Relaxed),
+            disk_corrupt: PROCESS.disk_corrupt.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zero the process-lifetime accumulators (test isolation).
+    pub fn reset_process_stats() {
+        PROCESS.hits.store(0, Ordering::Relaxed);
+        PROCESS.misses.store(0, Ordering::Relaxed);
+        PROCESS.disk_hits.store(0, Ordering::Relaxed);
+        PROCESS.shared_hits.store(0, Ordering::Relaxed);
+        PROCESS.disk_corrupt.store(0, Ordering::Relaxed);
     }
 
     fn entry_path(dir: &Path, key: u64) -> PathBuf {
         dir.join(format!("{key:016x}.json"))
     }
 
-    fn read_disk(&self, key: u64) -> Option<RunResult> {
-        let dir = self.disk.as_ref()?;
-        let text = std::fs::read_to_string(Self::entry_path(dir, key)).ok()?;
+    fn read_disk(&self, key: u64) -> DiskEntry {
+        let Some(dir) = self.disk.as_ref() else { return DiskEntry::Absent };
+        let sw = self.hooks.lock().unwrap().as_ref().and_then(|h| h.stopwatch());
+        let Ok(text) = std::fs::read_to_string(Self::entry_path(dir, key)) else {
+            return DiskEntry::Absent;
+        };
         // A corrupt or schema-stale entry is a miss; the fresh result
         // will overwrite it.
-        serde::json::from_str::<RunResult>(&text).ok()
+        let parsed = serde::json::from_str::<RunResult>(&text);
+        self.with_hooks(|h| h.add_disk_read(sw));
+        match parsed {
+            Ok(run) => DiskEntry::Ok(run),
+            Err(_) => DiskEntry::Corrupt,
+        }
     }
 
     fn write_disk(&self, key: u64, run: &RunResult) {
@@ -184,13 +304,19 @@ impl RunCache {
         if std::fs::create_dir_all(dir).is_err() {
             return; // Disk layer is best-effort; memory still serves.
         }
+        let sw = self.hooks.lock().unwrap().as_ref().and_then(|h| h.stopwatch());
         let text = serde::json::to_string(run);
+        let sw = match self.hooks.lock().unwrap().as_ref() {
+            Some(h) => h.add_serialize(sw),
+            None => None,
+        };
         // Atomic publish: unique temp name (pid + key) then rename, so
         // concurrent processes never observe a half-written entry.
         let tmp = dir.join(format!(".tmp-{}-{key:016x}", std::process::id()));
         if std::fs::write(&tmp, text).is_ok() {
             let _ = std::fs::rename(&tmp, Self::entry_path(dir, key));
         }
+        self.with_hooks(|h| h.add_disk_write(sw));
     }
 }
 
@@ -265,7 +391,50 @@ mod tests {
         let cache = RunCache::with_disk(&dir);
         assert!(cache.lookup(5).is_none());
         assert_eq!(cache.stats().misses, 1);
+        assert_eq!(cache.stats().disk_corrupt, 1, "damage must be visible in stats");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Regression (PR 6): stats used to vanish whenever an engine was
+    /// rebuilt (each fresh `RunCache` starts at zero), so "how much did
+    /// this process simulate?" silently reset. Process-lifetime
+    /// accumulators must keep counting across instances, and resetting
+    /// an instance must not disturb them.
+    #[test]
+    fn process_stats_survive_instance_churn_and_reset() {
+        let before = RunCache::process_stats();
+
+        let first = RunCache::in_memory();
+        first.insert(1, some_run());
+        assert!(first.lookup(1).is_some()); // hit
+        assert!(first.lookup(2).is_none()); // miss
+        first.note_shared_hit();
+        drop(first); // instance counters die with the instance…
+
+        let second = RunCache::in_memory();
+        assert!(second.lookup(3).is_none()); // miss on a fresh instance
+        assert_eq!(second.stats().misses, 1, "fresh instance starts at zero");
+
+        // …but the process view kept counting across both instances.
+        // (Other tests run concurrently, so assert growth, not equality.)
+        let after = RunCache::process_stats();
+        assert!(after.hits >= before.hits + 2, "hit + shared hit accumulated");
+        assert!(after.misses >= before.misses + 2, "misses from both instances");
+        assert!(after.shared_hits >= before.shared_hits + 1);
+    }
+
+    #[test]
+    fn instance_reset_zeroes_counters_but_keeps_entries() {
+        let cache = RunCache::in_memory();
+        cache.insert(8, some_run());
+        assert!(cache.lookup(8).is_some());
+        assert!(cache.lookup(9).is_none());
+        assert_ne!(cache.stats(), CacheStats::default());
+
+        cache.reset();
+        assert_eq!(cache.stats(), CacheStats::default(), "reset zeroes every counter");
+        assert!(cache.lookup(8).is_some(), "reset drops stats, not entries");
+        assert_eq!(cache.stats().hits, 1, "counting restarts after reset");
     }
 
     /// Every flavor of on-disk damage — truncated JSON, binary garbage,

@@ -1,12 +1,13 @@
 //! The sweep engine: bounded-parallel, memoized plan execution.
 
 use crate::cache::{fnv1a64, CacheStats, RunCache, CACHE_SCHEMA};
+use crate::metrics::EngineMetrics;
 use crate::plan::{RunPlan, RunSpec};
 use psc_faults::FaultPlan;
-use psc_mpi::{default_jobs, Cluster, RunResult};
+use psc_mpi::{default_jobs, Cluster, GearSelection, RunResult};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Executes [`RunPlan`]s on a [`Cluster`] with a worker pool and a
 /// [`RunCache`].
@@ -32,20 +33,37 @@ pub struct Engine {
     jobs: usize,
     cache: RunCache,
     faults: Option<FaultPlan>,
+    metrics: Arc<EngineMetrics>,
 }
 
 impl Engine {
     /// An engine with environment defaults: `PSC_JOBS` workers (or the
     /// host's available parallelism) and the `PSC_CACHE`/`PSC_CACHE_DIR`
-    /// cache configuration.
+    /// cache configuration. Self-metrics are collected (they are cheap
+    /// atomics); use [`Engine::with_metrics`] with
+    /// [`EngineMetrics::disabled`] to switch them off.
     pub fn new(cluster: Cluster) -> Self {
-        Engine { cluster, jobs: default_jobs(), cache: RunCache::from_env(), faults: None }
+        Engine {
+            cluster,
+            jobs: default_jobs(),
+            cache: RunCache::from_env(),
+            faults: None,
+            metrics: EngineMetrics::new(),
+        }
+        .rewire_metrics()
     }
 
     /// A single-worker engine with a memory-only cache — the serial
     /// reference configuration for determinism checks.
     pub fn serial(cluster: Cluster) -> Self {
-        Engine { cluster, jobs: 1, cache: RunCache::in_memory(), faults: None }
+        Engine {
+            cluster,
+            jobs: 1,
+            cache: RunCache::in_memory(),
+            faults: None,
+            metrics: EngineMetrics::new(),
+        }
+        .rewire_metrics()
     }
 
     /// Pin the worker count (must be ≥ 1).
@@ -58,6 +76,25 @@ impl Engine {
     /// Replace the cache.
     pub fn with_cache(mut self, cache: RunCache) -> Self {
         self.cache = cache;
+        self.rewire_metrics()
+    }
+
+    /// Replace the self-observability state (e.g. a shared instance
+    /// aggregating several engines, or [`EngineMetrics::disabled`]).
+    pub fn with_metrics(mut self, metrics: Arc<EngineMetrics>) -> Self {
+        self.metrics = metrics;
+        self.rewire_metrics()
+    }
+
+    /// This engine's self-observability state.
+    pub fn metrics(&self) -> &Arc<EngineMetrics> {
+        &self.metrics
+    }
+
+    /// Point the cache's observation hooks at the current metrics
+    /// instance (cache and metrics are swappable independently).
+    fn rewire_metrics(self) -> Self {
+        self.cache.attach_hooks(self.metrics.cache_hooks());
         self
     }
 
@@ -123,13 +160,26 @@ impl Engine {
         fnv1a64(desc.as_bytes())
     }
 
+    /// A compact label for the spec's gear selection (`"3"` for a
+    /// uniform gear, `"mixed"` for per-rank schedules).
+    fn gear_label(spec: &RunSpec) -> String {
+        match &spec.gears {
+            GearSelection::Uniform(g) => g.to_string(),
+            GearSelection::PerRank(_) => "mixed".to_string(),
+        }
+    }
+
     /// Run a single spec through the cache.
     pub fn run(&self, spec: &RunSpec) -> Arc<RunResult> {
         let key = self.cache_key(spec);
         if let Some(run) = self.cache.lookup(key) {
             return run;
         }
+        let sw = self.metrics.stopwatch();
         let run = Arc::new(self.execute_spec(spec));
+        if let Some(sw) = sw {
+            self.metrics.on_run_executed(spec.bench.name(), &Self::gear_label(spec), 0, 0.0, &sw);
+        }
         self.cache.insert(key, Arc::clone(&run));
         run
     }
@@ -142,6 +192,9 @@ impl Engine {
     /// exactly `plan.len()` — duplicates of an uncached spec count as
     /// hits (they share the first occurrence's run).
     pub fn execute(&self, plan: &RunPlan) -> Vec<Arc<RunResult>> {
+        self.metrics.on_plan(plan.len());
+        let resolve_sw = self.metrics.stopwatch();
+
         // Pass 1: resolve each *distinct* key against the cache once;
         // collect the keys that need an actual run. Ordered map (D004):
         // nothing result-shaping may iterate in hash order.
@@ -162,6 +215,9 @@ impl Engine {
                 None => to_run.push((key, spec)),
             }
         }
+        if let Some(sw) = &resolve_sw {
+            self.metrics.on_resolve(sw, plan.len(), to_run.len());
+        }
 
         // Pass 2: the worker pool drains the miss list. Each run is
         // inserted into the cache as soon as it completes, so a
@@ -169,20 +225,47 @@ impl Engine {
         let slots: Vec<OnceLock<Arc<RunResult>>> = to_run.iter().map(|_| OnceLock::new()).collect();
         let next = AtomicUsize::new(0);
         let workers = self.jobs.min(to_run.len().max(1));
+        let pool_sw = self.metrics.stopwatch();
+        let busy_total_s = Mutex::new(0.0f64);
         std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let k = next.fetch_add(1, Ordering::Relaxed);
-                    if k >= to_run.len() {
-                        break;
+            let (to_run, slots, next) = (&to_run, &slots, &next);
+            let (pool_sw, busy_total_s) = (&pool_sw, &busy_total_s);
+            for lane in 1..=workers as u64 {
+                scope.spawn(move || {
+                    let mut busy_s = 0.0f64;
+                    loop {
+                        let k = next.fetch_add(1, Ordering::Relaxed);
+                        if k >= to_run.len() {
+                            break;
+                        }
+                        let (key, spec) = to_run[k];
+                        let sw = self.metrics.stopwatch();
+                        let run = Arc::new(self.execute_spec(spec));
+                        if let (Some(sw), Some(pool)) = (sw, pool_sw.as_ref()) {
+                            // Queue wait: how long this item sat between
+                            // the pool opening and its execution starting.
+                            let wait_s = (sw.started_us() - pool.started_us()) / 1e6;
+                            busy_s += sw.elapsed_s();
+                            self.metrics.on_run_executed(
+                                spec.bench.name(),
+                                &Self::gear_label(spec),
+                                lane,
+                                wait_s.max(0.0),
+                                &sw,
+                            );
+                        }
+                        self.cache.insert(key, Arc::clone(&run));
+                        let _ = slots[k].set(run);
                     }
-                    let (key, spec) = to_run[k];
-                    let run = Arc::new(self.execute_spec(spec));
-                    self.cache.insert(key, Arc::clone(&run));
-                    let _ = slots[k].set(run);
+                    if busy_s > 0.0 {
+                        *busy_total_s.lock().unwrap() += busy_s;
+                    }
                 });
             }
         });
+        if let Some(sw) = &pool_sw {
+            self.metrics.on_pool_closed(workers, *busy_total_s.lock().unwrap(), sw);
+        }
         for ((key, _), slot) in to_run.iter().zip(slots) {
             resolved.insert(*key, slot.into_inner().expect("pool filled every slot"));
         }
@@ -266,6 +349,52 @@ mod tests {
         sun.network.latency_s *= 2.0;
         let e2 = Engine::serial(sun);
         assert_ne!(k(&base), e2.cache_key(&base));
+    }
+
+    /// Metrics are observation-only: identical results with metrics on
+    /// or off, and the enabled engine's registry tells the true story
+    /// of what executed.
+    #[test]
+    fn metrics_observe_without_affecting_results() {
+        use crate::metrics::EngineMetrics;
+        let plan = small_plan();
+        let on = engine();
+        let off = engine().with_metrics(EngineMetrics::disabled());
+        let runs_on = on.execute(&plan);
+        let runs_off = off.execute(&plan);
+        for (a, b) in runs_on.iter().zip(&runs_off) {
+            assert_eq!(a.time_s.to_bits(), b.time_s.to_bits());
+            assert_eq!(a.energy_j.to_bits(), b.energy_j.to_bits());
+        }
+        assert!(off.metrics().snapshot().samples.is_empty(), "disabled engine records nothing");
+        assert!(off.metrics().spans().is_empty());
+
+        let snap = on.metrics().snapshot();
+        assert_eq!(snap.get("engine_plans_total", &[]).unwrap().scalar(), 1.0);
+        assert_eq!(snap.get("engine_specs_total", &[]).unwrap().scalar(), plan.len() as f64);
+        assert_eq!(
+            snap.get("engine_runs_total", &[("outcome", "executed")]).unwrap().scalar(),
+            4.0,
+            "4 distinct specs executed"
+        );
+        assert_eq!(
+            snap.get("engine_runs_total", &[("outcome", "dedup_join")]).unwrap().scalar(),
+            1.0
+        );
+        assert_eq!(snap.family_total("engine_cache_lookups_total"), 4.0, "4 real lookups");
+        // Per-run wall-time histograms carry bench/gear labels and saw
+        // every executed run exactly once.
+        assert_eq!(snap.family_total("engine_run_wall_seconds"), 4.0);
+        assert!(snap.get("engine_run_wall_seconds", &[("bench", "EP"), ("gear", "1")]).is_some());
+        // The pool accounting is coherent: busy time fits in capacity.
+        let u = crate::metrics::PoolUtilization::from_snapshot(&snap);
+        assert!(u.pool_wall_s > 0.0);
+        assert!(u.busy_s <= u.slot_s + 1e-9);
+        // Spans cover both passes and every executed run.
+        let spans = on.metrics().spans();
+        assert!(spans.iter().any(|s| s.name == "resolve"));
+        assert!(spans.iter().any(|s| s.name == "pool"));
+        assert_eq!(spans.iter().filter(|s| s.name == "run").count(), 4);
     }
 
     #[test]

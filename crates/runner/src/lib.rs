@@ -41,8 +41,10 @@
 
 pub mod cache;
 pub mod engine;
+pub mod metrics;
 pub mod plan;
 
 pub use cache::{CacheStats, RunCache};
 pub use engine::Engine;
+pub use metrics::{EngineMetrics, PoolUtilization};
 pub use plan::{RunPlan, RunSpec};

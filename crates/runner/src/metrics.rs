@@ -1,0 +1,394 @@
+//! Engine self-observability: the bridge between the sweep engine and
+//! `psc-metrics`.
+//!
+//! [`EngineMetrics`] owns a metrics [`Registry`] and a span
+//! [`Profiler`] and exposes the narrow set of hooks the engine and the
+//! run cache call. Everything here is **observation-only** (analyzer
+//! rule M001): hooks read host clocks and bump atomics, but nothing
+//! they produce can reach a cache key, a [`crate::RunSpec`], or a
+//! simulated result — figure CSVs are byte-identical whether metrics
+//! are enabled or disabled, at any worker count.
+//!
+//! ## Metric families
+//!
+//! | name | kind | labels | meaning |
+//! |---|---|---|---|
+//! | `engine_plans_total` | counter | — | `execute()` calls |
+//! | `engine_specs_total` | counter | — | specs across all plans |
+//! | `engine_runs_total` | counter | `outcome` | per-spec outcome: `executed`, `mem_hit`, `disk_hit`, `dedup_join` |
+//! | `engine_run_wall_seconds` | histogram | `bench`, `gear` | host wall-clock per *executed* run |
+//! | `engine_cache_lookups_total` | counter | `result` | cache layer answers: `mem_hit`, `disk_hit`, `miss` |
+//! | `engine_cache_corrupt_total` | counter | — | damaged disk entries healed by re-execution |
+//! | `engine_cache_serialize_seconds_total` | counter (f64) | — | time serializing results for disk |
+//! | `engine_cache_disk_read_seconds_total` | counter (f64) | — | time reading + parsing disk entries |
+//! | `engine_cache_disk_write_seconds_total` | counter (f64) | — | time in the atomic write + rename |
+//! | `engine_queue_depth` | gauge | — | high-water mark of the miss queue |
+//! | `engine_queue_wait_seconds` | histogram | — | enqueue → start latency per executed run |
+//! | `engine_worker_busy_seconds_total` | counter (f64) | — | summed per-worker execution time |
+//! | `engine_pool_wall_seconds_total` | counter (f64) | — | wall time the pool was open |
+//! | `engine_pool_slot_seconds_total` | counter (f64) | — | `workers × pool wall` (capacity) |
+//!
+//! Worker utilization is `busy / slot`; the gap between `slot` and
+//! `busy` is exactly the idle time BENCH_sweep.json's `speedup` field
+//! used to hide.
+
+use psc_metrics::{Counter, FloatCounter, Profiler, Registry, Snapshot, SpanRecord, Stopwatch};
+use std::sync::Arc;
+
+/// Self-observability state shared by an [`crate::Engine`] and its
+/// [`crate::RunCache`]. Cheap to clone behind an [`Arc`]; a disabled
+/// instance turns every hook into a no-op (used by the overhead gate
+/// and by callers that want a guaranteed-untouched engine).
+#[derive(Debug)]
+pub struct EngineMetrics {
+    enabled: bool,
+    registry: Registry,
+    profiler: Profiler,
+}
+
+impl EngineMetrics {
+    /// An enabled instance.
+    pub fn new() -> Arc<Self> {
+        Arc::new(EngineMetrics {
+            enabled: true,
+            registry: Registry::new(),
+            profiler: Profiler::new(),
+        })
+    }
+
+    /// A disabled instance: every hook is a no-op, the registry stays
+    /// empty.
+    pub fn disabled() -> Arc<Self> {
+        Arc::new(EngineMetrics {
+            enabled: false,
+            registry: Registry::new(),
+            profiler: Profiler::new(),
+        })
+    }
+
+    /// Whether hooks record anything.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The underlying registry (for export and for tests).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The span profiler (for export and for tests).
+    pub fn profiler(&self) -> &Profiler {
+        &self.profiler
+    }
+
+    /// A deterministic point-in-time copy of every metric series.
+    pub fn snapshot(&self) -> Snapshot {
+        self.registry.snapshot()
+    }
+
+    /// Every recorded span, deterministically ordered.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        self.profiler.records()
+    }
+
+    // ---- engine hooks (crate-internal) --------------------------------
+
+    /// A plan entered `execute()`.
+    pub(crate) fn on_plan(&self, specs: usize) {
+        if !self.enabled {
+            return;
+        }
+        self.registry.counter("engine_plans_total", "Plan executions.", &[]).inc();
+        self.registry
+            .counter("engine_specs_total", "Specs across all executed plans.", &[])
+            .add(specs as u64);
+    }
+
+    /// Pass 1 (cache resolution) finished.
+    pub(crate) fn on_resolve(&self, sw: &Stopwatch, specs: usize, misses: usize) {
+        if !self.enabled {
+            return;
+        }
+        self.registry
+            .gauge("engine_queue_depth", "High-water mark of the miss queue.", &[])
+            .record_max(misses as f64);
+        self.profiler.record(
+            "resolve",
+            "engine",
+            0,
+            sw,
+            &[("specs", specs.to_string()), ("misses", misses.to_string())],
+        );
+    }
+
+    /// A per-spec outcome was decided (`executed`, `mem_hit`,
+    /// `disk_hit`, or `dedup_join`).
+    pub(crate) fn on_outcome(&self, outcome: &str) {
+        if !self.enabled {
+            return;
+        }
+        self.registry
+            .counter("engine_runs_total", "Per-spec outcomes.", &[("outcome", outcome)])
+            .inc();
+    }
+
+    /// One run actually executed on a worker lane.
+    pub(crate) fn on_run_executed(
+        &self,
+        bench: &str,
+        gear: &str,
+        lane: u64,
+        queue_wait_s: f64,
+        sw: &Stopwatch,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        self.registry
+            .time_histogram(
+                "engine_run_wall_seconds",
+                "Host wall-clock per executed run.",
+                &[("bench", bench), ("gear", gear)],
+            )
+            .observe(sw.elapsed_s());
+        self.registry
+            .time_histogram(
+                "engine_queue_wait_seconds",
+                "Enqueue-to-start latency per executed run.",
+                &[],
+            )
+            .observe(queue_wait_s);
+        self.on_outcome("executed");
+        self.profiler.record(
+            "run",
+            "run",
+            lane,
+            sw,
+            &[("bench", bench.to_string()), ("gear", gear.to_string())],
+        );
+    }
+
+    /// The worker pool closed: `workers` lanes were open for the
+    /// stopwatch's interval and spent `busy_s` host seconds executing.
+    pub(crate) fn on_pool_closed(&self, workers: usize, busy_s: f64, sw: &Stopwatch) {
+        if !self.enabled {
+            return;
+        }
+        let wall = sw.elapsed_s();
+        self.float("engine_pool_wall_seconds_total", "Wall time the worker pool was open.", wall);
+        self.float(
+            "engine_pool_slot_seconds_total",
+            "Worker-seconds of pool capacity (workers x wall).",
+            workers as f64 * wall,
+        );
+        self.float("engine_worker_busy_seconds_total", "Summed per-worker execution time.", busy_s);
+        self.profiler.record("pool", "engine", 0, sw, &[("workers", workers.to_string())]);
+    }
+
+    fn float(&self, name: &str, help: &str, v: f64) {
+        self.registry.float_counter(name, help, &[]).add(v);
+    }
+
+    /// Start a stopwatch only when hooks will consume it — keeps the
+    /// disabled path free of clock reads.
+    pub(crate) fn stopwatch(&self) -> Option<Stopwatch> {
+        if self.enabled {
+            Some(Stopwatch::start())
+        } else {
+            None
+        }
+    }
+
+    /// The cache-side handle bundle for this instance (no-op when
+    /// disabled).
+    pub(crate) fn cache_hooks(self: &Arc<Self>) -> CacheHooks {
+        CacheHooks { metrics: Arc::clone(self) }
+    }
+}
+
+/// The run cache's view of [`EngineMetrics`]: counts layer outcomes and
+/// accumulates I/O time. A thin wrapper so `cache.rs` never touches the
+/// registry directly.
+#[derive(Debug, Clone)]
+pub(crate) struct CacheHooks {
+    metrics: Arc<EngineMetrics>,
+}
+
+impl CacheHooks {
+    fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Option<Counter> {
+        if !self.metrics.enabled {
+            return None;
+        }
+        Some(self.metrics.registry.counter(name, help, labels))
+    }
+
+    fn float(&self, name: &str, help: &str) -> Option<FloatCounter> {
+        if !self.metrics.enabled {
+            return None;
+        }
+        Some(self.metrics.registry.float_counter(name, help, &[]))
+    }
+
+    /// A lookup was answered by the given layer (`mem_hit`,
+    /// `disk_hit`, `miss`).
+    pub(crate) fn on_lookup(&self, result: &str) {
+        if let Some(c) = self.counter(
+            "engine_cache_lookups_total",
+            "Cache lookups by layer answer.",
+            &[("result", result)],
+        ) {
+            c.inc();
+        }
+        if result != "miss" {
+            self.metrics.on_outcome(result);
+        }
+    }
+
+    /// A damaged disk entry was detected (it reads as a miss and is
+    /// healed by the re-executed result's insert).
+    pub(crate) fn on_corrupt(&self) {
+        if let Some(c) = self.counter(
+            "engine_cache_corrupt_total",
+            "Damaged disk entries healed by re-execution.",
+            &[],
+        ) {
+            c.inc();
+        }
+    }
+
+    /// An in-plan duplicate joined the first occurrence's run.
+    pub(crate) fn on_dedup_join(&self) {
+        self.metrics.on_outcome("dedup_join");
+    }
+
+    /// Start a stopwatch only when enabled.
+    pub(crate) fn stopwatch(&self) -> Option<Stopwatch> {
+        self.metrics.stopwatch()
+    }
+
+    /// Account time spent serializing a result for disk.
+    pub(crate) fn add_serialize(&self, sw: Option<Stopwatch>) -> Option<Stopwatch> {
+        if let (Some(sw), Some(f)) = (
+            sw,
+            self.float(
+                "engine_cache_serialize_seconds_total",
+                "Time serializing results for the disk layer.",
+            ),
+        ) {
+            f.add(sw.elapsed_s());
+        }
+        self.stopwatch()
+    }
+
+    /// Account time spent reading + parsing a disk entry.
+    pub(crate) fn add_disk_read(&self, sw: Option<Stopwatch>) {
+        if let (Some(sw), Some(f)) = (
+            sw,
+            self.float(
+                "engine_cache_disk_read_seconds_total",
+                "Time reading and parsing disk entries.",
+            ),
+        ) {
+            f.add(sw.elapsed_s());
+        }
+    }
+
+    /// Account time spent in the atomic temp-write + rename.
+    pub(crate) fn add_disk_write(&self, sw: Option<Stopwatch>) {
+        if let (Some(sw), Some(f)) = (
+            sw,
+            self.float(
+                "engine_cache_disk_write_seconds_total",
+                "Time in the atomic disk write + rename.",
+            ),
+        ) {
+            f.add(sw.elapsed_s());
+        }
+    }
+}
+
+/// Derived utilization view over a metrics [`Snapshot`] — the numbers
+/// `powerscale stats` and the sweep bench report.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PoolUtilization {
+    /// Summed per-worker execution seconds.
+    pub busy_s: f64,
+    /// Worker-seconds of capacity while pools were open.
+    pub slot_s: f64,
+    /// Wall seconds pools were open.
+    pub pool_wall_s: f64,
+}
+
+impl PoolUtilization {
+    /// Read the pool counters out of a snapshot.
+    pub fn from_snapshot(snap: &Snapshot) -> Self {
+        let total = |name: &str| snap.get(name, &[]).map(|s| s.scalar()).unwrap_or(0.0);
+        PoolUtilization {
+            busy_s: total("engine_worker_busy_seconds_total"),
+            slot_s: total("engine_pool_slot_seconds_total"),
+            pool_wall_s: total("engine_pool_wall_seconds_total"),
+        }
+    }
+
+    /// Busy fraction of pool capacity, in `[0, 1]` (0 when no pool ran).
+    pub fn utilization(&self) -> f64 {
+        if self.slot_s > 0.0 {
+            (self.busy_s / self.slot_s).clamp(0.0, 1.0)
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_metrics_record_nothing() {
+        let m = EngineMetrics::disabled();
+        m.on_plan(5);
+        m.on_outcome("executed");
+        assert!(m.stopwatch().is_none());
+        let hooks = m.cache_hooks();
+        hooks.on_lookup("miss");
+        hooks.on_corrupt();
+        hooks.add_disk_read(None);
+        assert!(m.snapshot().samples.is_empty());
+        assert!(m.spans().is_empty());
+    }
+
+    #[test]
+    fn enabled_hooks_accumulate() {
+        let m = EngineMetrics::new();
+        m.on_plan(3);
+        m.on_plan(2);
+        let hooks = m.cache_hooks();
+        hooks.on_lookup("mem_hit");
+        hooks.on_lookup("miss");
+        hooks.on_dedup_join();
+        let snap = m.snapshot();
+        assert_eq!(snap.get("engine_plans_total", &[]).unwrap().scalar(), 2.0);
+        assert_eq!(snap.get("engine_specs_total", &[]).unwrap().scalar(), 5.0);
+        assert_eq!(
+            snap.get("engine_cache_lookups_total", &[("result", "mem_hit")]).unwrap().scalar(),
+            1.0
+        );
+        assert_eq!(
+            snap.get("engine_runs_total", &[("outcome", "dedup_join")]).unwrap().scalar(),
+            1.0
+        );
+    }
+
+    #[test]
+    fn utilization_is_busy_over_capacity() {
+        let m = EngineMetrics::new();
+        let sw = m.stopwatch().unwrap();
+        m.on_pool_closed(4, 1.0, &sw);
+        let mut u = PoolUtilization::from_snapshot(&m.snapshot());
+        assert!(u.slot_s >= 4.0 * u.pool_wall_s - 1e-9);
+        u.busy_s = u.slot_s / 2.0;
+        assert!((u.utilization() - 0.5).abs() < 1e-12);
+        assert_eq!(PoolUtilization::default().utilization(), 0.0);
+    }
+}

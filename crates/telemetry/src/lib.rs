@@ -15,6 +15,10 @@
 //! * [`manifest`] — a JSON run manifest (configuration, gear selection,
 //!   aggregate counters, attribution tables) for archival under
 //!   `results/`.
+//! * [`selftrace`] — the same Trace Event Format export for the sweep
+//!   *engine's own* profiling spans (`psc_metrics::Profiler`): resolve
+//!   pass, worker lanes, per-run execution — the host-side flamegraph
+//!   behind `--self-trace-out`.
 //! * [`sweep`] — a JSON sweep manifest (worker count, run-cache
 //!   hit/miss accounting, wall-clock) describing how a whole
 //!   measurement campaign executed.
@@ -29,6 +33,7 @@
 pub mod attribution;
 pub mod chrome;
 pub mod manifest;
+pub mod selftrace;
 pub mod sweep;
 
 pub use attribution::{
@@ -36,4 +41,5 @@ pub use attribution::{
 };
 pub use chrome::{chrome_trace, write_chrome_trace};
 pub use manifest::RunManifest;
+pub use selftrace::{self_trace, write_self_trace};
 pub use sweep::SweepManifest;

@@ -14,7 +14,12 @@
 //! * [`faults`] — deterministic fault injection: scheduled clock
 //!   jitter, stragglers, memory bursts, network faults, and wattmeter
 //!   noise, all reproducible from a seed at any worker count.
+//! * [`metrics`] — lock-free engine self-observability: counters,
+//!   gauges, histograms with quantile estimation, profiling spans,
+//!   Prometheus text exposition.
 //! * [`runner`] — the parallel sweep engine and memoizing run cache.
+//! * [`telemetry`] — run manifests, energy attribution, and Trace
+//!   Event exports for both simulated ranks and the engine itself.
 //! * [`analysis`] — energy-time curves, slopes, UPM predictor, the
 //!   case 1/2/3 taxonomy, Pareto frontiers and report formatting.
 //! * [`experiments`] — harnesses that regenerate every table and figure.
@@ -27,9 +32,11 @@ pub use psc_experiments as experiments;
 pub use psc_faults as faults;
 pub use psc_kernels as kernels;
 pub use psc_machine as machine;
+pub use psc_metrics as metrics;
 pub use psc_model as model;
 pub use psc_mpi as mpi;
 pub use psc_runner as runner;
+pub use psc_telemetry as telemetry;
 
 /// Commonly used items, importable with `use powerscale::prelude::*`.
 pub mod prelude {
