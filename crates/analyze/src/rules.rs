@@ -9,6 +9,7 @@
 //! | U001 | units         | public scalar field or `f64`-returning `pub fn` named after a quantity without its unit suffix |
 //! | F001 | fault purity  | a stochastic construct inside `psc-faults` that bypasses the counter-keyed `rng` module |
 //! | M001 | observability | `psc_metrics` referenced from a simulation crate other than the runner (the single sanctioned integration point) |
+//! | T001 | virtual time  | a host-concurrency or host-clock identifier (`thread`, `crossbeam`, `Instant`, `SystemTime`) inside the DES scheduler (`crates/mpi/src/des/`) |
 //!
 //! (The C family — cache-key completeness — and the structural half of
 //! M001 are structural rather than per-token and live in
@@ -53,6 +54,7 @@ pub fn check_tokens(ctx: &FileCtx<'_>, toks: &[Tok]) -> Vec<Finding> {
     unordered_collections(ctx, toks, &mut out);
     unit_suffixes(ctx, toks, &mut out);
     metrics_boundary(ctx, toks, &mut out);
+    des_virtual_time_boundary(ctx, toks, &mut out);
     out
 }
 
@@ -230,6 +232,43 @@ fn metrics_boundary(ctx: &FileCtx<'_>, toks: &[Tok], out: &mut Vec<Finding>) {
                 "`psc_metrics` referenced from simulation crate psc-{} — metrics are \
                  observation-only and integrate solely through the runner's engine",
                 ctx.crate_dir
+            ),
+        ));
+    }
+}
+
+// --------------------------------------------------------------------
+// T001 — the DES scheduler's virtual-time boundary
+// --------------------------------------------------------------------
+
+/// Identifiers that have no business inside the discrete-event
+/// scheduler: the scheduler advances a *virtual* clock by popping an
+/// event heap on one host thread, so any OS-thread primitive, channel,
+/// or host-clock read there is a determinism hole by construction.
+const DES_BANNED: &[&str] = &["thread", "crossbeam", "Instant", "SystemTime"];
+
+/// The DES scheduler (`crates/mpi/src/des/`) must stay purely
+/// virtual-time and single-threaded. D001 already bans `Instant::now`
+/// everywhere; this rule is stricter on the scheduler path — the bare
+/// identifiers are banned outright, so even importing a thread or
+/// channel type (without calling it) is a finding. The threaded
+/// backend's primitives live above the fabric seam in `comm.rs`, which
+/// this rule deliberately does not cover.
+fn des_virtual_time_boundary(ctx: &FileCtx<'_>, toks: &[Tok], out: &mut Vec<Finding>) {
+    if !ctx.path.contains("crates/mpi/src/des/") {
+        return;
+    }
+    for t in toks.iter().filter(|t| DES_BANNED.contains(&t.text.as_str())) {
+        out.push(Finding::new(
+            "T001",
+            Severity::Error,
+            ctx.path,
+            t.line,
+            format!(
+                "host-concurrency identifier `{}` inside the DES scheduler — the scheduler is \
+                 single-threaded virtual time; thread/channel/host-clock primitives belong above \
+                 the fabric seam (crates/mpi/src/comm.rs), never in crates/mpi/src/des/",
+                t.text
             ),
         ));
     }
@@ -446,6 +485,30 @@ mod tests {
         assert!(rules_on(src, "crates/runner/src/metrics.rs", "runner").is_empty());
         // …and non-sim crates may consume metrics freely.
         assert!(rules_on(src, "crates/cli/src/main.rs", "cli").is_empty());
+    }
+
+    #[test]
+    fn des_path_bans_thread_channel_and_clock_idents() {
+        // Bare identifiers fire — even an unused import is a finding.
+        let src = "use std::thread; use crossbeam::channel::Receiver; \
+                   fn f() { let t = Instant::now(); let s = SystemTime::now(); }";
+        let f = rules_on(src, "crates/mpi/src/des/mod.rs", "mpi");
+        let t001: Vec<_> = f.iter().filter(|f| f.rule == "T001").map(|f| f.line).collect();
+        assert_eq!(t001.len(), 4, "thread, crossbeam, Instant, SystemTime each fire: {f:?}");
+        // Identical tokens outside the scheduler path are T001-clean
+        // (D001 still covers the clock reads there).
+        let elsewhere = rules_on(src, "crates/mpi/src/comm.rs", "mpi");
+        assert!(elsewhere.iter().all(|f| f.rule != "T001"));
+        // The scheduler as written is virtual-time only.
+        for path in ["crates/mpi/src/des/mod.rs", "crates/mpi/src/des/coro.rs"] {
+            let rel = path.strip_prefix("crates/mpi/src/des/").unwrap();
+            let src = std::fs::read_to_string(
+                std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../mpi/src/des").join(rel),
+            )
+            .expect("des sources exist");
+            let f = rules_on(&src, path, "mpi");
+            assert!(f.iter().all(|f| f.rule != "T001"), "{path} violates its own boundary: {f:?}");
+        }
     }
 
     #[test]

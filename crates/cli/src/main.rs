@@ -20,8 +20,8 @@ use psc_analysis::curve::{EnergyTimeCurve, EnergyTimePoint};
 use psc_analysis::pareto::{configs_of, fastest_under_power_cap, pareto_frontier};
 use psc_analysis::plot::ascii_plot;
 use psc_experiments::harness::{
-    class_label, cluster, engine_from_args, faults_from_args, measure_curve, model_for,
-    predicted_curve,
+    backend_from_args, class_label, cluster, engine_from_args, faults_from_args, measure_curve,
+    model_for, predicted_curve,
 };
 use psc_faults::{FaultPlan, DEFAULT_NOISE_LEVEL};
 use psc_kernels::{Benchmark, ProblemClass};
@@ -83,6 +83,7 @@ powerscale — energy-time exploration on a simulated power-scalable cluster
 USAGE:
   powerscale run    --bench <NAME> [--nodes N] [--gear G] [--class b|test]
                     [--trace-out PATH] [--manifest-out PATH]
+                    [--backend threaded|des]
   powerscale sweep  --bench <NAME> [--nodes N] [--class b|test] [--jobs J]
                     [--trace-out PATH] [--metrics-out PATH]
                     [--self-trace-out PATH] [--events-out PATH]
@@ -132,7 +133,14 @@ USAGE:
   (--jobs, or the PSC_JOBS environment variable; default = available
   parallelism) and memoize results in a content-addressed cache under
   target/psc-run-cache (PSC_CACHE_DIR overrides; PSC_CACHE=0 disables).
-  Results are bit-identical whatever the worker count.";
+  Results are bit-identical whatever the worker count.
+
+  Rank driver: every measuring command accepts --backend threaded|des
+  to select how ranks execute on the host. `des` (the default) runs all
+  ranks as coroutines of a single-threaded discrete-event scheduler;
+  `threaded` spawns one OS thread per rank (retained for differential
+  testing). The two produce byte-identical results — the backend is a
+  host-throughput knob, never a configuration axis or cache-key input.";
 
 /// Honour the metrics export flags shared by `sweep` and `stats`:
 /// `--metrics-out` (Prometheus text exposition), `--self-trace-out`
@@ -192,6 +200,16 @@ fn flag(args: &[String], name: &str) -> Option<String> {
     args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
 }
 
+/// The testbed cluster with any `--backend` override applied — for the
+/// commands (`run`, `trace`) that drive the cluster directly rather
+/// than through an engine.
+fn cluster_from_args(args: &[String]) -> psc_mpi::Cluster {
+    match backend_from_args(args) {
+        Some(b) => cluster().with_backend(b),
+        None => cluster(),
+    }
+}
+
 fn parse_bench(args: &[String]) -> Result<Benchmark, String> {
     let name = flag(args, "--bench").ok_or("missing --bench <NAME>")?;
     Benchmark::parse(&name)
@@ -225,7 +243,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             bench.valid_nodes(32)
         ));
     }
-    let c = cluster();
+    let c = cluster_from_args(args);
     if gear < 1 || gear > c.node.gears.len() {
         return Err(format!("gear must be 1..={}", c.node.gears.len()));
     }
@@ -279,7 +297,7 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
     if !bench.supports_nodes(nodes) {
         return Err(format!("{} cannot run on {nodes} nodes", bench.name()));
     }
-    let c = cluster();
+    let c = cluster_from_args(args);
     if gear < 1 || gear > c.node.gears.len() {
         return Err(format!("gear must be 1..={}", c.node.gears.len()));
     }

@@ -6,15 +6,83 @@
 //! hardware counters, the MPI trace, and the wall-outlet power trace —
 //! everything the paper measures on its real cluster.
 
-use crate::comm::Comm;
+use crate::comm::{Comm, Fabric};
+use crate::des;
 use crate::network::NetworkModel;
-use crate::router::Router;
+use crate::router::{MatchBuffer, Router};
 use crate::trace::RankTrace;
 use psc_faults::FaultPlan;
 use psc_machine::wattmeter::cluster_energy_j;
 use psc_machine::{Counters, NodeSpec, PowerTrace, Wattmeter};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
+
+/// Which driver executes the rank programs of a [`Cluster`] run.
+///
+/// Both backends run the *same* `Comm` layer over the same machine,
+/// network, and fault models; only the mechanics of "a rank blocks in a
+/// receive" differ. Results are byte-identical (enforced by
+/// `tests/backend_identity.rs`), so the backend choice is a host-side
+/// throughput knob — it participates in no cache key and no result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RuntimeBackend {
+    /// One OS thread per rank, parked on a channel when blocked.
+    /// Retained for differential testing against [`RuntimeBackend::Des`].
+    Threaded,
+    /// Single-threaded discrete-event scheduler: each rank is a
+    /// coroutine suspended at blocking `Comm` operations, resumed in
+    /// deterministic `(virtual time, rank)` order. The default — it
+    /// removes per-run thread spawn/join and futex costs entirely.
+    #[default]
+    Des,
+}
+
+impl RuntimeBackend {
+    /// Parse a CLI-style backend name (`"threaded"` or `"des"`).
+    pub fn parse(s: &str) -> Option<RuntimeBackend> {
+        match s {
+            "threaded" => Some(RuntimeBackend::Threaded),
+            "des" => Some(RuntimeBackend::Des),
+            _ => None,
+        }
+    }
+
+    /// The CLI-style name of this backend.
+    pub fn name(self) -> &'static str {
+        match self {
+            RuntimeBackend::Threaded => "threaded",
+            RuntimeBackend::Des => "des",
+        }
+    }
+
+    /// The backend that will actually drive a run: targets without a
+    /// coroutine context switch fall back to the threaded driver (the
+    /// results are bit-identical either way).
+    pub fn effective(self) -> RuntimeBackend {
+        if des::coro::SWITCH_SUPPORTED {
+            self
+        } else {
+            RuntimeBackend::Threaded
+        }
+    }
+}
+
+/// Host-side execution statistics of one run. Deliberately *not* part
+/// of [`RunResult`]: results are serialized into the content-addressed
+/// run cache and byte-compared across backends and worker counts, so
+/// anything describing how the host executed a run must travel beside
+/// the result, never inside it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BackendStats {
+    /// Coroutine dispatches performed by the DES scheduler (0 under the
+    /// threaded backend).
+    pub events_processed: u64,
+}
+
+/// Everything a finished rank hands back to the driver, in rank order
+/// after collection: `(rank, program output, counters, trace, power,
+/// end time, final gear)`.
+type RankProducts<R> = (usize, R, Counters, RankTrace, PowerTrace, f64, usize);
 
 /// Which gear each rank runs at.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -130,17 +198,30 @@ pub struct Cluster {
     pub network: NetworkModel,
     /// The sampling wattmeter used for `measured_energy_j`.
     pub wattmeter: Wattmeter,
+    /// The rank driver. Changes host throughput only, never a result.
+    pub backend: RuntimeBackend,
 }
 
 impl Cluster {
     /// A cluster of the given nodes and network, measured at 30 Hz.
     pub fn new(node: NodeSpec, network: NetworkModel) -> Self {
-        Cluster { node, network, wattmeter: Wattmeter::default() }
+        Cluster {
+            node,
+            network,
+            wattmeter: Wattmeter::default(),
+            backend: RuntimeBackend::default(),
+        }
     }
 
     /// The paper's testbed: Athlon-64 nodes on 100 Mb/s Ethernet.
     pub fn athlon_fast_ethernet() -> Self {
         Cluster::new(psc_machine::presets::athlon64(), NetworkModel::fast_ethernet())
+    }
+
+    /// The same cluster with another rank driver.
+    pub fn with_backend(mut self, backend: RuntimeBackend) -> Self {
+        self.backend = backend;
+        self
     }
 
     /// Run an SPMD program on `cfg.nodes` ranks and collect measurements.
@@ -204,6 +285,23 @@ impl Cluster {
         R: Send,
         F: Fn(&mut Comm) -> R + Sync,
     {
+        let (run, outputs, _) = self.run_with_faults_stats(cfg, faults, program);
+        (run, outputs)
+    }
+
+    /// [`Cluster::run_with_faults`] plus the backend's host-side
+    /// execution statistics ([`BackendStats`]) — returned *beside* the
+    /// result so observability can never perturb it.
+    pub fn run_with_faults_stats<R, F>(
+        &self,
+        cfg: &ClusterConfig,
+        faults: Option<&FaultPlan>,
+        program: F,
+    ) -> (RunResult, Vec<R>, BackendStats)
+    where
+        R: Send,
+        F: Fn(&mut Comm) -> R + Sync,
+    {
         assert!(cfg.nodes >= 1, "cluster run needs at least one node");
         if let GearSelection::PerRank(v) = &cfg.gears {
             assert_eq!(v.len(), cfg.nodes, "per-rank gear list length must equal node count");
@@ -223,38 +321,126 @@ impl Cluster {
             let _ = self.node.gear(effective_gear(rank));
         }
 
+        let (per_rank, stats) = match self.backend.effective() {
+            RuntimeBackend::Threaded => (
+                self.drive_threaded(cfg, faults, &program, &effective_gear),
+                BackendStats::default(),
+            ),
+            RuntimeBackend::Des => self.drive_des(cfg, faults, &program, &effective_gear),
+        };
+
+        let (run, outputs) = self.assemble(cfg, faults, per_rank);
+        (run, outputs, stats)
+    }
+
+    /// The thread-per-rank driver: each rank on its own OS thread,
+    /// blocked receives parked on crossbeam channels.
+    fn drive_threaded<R, F>(
+        &self,
+        cfg: &ClusterConfig,
+        faults: Option<&FaultPlan>,
+        program: &F,
+        effective_gear: &dyn Fn(usize) -> usize,
+    ) -> Vec<RankProducts<R>>
+    where
+        R: Send,
+        F: Fn(&mut Comm) -> R + Sync,
+    {
         let (router, outlets) = Router::new(cfg.nodes);
         let router = Arc::new(router);
         let node = Arc::new(self.node.clone());
-        let program = &program;
-        let effective_gear = &effective_gear;
 
-        let mut per_rank: Vec<(usize, R, Counters, RankTrace, PowerTrace, f64, usize)> =
-            std::thread::scope(|scope| {
-                let mut handles = Vec::with_capacity(cfg.nodes);
-                for (rank, inbox) in outlets.into_iter().enumerate() {
-                    let gear_index = effective_gear(rank);
-                    let gear = self.node.gear(gear_index);
-                    let forced_from =
-                        (gear_index != cfg.gears.gear_for(rank)).then(|| cfg.gears.gear_for(rank));
-                    let rank_faults = faults.map(|p| p.rank_faults(rank));
-                    let router = Arc::clone(&router);
-                    let node = Arc::clone(&node);
-                    let network = self.network;
-                    handles.push(scope.spawn(move || {
-                        let mut comm =
-                            Comm::new(rank, cfg.nodes, gear, node, network, router, inbox);
-                        comm.set_faults(rank_faults, forced_from);
-                        let out = program(&mut comm);
-                        comm.finalize();
-                        let (counters, trace, power, end_s, final_gear) = comm.into_results();
-                        (rank, out, counters, trace, power, end_s, final_gear)
-                    }));
-                }
-                handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
-            });
+        let mut per_rank: Vec<RankProducts<R>> = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(cfg.nodes);
+            for (rank, inbox) in outlets.into_iter().enumerate() {
+                let gear_index = effective_gear(rank);
+                let gear = self.node.gear(gear_index);
+                let forced_from =
+                    (gear_index != cfg.gears.gear_for(rank)).then(|| cfg.gears.gear_for(rank));
+                let rank_faults = faults.map(|p| p.rank_faults(rank));
+                let router = Arc::clone(&router);
+                let node = Arc::clone(&node);
+                let network = self.network;
+                handles.push(scope.spawn(move || {
+                    let fabric = Fabric::Threaded { router, inbox, buffer: MatchBuffer::new() };
+                    let mut comm = Comm::new(rank, cfg.nodes, gear, node, network, fabric);
+                    comm.set_faults(rank_faults, forced_from);
+                    let out = program(&mut comm);
+                    comm.finalize();
+                    let (counters, trace, power, end_s, final_gear) = comm.into_results();
+                    (rank, out, counters, trace, power, end_s, final_gear)
+                }));
+            }
+            handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
+        });
         per_rank.sort_by_key(|t| t.0);
+        per_rank
+    }
 
+    /// The discrete-event driver: every rank a coroutine on this
+    /// thread, dispatched by the virtual-clock scheduler in `des`.
+    fn drive_des<R, F>(
+        &self,
+        cfg: &ClusterConfig,
+        faults: Option<&FaultPlan>,
+        program: &F,
+        effective_gear: &dyn Fn(usize) -> usize,
+    ) -> (Vec<RankProducts<R>>, BackendStats)
+    where
+        R: Send,
+        F: Fn(&mut Comm) -> R + Sync,
+    {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        let n = cfg.nodes;
+        let state = des::DesState::new(n);
+        let results: Rc<RefCell<Vec<Option<RankProducts<R>>>>> =
+            Rc::new(RefCell::new((0..n).map(|_| None).collect()));
+        let node = Arc::new(self.node.clone());
+        let mut coros = Vec::with_capacity(n);
+        for rank in 0..n {
+            let gear_index = effective_gear(rank);
+            let gear = self.node.gear(gear_index);
+            let forced_from =
+                (gear_index != cfg.gears.gear_for(rank)).then(|| cfg.gears.gear_for(rank));
+            let rank_faults = faults.map(|p| p.rank_faults(rank));
+            let state = Rc::clone(&state);
+            let results = Rc::clone(&results);
+            let node = Arc::clone(&node);
+            let network = self.network;
+            coros.push(des::coro::Coroutine::new(des::coro::STACK_BYTES, move |yielder| {
+                let fabric = Fabric::Des(des::DesEndpoint::new(rank, state, yielder.clone()));
+                let mut comm = Comm::new(rank, n, gear, node, network, fabric);
+                comm.set_faults(rank_faults, forced_from);
+                let out = program(&mut comm);
+                comm.finalize();
+                let (counters, trace, power, end_s, final_gear) = comm.into_results();
+                results.borrow_mut()[rank] =
+                    Some((rank, out, counters, trace, power, end_s, final_gear));
+            }));
+        }
+
+        let events_processed = des::drive(&state, coros);
+
+        let per_rank = results
+            .borrow_mut()
+            .iter_mut()
+            .map(|slot| slot.take().expect("finished rank left no result"))
+            .collect();
+        (per_rank, BackendStats { events_processed })
+    }
+
+    /// Shared post-processing: pad early finishers to the run's end at
+    /// idle power, compact the traces, and integrate energy. Identical
+    /// for both backends by construction — this is where byte-identity
+    /// is decided.
+    fn assemble<R>(
+        &self,
+        cfg: &ClusterConfig,
+        faults: Option<&FaultPlan>,
+        per_rank: Vec<RankProducts<R>>,
+    ) -> (RunResult, Vec<R>) {
         let time_s = per_rank.iter().map(|t| t.5).fold(0.0, f64::max);
         let mut ranks = Vec::with_capacity(cfg.nodes);
         let mut outputs = Vec::with_capacity(cfg.nodes);

@@ -18,6 +18,7 @@
 //! `P_g` while computing, idle power `I_g` while inside a
 //! message-passing call — the step-function model of paper §4.1.
 
+use crate::des::DesEndpoint;
 use crate::network::NetworkModel;
 use crate::payload::Payload;
 use crate::reduce::ReduceOp;
@@ -27,6 +28,66 @@ use crossbeam::channel::Receiver;
 use psc_faults::RankFaults;
 use psc_machine::{Counters, Gear, NodeSpec, PowerTrace, WorkBlock};
 use std::sync::Arc;
+
+/// The message transport behind a [`Comm`], chosen by the cluster
+/// driver's `RuntimeBackend`. Everything above this seam — clock
+/// arithmetic, collectives, tracing, fault injection — is shared
+/// between backends, which is what makes their results byte-identical.
+pub(crate) enum Fabric {
+    /// Thread-per-rank: a shared [`Router`] of crossbeam channels; a
+    /// receive blocks the rank's OS thread on its inbox.
+    Threaded {
+        /// Shared send side of every rank's mailbox.
+        router: Arc<Router>,
+        /// This rank's receive side.
+        inbox: Receiver<Envelope>,
+        /// Messages that arrived before they were asked for.
+        buffer: MatchBuffer,
+    },
+    /// Discrete-event scheduler: a receive suspends the rank's
+    /// coroutine until the matching message's virtual arrival.
+    Des(DesEndpoint),
+}
+
+impl Fabric {
+    /// Deliver an envelope to `dst`. Never blocks the sender.
+    fn deliver(&mut self, dst: usize, env: Envelope) {
+        match self {
+            Fabric::Threaded { router, .. } => router.deliver(dst, env),
+            Fabric::Des(ep) => ep.deliver(dst, env),
+        }
+    }
+
+    /// Block until the first message matching `(src, tag)` is available
+    /// and return it, preserving per-pair FIFO order.
+    fn recv_matching(&mut self, src: usize, tag: u64) -> Envelope {
+        match self {
+            Fabric::Threaded { inbox, buffer, .. } => {
+                if let Some(env) = buffer.take(src, tag) {
+                    return env;
+                }
+                loop {
+                    let env = inbox.recv().expect(
+                        "all senders dropped while rank still receiving — deadlock in program",
+                    );
+                    if env.src == src && env.tag == tag {
+                        return env;
+                    }
+                    buffer.hold(env);
+                }
+            }
+            Fabric::Des(ep) => ep.recv_matching(src, tag),
+        }
+    }
+
+    /// Messages still held for this rank (finalize sanity check).
+    fn held(&self) -> usize {
+        match self {
+            Fabric::Threaded { buffer, .. } => buffer.len(),
+            Fabric::Des(ep) => ep.held(),
+        }
+    }
+}
 
 /// Tag namespace reserved for collective operations; user tags must stay
 /// below this value.
@@ -51,9 +112,7 @@ pub struct Comm {
     gear: Gear,
     node: Arc<NodeSpec>,
     network: NetworkModel,
-    router: Arc<Router>,
-    inbox: Receiver<Envelope>,
-    buffer: MatchBuffer,
+    fabric: Fabric,
     clock_s: f64,
     counters: Counters,
     trace: RankTrace,
@@ -66,15 +125,13 @@ pub struct Comm {
 
 impl Comm {
     /// Construct a communicator endpoint. Called by the cluster driver.
-    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         rank: usize,
         size: usize,
         gear: Gear,
         node: Arc<NodeSpec>,
         network: NetworkModel,
-        router: Arc<Router>,
-        inbox: Receiver<Envelope>,
+        fabric: Fabric,
     ) -> Self {
         Comm {
             rank,
@@ -82,9 +139,7 @@ impl Comm {
             gear,
             node,
             network,
-            router,
-            inbox,
-            buffer: MatchBuffer::new(),
+            fabric,
             clock_s: 0.0,
             counters: Counters::default(),
             // Pre-sized for steady-state kernels: hundreds of MPI events
@@ -597,10 +652,10 @@ impl Comm {
         self.finish_op(MpiOp::Finalize, t0, bytes, None);
         self.trace.end_s = self.clock_s;
         debug_assert!(
-            self.buffer.is_empty(),
+            self.fabric.held() == 0,
             "rank {} finalized with {} unconsumed messages",
             self.rank,
-            self.buffer.len()
+            self.fabric.held()
         );
     }
 
@@ -657,7 +712,7 @@ impl Comm {
             }
         }
         let arrival = self.clock_s + self.network.wire_time_s() + extra_latency_s;
-        self.router.deliver(
+        self.fabric.deliver(
             dst,
             Envelope { src: self.rank, tag, arrival_s: arrival, bytes, data: Box::new(data) },
         );
@@ -665,25 +720,14 @@ impl Comm {
         bytes
     }
 
-    /// Untraced receive: blocks the thread until a matching message is
-    /// available, then advances the clock to
-    /// `max(now, arrival) + recv_overhead`. Returns `(data, bytes)`.
+    /// Untraced receive: blocks the rank (its OS thread or its
+    /// coroutine, per backend) until a matching message is available,
+    /// then advances the clock to `max(now, arrival) + recv_overhead`.
+    /// Returns `(data, bytes)`.
     fn raw_recv<T: Payload>(&mut self, src: usize, tag: u64) -> (T, u64) {
         assert!(src < self.size, "recv from rank {src} out of range (size {})", self.size);
         assert_ne!(src, self.rank, "recv from self would deadlock");
-        let env = match self.buffer.take(src, tag) {
-            Some(env) => env,
-            None => loop {
-                let env = self
-                    .inbox
-                    .recv()
-                    .expect("all senders dropped while rank still receiving — deadlock in program");
-                if env.src == src && env.tag == tag {
-                    break env;
-                }
-                self.buffer.hold(env);
-            },
-        };
+        let env = self.fabric.recv_matching(src, tag);
         self.clock_s = self.clock_s.max(env.arrival_s) + self.network.recv_overhead_s;
         let bytes = env.bytes;
         let data = env

@@ -6,8 +6,14 @@
 //!
 //! ## How it works
 //!
-//! Every rank runs as an OS thread and owns a **virtual clock** (seconds,
-//! `f64`). Two things advance the clock:
+//! Every rank owns a **virtual clock** (seconds, `f64`). Under the
+//! default [`cluster::RuntimeBackend::Des`] backend all ranks run as
+//! coroutines of a single-threaded discrete-event scheduler,
+//! suspended at blocking operations and resumed in `(virtual time,
+//! rank)` order; the [`cluster::RuntimeBackend::Threaded`] backend runs
+//! each rank as an OS thread instead and is retained for differential
+//! testing. The two produce byte-identical results. Two things advance
+//! the clock:
 //!
 //! * [`comm::Comm::compute`] — executing a work block, charged by the
 //!   node's CPU model at the rank's current gear (CPU time scales with
@@ -40,6 +46,7 @@
 pub mod batch;
 pub mod cluster;
 pub mod comm;
+pub(crate) mod des;
 pub mod network;
 pub mod payload;
 pub mod reduce;
@@ -47,7 +54,9 @@ pub mod router;
 pub mod trace;
 
 pub use batch::default_jobs;
-pub use cluster::{Cluster, ClusterConfig, GearSelection, RankResult, RunResult};
+pub use cluster::{
+    BackendStats, Cluster, ClusterConfig, GearSelection, RankResult, RunResult, RuntimeBackend,
+};
 pub use comm::{Comm, RecvRequest};
 pub use network::NetworkModel;
 pub use reduce::ReduceOp;

@@ -105,6 +105,14 @@ impl Engine {
         self
     }
 
+    /// Select the rank-execution backend (DES or threaded). The backend
+    /// affects host-side throughput only: it never enters a cache key,
+    /// and both backends produce byte-identical results.
+    pub fn with_backend(mut self, backend: psc_mpi::RuntimeBackend) -> Self {
+        self.cluster = self.cluster.with_backend(backend);
+        self
+    }
+
     /// The engine's default fault plan, if any.
     pub fn faults(&self) -> Option<&FaultPlan> {
         self.faults.as_ref()
@@ -176,9 +184,17 @@ impl Engine {
             return run;
         }
         let sw = self.metrics.stopwatch();
-        let run = Arc::new(self.execute_spec(spec));
+        let (run, des_events) = self.execute_spec(spec);
+        let run = Arc::new(run);
         if let Some(sw) = sw {
-            self.metrics.on_run_executed(spec.bench.name(), &Self::gear_label(spec), 0, 0.0, &sw);
+            self.metrics.on_run_executed(
+                spec.bench.name(),
+                &Self::gear_label(spec),
+                0,
+                0.0,
+                des_events,
+                &sw,
+            );
         }
         self.cache.insert(key, Arc::clone(&run));
         run
@@ -240,7 +256,8 @@ impl Engine {
                         }
                         let (key, spec) = to_run[k];
                         let sw = self.metrics.stopwatch();
-                        let run = Arc::new(self.execute_spec(spec));
+                        let (run, des_events) = self.execute_spec(spec);
+                        let run = Arc::new(run);
                         if let (Some(sw), Some(pool)) = (sw, pool_sw.as_ref()) {
                             // Queue wait: how long this item sat between
                             // the pool opening and its execution starting.
@@ -251,6 +268,7 @@ impl Engine {
                                 &Self::gear_label(spec),
                                 lane,
                                 wait_s.max(0.0),
+                                des_events,
                                 &sw,
                             );
                         }
@@ -273,12 +291,17 @@ impl Engine {
         keys.iter().map(|k| Arc::clone(&resolved[k])).collect()
     }
 
-    fn execute_spec(&self, spec: &RunSpec) -> RunResult {
-        let (run, _outputs) =
-            self.cluster.run_with_faults(&spec.config(), self.effective_faults(spec), |comm| {
-                spec.bench.run(comm, spec.class)
-            });
-        run
+    /// Execute a spec on the cluster. Returns the result plus the
+    /// backend's scheduler event count — carried *beside* the result
+    /// (never in it) so the instrumentation around this function can
+    /// observe DES throughput without touching what a run computes.
+    fn execute_spec(&self, spec: &RunSpec) -> (RunResult, u64) {
+        let (run, _outputs, backend) = self.cluster.run_with_faults_stats(
+            &spec.config(),
+            self.effective_faults(spec),
+            |comm| spec.bench.run(comm, spec.class),
+        );
+        (run, backend.events_processed)
     }
 }
 

@@ -17,6 +17,7 @@
 //! | `engine_specs_total` | counter | — | specs across all plans |
 //! | `engine_runs_total` | counter | `outcome` | per-spec outcome: `executed`, `mem_hit`, `disk_hit`, `dedup_join` |
 //! | `engine_run_wall_seconds` | histogram | `bench`, `gear` | host wall-clock per *executed* run |
+//! | `engine_des_events_total` | counter | — | DES scheduler dispatches across executed runs (0 under the threaded backend) |
 //! | `engine_cache_lookups_total` | counter | `result` | cache layer answers: `mem_hit`, `disk_hit`, `miss` |
 //! | `engine_cache_corrupt_total` | counter | — | damaged disk entries healed by re-execution |
 //! | `engine_cache_serialize_seconds_total` | counter (f64) | — | time serializing results for disk |
@@ -132,13 +133,16 @@ impl EngineMetrics {
             .inc();
     }
 
-    /// One run actually executed on a worker lane.
+    /// One run actually executed on a worker lane. `des_events` is the
+    /// scheduler's dispatch count for the run (0 under the threaded
+    /// backend, which has no event queue).
     pub(crate) fn on_run_executed(
         &self,
         bench: &str,
         gear: &str,
         lane: u64,
         queue_wait_s: f64,
+        des_events: u64,
         sw: &Stopwatch,
     ) {
         if !self.enabled {
@@ -151,6 +155,15 @@ impl EngineMetrics {
                 &[("bench", bench), ("gear", gear)],
             )
             .observe(sw.elapsed_s());
+        if des_events > 0 {
+            self.registry
+                .counter(
+                    "engine_des_events_total",
+                    "DES scheduler dispatches across executed runs.",
+                    &[],
+                )
+                .add(des_events);
+        }
         self.registry
             .time_histogram(
                 "engine_queue_wait_seconds",

@@ -18,7 +18,7 @@
 
 use powerscale::faults::{FaultPlan, DEFAULT_NOISE_LEVEL};
 use powerscale::kernels::{Benchmark, ProblemClass};
-use powerscale::mpi::Cluster;
+use powerscale::mpi::{Cluster, RuntimeBackend};
 use powerscale::runner::{Engine, RunPlan, RunSpec};
 use proptest::prelude::*;
 
@@ -94,6 +94,21 @@ fn faulted_sweep_identical_at_any_jobs() {
 
 proptest! {
     #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Randomized fault plans are backend-invariant: the DES scheduler
+    /// and the threaded driver agree bit-for-bit on faulted runs (the
+    /// exhaustive clean/faulted sweep lives in `backend_identity.rs`).
+    #[test]
+    fn faulted_runs_are_backend_invariant(seed in 0u64..u64::MAX, level in 0.001..0.20f64) {
+        let spec = RunSpec::uniform(Benchmark::Lu, ProblemClass::Test, 2, 4)
+            .with_faults(FaultPlan::noise(seed, level));
+        let des = engine(1).with_backend(RuntimeBackend::Des).run(&spec);
+        let threaded = engine(1).with_backend(RuntimeBackend::Threaded).run(&spec);
+        prop_assert_eq!(des.time_s.to_bits(), threaded.time_s.to_bits());
+        prop_assert_eq!(des.energy_j.to_bits(), threaded.energy_j.to_bits());
+        let (a, b) = (serde::json::to_string(&*des), serde::json::to_string(&*threaded));
+        prop_assert_eq!(a, b, "serialized faulted runs must not depend on the backend");
+    }
 
     /// Randomized fault plans — arbitrary seed and noise level up to an
     /// aggressive 20% — never break the bound on a 2-node CG sweep.
