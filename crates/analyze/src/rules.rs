@@ -10,6 +10,7 @@
 //! | F001 | fault purity  | a stochastic construct inside `psc-faults` that bypasses the counter-keyed `rng` module |
 //! | M001 | observability | `psc_metrics` referenced from a simulation crate other than the runner (the single sanctioned integration point) |
 //! | T001 | virtual time  | a host-concurrency or host-clock identifier (`thread`, `crossbeam`, `Instant`, `SystemTime`) inside the DES scheduler (`crates/mpi/src/des/`) |
+//! | S001 | layering      | a simulator-bypassing identifier (`Cluster`, `run_with_faults`, `run_with_faults_stats`) inside the job server (`crates/serve/`) — the service must go through `Engine` so dedupe sees every request |
 //!
 //! (The C family — cache-key completeness — and the structural half of
 //! M001 are structural rather than per-token and live in
@@ -55,6 +56,7 @@ pub fn check_tokens(ctx: &FileCtx<'_>, toks: &[Tok]) -> Vec<Finding> {
     unit_suffixes(ctx, toks, &mut out);
     metrics_boundary(ctx, toks, &mut out);
     des_virtual_time_boundary(ctx, toks, &mut out);
+    serve_engine_boundary(ctx, toks, &mut out);
     out
 }
 
@@ -268,6 +270,43 @@ fn des_virtual_time_boundary(ctx: &FileCtx<'_>, toks: &[Tok], out: &mut Vec<Find
                 "host-concurrency identifier `{}` inside the DES scheduler — the scheduler is \
                  single-threaded virtual time; thread/channel/host-clock primitives belong above \
                  the fabric seam (crates/mpi/src/comm.rs), never in crates/mpi/src/des/",
+                t.text
+            ),
+        ));
+    }
+}
+
+// --------------------------------------------------------------------
+// S001 — the job server's engine-only boundary
+// --------------------------------------------------------------------
+
+/// Identifiers that would let the job server bypass the engine:
+/// constructing a `Cluster` or calling the raw simulation entry points
+/// directly would skip the run cache, the in-flight table, and the
+/// metrics registry — exactly the layers the service exists to share.
+const SERVE_BANNED: &[&str] = &["Cluster", "run_with_faults", "run_with_faults_stats"];
+
+/// The job server (`crates/serve/`) must reach simulations only through
+/// `psc_runner::Engine`, whose three-way dedupe (memory cache, disk
+/// cache, in-flight table) is what makes concurrent identical specs
+/// collapse to one execution. Naming the cluster or the raw kernel
+/// entry points there — even in an import — is a layering violation:
+/// callers inject an engine (or an engine factory, for the replay
+/// driver) instead.
+fn serve_engine_boundary(ctx: &FileCtx<'_>, toks: &[Tok], out: &mut Vec<Finding>) {
+    if !ctx.path.contains("crates/serve/") {
+        return;
+    }
+    for t in toks.iter().filter(|t| SERVE_BANNED.contains(&t.text.as_str())) {
+        out.push(Finding::new(
+            "S001",
+            Severity::Error,
+            ctx.path,
+            t.line,
+            format!(
+                "simulator-bypassing identifier `{}` inside the job server — crates/serve/ must \
+                 run specs only through psc_runner::Engine so the cache and in-flight dedupe see \
+                 every request; build the engine at the call site and inject it",
                 t.text
             ),
         ));
@@ -508,6 +547,30 @@ mod tests {
             .expect("des sources exist");
             let f = rules_on(&src, path, "mpi");
             assert!(f.iter().all(|f| f.rule != "T001"), "{path} violates its own boundary: {f:?}");
+        }
+    }
+
+    #[test]
+    fn serve_path_bans_simulator_bypass_idents() {
+        // Bare identifiers fire — even an unused import is a finding.
+        let src = "use psc_machine::Cluster; \
+                   fn f(c: &Cluster) { let r = run_with_faults(c); run_with_faults_stats(c); }";
+        let f = rules_on(src, "crates/serve/src/server.rs", "serve");
+        let s001: Vec<_> = f.iter().filter(|f| f.rule == "S001").collect();
+        assert_eq!(s001.len(), 4, "Cluster (twice) and both raw entry points fire: {f:?}");
+        // Identical tokens outside the serve path are S001-clean — the
+        // CLI and bench crates are where the cluster gets built.
+        let elsewhere = rules_on(src, "crates/cli/src/main.rs", "cli");
+        assert!(elsewhere.iter().all(|f| f.rule != "S001"));
+        // The job server as written honours its own boundary.
+        for rel in ["lib.rs", "proto.rs", "queue.rs", "replay.rs", "server.rs"] {
+            let path = format!("crates/serve/src/{rel}");
+            let src = std::fs::read_to_string(
+                std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../serve/src").join(rel),
+            )
+            .expect("serve sources exist");
+            let f = rules_on(&src, &path, "serve");
+            assert!(f.iter().all(|f| f.rule != "S001"), "{path} violates its own boundary: {f:?}");
         }
     }
 

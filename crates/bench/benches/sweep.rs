@@ -121,6 +121,23 @@ struct SweepBenchReport {
     events_processed: u64,
     /// Whether the two backends rendered byte-identical CSVs.
     backend_identical: bool,
+    /// Concurrent clients the serve replay fired.
+    serve_clients: u64,
+    /// Specs requested across all serve replay clients.
+    serve_specs: u64,
+    /// Simulations the job server actually executed for them.
+    serve_executed: u64,
+    /// Fraction of serve replies answered without a simulation.
+    serve_dedup_rate: f64,
+    /// Specs answered per wall-second through the service path.
+    serve_throughput_specs_per_s: f64,
+    /// Median request latency through the server (accept → done).
+    serve_latency_p50_s: f64,
+    /// 95th-percentile request latency through the server.
+    serve_latency_p95_s: f64,
+    /// Every serve reply byte-identical to direct engine execution AND
+    /// no duplicated spec simulated twice. Always gated.
+    serve_identical: bool,
     /// Summary of the parallel engine's own metrics snapshot.
     metrics: MetricsSummary,
 }
@@ -483,6 +500,16 @@ fn main() {
     let threaded = backend_pass(&bplan, RuntimeBackend::Threaded, reps);
     let backend_identical = des.csv == threaded.csv;
 
+    // Sweep-as-a-service replay: Zipf-skewed concurrent clients against
+    // an in-process job server, byte-compared to direct execution.
+    let serve_cfg = psc_serve::ReplayConfig {
+        clients: if quick { 4 } else { 8 },
+        requests_per_client: if quick { 6 } else { 12 },
+        ..psc_serve::ReplayConfig::default()
+    };
+    let serve = psc_serve::replay(&|| Engine::serial(cluster()), serve_cfg);
+    let serve_identical = serve.byte_identical && serve.dedup_exact();
+
     let host_cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let report = SweepBenchReport {
         quick,
@@ -509,6 +536,14 @@ fn main() {
         des_speedup_vs_threaded: des.runs_per_sec / threaded.runs_per_sec,
         events_processed: des.events,
         backend_identical,
+        serve_clients: serve.clients as u64,
+        serve_specs: serve.specs,
+        serve_executed: serve.executed,
+        serve_dedup_rate: serve.dedup_rate,
+        serve_throughput_specs_per_s: serve.throughput_specs_per_s,
+        serve_latency_p50_s: serve.latency_p50_s,
+        serve_latency_p95_s: serve.latency_p95_s,
+        serve_identical,
         metrics: MetricsSummary::from_snapshot(&cold_snap),
     };
 
@@ -536,6 +571,16 @@ fn main() {
         threaded.wall_s,
         report.des_speedup_vs_threaded,
         des.events
+    );
+
+    println!(
+        "  serve    ({} client(s)): {} spec(s), {:.0}% dedup, {:.0} specs/s, \
+         p95 {:.1} ms, identical bytes: {serve_identical}",
+        serve.clients,
+        serve.specs,
+        100.0 * serve.dedup_rate,
+        serve.throughput_specs_per_s,
+        1e3 * serve.latency_p95_s
     );
 
     let out = std::env::var("BENCH_OUT").unwrap_or_else(|_| {
@@ -583,6 +628,30 @@ fn main() {
                 std::process::exit(1);
             }
         }
+    }
+    if !serve_identical {
+        eprintln!(
+            "SERVE FAILURE: {} mismatched replies, {} simulations for {} unique specs — \
+             the service path must be indistinguishable from direct execution",
+            serve.mismatches, serve.executed, serve.unique_specs
+        );
+        std::process::exit(1);
+    }
+    // PSC_BENCH_GATE_SERVE=<floor> gates the replay's dedup rate; any
+    // unparseable non-"0" value uses the 0.5 default floor.
+    match std::env::var("PSC_BENCH_GATE_SERVE") {
+        Ok(v) if v != "0" => {
+            let floor = v.parse::<f64>().unwrap_or(0.5);
+            if serve.dedup_rate < floor {
+                eprintln!(
+                    "SERVE DEDUP FAILURE: dedup rate {:.3} below the {floor} floor — \
+                     the in-flight table or cache stopped collapsing duplicate specs",
+                    serve.dedup_rate
+                );
+                std::process::exit(1);
+            }
+        }
+        _ => {}
     }
     let gate_overhead = std::env::var("PSC_BENCH_GATE_OVERHEAD").map(|v| v != "0").unwrap_or(false);
     if gate_overhead && overhead_exceeds(&serial, 0.03) {

@@ -61,6 +61,8 @@ fn main() -> ExitCode {
         "advise" => cmd_advise(&args),
         "budget" => cmd_budget(&args),
         "faults" => cmd_faults(&args),
+        "serve" => cmd_serve(&args),
+        "replay" => cmd_replay(&args),
         "list" => cmd_list(),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
@@ -97,6 +99,10 @@ USAGE:
   powerscale budget --bench <NAME> --power-cap <WATTS> [--max-nodes N]
                     [--class b|test] [--jobs J]
   powerscale faults [--seed N] [--level FRAC] [--out PATH] | --inspect PATH
+  powerscale serve  [--tcp ADDR] [--workers N] [--queue-cap N] [--max-batch N]
+  powerscale replay [--clients N] [--requests N] [--batch N] [--seed N]
+                    [--zipf S] [--interactive PCT] [--workers N]
+                    [--queue-cap N] [--min-dedup FRAC] [--quick]
   powerscale analyze [--deny] [--format text|json] [--baseline FILE] [--root DIR]
   powerscale list
 
@@ -128,6 +134,19 @@ USAGE:
   spans (Trace Event JSON, open in Perfetto), --events-out a structured
   JSONL event log. Metrics are observation-only: results are
   byte-identical with or without them (analyzer rule M001).
+
+  Sweep as a service: `powerscale serve` turns the engine into a
+  long-running job server speaking a JSONL protocol — one JSON object
+  per line — on stdio (default) or a TCP listener (--tcp HOST:PORT,
+  port 0 picks a free port and prints it). Many concurrent clients
+  submit run batches on two lanes (interactive preempts batch); the
+  engine's content-addressed cache and in-flight table collapse
+  duplicate specs across clients, so a spec requested by everyone
+  simulates once. `powerscale replay` is the proof harness: it fires
+  seeded, Zipf-skewed client streams at an in-process server and
+  byte-compares every reply against direct engine execution, failing
+  on any divergence, any duplicated simulation, or a dedup rate under
+  --min-dedup. See EXPERIMENTS.md for a worked example.
 
   Sweeping commands run independent configurations on a worker pool
   (--jobs, or the PSC_JOBS environment variable; default = available
@@ -529,6 +548,113 @@ fn cmd_faults(args: &[String]) -> Result<(), String> {
             println!("{}", plan.summary());
         }
         None => println!("{}", plan.to_json()),
+    }
+    Ok(())
+}
+
+/// `powerscale serve`: run the JSONL job server on stdio or TCP.
+/// Protocol bytes own stdout in stdio mode, so diagnostics go to
+/// stderr; in TCP mode the bound address prints on stdout for scripts
+/// to capture.
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    use std::io::Write as _;
+    let workers: usize = parse_num(args, "--workers", 4)?;
+    let queue_cap: usize = parse_num(args, "--queue-cap", 64)?;
+    let max_batch: usize = parse_num(args, "--max-batch", 1024)?;
+    let engine = std::sync::Arc::new(engine_from_args(args));
+    let server = psc_serve::Server::new(
+        engine,
+        psc_serve::ServerConfig { workers, queue_capacity: queue_cap, max_batch },
+    );
+    match flag(args, "--tcp") {
+        Some(addr) => {
+            let listener =
+                std::net::TcpListener::bind(&addr).map_err(|e| format!("binding {addr}: {e}"))?;
+            let local = listener.local_addr().map_err(|e| format!("local addr: {e}"))?;
+            println!("listening on {local} ({workers} worker(s), queue {queue_cap}/lane)");
+            let _ = std::io::stdout().flush();
+            server.serve_tcp(listener).map_err(|e| format!("serving {local}: {e}"))?;
+        }
+        None => {
+            eprintln!(
+                "serving JSONL on stdio ({workers} worker(s), queue {queue_cap}/lane); \
+                 send {{\"id\":\"...\",\"cmd\":\"shutdown\"}} or EOF to stop"
+            );
+            let stdin = std::io::stdin();
+            server.run_stdio(stdin.lock(), Box::new(std::io::stdout()));
+        }
+    }
+    Ok(())
+}
+
+/// `powerscale replay`: the deterministic load-test harness. Fails
+/// (non-zero exit) if any reply diverges from direct engine execution,
+/// any duplicated spec simulates twice, or the dedup rate falls under
+/// --min-dedup — the gates CI leans on.
+fn cmd_replay(args: &[String]) -> Result<(), String> {
+    let quick = args.iter().any(|a| a == "--quick");
+    let base = if quick {
+        psc_serve::ReplayConfig {
+            clients: 4,
+            requests_per_client: 6,
+            batch_size: 3,
+            ..psc_serve::ReplayConfig::default()
+        }
+    } else {
+        psc_serve::ReplayConfig::default()
+    };
+    let cfg = psc_serve::ReplayConfig {
+        clients: parse_num(args, "--clients", base.clients)?,
+        requests_per_client: parse_num(args, "--requests", base.requests_per_client)?,
+        batch_size: parse_num(args, "--batch", base.batch_size)?,
+        zipf_exponent: parse_num(args, "--zipf", base.zipf_exponent)?,
+        interactive_percent: parse_num(args, "--interactive", base.interactive_percent)?,
+        seed: parse_num(args, "--seed", base.seed)?,
+        workers: parse_num(args, "--workers", base.workers)?,
+        queue_capacity: parse_num(args, "--queue-cap", base.queue_capacity)?,
+    };
+    let min_dedup: f64 = parse_num(args, "--min-dedup", 0.0)?;
+    let r = psc_serve::replay(&|| engine_from_args(args), cfg);
+    println!(
+        "replay: {} client(s) × {} request(s) × {} spec(s)/batch (zipf {}, seed {})",
+        r.clients, cfg.requests_per_client, cfg.batch_size, cfg.zipf_exponent, cfg.seed
+    );
+    println!(
+        "  specs      {:>8}   unique {:>6}   executed {:>6}   duplicates simulated {}",
+        r.specs,
+        r.unique_specs,
+        r.executed,
+        r.executed.saturating_sub(r.unique_specs)
+    );
+    println!("  dedup      {:>7.1}% of replies served without a simulation", 100.0 * r.dedup_rate);
+    println!(
+        "  identity   {}",
+        if r.byte_identical {
+            "every reply byte-identical to direct engine execution".to_string()
+        } else {
+            format!("{} replies DIVERGED", r.mismatches)
+        }
+    );
+    println!("  wall       {:.2} s   throughput {:.0} specs/s", r.wall_s, r.throughput_specs_per_s);
+    println!(
+        "  latency    p50 {:.1} ms   p95 {:.1} ms (accept → done)",
+        1e3 * r.latency_p50_s,
+        1e3 * r.latency_p95_s
+    );
+    if !r.byte_identical {
+        return Err(format!("{} replies diverged from direct engine execution", r.mismatches));
+    }
+    if !r.dedup_exact() {
+        return Err(format!(
+            "in-flight dedup leak: {} simulations for {} unique specs",
+            r.executed, r.unique_specs
+        ));
+    }
+    if r.dedup_rate < min_dedup {
+        return Err(format!(
+            "dedup rate {:.3} below the --min-dedup {min_dedup} floor",
+            r.dedup_rate
+        ));
     }
     Ok(())
 }

@@ -137,6 +137,48 @@ pub fn render_stats(snap: &Snapshot) -> String {
         );
     }
 
+    // -- job-server lanes (present only when psc-serve handled work) --
+    if snap.family_total("serve_requests_total") > 0.0 {
+        push(&mut out, String::new());
+        push(
+            &mut out,
+            format!(
+                "job server (cumulative)\n  {:<12} {:>9} {:>7} {:>9} {:>11} {:>9} {:>12}",
+                "lane", "requests", "specs", "executed", "cache hits", "joins", "latency p95"
+            ),
+        );
+        for lane in ["interactive", "batch"] {
+            let c = |name: &str, labels: &[(&str, &str)]| {
+                snap.get(name, labels).map(|s| s.scalar()).unwrap_or(0.0)
+            };
+            let requests = c("serve_requests_total", &[("lane", lane)]);
+            if requests == 0.0 {
+                continue;
+            }
+            let p95 = match snap.get("serve_request_seconds", &[("lane", lane)]).map(|s| &s.value) {
+                Some(SampleValue::Histogram(h)) => fmt_s(h.quantile(0.95)),
+                _ => "-".to_string(),
+            };
+            push(
+                &mut out,
+                format!(
+                    "  {:<12} {:>9.0} {:>7.0} {:>9.0} {:>11.0} {:>9.0} {:>12}",
+                    lane,
+                    requests,
+                    c("serve_specs_total", &[("lane", lane)]),
+                    c("serve_results_total", &[("lane", lane), ("outcome", "executed")]),
+                    c("serve_results_total", &[("lane", lane), ("outcome", "cache_hit")]),
+                    c("serve_results_total", &[("lane", lane), ("outcome", "inflight_join")]),
+                    p95
+                ),
+            );
+        }
+        let errors = snap.family_total("serve_errors_total");
+        if errors > 0.0 {
+            push(&mut out, format!("  {errors:.0} protocol frame(s) rejected"));
+        }
+    }
+
     // -- cache I/O breakdown ------------------------------------------
     let ser = snap.family_total("engine_cache_serialize_seconds_total");
     let rd = snap.family_total("engine_cache_disk_read_seconds_total");
@@ -198,6 +240,41 @@ mod tests {
         assert!(text.contains("utilization 75.0%"), "{text}");
         assert!(text.contains("queue: depth high-water 6"), "{text}");
         assert!(text.contains("cache I/O time"), "{text}");
+    }
+
+    #[test]
+    fn serve_lane_section_appears_only_with_service_traffic() {
+        let no_serve = render_stats(&sample_snapshot());
+        assert!(!no_serve.contains("job server"), "{no_serve}");
+
+        let reg = Registry::new();
+        reg.counter("serve_requests_total", "h", &[("lane", "interactive")]).add(3);
+        reg.counter("serve_specs_total", "h", &[("lane", "interactive")]).add(9);
+        reg.counter(
+            "serve_results_total",
+            "h",
+            &[("lane", "interactive"), ("outcome", "executed")],
+        )
+        .add(4);
+        reg.counter(
+            "serve_results_total",
+            "h",
+            &[("lane", "interactive"), ("outcome", "cache_hit")],
+        )
+        .add(3);
+        reg.counter(
+            "serve_results_total",
+            "h",
+            &[("lane", "interactive"), ("outcome", "inflight_join")],
+        )
+        .add(2);
+        reg.time_histogram("serve_request_seconds", "h", &[("lane", "interactive")]).observe(0.004);
+        reg.counter("serve_errors_total", "h", &[]).inc();
+        let text = render_stats(&reg.snapshot());
+        assert!(text.contains("job server (cumulative)"), "{text}");
+        assert!(text.contains("interactive"), "{text}");
+        assert!(!text.contains("\n  batch"), "idle lane omitted: {text}");
+        assert!(text.contains("1 protocol frame(s) rejected"), "{text}");
     }
 
     #[test]

@@ -236,3 +236,64 @@ fn faulted_trace_exports_fault_category() {
     assert!(trace.contains("\"fault\""), "trace must carry fault instant events");
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn replay_quick_gates_pass_and_report_dedup() {
+    let out = powerscale_hermetic(&["replay", "--quick", "--seed", "9", "--min-dedup", "0.3"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("byte-identical to direct engine execution"), "{stdout}");
+    assert!(stdout.contains("duplicates simulated 0"), "{stdout}");
+    for needle in ["dedup", "throughput", "latency"] {
+        assert!(stdout.contains(needle), "missing {needle} in:\n{stdout}");
+    }
+}
+
+#[test]
+fn replay_min_dedup_floor_fails_the_run() {
+    // A floor above 100% can never be met; the gate must trip.
+    let out = powerscale_hermetic(&["replay", "--quick", "--min-dedup", "1.5"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("below the --min-dedup"), "{stderr}");
+}
+
+#[test]
+fn serve_stdio_answers_jsonl_and_shuts_down() {
+    use std::io::Write as _;
+    let mut child = Command::new(env!("CARGO_BIN_EXE_powerscale"))
+        .args(["serve", "--workers", "2"])
+        .env("PSC_CACHE", "0")
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("failed to launch powerscale serve");
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(
+            concat!(
+                "{\"id\":\"p\",\"cmd\":\"ping\"}\n",
+                "{\"id\":\"r\",\"cmd\":\"run\",\"lane\":\"interactive\",\"specs\":[",
+                "{\"bench\":\"EP\",\"nodes\":2,\"gears\":1},{\"bench\":\"EP\",\"nodes\":2,\"gears\":1}]}\n",
+                "{\"id\":\"z\",\"cmd\":\"shutdown\"}\n",
+            )
+            .as_bytes(),
+        )
+        .unwrap();
+    let out = child.wait_with_output().expect("serve did not exit");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("\"id\":\"p\",\"ok\":true,\"pong\":true"), "{stdout}");
+    // Two identical specs in one batch: one executed, one deduplicated.
+    assert!(stdout.contains("\"outcome\":\"executed\""), "{stdout}");
+    assert!(
+        stdout.contains("\"outcome\":\"cache_hit\"")
+            || stdout.contains("\"outcome\":\"inflight_join\""),
+        "{stdout}"
+    );
+    assert!(stdout.contains("\"done\":true"), "{stdout}");
+    assert!(stdout.contains("\"id\":\"z\",\"ok\":true,\"bye\":true"), "{stdout}");
+}

@@ -11,7 +11,10 @@
 //!   every lookup in the process, and
 //! * an optional **disk** layer (one JSON file per key, written with an
 //!   atomic temp-file + rename), which lets separate processes — the
-//!   figure binaries, say — share results.
+//!   figure binaries, say — share results. Entries are sharded into 256
+//!   subdirectories by the key's top byte so concurrent writers (the
+//!   job server's worker lanes) never contend on one directory; entries
+//!   found at the pre-shard flat path are migrated on first read.
 //!
 //! The cache is *memoization*, not verification: it assumes the kernel
 //! implementations have not changed since a result was written. Wipe
@@ -30,7 +33,14 @@ use std::sync::{Arc, Mutex};
 /// layer), so v1 entries no longer deserialize.
 /// v3: `Segment.watts` renamed to `power_w` (unit-suffix discipline,
 /// analyzer rule U001), so v2 power traces no longer deserialize.
-pub const CACHE_SCHEMA: &str = "psc-run-cache-v3";
+/// v4: disk entries live in 256 key-prefix shard subdirectories so
+/// concurrent writers (the job server's lanes) stop contending on one
+/// directory. The `RunResult` bytes are unchanged; a lookup that misses
+/// its shard falls back to the legacy flat `<dir>/<key>.json` path and
+/// migrates a parseable entry into its shard atomically, so any
+/// pre-shard directory (same key space) heals in place instead of being
+/// wiped.
+pub const CACHE_SCHEMA: &str = "psc-run-cache-v4";
 
 /// 64-bit FNV-1a over a byte string.
 pub fn fnv1a64(bytes: &[u8]) -> u64 {
@@ -57,6 +67,10 @@ pub struct CacheStats {
     /// The subset of `hits` deduplicated inside a plan (the duplicate
     /// joined an occurrence that was already resolved or in flight).
     pub shared_hits: u64,
+    /// The subset of `hits` that joined a run another caller was
+    /// already executing (the engine's in-flight table): the joiner
+    /// never reached `lookup`, it blocked on the owner's result.
+    pub inflight_joins: u64,
     /// Damaged disk entries encountered (each read as a miss and was
     /// healed by the re-executed result's insert).
     pub disk_corrupt: u64,
@@ -88,6 +102,7 @@ struct ProcessCounters {
     misses: AtomicU64,
     disk_hits: AtomicU64,
     shared_hits: AtomicU64,
+    inflight_joins: AtomicU64,
     disk_corrupt: AtomicU64,
 }
 
@@ -96,6 +111,7 @@ static PROCESS: ProcessCounters = ProcessCounters {
     misses: AtomicU64::new(0),
     disk_hits: AtomicU64::new(0),
     shared_hits: AtomicU64::new(0),
+    inflight_joins: AtomicU64::new(0),
     disk_corrupt: AtomicU64::new(0),
 };
 
@@ -108,6 +124,7 @@ pub struct RunCache {
     misses: AtomicU64,
     disk_hits: AtomicU64,
     shared_hits: AtomicU64,
+    inflight_joins: AtomicU64,
     disk_corrupt: AtomicU64,
     /// Observation-only hooks attached by the engine (analyzer rule
     /// M001); never consulted for what to return.
@@ -132,6 +149,7 @@ impl RunCache {
             misses: AtomicU64::new(0),
             disk_hits: AtomicU64::new(0),
             shared_hits: AtomicU64::new(0),
+            inflight_joins: AtomicU64::new(0),
             disk_corrupt: AtomicU64::new(0),
             hooks: Mutex::new(None),
         }
@@ -234,6 +252,19 @@ impl RunCache {
         self.with_hooks(|h| h.on_dedup_join());
     }
 
+    /// Record a hit that joined an in-flight run: a second caller asked
+    /// for an uncached key while the first was still simulating it, so
+    /// the joiner blocked on the owner's result instead of executing.
+    /// Counted as a hit (the caller never simulated), so over any mix
+    /// of callers `misses == simulations` stays true.
+    pub(crate) fn note_inflight_join(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        self.inflight_joins.fetch_add(1, Ordering::Relaxed);
+        PROCESS.hits.fetch_add(1, Ordering::Relaxed);
+        PROCESS.inflight_joins.fetch_add(1, Ordering::Relaxed);
+        self.with_hooks(|h| h.on_inflight_join());
+    }
+
     /// A snapshot of this instance's traffic counters (zeroed at
     /// construction and by [`RunCache::reset`]).
     pub fn stats(&self) -> CacheStats {
@@ -242,6 +273,7 @@ impl RunCache {
             misses: self.misses.load(Ordering::Relaxed),
             disk_hits: self.disk_hits.load(Ordering::Relaxed),
             shared_hits: self.shared_hits.load(Ordering::Relaxed),
+            inflight_joins: self.inflight_joins.load(Ordering::Relaxed),
             disk_corrupt: self.disk_corrupt.load(Ordering::Relaxed),
         }
     }
@@ -253,6 +285,7 @@ impl RunCache {
         self.misses.store(0, Ordering::Relaxed);
         self.disk_hits.store(0, Ordering::Relaxed);
         self.shared_hits.store(0, Ordering::Relaxed);
+        self.inflight_joins.store(0, Ordering::Relaxed);
         self.disk_corrupt.store(0, Ordering::Relaxed);
     }
 
@@ -266,6 +299,7 @@ impl RunCache {
             misses: PROCESS.misses.load(Ordering::Relaxed),
             disk_hits: PROCESS.disk_hits.load(Ordering::Relaxed),
             shared_hits: PROCESS.shared_hits.load(Ordering::Relaxed),
+            inflight_joins: PROCESS.inflight_joins.load(Ordering::Relaxed),
             disk_corrupt: PROCESS.disk_corrupt.load(Ordering::Relaxed),
         }
     }
@@ -276,46 +310,91 @@ impl RunCache {
         PROCESS.misses.store(0, Ordering::Relaxed);
         PROCESS.disk_hits.store(0, Ordering::Relaxed);
         PROCESS.shared_hits.store(0, Ordering::Relaxed);
+        PROCESS.inflight_joins.store(0, Ordering::Relaxed);
         PROCESS.disk_corrupt.store(0, Ordering::Relaxed);
     }
 
+    /// The shard subdirectory of a key: its top byte, as two hex
+    /// digits. 256 shards spread concurrent writers (and directory
+    /// scans) evenly, since FNV-1a output is uniform in the high bits.
+    fn shard_dir(dir: &Path, key: u64) -> PathBuf {
+        dir.join(format!("{:02x}", key >> 56))
+    }
+
+    /// The v4 entry path: `<dir>/<shard>/<key>.json`.
     fn entry_path(dir: &Path, key: u64) -> PathBuf {
+        Self::shard_dir(dir, key).join(format!("{key:016x}.json"))
+    }
+
+    /// The pre-v4 flat path: `<dir>/<key>.json`. Read-only fallback;
+    /// nothing writes here anymore.
+    fn legacy_path(dir: &Path, key: u64) -> PathBuf {
         dir.join(format!("{key:016x}.json"))
     }
 
     fn read_disk(&self, key: u64) -> DiskEntry {
         let Some(dir) = self.disk.as_ref() else { return DiskEntry::Absent };
         let sw = self.hooks.lock().unwrap().as_ref().and_then(|h| h.stopwatch());
-        let Ok(text) = std::fs::read_to_string(Self::entry_path(dir, key)) else {
-            return DiskEntry::Absent;
+        let (text, legacy) = match std::fs::read_to_string(Self::entry_path(dir, key)) {
+            Ok(text) => (text, false),
+            // Shard miss: fall back to the unsharded (pre-v4) location.
+            Err(_) => match std::fs::read_to_string(Self::legacy_path(dir, key)) {
+                Ok(text) => (text, true),
+                Err(_) => return DiskEntry::Absent,
+            },
         };
         // A corrupt or schema-stale entry is a miss; the fresh result
         // will overwrite it.
         let parsed = serde::json::from_str::<RunResult>(&text);
         self.with_hooks(|h| h.add_disk_read(sw));
         match parsed {
-            Ok(run) => DiskEntry::Ok(run),
-            Err(_) => DiskEntry::Corrupt,
+            Ok(run) => {
+                if legacy {
+                    // Migrate: publish into the shard atomically, then
+                    // retire the flat entry. Crash-safe at every step —
+                    // until the rename lands the flat entry still
+                    // serves, and a re-read after the remove hits the
+                    // shard.
+                    self.publish_entry(dir, key, &text);
+                    let _ = std::fs::remove_file(Self::legacy_path(dir, key));
+                }
+                DiskEntry::Ok(run)
+            }
+            Err(_) => {
+                if legacy {
+                    // A damaged flat entry can never heal in place (the
+                    // overwrite goes to the shard); retire it so it
+                    // stops shadowing nothing.
+                    let _ = std::fs::remove_file(Self::legacy_path(dir, key));
+                }
+                DiskEntry::Corrupt
+            }
+        }
+    }
+
+    /// Atomically land `text` at the sharded entry path: unique temp
+    /// name (pid + key) inside the shard, then rename, so concurrent
+    /// processes never observe a half-written entry.
+    fn publish_entry(&self, dir: &Path, key: u64, text: &str) {
+        let shard = Self::shard_dir(dir, key);
+        if std::fs::create_dir_all(&shard).is_err() {
+            return; // Disk layer is best-effort; memory still serves.
+        }
+        let tmp = shard.join(format!(".tmp-{}-{key:016x}", std::process::id()));
+        if std::fs::write(&tmp, text).is_ok() {
+            let _ = std::fs::rename(&tmp, Self::entry_path(dir, key));
         }
     }
 
     fn write_disk(&self, key: u64, run: &RunResult) {
         let Some(dir) = self.disk.as_ref() else { return };
-        if std::fs::create_dir_all(dir).is_err() {
-            return; // Disk layer is best-effort; memory still serves.
-        }
         let sw = self.hooks.lock().unwrap().as_ref().and_then(|h| h.stopwatch());
         let text = serde::json::to_string(run);
         let sw = match self.hooks.lock().unwrap().as_ref() {
             Some(h) => h.add_serialize(sw),
             None => None,
         };
-        // Atomic publish: unique temp name (pid + key) then rename, so
-        // concurrent processes never observe a half-written entry.
-        let tmp = dir.join(format!(".tmp-{}-{key:016x}", std::process::id()));
-        if std::fs::write(&tmp, text).is_ok() {
-            let _ = std::fs::rename(&tmp, Self::entry_path(dir, key));
-        }
+        self.publish_entry(dir, key, &text);
         self.with_hooks(|h| h.add_disk_write(sw));
     }
 }
@@ -386,12 +465,63 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("psc-cache-corrupt-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
-        std::fs::write(dir.join(format!("{:016x}.json", 5u64)), "not json").unwrap();
+        std::fs::create_dir_all(RunCache::shard_dir(&dir, 5)).unwrap();
+        std::fs::write(RunCache::entry_path(&dir, 5), "not json").unwrap();
 
         let cache = RunCache::with_disk(&dir);
         assert!(cache.lookup(5).is_none());
         assert_eq!(cache.stats().misses, 1);
         assert_eq!(cache.stats().disk_corrupt, 1, "damage must be visible in stats");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn entries_land_in_key_prefix_shards() {
+        let dir = std::env::temp_dir().join(format!("psc-cache-shard-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = RunCache::with_disk(&dir);
+        let run = some_run();
+        // Keys chosen so the top byte (= shard) differs.
+        for key in [0x00aa_0000_0000_0001u64, 0xff00_0000_0000_0002, 0x4242_0000_0000_0003] {
+            cache.insert(key, Arc::clone(&run));
+            let path = dir.join(format!("{:02x}", key >> 56)).join(format!("{key:016x}.json"));
+            assert!(path.is_file(), "entry must land in its shard: {path:?}");
+        }
+        // No entry file sits directly in the top directory.
+        let flat: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().is_file())
+            .collect();
+        assert!(flat.is_empty(), "top directory holds shards only: {flat:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A warm pre-v4 directory (flat `<key>.json` entries) keeps
+    /// serving: the fallback read hits, and the entry is migrated into
+    /// its shard so the flat file disappears.
+    #[test]
+    fn legacy_flat_entries_migrate_into_shards_on_read() {
+        let dir = std::env::temp_dir().join(format!("psc-cache-migrate-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let run = some_run();
+        let key = 0xabcd_0000_0000_0007u64;
+        let flat = dir.join(format!("{key:016x}.json"));
+        std::fs::write(&flat, serde::json::to_string(&*run)).unwrap();
+
+        let cache = RunCache::with_disk(&dir);
+        let got = cache.lookup(key).expect("flat entry readable via fallback");
+        assert_eq!(*got, *run);
+        assert_eq!(cache.stats().disk_hits, 1, "fallback read is a disk hit");
+        assert!(!flat.exists(), "flat entry retired after migration");
+        let sharded = dir.join(format!("{:02x}", key >> 56)).join(format!("{key:016x}.json"));
+        assert!(sharded.is_file(), "entry now lives in its shard");
+
+        // A fresh instance (fresh memory layer) hits the shard directly.
+        let reader = RunCache::with_disk(&dir);
+        assert!(reader.lookup(key).is_some());
+        assert_eq!(reader.stats().disk_hits, 1);
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -469,17 +599,21 @@ mod tests {
 
     /// After a corrupt entry misses, re-simulating and inserting must
     /// atomically overwrite it with a readable entry (no temp litter).
+    /// The damage sits at the *legacy flat* path here, so this also
+    /// pins down that a corrupt pre-shard entry heals into the shard
+    /// and the flat file is retired.
     #[test]
     fn corrupt_entry_is_overwritten_atomically_after_miss() {
         let dir = std::env::temp_dir().join(format!("psc-cache-heal-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
         let key = 77u64;
-        let path = dir.join(format!("{key:016x}.json"));
-        std::fs::write(&path, "{ truncated garba").unwrap();
+        let flat = dir.join(format!("{key:016x}.json"));
+        std::fs::write(&flat, "{ truncated garba").unwrap();
 
         let cache = RunCache::with_disk(&dir);
         assert!(cache.lookup(key).is_none(), "corrupt entry is a miss");
+        assert!(!flat.exists(), "corrupt flat entry is retired, not left to shadow");
         let run = some_run();
         cache.insert(key, Arc::clone(&run)); // the re-simulated result
 
@@ -487,12 +621,19 @@ mod tests {
         let reader = RunCache::with_disk(&dir);
         let got = reader.lookup(key).expect("healed entry readable");
         assert_eq!(*got, *run);
-        // No temp files left behind by the atomic publish.
-        let leftovers: Vec<_> = std::fs::read_dir(&dir)
-            .unwrap()
-            .filter_map(|e| e.ok())
-            .filter(|e| e.file_name().to_string_lossy().starts_with(".tmp-"))
-            .collect();
+        // No temp files left behind by the atomic publish — in the top
+        // directory or inside any shard.
+        let mut leftovers = Vec::new();
+        let mut stack = vec![dir.clone()];
+        while let Some(d) = stack.pop() {
+            for e in std::fs::read_dir(&d).unwrap().filter_map(|e| e.ok()) {
+                if e.path().is_dir() {
+                    stack.push(e.path());
+                } else if e.file_name().to_string_lossy().starts_with(".tmp-") {
+                    leftovers.push(e.path());
+                }
+            }
+        }
         assert!(leftovers.is_empty(), "temp files must not survive: {leftovers:?}");
         let _ = std::fs::remove_dir_all(&dir);
     }

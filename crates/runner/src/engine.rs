@@ -7,7 +7,7 @@ use psc_faults::FaultPlan;
 use psc_mpi::{default_jobs, Cluster, GearSelection, RunResult};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 /// Executes [`RunPlan`]s on a [`Cluster`] with a worker pool and a
 /// [`RunCache`].
@@ -34,6 +34,98 @@ pub struct Engine {
     cache: RunCache,
     faults: Option<FaultPlan>,
     metrics: Arc<EngineMetrics>,
+    /// Keys currently being simulated by some caller of [`Engine::run`].
+    /// A second caller asking for a key in this table blocks on the
+    /// owner's slot instead of simulating again — the third dedup layer
+    /// (after memory and disk), and the one that makes the engine safe
+    /// to share across the job server's concurrent lanes.
+    inflight: Mutex<BTreeMap<u64, Arc<InflightSlot>>>,
+}
+
+/// One in-flight simulation: the owner publishes its result here and
+/// wakes every joiner. `result` stays `None` if the owner aborts
+/// (panicked mid-simulation), in which case joiners retry as owners.
+#[derive(Debug, Default)]
+struct InflightSlot {
+    state: Mutex<SlotState>,
+    cv: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct SlotState {
+    done: bool,
+    result: Option<Arc<RunResult>>,
+}
+
+impl InflightSlot {
+    /// Block until the owner finishes; `None` means the owner aborted.
+    fn wait(&self) -> Option<Arc<RunResult>> {
+        let mut st = self.state.lock().unwrap();
+        while !st.done {
+            st = self.cv.wait(st).unwrap();
+        }
+        st.result.clone()
+    }
+}
+
+/// How [`Engine::run_traced`] obtained its result. Carried *beside*
+/// the result (never in it — results stay byte-identical whatever the
+/// traffic pattern): the job server tags each response with it and the
+/// replay harness audits dedup through it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// This caller simulated the spec (a counted cache miss).
+    Executed,
+    /// Served from the cache — memory or disk.
+    CacheHit,
+    /// Joined a simulation another caller had in flight.
+    InflightJoin,
+}
+
+impl RunOutcome {
+    /// The wire label (`executed`, `cache_hit`, `inflight_join`).
+    pub fn label(self) -> &'static str {
+        match self {
+            RunOutcome::Executed => "executed",
+            RunOutcome::CacheHit => "cache_hit",
+            RunOutcome::InflightJoin => "inflight_join",
+        }
+    }
+}
+
+/// How [`Engine::run`] claimed a key.
+enum Claim {
+    /// The cache already had it.
+    Cached(Arc<RunResult>),
+    /// Someone else is simulating it; wait on their slot.
+    Join(Arc<InflightSlot>),
+    /// This caller owns the simulation.
+    Own(Arc<InflightSlot>),
+}
+
+/// Owner-side completion guard: on drop — normal return *or* panic —
+/// the key leaves the in-flight table and every joiner is woken. A
+/// drop without [`OwnerGuard::publish`] leaves `result` empty, which
+/// joiners read as "retry".
+struct OwnerGuard<'a> {
+    inflight: &'a Mutex<BTreeMap<u64, Arc<InflightSlot>>>,
+    key: u64,
+    slot: Arc<InflightSlot>,
+}
+
+impl OwnerGuard<'_> {
+    fn publish(&self, run: Arc<RunResult>) {
+        let mut st = self.slot.state.lock().unwrap();
+        st.result = Some(run);
+    }
+}
+
+impl Drop for OwnerGuard<'_> {
+    fn drop(&mut self) {
+        self.inflight.lock().unwrap().remove(&self.key);
+        self.slot.state.lock().unwrap().done = true;
+        self.slot.cv.notify_all();
+    }
 }
 
 impl Engine {
@@ -49,6 +141,7 @@ impl Engine {
             cache: RunCache::from_env(),
             faults: None,
             metrics: EngineMetrics::new(),
+            inflight: Mutex::new(BTreeMap::new()),
         }
         .rewire_metrics()
     }
@@ -62,6 +155,7 @@ impl Engine {
             cache: RunCache::in_memory(),
             faults: None,
             metrics: EngineMetrics::new(),
+            inflight: Mutex::new(BTreeMap::new()),
         }
         .rewire_metrics()
     }
@@ -144,6 +238,15 @@ impl Engine {
         self.cache.stats()
     }
 
+    /// Zero this engine's cache traffic counters (the cached entries
+    /// stay, and the process-lifetime accumulators
+    /// [`RunCache::process_stats`] keep counting). The job server calls
+    /// this between observation windows; its own cumulative counters
+    /// live in the metrics registry and are unaffected.
+    pub fn reset_cache_stats(&self) {
+        self.cache.reset();
+    }
+
     /// The content key of a spec on this engine's cluster: a hash of
     /// the spec plus everything about the cluster that shapes the
     /// result. Floats serialize with exact round-tripping, so the key
@@ -177,27 +280,73 @@ impl Engine {
         }
     }
 
-    /// Run a single spec through the cache.
-    pub fn run(&self, spec: &RunSpec) -> Arc<RunResult> {
-        let key = self.cache_key(spec);
+    /// Atomically decide how this caller obtains `key`: a cached
+    /// result, a join on another caller's in-flight run, or ownership
+    /// of the simulation. The cache lookup happens *under* the
+    /// in-flight lock so two concurrent missers can never both become
+    /// owners — exactly one counted miss per simulated key.
+    fn claim(&self, key: u64) -> Claim {
+        let mut inflight = self.inflight.lock().unwrap();
+        if let Some(slot) = inflight.get(&key) {
+            return Claim::Join(Arc::clone(slot));
+        }
         if let Some(run) = self.cache.lookup(key) {
-            return run;
+            return Claim::Cached(run);
         }
-        let sw = self.metrics.stopwatch();
-        let (run, des_events) = self.execute_spec(spec);
-        let run = Arc::new(run);
-        if let Some(sw) = sw {
-            self.metrics.on_run_executed(
-                spec.bench.name(),
-                &Self::gear_label(spec),
-                0,
-                0.0,
-                des_events,
-                &sw,
-            );
+        let slot = Arc::<InflightSlot>::default();
+        inflight.insert(key, Arc::clone(&slot));
+        Claim::Own(slot)
+    }
+
+    /// Run a single spec through the cache and the in-flight table.
+    ///
+    /// Safe to call from many threads at once (the job server's worker
+    /// lanes do): concurrent callers asking for the same uncached spec
+    /// trigger exactly one simulation — the rest block and share the
+    /// owner's result. Accounting: every call adds exactly one lookup
+    /// (joiners count as `inflight_joins` hits), so `misses` always
+    /// equals simulations.
+    pub fn run(&self, spec: &RunSpec) -> Arc<RunResult> {
+        self.run_traced(spec).0
+    }
+
+    /// [`Engine::run`], plus *how* the result was obtained. The outcome
+    /// is host-traffic bookkeeping (which layer answered first), never
+    /// part of the result.
+    pub fn run_traced(&self, spec: &RunSpec) -> (Arc<RunResult>, RunOutcome) {
+        let key = self.cache_key(spec);
+        loop {
+            let slot = match self.claim(key) {
+                Claim::Cached(run) => return (run, RunOutcome::CacheHit),
+                Claim::Join(slot) => {
+                    if let Some(run) = slot.wait() {
+                        self.cache.note_inflight_join();
+                        return (run, RunOutcome::InflightJoin);
+                    }
+                    // The owner aborted without publishing; retry (the
+                    // key has left the table, so some retrier owns it).
+                    continue;
+                }
+                Claim::Own(slot) => slot,
+            };
+            let guard = OwnerGuard { inflight: &self.inflight, key, slot: Arc::clone(&slot) };
+            let sw = self.metrics.stopwatch();
+            let (run, des_events) = self.execute_spec(spec);
+            let run = Arc::new(run);
+            if let Some(sw) = sw {
+                self.metrics.on_run_executed(
+                    spec.bench.name(),
+                    &Self::gear_label(spec),
+                    0,
+                    0.0,
+                    des_events,
+                    &sw,
+                );
+            }
+            self.cache.insert(key, Arc::clone(&run));
+            guard.publish(Arc::clone(&run));
+            return (run, RunOutcome::Executed);
         }
-        self.cache.insert(key, Arc::clone(&run));
-        run
     }
 
     /// Execute a plan: cached results are reused, distinct uncached

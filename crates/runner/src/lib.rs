@@ -45,6 +45,6 @@ pub mod metrics;
 pub mod plan;
 
 pub use cache::{CacheStats, RunCache};
-pub use engine::Engine;
+pub use engine::{Engine, RunOutcome};
 pub use metrics::{EngineMetrics, PoolUtilization};
 pub use plan::{RunPlan, RunSpec};

@@ -15,7 +15,8 @@
 //! |---|---|---|---|
 //! | `engine_plans_total` | counter | — | `execute()` calls |
 //! | `engine_specs_total` | counter | — | specs across all plans |
-//! | `engine_runs_total` | counter | `outcome` | per-spec outcome: `executed`, `mem_hit`, `disk_hit`, `dedup_join` |
+//! | `engine_runs_total` | counter | `outcome` | per-spec outcome: `executed`, `mem_hit`, `disk_hit`, `dedup_join`, `inflight_join` |
+//! | `engine_runs_simulated` | counter | — | simulations actually executed — under in-flight dedup, exactly one per unique cache key |
 //! | `engine_run_wall_seconds` | histogram | `bench`, `gear` | host wall-clock per *executed* run |
 //! | `engine_des_events_total` | counter | — | DES scheduler dispatches across executed runs (0 under the threaded backend) |
 //! | `engine_cache_lookups_total` | counter | `result` | cache layer answers: `mem_hit`, `disk_hit`, `miss` |
@@ -171,6 +172,13 @@ impl EngineMetrics {
                 &[],
             )
             .observe(queue_wait_s);
+        self.registry
+            .counter(
+                "engine_runs_simulated",
+                "Simulations actually executed (one per unique cache key under dedup).",
+                &[],
+            )
+            .inc();
         self.on_outcome("executed");
         self.profiler.record(
             "run",
@@ -272,6 +280,12 @@ impl CacheHooks {
     /// An in-plan duplicate joined the first occurrence's run.
     pub(crate) fn on_dedup_join(&self) {
         self.metrics.on_outcome("dedup_join");
+    }
+
+    /// A caller joined a run that another caller had in flight (the
+    /// engine's cross-caller dedup table).
+    pub(crate) fn on_inflight_join(&self) {
+        self.metrics.on_outcome("inflight_join");
     }
 
     /// Start a stopwatch only when enabled.

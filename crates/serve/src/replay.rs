@@ -1,0 +1,378 @@
+//! Deterministic replay load-test harness.
+//!
+//! Fires N in-process clients at a fresh [`Server`], each replaying a
+//! seeded, Zipf-skewed request stream over a shared spec universe, then
+//! verifies the service answered *every* spec with bytes identical to a
+//! direct serial [`Engine`] execution, and that duplicated specs
+//! simulated exactly once. The client streams are a pure function of
+//! `(seed, clients, requests, batch, zipf_exponent)` — two replays of
+//! the same configuration exercise the same frames in the same order,
+//! so a failure reproduces.
+//!
+//! The engines run memory-only caches (no disk layer), which makes the
+//! dedup accounting exact: `executed` must equal the number of distinct
+//! keys in the replay, whatever the interleaving.
+
+use crate::proto::{self, Lane};
+use crate::server::{Server, ServerConfig};
+use psc_faults::{FaultPlan, DEFAULT_NOISE_LEVEL};
+use psc_kernels::{Benchmark, ProblemClass};
+use psc_metrics::{SampleValue, Stopwatch};
+use psc_runner::{Engine, RunCache, RunSpec};
+use serde::Value;
+use std::collections::{BTreeMap, BTreeSet};
+use std::io::Cursor;
+use std::sync::{Arc, Mutex};
+
+/// Replay shape. Everything is seeded; nothing reads the environment.
+#[derive(Debug, Clone, Copy)]
+pub struct ReplayConfig {
+    /// Concurrent clients.
+    pub clients: usize,
+    /// Frames each client sends.
+    pub requests_per_client: usize,
+    /// Specs per frame.
+    pub batch_size: usize,
+    /// Zipf skew exponent over the spec universe (≥ 0; higher = a few
+    /// hot specs dominate, so dedup opportunities abound).
+    pub zipf_exponent: f64,
+    /// Percent (0–100) of frames routed to the interactive lane.
+    pub interactive_percent: u64,
+    /// Stream seed.
+    pub seed: u64,
+    /// Server worker pool size.
+    pub workers: usize,
+    /// Server queue capacity per lane (small values exercise
+    /// backpressure).
+    pub queue_capacity: usize,
+}
+
+impl Default for ReplayConfig {
+    fn default() -> Self {
+        ReplayConfig {
+            clients: 8,
+            requests_per_client: 12,
+            batch_size: 4,
+            zipf_exponent: 1.1,
+            interactive_percent: 25,
+            seed: 42,
+            workers: 4,
+            queue_capacity: 8,
+        }
+    }
+}
+
+/// What the replay observed.
+#[derive(Debug, Clone)]
+pub struct ReplayReport {
+    /// Clients fired.
+    pub clients: usize,
+    /// Frames sent (all clients).
+    pub requests: u64,
+    /// Specs requested (all frames).
+    pub specs: u64,
+    /// Distinct cache keys among them.
+    pub unique_specs: u64,
+    /// Simulations actually executed (`engine_runs_simulated`).
+    pub executed: u64,
+    /// 1 − executed/specs: the fraction of answers served without a
+    /// simulation. With perfect dedup this equals
+    /// 1 − unique_specs/specs.
+    pub dedup_rate: f64,
+    /// Every `result` object byte-identical to serial execution, every
+    /// seq answered exactly once, every manifest consistent.
+    pub byte_identical: bool,
+    /// Individual comparison failures (0 when `byte_identical`).
+    pub mismatches: u64,
+    /// Host wall time for the whole replay, seconds.
+    pub wall_s: f64,
+    /// Specs answered per host second.
+    pub throughput_specs_per_s: f64,
+    /// Median request latency (accept → done line), seconds.
+    pub latency_p50_s: f64,
+    /// 95th-percentile request latency, seconds.
+    pub latency_p95_s: f64,
+}
+
+impl ReplayReport {
+    /// True when dedup was perfect: no unique spec simulated twice.
+    pub fn dedup_exact(&self) -> bool {
+        self.executed == self.unique_specs
+    }
+}
+
+/// Seeded LCG (Numerical Recipes constants); the only randomness in
+/// the harness, and it is explicit.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+
+    /// Uniform f64 in [0, 1).
+    fn unit(&mut self) -> f64 {
+        (self.next() % (1 << 24)) as f64 / (1u64 << 24) as f64
+    }
+}
+
+/// One universe entry: the wire fragment a client sends and the spec
+/// the verifier executes directly.
+struct SpecEntry {
+    wire: String,
+    spec: RunSpec,
+}
+
+/// The replay universe: small-class specs across benches, node counts,
+/// gears, and a couple of fault seeds — enough spread to fill shards
+/// and lanes, small enough to replay in CI.
+fn universe(gear_count: usize) -> Vec<SpecEntry> {
+    let mut entries = Vec::new();
+    for bench in [Benchmark::Ep, Benchmark::Cg, Benchmark::Mg] {
+        for nodes in [1usize, 2] {
+            for gear in 1..=gear_count {
+                entries.push(SpecEntry {
+                    wire: format!(
+                        r#"{{"bench":"{}","nodes":{nodes},"gears":{gear}}}"#,
+                        bench.name()
+                    ),
+                    spec: RunSpec::uniform(bench, ProblemClass::Test, nodes, gear),
+                });
+            }
+        }
+    }
+    for fault_seed in [1u64, 2] {
+        entries.push(SpecEntry {
+            wire: format!(r#"{{"bench":"EP","nodes":2,"gears":2,"fault_seed":{fault_seed}}}"#),
+            spec: RunSpec::uniform(Benchmark::Ep, ProblemClass::Test, 2, 2)
+                .with_faults(FaultPlan::noise(fault_seed, DEFAULT_NOISE_LEVEL)),
+        });
+    }
+    entries
+}
+
+/// Precomputed Zipf CDF over `n` ranks with exponent `s`.
+struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    fn new(n: usize, s: f64) -> Self {
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for rank in 1..=n {
+            total += 1.0 / (rank as f64).powf(s);
+            cdf.push(total);
+        }
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    fn sample(&self, rng: &mut Lcg) -> usize {
+        let u = rng.unit();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+/// A shared append-only byte sink standing in for a client's socket.
+#[derive(Clone)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl std::io::Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().expect("buf lock").extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// One client's scripted stream: the raw input bytes plus, per
+/// request id, the universe indices it asked for (in seq order).
+struct ClientScript {
+    input: String,
+    expected: BTreeMap<String, Vec<usize>>,
+}
+
+fn script_client(
+    client: usize,
+    zipf: &Zipf,
+    cfg: &ReplayConfig,
+    entries: &[SpecEntry],
+) -> ClientScript {
+    let mut rng = Lcg(cfg.seed ^ (client as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    let mut input = String::new();
+    let mut expected = BTreeMap::new();
+    for request in 0..cfg.requests_per_client {
+        let id = format!("c{client}-r{request}");
+        let lane = if rng.next() % 100 < cfg.interactive_percent {
+            Lane::Interactive
+        } else {
+            Lane::Batch
+        };
+        let picks: Vec<usize> = (0..cfg.batch_size).map(|_| zipf.sample(&mut rng)).collect();
+        let frags: Vec<&str> = picks.iter().map(|&i| entries[i].wire.as_str()).collect();
+        input.push_str(&format!(
+            "{{\"id\":\"{id}\",\"cmd\":\"run\",\"lane\":\"{}\",\"specs\":[{}]}}\n",
+            lane.label(),
+            frags.join(",")
+        ));
+        expected.insert(id, picks);
+    }
+    ClientScript { input, expected }
+}
+
+/// Run the replay against freshly built engines.
+///
+/// `make_engine` is called twice — once for the server's shared engine,
+/// once for the serial reference — and must produce identically
+/// configured engines (same cluster, backend, fault default). Both are
+/// re-seated onto memory-only caches so the replay is hermetic.
+pub fn replay(make_engine: &(dyn Fn() -> Engine + Sync), cfg: ReplayConfig) -> ReplayReport {
+    assert!(cfg.clients >= 1 && cfg.requests_per_client >= 1 && cfg.batch_size >= 1);
+    let engine = Arc::new(make_engine().with_cache(RunCache::in_memory()));
+    let serial = make_engine().with_cache(RunCache::in_memory());
+    let entries = universe(engine.gear_count());
+    let zipf = Zipf::new(entries.len(), cfg.zipf_exponent);
+
+    let scripts: Vec<ClientScript> =
+        (0..cfg.clients).map(|c| script_client(c, &zipf, &cfg, &entries)).collect();
+
+    let server = Server::new(
+        Arc::clone(&engine),
+        ServerConfig {
+            workers: cfg.workers,
+            queue_capacity: cfg.queue_capacity,
+            max_batch: cfg.batch_size.max(1),
+        },
+    );
+
+    // Fire every client, wait for the full drain, and stop the clock.
+    let outputs: Vec<SharedBuf> =
+        (0..cfg.clients).map(|_| SharedBuf(Arc::new(Mutex::new(Vec::new())))).collect();
+    let sw = Stopwatch::start();
+    std::thread::scope(|scope| {
+        for (script, out) in scripts.iter().zip(&outputs) {
+            let server = &server;
+            let out = out.clone();
+            scope.spawn(move || {
+                server.session(Cursor::new(script.input.as_bytes()), Box::new(out));
+            });
+        }
+    });
+    server.drain();
+    let wall_s = sw.elapsed_s();
+
+    // Serial reference: the exact bytes each spec's result object must
+    // have, computed once per universe index actually requested.
+    let used: BTreeSet<usize> =
+        scripts.iter().flat_map(|s| s.expected.values().flatten().copied()).collect();
+    let reference: BTreeMap<usize, String> = used
+        .iter()
+        .map(|&i| {
+            let spec = &entries[i].spec;
+            let key = serial.cache_key(spec);
+            let run = serial.run(spec);
+            (i, serde::json::to_string(&proto::result_value(spec, key, &run)))
+        })
+        .collect();
+
+    // Verify every client transcript.
+    let mut mismatches = 0u64;
+    for (script, out) in scripts.iter().zip(&outputs) {
+        let text = String::from_utf8(out.0.lock().expect("buf lock").clone())
+            .expect("server output is UTF-8");
+        let mut seen: BTreeMap<&str, Vec<bool>> = script
+            .expected
+            .iter()
+            .map(|(id, picks)| (id.as_str(), vec![false; picks.len()]))
+            .collect();
+        let mut done: BTreeSet<&str> = BTreeSet::new();
+        for line in text.lines() {
+            let Ok(v) = serde::json::parse(line) else {
+                mismatches += 1;
+                continue;
+            };
+            if v.get("ok").map(|o| o != &Value::Bool(true)).unwrap_or(true) {
+                mismatches += 1; // scripted streams must never error
+                continue;
+            }
+            // Re-anchor the id onto the script's own key so it outlives
+            // this frame's parse tree.
+            let Some((id, picks)) = v
+                .get("id")
+                .and_then(Value::as_str)
+                .and_then(|id| script.expected.get_key_value(id))
+            else {
+                mismatches += 1;
+                continue;
+            };
+            let id = id.as_str();
+            if v.get("done").is_some() {
+                let manifest_ok =
+                    v.get("manifest").and_then(|m| m.get("specs")).and_then(Value::as_u64)
+                        == Some(picks.len() as u64);
+                if !manifest_ok || !done.insert(id) {
+                    mismatches += 1;
+                }
+                continue;
+            }
+            let seq = v.get("seq").and_then(Value::as_u64).map(|s| s as usize);
+            let reply_ok = match (seq, v.get("result")) {
+                (Some(seq), Some(result)) if seq < picks.len() => {
+                    let flags = seen.get_mut(id).expect("id checked above");
+                    let fresh = !flags[seq];
+                    flags[seq] = true;
+                    fresh && serde::json::to_string(result) == reference[&picks[seq]]
+                }
+                _ => false,
+            };
+            if !reply_ok {
+                mismatches += 1;
+            }
+        }
+        for (id, flags) in &seen {
+            if !flags.iter().all(|&f| f) || !done.contains(id) {
+                mismatches += 1;
+            }
+        }
+    }
+
+    // Dedup accounting from the engine's own counters.
+    let snap = engine.metrics().snapshot();
+    let executed = snap.get("engine_runs_simulated", &[]).map_or(0, |s| s.scalar() as u64);
+    let unique: BTreeSet<u64> = used.iter().map(|&i| engine.cache_key(&entries[i].spec)).collect();
+    let specs = (cfg.clients * cfg.requests_per_client * cfg.batch_size) as u64;
+
+    // Request latency quantiles, pooled across both lanes.
+    let pooled = snap
+        .family("serve_request_seconds")
+        .into_iter()
+        .filter_map(|s| match &s.value {
+            SampleValue::Histogram(h) => Some(h.clone()),
+            _ => None,
+        })
+        .reduce(|a, b| a.merged(&b));
+    let (latency_p50_s, latency_p95_s) =
+        pooled.map_or((0.0, 0.0), |h| (h.quantile(0.5), h.quantile(0.95)));
+
+    ReplayReport {
+        clients: cfg.clients,
+        requests: (cfg.clients * cfg.requests_per_client) as u64,
+        specs,
+        unique_specs: unique.len() as u64,
+        executed,
+        dedup_rate: 1.0 - executed as f64 / specs as f64,
+        byte_identical: mismatches == 0,
+        mismatches,
+        wall_s,
+        throughput_specs_per_s: if wall_s > 0.0 { specs as f64 / wall_s } else { 0.0 },
+        latency_p50_s,
+        latency_p95_s,
+    }
+}
