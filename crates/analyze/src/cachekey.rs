@@ -16,6 +16,13 @@
 //!   serialization (`plan.to_json()` inside the key), so `FaultPlan`
 //!   must derive `Serialize` and no field may be `#[serde(skip)]`-ed
 //!   out of the encoding.
+//! * **P002** — same statement for the policy layer: `RunSpec::policy`
+//!   reaches the key as `PolicySpec::to_json()` (the `|policy=` tail
+//!   appended only when the spec carries one, keeping policy-free keys
+//!   byte-stable), so `PolicySpec` (in `crates/policy/src/lib.rs`)
+//!   must derive `Serialize` and no variant field may be skipped —
+//!   two specs differing only in a skipped knob would alias one
+//!   cached result.
 
 use crate::report::{Finding, Severity};
 use crate::scan::{tokenize, Tok};
@@ -150,6 +157,16 @@ pub fn fn_body(src: &str, name: &str) -> Option<(Vec<Tok>, u32)> {
 /// Whether the `derive(...)` attribute list preceding `struct <name>`
 /// contains `trait_name`.
 pub fn struct_derives(src: &str, name: &str, trait_name: &str) -> bool {
+    item_derives(src, "struct", name, trait_name)
+}
+
+/// Whether the `derive(...)` attribute list preceding `enum <name>`
+/// contains `trait_name`.
+pub fn enum_derives(src: &str, name: &str, trait_name: &str) -> bool {
+    item_derives(src, "enum", name, trait_name)
+}
+
+fn item_derives(src: &str, keyword: &str, name: &str, trait_name: &str) -> bool {
     let toks = tokenize(src);
     let mut last_derive: Vec<String> = Vec::new();
     let mut i = 0;
@@ -169,17 +186,97 @@ pub fn struct_derives(src: &str, name: &str, trait_name: &str) -> bool {
             i = j;
             continue;
         }
-        if toks[i].text == "struct" && toks[i + 1].text == name {
+        if toks[i].text == keyword && toks[i + 1].text == name {
             return last_derive.iter().any(|t| t == trait_name);
         }
-        // Any non-attribute item between a derive and the next struct
-        // invalidates the association.
+        // Any non-attribute item between a derive and the next item
+        // declaration invalidates the association.
         if toks[i].text == "fn" || toks[i].text == "impl" {
             last_derive.clear();
         }
         i += 1;
     }
     false
+}
+
+/// The named fields of every variant of `enum <name>`, flattened
+/// across variants (variant names themselves are not fields). Returns
+/// `None` when the enum is not found.
+pub fn enum_variant_fields(src: &str, name: &str) -> Option<Vec<Field>> {
+    let toks = tokenize(src);
+    let mut i = 0;
+    let start = loop {
+        if i + 1 >= toks.len() {
+            return None;
+        }
+        if toks[i].text == "enum" && toks[i + 1].text == name {
+            break i + 2;
+        }
+        i += 1;
+    };
+    let mut i = start;
+    while i < toks.len() && toks[i].text != "{" {
+        i += 1;
+    }
+    i += 1; // past the enum's '{'
+    let mut depth = 1usize;
+    let mut fields = Vec::new();
+    let mut pending_skip = false;
+    while i < toks.len() && depth > 0 {
+        match toks[i].text.as_str() {
+            "{" => {
+                depth += 1;
+                i += 1;
+            }
+            "}" => {
+                depth -= 1;
+                i += 1;
+            }
+            // `#[serde(skip…)]` marks the *next* field as excluded.
+            "#" => {
+                let attr_start = i;
+                i += 1;
+                if toks.get(i).is_some_and(|t| t.text == "[") {
+                    let mut adepth = 1;
+                    i += 1;
+                    let mut attr = Vec::new();
+                    while i < toks.len() && adepth > 0 {
+                        match toks[i].text.as_str() {
+                            "[" => adepth += 1,
+                            "]" => adepth -= 1,
+                            _ => attr.push(toks[i].text.clone()),
+                        }
+                        i += 1;
+                    }
+                    if attr.first().is_some_and(|t| t == "serde")
+                        && attr.iter().any(|t| t.starts_with("skip"))
+                    {
+                        pending_skip = true;
+                    }
+                } else {
+                    i = attr_start + 1;
+                }
+            }
+            // `name : Type` at depth 2 is a variant's named field
+            // (depth 1 idents are the variant names; `::` paths in
+            // types are excluded by the second-colon guard).
+            _ if depth == 2
+                && toks[i].is_ident()
+                && toks.get(i + 1).is_some_and(|t| t.text == ":")
+                && toks.get(i + 2).is_some_and(|t| t.text != ":") =>
+            {
+                fields.push(Field {
+                    name: toks[i].text.clone(),
+                    line: toks[i].line,
+                    serde_skipped: pending_skip,
+                });
+                pending_skip = false;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    Some(fields)
 }
 
 /// C001: check that every field of `RunSpec` (as declared in
@@ -268,6 +365,47 @@ pub fn check_fault_plan_encoding(faults_plan_src: &str) -> Vec<Finding> {
     out
 }
 
+/// P002: `RunSpec::policy` reaches the key as `PolicySpec`'s serde
+/// encoding, so — exactly like C002 for `FaultPlan` — the encoding
+/// must cover every knob of every variant.
+pub fn check_policy_encoding(policy_src: &str) -> Vec<Finding> {
+    const PATH: &str = "crates/policy/src/lib.rs";
+    let mut out = Vec::new();
+    let Some(fields) = enum_variant_fields(policy_src, "PolicySpec") else {
+        out.push(Finding::new(
+            "P002",
+            Severity::Error,
+            PATH,
+            1,
+            "enum PolicySpec not found — the cache-key completeness check cannot run",
+        ));
+        return out;
+    };
+    if !enum_derives(policy_src, "PolicySpec", "Serialize") {
+        out.push(Finding::new(
+            "P002",
+            Severity::Error,
+            PATH,
+            1,
+            "PolicySpec must derive Serialize — the cache key embeds the policy's JSON encoding",
+        ));
+    }
+    for f in fields.iter().filter(|f| f.serde_skipped) {
+        out.push(Finding::new(
+            "P002",
+            Severity::Error,
+            PATH,
+            f.line,
+            format!(
+                "PolicySpec field `{}` is #[serde(skip)]-ed out of the encoding, so it never \
+                 reaches the cache key — two policies differing only in `{}` would alias",
+                f.name, f.name
+            ),
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -279,6 +417,7 @@ mod tests {
             pub nodes: usize,
             pub gears: GearSelection,
             pub faults: Option<FaultPlan>,
+            pub policy: Option<PolicySpec>,
         }
     ";
 
@@ -288,6 +427,7 @@ mod tests {
                 let mut desc = format!(\"{}|{}|{}\", spec.bench.name(), spec.class_tag(), spec.nodes);
                 desc.push_str(&format!(\"{:?}\", spec.resolved_gears()));
                 if let Some(plan) = self.effective_faults(spec) { desc.push_str(&plan.to_json()); }
+                if let Some(policy) = &spec.policy { desc.push_str(&policy.to_json()); }
                 fnv1a64(desc.as_bytes())
             }
         }
@@ -361,5 +501,80 @@ mod tests {
     fn struct_fields_sees_attrs_and_unit_structs() {
         assert_eq!(struct_fields("pub struct X;", "X"), Some(vec![]));
         assert!(struct_fields("fn nothing() {}", "X").is_none());
+    }
+
+    #[test]
+    fn dropping_the_policy_contribution_fails() {
+        let engine_bad = ENGINE_OK.replace(
+            "if let Some(policy) = &spec.policy { desc.push_str(&policy.to_json()); }",
+            "",
+        );
+        let f = check_cache_key(PLAN, &engine_bad);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "C001");
+        assert!(f[0].message.contains("`policy`"));
+    }
+
+    const POLICY_OK: &str = "
+        #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+        pub enum PolicySpec {
+            Static { gear: usize },
+            PhaseAdaptive { slowdown_limit: f64 },
+            PowerCap { budget_w: f64 },
+            Oracle { schedule: Vec<OracleStep> },
+        }
+    ";
+
+    #[test]
+    fn serialized_policy_spec_passes() {
+        assert!(check_policy_encoding(POLICY_OK).is_empty());
+    }
+
+    #[test]
+    fn enum_fields_are_knobs_not_variant_names() {
+        let fields = enum_variant_fields(POLICY_OK, "PolicySpec").unwrap();
+        let names: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["gear", "slowdown_limit", "budget_w", "schedule"]);
+    }
+
+    #[test]
+    fn serde_skip_on_a_policy_field_fails() {
+        let bad = POLICY_OK
+            .replace("PowerCap { budget_w: f64 },", "PowerCap { #[serde(skip)] budget_w: f64 },");
+        let f = check_policy_encoding(&bad);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "P002");
+        assert!(f[0].message.contains("`budget_w`"));
+    }
+
+    #[test]
+    fn missing_serialize_derive_on_policy_fails() {
+        let bad = POLICY_OK.replace("Serialize, ", "");
+        let f = check_policy_encoding(&bad);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("derive Serialize"));
+    }
+
+    #[test]
+    fn missing_policy_enum_is_fatal() {
+        let f = check_policy_encoding("pub struct NotAnEnum;");
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("enum PolicySpec not found"));
+    }
+
+    #[test]
+    fn real_policy_spec_satisfies_its_own_encoding_rule() {
+        let src = std::fs::read_to_string(
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../policy/src/lib.rs"),
+        )
+        .expect("policy sources exist");
+        assert!(check_policy_encoding(&src).is_empty());
+        let fields = enum_variant_fields(&src, "PolicySpec").unwrap();
+        let names: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(
+            names,
+            ["gear", "slowdown_limit", "budget_w", "schedule"],
+            "PolicySpec grew a knob — make sure it reaches the encoding and update this list"
+        );
     }
 }

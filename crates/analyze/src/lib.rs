@@ -8,9 +8,9 @@
 //! an unseeded RNG, an unordered iteration, or an unhashed `RunSpec`
 //! field sneaks in. This crate enforces those invariants at CI time
 //! with a dependency-light analyzer (no `syn` — a small hand-rolled
-//! token scanner, see [`scan`]) and five rule families (see [`rules`],
-//! [`cachekey`], and [`metricsrule`] for the metrics observation-only
-//! boundary).
+//! token scanner, see [`scan`]) and its rule families (see [`rules`],
+//! [`cachekey`] — which also owns the P002 policy-encoding check —
+//! and [`metricsrule`] for the metrics observation-only boundary).
 //!
 //! ## Suppressions
 //!
@@ -201,6 +201,16 @@ pub fn analyze_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
             "crates/faults/src/plan.rs",
             1,
             "fault plan source not found — cannot verify cache-key completeness",
+        )),
+    }
+    match read("crates/policy/src/lib.rs") {
+        Ok(policy) => findings.extend(cachekey::check_policy_encoding(&policy)),
+        Err(_) => findings.push(Finding::new(
+            "P002",
+            Severity::Error,
+            "crates/policy/src/lib.rs",
+            1,
+            "policy spec source not found — cannot verify cache-key completeness",
         )),
     }
     Ok(findings)

@@ -11,10 +11,12 @@
 //! | M001 | observability | `psc_metrics` referenced from a simulation crate other than the runner (the single sanctioned integration point) |
 //! | T001 | virtual time  | a host-concurrency or host-clock identifier (`thread`, `crossbeam`, `Instant`, `SystemTime`) inside the DES scheduler (`crates/mpi/src/des/`) |
 //! | S001 | layering      | a simulator-bypassing identifier (`Cluster`, `run_with_faults`, `run_with_faults_stats`) inside the job server (`crates/serve/`) — the service must go through `Engine` so dedupe sees every request |
+//! | P001 | policy purity | a simulation-state-mutating identifier (`set_gear`, `Cluster`, the raw `run_with_*` entry points, RNG constructors) inside the policy layer (`crates/policy/`) — a policy decides a gear, only the hook installs it |
 //!
-//! (The C family — cache-key completeness — and the structural half of
-//! M001 are structural rather than per-token and live in
-//! [`crate::cachekey`] and [`crate::metricsrule`].)
+//! (The C family — cache-key completeness, including P002 for the
+//! `RunSpec::policy` encoding — and the structural half of M001 are
+//! structural rather than per-token and live in [`crate::cachekey`]
+//! and [`crate::metricsrule`].)
 
 use crate::report::{Finding, Severity};
 use crate::scan::Tok;
@@ -57,6 +59,7 @@ pub fn check_tokens(ctx: &FileCtx<'_>, toks: &[Tok]) -> Vec<Finding> {
     metrics_boundary(ctx, toks, &mut out);
     des_virtual_time_boundary(ctx, toks, &mut out);
     serve_engine_boundary(ctx, toks, &mut out);
+    policy_purity_boundary(ctx, toks, &mut out);
     out
 }
 
@@ -307,6 +310,57 @@ fn serve_engine_boundary(ctx: &FileCtx<'_>, toks: &[Tok], out: &mut Vec<Finding>
                 "simulator-bypassing identifier `{}` inside the job server — crates/serve/ must \
                  run specs only through psc_runner::Engine so the cache and in-flight dedupe see \
                  every request; build the engine at the call site and inject it",
+                t.text
+            ),
+        ));
+    }
+}
+
+// --------------------------------------------------------------------
+// P001 — the policy layer's pure-decision boundary
+// --------------------------------------------------------------------
+
+/// Identifiers that mutate or re-run simulation state. A policy is a
+/// pure function of the `Observation` snapshot it is handed: it may
+/// *return* a gear (the hook installs it and bills the DVFS stall),
+/// never install one itself, never construct or drive a cluster, and
+/// never draw randomness — not even seeded randomness, because a
+/// policy has no seed of its own in the cache key, so any draw would
+/// either repeat across runs or silently alias distinct specs.
+const POLICY_BANNED: &[&str] = &[
+    "set_gear",
+    "Cluster",
+    "run_with_faults",
+    "run_with_faults_stats",
+    "run_with_policy",
+    "run_with_policy_stats",
+    "SmallRng",
+    "StdRng",
+    "splitmix64",
+    "FaultRng",
+];
+
+/// The policy layer (`crates/policy/`) must stay decision-only: its
+/// whole contract is that `Static(g)` is byte-identical to a
+/// policy-free gear-`g` run, which only holds if the crate cannot
+/// touch simulation state at all. As with T001/S001, the bare
+/// identifiers are banned outright — even an unused import of
+/// `Cluster` or a gear setter is a finding.
+fn policy_purity_boundary(ctx: &FileCtx<'_>, toks: &[Tok], out: &mut Vec<Finding>) {
+    if !ctx.path.contains("crates/policy/") {
+        return;
+    }
+    for t in toks.iter().filter(|t| POLICY_BANNED.contains(&t.text.as_str())) {
+        out.push(Finding::new(
+            "P001",
+            Severity::Error,
+            ctx.path,
+            t.line,
+            format!(
+                "simulation-state-mutating identifier `{}` inside the policy layer — a policy \
+                 is a pure function of its Observation: it returns a gear through the hook \
+                 (crates/mpi/src/comm.rs::policy_step) and never installs one, drives a \
+                 cluster, or draws randomness",
                 t.text
             ),
         ));
@@ -571,6 +625,30 @@ mod tests {
             .expect("serve sources exist");
             let f = rules_on(&src, &path, "serve");
             assert!(f.iter().all(|f| f.rule != "S001"), "{path} violates its own boundary: {f:?}");
+        }
+    }
+
+    #[test]
+    fn policy_path_bans_simulation_mutating_idents() {
+        // Bare identifiers fire — even an unused import is a finding.
+        let src = "use psc_mpi::cluster::Cluster; \
+                   fn f(c: &mut Comm) { c.set_gear(3); let r = StdRng::seed_from_u64(7); }";
+        let f = rules_on(src, "crates/policy/src/adaptive.rs", "policy");
+        let p001: Vec<_> = f.iter().filter(|f| f.rule == "P001").collect();
+        assert_eq!(p001.len(), 3, "Cluster, set_gear, StdRng each fire: {f:?}");
+        // Identical tokens outside the policy path are P001-clean —
+        // comm.rs is exactly where set_gear belongs.
+        let elsewhere = rules_on(src, "crates/mpi/src/comm.rs", "mpi");
+        assert!(elsewhere.iter().all(|f| f.rule != "P001"));
+        // The policy crate as written honours its own boundary.
+        for rel in ["lib.rs", "adaptive.rs", "powercap.rs", "oracle.rs"] {
+            let path = format!("crates/policy/src/{rel}");
+            let src = std::fs::read_to_string(
+                std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../policy/src").join(rel),
+            )
+            .expect("policy sources exist");
+            let f = rules_on(&src, &path, "policy");
+            assert!(f.iter().all(|f| f.rule != "P001"), "{path} violates its own boundary: {f:?}");
         }
     }
 

@@ -3,7 +3,7 @@
 //! workspace at HEAD must be clean, and deleting a field's contribution
 //! from the real cache key must trip C001.
 
-use psc_analyze::cachekey::{check_cache_key, check_fault_plan_encoding};
+use psc_analyze::cachekey::{check_cache_key, check_fault_plan_encoding, check_policy_encoding};
 use psc_analyze::{analyze_source, analyze_workspace, find_workspace_root};
 use std::path::{Path, PathBuf};
 
@@ -94,6 +94,25 @@ fn m001_fires_on_metrics_use_in_sim_crate_only() {
 }
 
 #[test]
+fn p001_fires_on_the_policy_path_only() {
+    let src = fixture("p001_policy_mutation.rs");
+    let h = hits("crates/policy/src/fixture.rs", &src);
+    let lines: Vec<u32> = h.iter().filter(|(r, _)| r == "P001").map(|&(_, l)| l).collect();
+    assert_eq!(lines, vec![2, 5], "Cluster import and set_gear call fire: {h:?}");
+    // The same tokens outside the policy layer are P001-clean — the
+    // CLI is exactly where clusters get built and gears get set.
+    assert!(hits("crates/cli/src/fixture.rs", &src).iter().all(|(r, _)| r != "P001"));
+}
+
+#[test]
+fn p002_fires_on_the_skipped_knob_fixture() {
+    let f = check_policy_encoding(&fixture("p002_skipped_knob.rs"));
+    assert_eq!(f.len(), 1, "findings: {f:?}");
+    assert_eq!(f[0].rule, "P002");
+    assert!(f[0].message.contains("`budget_w`"), "{}", f[0].message);
+}
+
+#[test]
 fn clean_fixture_produces_no_findings() {
     let h = hits("crates/machine/src/fixture.rs", &fixture("clean.rs"));
     assert!(h.is_empty(), "clean fixture must not fire: {h:?}");
@@ -169,6 +188,8 @@ fn deny_fails_on_each_seeded_fixture_violation() {
     write("crates/runner/src/engine.rs", engine_ok);
     let faults_ok = "#[derive(Debug, Clone, Serialize, Deserialize)]\npub struct FaultPlan {\n    pub seed: u64,\n}\n";
     write("crates/faults/src/plan.rs", faults_ok);
+    let policy_ok = "#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]\npub enum PolicySpec {\n    Static { gear: usize },\n}\n";
+    write("crates/policy/src/lib.rs", policy_ok);
     assert!(exit_eq(run_deny(&tmp), ExitCode::SUCCESS), "baseline tree must be clean");
 
     // Each token-rule fixture, dropped into a crate its rule covers.
@@ -180,6 +201,7 @@ fn deny_fails_on_each_seeded_fixture_violation() {
         ("u001_bare_units.rs", "crates/analysis/src/bad.rs"),
         ("f001_fault_purity.rs", "crates/faults/src/bad.rs"),
         ("m001_metrics_in_sim.rs", "crates/machine/src/bad.rs"),
+        ("p001_policy_mutation.rs", "crates/policy/src/bad.rs"),
     ];
     for (fix, dest) in cases {
         write(dest, &fixture(fix));
@@ -198,6 +220,10 @@ fn deny_fails_on_each_seeded_fixture_violation() {
     write("crates/faults/src/plan.rs", &fixture("c002_skipped_field.rs"));
     assert!(exit_eq(run_deny(&tmp), ExitCode::FAILURE), "--deny must fail on serde(skip)");
     write("crates/faults/src/plan.rs", faults_ok);
+
+    write("crates/policy/src/lib.rs", &fixture("p002_skipped_knob.rs"));
+    assert!(exit_eq(run_deny(&tmp), ExitCode::FAILURE), "--deny must fail on a skipped knob");
+    write("crates/policy/src/lib.rs", policy_ok);
 
     assert!(exit_eq(run_deny(&tmp), ExitCode::SUCCESS), "tree must be clean again");
     let _ = std::fs::remove_dir_all(&tmp);

@@ -1,0 +1,7 @@
+//! Seeded violation: the policy layer reaching into simulation state.
+use psc_mpi::cluster::Cluster;
+
+pub fn decide(comm: &mut Comm) -> usize {
+    comm.set_gear(4);
+    4
+}

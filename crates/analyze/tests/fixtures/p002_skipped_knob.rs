@@ -1,0 +1,8 @@
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PolicySpec {
+    Static { gear: usize },
+    PowerCap {
+        #[serde(skip)]
+        budget_w: f64,
+    },
+}

@@ -24,7 +24,14 @@
 //!    not regress more than 10% against the committed
 //!    `BENCH_sweep.json` (compared only when that file's `quick` flag
 //!    matches this invocation).
-//! 5. **Track**: the numbers land in `BENCH_sweep.json` (repo root, or
+//! 5. **Price the policy hook**: run the plan's `Static(g)` twin (the
+//!    inert policy installed through the same hook every online policy
+//!    uses) interleaved with the policy-free plan, report
+//!    `policy_runs_per_sec` and `policy_hook_overhead_frac`, and
+//!    byte-compare the CSVs (`policy_identical`, always gated).
+//!    `PSC_BENCH_GATE_POLICY=1` additionally gates the hook's
+//!    wall-clock cost at 1% of the policy-free serial wall.
+//! 6. **Track**: the numbers land in `BENCH_sweep.json` (repo root, or
 //!    `$BENCH_OUT`), committed so regressions show up in review.
 //!
 //! `PSC_BENCH_QUICK=1` shrinks the plan for CI; the default plan covers
@@ -121,6 +128,17 @@ struct SweepBenchReport {
     events_processed: u64,
     /// Whether the two backends rendered byte-identical CSVs.
     backend_identical: bool,
+    /// Distinct simulations per wall-second with the inert `Static(g)`
+    /// policy installed (cold serial, the plan's policy twin).
+    policy_runs_per_sec: f64,
+    /// Relative serial wall-clock cost of routing every run through
+    /// the policy hook (`Static(g)` twin vs policy-free plan, median
+    /// of interleaved pair ratios, clamped at 0.0 like
+    /// `metrics_overhead_frac`). Gated at 1% by
+    /// `PSC_BENCH_GATE_POLICY=1`.
+    policy_hook_overhead_frac: f64,
+    /// Whether the `Static(g)` twin rendered the policy-free CSV bytes.
+    policy_identical: bool,
     /// Concurrent clients the serve replay fired.
     serve_clients: u64,
     /// Specs requested across all serve replay clients.
@@ -298,7 +316,9 @@ fn serial_group(plan: &RunPlan, enabled: bool, reps: usize) -> (f64, String, u64
     (t.elapsed().as_secs_f64() / reps as f64, csv, unique_runs)
 }
 
-/// The cold serial measurement, metrics on and off.
+/// The cold serial measurement of an interleaved on/off pairing —
+/// metrics on vs off, or the `Static(g)` policy twin vs the
+/// policy-free plan.
 struct SerialMeasurement {
     /// Best per-execution wall, metrics on.
     on_wall_s: f64,
@@ -420,6 +440,78 @@ fn backend_pass(plan: &RunPlan, backend: RuntimeBackend, reps: usize) -> Backend
     BackendPass { wall_s, runs_per_sec: unique_runs as f64 / wall_s, events, csv }
 }
 
+/// The plan's policy twin: every spec re-expressed as a gear-1
+/// configuration with `Static(g)` installed through the policy hook.
+/// Executing it does provably identical simulation work — the byte
+/// identity the policy test suite locks down — while exercising the
+/// hook at every phase boundary and MPI-call exit, so the wall delta
+/// against the policy-free plan is the hook's whole cost.
+fn static_twin(plan: &RunPlan) -> RunPlan {
+    plan.specs
+        .iter()
+        .map(|s| {
+            let gear = s.gears.gear_for(0);
+            psc_runner::RunSpec::uniform(s.bench, s.class, s.nodes, 1)
+                .with_policy(psc_policy::PolicySpec::Static { gear })
+        })
+        .collect()
+}
+
+/// One timed group of `reps` cold serial executions of `plan`, with
+/// the CSV rendered against `render`'s spec rows (the policy twin
+/// reports the bare plan's rows so its CSV is byte-comparable).
+fn policy_group(render: &RunPlan, plan: &RunPlan, reps: usize) -> (f64, String, u64) {
+    let mut csv = String::new();
+    let mut unique_runs = 0;
+    let t = Instant::now();
+    for _ in 0..reps {
+        let e = Engine::serial(cluster());
+        let runs = e.execute(plan);
+        csv = curve_csv(render, &runs);
+        unique_runs = e.cache_stats().misses;
+    }
+    (t.elapsed().as_secs_f64() / reps as f64, csv, unique_runs)
+}
+
+/// Interleaved pair measurement of the policy hook's cost, mirroring
+/// `serial_on_off`: on-groups run the `Static(g)` twin, off-groups
+/// the policy-free plan, and the pair ratio isolates the hook.
+fn policy_on_off(plan: &RunPlan, passes: usize, reps: usize) -> SerialMeasurement {
+    let twin = static_twin(plan);
+    let mut m = SerialMeasurement {
+        on_wall_s: f64::INFINITY,
+        off_wall_s: f64::INFINITY,
+        overhead_frac: 0.0,
+        ratios: Vec::new(),
+        csv_on: String::new(),
+        csv_off: String::new(),
+        unique_runs: 0,
+    };
+    let _ = policy_group(plan, &twin, 1); // untimed warm-up, as above
+    let mut ratios = Vec::with_capacity(passes);
+    for pass in 0..passes {
+        let (on, off, csv_on, csv_off, misses) = if pass % 2 == 0 {
+            let (on, csv_on, misses) = policy_group(plan, &twin, reps);
+            let (off, csv_off, _) = policy_group(plan, plan, reps);
+            (on, off, csv_on, csv_off, misses)
+        } else {
+            let (off, csv_off, _) = policy_group(plan, plan, reps);
+            let (on, csv_on, misses) = policy_group(plan, &twin, reps);
+            (on, off, csv_on, csv_off, misses)
+        };
+        m.on_wall_s = m.on_wall_s.min(on);
+        m.off_wall_s = m.off_wall_s.min(off);
+        m.csv_on = csv_on;
+        m.csv_off = csv_off;
+        m.unique_runs = misses;
+        ratios.push((on - off) / off);
+    }
+    ratios.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    m.overhead_frac = ratios[ratios.len() / 2].max(0.0);
+    m.ratios = ratios;
+    m
+}
+
 /// The committed report's `(quick, des_runs_per_sec)`, if a parseable
 /// one exists at `path` — the baseline for the DES regression gate.
 fn committed_baseline(path: &str) -> Option<(bool, f64)> {
@@ -500,6 +592,13 @@ fn main() {
     let threaded = backend_pass(&bplan, RuntimeBackend::Threaded, reps);
     let backend_identical = des.csv == threaded.csv;
 
+    // Policy hook pricing: the Static(g) twin must render the same CSV
+    // bytes as the policy-free plan and cost (nearly) nothing.
+    let policy = policy_on_off(&plan, passes, reps);
+    let policy_identical = policy.csv_on == policy.csv_off;
+    let policy_runs_per_sec = policy.unique_runs as f64 / policy.on_wall_s;
+    let policy_hook_overhead_frac = policy.overhead_frac;
+
     // Sweep-as-a-service replay: Zipf-skewed concurrent clients against
     // an in-process job server, byte-compared to direct execution.
     let serve_cfg = psc_serve::ReplayConfig {
@@ -536,6 +635,9 @@ fn main() {
         des_speedup_vs_threaded: des.runs_per_sec / threaded.runs_per_sec,
         events_processed: des.events,
         backend_identical,
+        policy_runs_per_sec,
+        policy_hook_overhead_frac,
+        policy_identical,
         serve_clients: serve.clients as u64,
         serve_specs: serve.specs,
         serve_executed: serve.executed,
@@ -574,6 +676,12 @@ fn main() {
     );
 
     println!(
+        "  policy   hook: {policy_runs_per_sec:.1} runs/s under Static(g), overhead {:+.1}% of \
+         policy-free wall, identical bytes: {policy_identical}",
+        100.0 * policy_hook_overhead_frac
+    );
+
+    println!(
         "  serve    ({} client(s)): {} spec(s), {:.0}% dedup, {:.0} specs/s, \
          p95 {:.1} ms, identical bytes: {serve_identical}",
         serve.clients,
@@ -604,6 +712,13 @@ fn main() {
     }
     if !backend_identical {
         eprintln!("BACKEND FAILURE: DES and threaded sweeps rendered different CSV bytes");
+        std::process::exit(1);
+    }
+    if !policy_identical {
+        eprintln!(
+            "POLICY FAILURE: the Static(g) twin diverged from the policy-free CSV bytes — \
+             the hook perturbed the simulation"
+        );
         std::process::exit(1);
     }
     let gate_des = std::env::var("PSC_BENCH_GATE_DES").map(|v| v != "0").unwrap_or(false);
@@ -652,6 +767,17 @@ fn main() {
             }
         }
         _ => {}
+    }
+    let gate_policy = std::env::var("PSC_BENCH_GATE_POLICY").map(|v| v != "0").unwrap_or(false);
+    if gate_policy && overhead_exceeds(&policy, 0.01) {
+        eprintln!(
+            "POLICY OVERHEAD FAILURE: the inert policy hook consistently costs {:.1}% of the \
+             policy-free serial wall (gate: 1%, best-wall ratio {:.1}%, pair ratios {:?})",
+            100.0 * policy_hook_overhead_frac,
+            100.0 * (policy.on_wall_s - policy.off_wall_s) / policy.off_wall_s,
+            policy.ratios
+        );
+        std::process::exit(1);
     }
     let gate_overhead = std::env::var("PSC_BENCH_GATE_OVERHEAD").map(|v| v != "0").unwrap_or(false);
     if gate_overhead && overhead_exceeds(&serial, 0.03) {

@@ -61,6 +61,7 @@ fn main() -> ExitCode {
         "advise" => cmd_advise(&args),
         "budget" => cmd_budget(&args),
         "faults" => cmd_faults(&args),
+        "policy" => cmd_policy(&args),
         "serve" => cmd_serve(&args),
         "replay" => cmd_replay(&args),
         "list" => cmd_list(),
@@ -99,6 +100,9 @@ USAGE:
   powerscale budget --bench <NAME> --power-cap <WATTS> [--max-nodes N]
                     [--class b|test] [--jobs J]
   powerscale faults [--seed N] [--level FRAC] [--out PATH] | --inspect PATH
+  powerscale policy list | describe <NAME>
+  powerscale policy run --bench <NAME> --policy <SPEC> [--nodes N] [--gear G]
+                    [--class b|test] [--backend threaded|des]
   powerscale serve  [--tcp ADDR] [--workers N] [--queue-cap N] [--max-batch N]
   powerscale replay [--clients N] [--requests N] [--batch N] [--seed N]
                     [--zipf S] [--interactive PCT] [--workers N]
@@ -117,6 +121,15 @@ USAGE:
   shorthand for the default-noise preset at that seed. Identical plan
   and seed reproduce byte-identical results at any --jobs; fault
   activations appear in exported traces on the \"fault\" category.
+
+  Online gear policies: `powerscale policy list` names the available
+  policy families, `describe` explains one and its argument syntax, and
+  `run` executes a benchmark under a policy that watches the run and
+  moves the gear at phase boundaries and MPI-call exits (shorthands:
+  static:3, phase-adaptive:1.05, power-cap:400, oracle:0=2,3=5). The
+  `run` and `trace` commands accept the same --policy <SPEC>. Decisions
+  are deterministic — identical results at any --jobs and on either
+  backend — and policy-driven runs occupy their own cache keyspace.
 
   Static analysis: `powerscale analyze` scans the workspace sources for
   determinism hazards (wall-clock reads, unseeded RNG, unordered
@@ -268,9 +281,18 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     }
     let cfg = ClusterConfig::uniform(nodes, gear);
     let faults = faults_from_args(args);
-    let (run, outs) = c.run_with_faults(&cfg, faults.as_ref(), move |comm| bench.run(comm, class));
+    let policy = policy_from_args(args)?;
+    if let Some(p) = &policy {
+        p.validate(&c.node, nodes)?;
+    }
+    let (run, outs) = c.run_with_policy(&cfg, faults.as_ref(), policy.as_ref().map(|p| p as _), {
+        move |comm: &mut psc_mpi::Comm| bench.run(comm, class)
+    });
     let out = &outs[0];
-    println!("{} on {nodes} node(s) at gear {gear}:", bench.name());
+    match &policy {
+        Some(p) => println!("{} on {nodes} node(s) under {}:", bench.name(), p.shorthand()),
+        None => println!("{} on {nodes} node(s) at gear {gear}:", bench.name()),
+    }
     println!("  time    {:>12.2} s", run.time_s);
     println!("  energy  {:>12.0} J (wattmeter: {:.0} J)", run.energy_j, run.measured_energy_j);
     println!("  power   {:>12.1} W average", run.average_power_w());
@@ -322,7 +344,13 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
     }
     let cfg = ClusterConfig::uniform(nodes, gear);
     let faults = faults_from_args(args);
-    let (run, _) = c.run_with_faults(&cfg, faults.as_ref(), move |comm| bench.run(comm, class));
+    let policy = policy_from_args(args)?;
+    if let Some(p) = &policy {
+        p.validate(&c.node, nodes)?;
+    }
+    let (run, _) = c.run_with_policy(&cfg, faults.as_ref(), policy.as_ref().map(|p| p as _), {
+        move |comm: &mut psc_mpi::Comm| bench.run(comm, class)
+    });
     let m = RunManifest::new(bench.name(), class_label(class), &cfg, &run);
     println!(
         "{} on {nodes} node(s) at gear {gear}: {:.2} s, {:.0} J\n",
@@ -548,6 +576,100 @@ fn cmd_faults(args: &[String]) -> Result<(), String> {
             println!("{}", plan.summary());
         }
         None => println!("{}", plan.to_json()),
+    }
+    Ok(())
+}
+
+/// Parse and structurally check a `--policy <SPEC>` argument shared by
+/// `run`, `trace`, and `policy run`.
+fn policy_from_args(args: &[String]) -> Result<Option<psc_policy::PolicySpec>, String> {
+    match flag(args, "--policy") {
+        None => Ok(None),
+        Some(text) => psc_policy::PolicySpec::parse(&text).map(Some),
+    }
+}
+
+/// `powerscale policy`: list the online gear policies, describe one, or
+/// run a benchmark under one.
+fn cmd_policy(args: &[String]) -> Result<(), String> {
+    use psc_policy::PolicySpec;
+    match args.get(1).map(String::as_str) {
+        Some("list") => {
+            println!("{:<16} summary", "policy");
+            for name in PolicySpec::NAMES {
+                println!("{name:<16} {}", PolicySpec::summary(name).unwrap());
+            }
+            Ok(())
+        }
+        Some("describe") => {
+            let name =
+                args.get(2).ok_or("missing policy name: powerscale policy describe <NAME>")?;
+            match PolicySpec::describe(name) {
+                Some(text) => {
+                    print!("{text}");
+                    Ok(())
+                }
+                None => Err(format!(
+                    "unknown policy '{name}' (available: {})",
+                    PolicySpec::NAMES.join(", ")
+                )),
+            }
+        }
+        Some("run") => {
+            let spec = policy_from_args(args)?
+                .ok_or("missing --policy <SPEC> (try `powerscale policy list`)")?;
+            cmd_policy_run(args, spec)
+        }
+        Some(other) => Err(format!("unknown policy subcommand '{other}' (list, describe, run)")),
+        None => Err("missing policy subcommand (list, describe, run)".into()),
+    }
+}
+
+fn cmd_policy_run(args: &[String], policy: psc_policy::PolicySpec) -> Result<(), String> {
+    let bench = parse_bench(args)?;
+    let class = parse_class(args)?;
+    let nodes: usize = parse_num(args, "--nodes", 1)?;
+    let gear: usize = parse_num(args, "--gear", 1)?;
+    if !bench.supports_nodes(nodes) {
+        return Err(format!(
+            "{} cannot run on {nodes} nodes (valid: {:?})",
+            bench.name(),
+            bench.valid_nodes(32)
+        ));
+    }
+    let c = cluster_from_args(args);
+    if gear < 1 || gear > c.node.gears.len() {
+        return Err(format!("gear must be 1..={}", c.node.gears.len()));
+    }
+    policy.validate(&c.node, nodes)?;
+    let cfg = ClusterConfig::uniform(nodes, gear);
+    let faults = faults_from_args(args);
+    let (run, _) =
+        c.run_with_policy(&cfg, faults.as_ref(), Some(&policy), move |comm| bench.run(comm, class));
+    let decisions: usize = run.ranks.iter().map(|r| r.trace.decisions().len()).sum();
+    let shifts: usize = run.ranks.iter().map(|r| r.trace.gear_shifts().len()).sum();
+    println!("{} on {nodes} node(s) under {}:", bench.name(), policy.shorthand());
+    println!("  time      {:>12.2} s", run.time_s);
+    println!("  energy    {:>12.0} J (wattmeter: {:.0} J)", run.energy_j, run.measured_energy_j);
+    println!("  power     {:>12.1} W average", run.average_power_w());
+    println!("  decisions {:>12} across {} rank(s), {} gear shift(s)", decisions, nodes, shifts);
+    for r in &run.ranks {
+        if r.trace.decisions().is_empty() {
+            continue;
+        }
+        // Full logs can run to hundreds of entries; show the head and
+        // point at `trace --policy` for the rest.
+        const SHOWN: usize = 6;
+        let all = r.trace.decisions();
+        let mut log: Vec<String> = all
+            .iter()
+            .take(SHOWN)
+            .map(|d| format!("{:.3}s g{}→g{}", d.t_s, d.from_gear, d.to_gear))
+            .collect();
+        if all.len() > SHOWN {
+            log.push(format!("… (+{} more)", all.len() - SHOWN));
+        }
+        println!("  rank {:<3} {}", r.rank, log.join("  "));
     }
     Ok(())
 }

@@ -258,6 +258,155 @@ fn replay_min_dedup_floor_fails_the_run() {
     assert!(stderr.contains("below the --min-dedup"), "{stderr}");
 }
 
+// --------------------------------------------------------------------
+// `powerscale policy` — golden stdout snapshots. The policy layer's
+// whole contract is byte-determinism, so these compare *exact bytes*,
+// not substrings: any drift in a float, a column width, or a decision
+// timestamp is a real behaviour change and must show up in review.
+// --------------------------------------------------------------------
+
+#[test]
+fn policy_list_golden() {
+    let out = powerscale(&["policy", "list"]);
+    assert!(out.status.success());
+    let golden = "\
+policy           summary
+static           fixed gear for the whole run (identity with a policy-free run)
+phase-adaptive   per-phase gear from profiled UPM, bounded by a slowdown limit
+power-cap        cluster power budget enforced at every instant
+oracle           replay a fixed phase-indexed gear schedule
+";
+    assert_eq!(String::from_utf8(out.stdout).unwrap(), golden);
+}
+
+#[test]
+fn policy_describe_golden() {
+    let out = powerscale(&["policy", "describe", "static"]);
+    assert!(out.status.success());
+    let golden = "\
+static: fixed gear for the whole run (identity with a policy-free run)
+
+Usage: static:G
+
+Run every rank at gear G (1-based) for the whole run. The
+installed hook is inert, so results are byte-identical to a
+policy-free run configured at gear G; use it to route static
+gears through the policy machinery.
+
+Example: static:3
+";
+    assert_eq!(String::from_utf8(out.stdout).unwrap(), golden);
+}
+
+#[test]
+fn policy_run_static_golden() {
+    let args = [
+        "policy", "run", "--bench", "CG", "--nodes", "2", "--class", "test", "--policy",
+        "static:4", "--jobs", "1",
+    ];
+    let out = powerscale_hermetic(&args);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let golden = "\
+CG on 2 node(s) under static:4:
+  time              0.03 s
+  energy               6 J (wattmeter: 6 J)
+  power            160.6 W average
+  decisions            0 across 2 rank(s), 0 gear shift(s)
+";
+    assert_eq!(String::from_utf8(out.stdout).unwrap(), golden);
+    // The snapshot is a pure function of the arguments: a second
+    // invocation at a different worker count reproduces it.
+    let args8 = [
+        "policy", "run", "--bench", "CG", "--nodes", "2", "--class", "test", "--policy",
+        "static:4", "--jobs", "8",
+    ];
+    let again = powerscale_hermetic(&args8);
+    assert_eq!(String::from_utf8(again.stdout).unwrap(), golden);
+}
+
+#[test]
+fn policy_run_oracle_golden() {
+    let out = powerscale_hermetic(&[
+        "policy",
+        "run",
+        "--bench",
+        "CG",
+        "--nodes",
+        "2",
+        "--class",
+        "test",
+        "--policy",
+        "oracle:0=5,3=2",
+        "--jobs",
+        "1",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let golden = "\
+CG on 2 node(s) under oracle:0=5,3=2:
+  time              0.03 s
+  energy               6 J (wattmeter: 6 J)
+  power            170.7 W average
+  decisions            4 across 2 rank(s), 4 gear shift(s)
+  rank 0   0.000s g1\u{2192}g5  0.001s g5\u{2192}g2
+  rank 1   0.000s g1\u{2192}g5  0.002s g5\u{2192}g2
+";
+    assert_eq!(String::from_utf8(out.stdout).unwrap(), golden);
+}
+
+/// Every error path prints one exact line to stderr and exits 1, with
+/// nothing on stdout.
+#[test]
+fn policy_error_paths_golden() {
+    let cases: [(&[&str], &str); 6] = [
+        (
+            &["policy", "describe", "nope"],
+            "error: unknown policy 'nope' (available: static, phase-adaptive, power-cap, oracle)\n",
+        ),
+        (
+            &[
+                "policy",
+                "run",
+                "--bench",
+                "CG",
+                "--nodes",
+                "2",
+                "--class",
+                "test",
+                "--policy",
+                "oracle:zap",
+            ],
+            "error: malformed oracle step \"zap\": want P=G\n",
+        ),
+        (
+            &[
+                "policy",
+                "run",
+                "--bench",
+                "CG",
+                "--nodes",
+                "2",
+                "--class",
+                "test",
+                "--policy",
+                "oracle:0=9",
+            ],
+            "error: oracle gear 9 out of range 1..=6 for node athlon64\n",
+        ),
+        (
+            &["policy", "run", "--bench", "CG", "--nodes", "2", "--class", "test"],
+            "error: missing --policy <SPEC> (try `powerscale policy list`)\n",
+        ),
+        (&["policy"], "error: missing policy subcommand (list, describe, run)\n"),
+        (&["policy", "bogus"], "error: unknown policy subcommand 'bogus' (list, describe, run)\n"),
+    ];
+    for (args, golden) in cases {
+        let out = powerscale(args);
+        assert!(!out.status.success(), "{args:?} must fail");
+        assert_eq!(out.stdout, b"", "{args:?} must print nothing to stdout");
+        assert_eq!(String::from_utf8(out.stderr).unwrap(), golden, "args: {args:?}");
+    }
+}
+
 #[test]
 fn serve_stdio_answers_jsonl_and_shuts_down() {
     use std::io::Write as _;

@@ -73,11 +73,15 @@ pub fn run(comm: &mut Comm, p: &SyntheticParams) -> SyntheticOutput {
         }
         charge(comm, 3.0 * a.len() as f64, p.work_scale, SYNTHETIC_UPM);
         comm.span_end();
-        // One scalar all-reduce per step: negligible communication.
+        // One scalar all-reduce per step: negligible communication. The
+        // local sum is charged inside the span so every cycle of the
+        // step belongs to a named phase (the policy layer only profiles
+        // work it can see inside spans).
         let local: f64 = a.iter().sum();
-        charge(comm, a.len() as f64, p.work_scale, SYNTHETIC_UPM);
-        monitored =
-            comm.span("synthetic-reduce", |comm| comm.allreduce_scalar(local, ReduceOp::Sum));
+        monitored = comm.span("synthetic-reduce", |comm| {
+            charge(comm, a.len() as f64, p.work_scale, SYNTHETIC_UPM);
+            comm.allreduce_scalar(local, ReduceOp::Sum)
+        });
     }
 
     SyntheticOutput { checksum: monitored, iterations: p.steps }

@@ -77,6 +77,25 @@ impl Counters {
         }
     }
 
+    /// Counters accumulated since `mark` was captured: the element-wise
+    /// difference `self − mark`. Runtime DVFS policies use this to read a
+    /// *window* (one phase, one MPI interval) out of the monotone
+    /// cumulative counters — `mark.merge(&mark.delta_since(..))` would
+    /// reproduce `self`. `mark` must be an earlier snapshot of the same
+    /// counter stream.
+    pub fn delta_since(&self, mark: &Counters) -> Counters {
+        debug_assert!(self.uops >= mark.uops && self.mpi_calls >= mark.mpi_calls);
+        Counters {
+            uops: self.uops - mark.uops,
+            l2_misses: self.l2_misses - mark.l2_misses,
+            active_cycles: self.active_cycles - mark.active_cycles,
+            active_s: self.active_s - mark.active_s,
+            idle_s: self.idle_s - mark.idle_s,
+            bytes_sent: self.bytes_sent - mark.bytes_sent,
+            mpi_calls: self.mpi_calls - mark.mpi_calls,
+        }
+    }
+
     /// Merge another rank's counters into this one (for cluster totals).
     pub fn merge(&mut self, other: &Counters) {
         self.uops += other.uops;
@@ -137,6 +156,27 @@ mod tests {
         assert_eq!(a.idle_s, 1.0);
         assert_eq!(a.bytes_sent, 192);
         assert_eq!(a.mpi_calls, 2);
+    }
+
+    #[test]
+    fn delta_since_inverts_accumulation() {
+        let mut c = Counters::default();
+        c.record_compute(&WorkBlock::new(10.0, 1.0), 1.0, 100.0);
+        c.record_mpi_op(64);
+        let mark = c;
+        c.record_compute(&WorkBlock::new(20.0, 3.0), 2.0, 100.0);
+        c.record_idle(0.5);
+        c.record_mpi_op(128);
+        let w = c.delta_since(&mark);
+        assert_eq!(w.uops, 20.0);
+        assert_eq!(w.l2_misses, 3.0);
+        assert_eq!(w.active_s, 2.0);
+        assert_eq!(w.idle_s, 0.5);
+        assert_eq!(w.bytes_sent, 128);
+        assert_eq!(w.mpi_calls, 1);
+        let mut rebuilt = mark;
+        rebuilt.merge(&w);
+        assert_eq!(rebuilt, c);
     }
 
     #[test]

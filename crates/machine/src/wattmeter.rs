@@ -174,10 +174,28 @@ impl PowerTrace {
         if t1_s <= t0_s {
             return 0.0;
         }
-        self.segments
+        // Segments are appended in time order, so everything before the
+        // window can be skipped with a binary search and the iteration
+        // stops at the first segment past it. Only zero-contribution
+        // terms are skipped relative to summing the whole trace, and
+        // adding 0.0 to a non-negative accumulator is exact — so this
+        // is bitwise-identical to the full sum (the policy hook calls
+        // this once per MPI-call exit; a full scan there would make
+        // policy runs quadratic in the trace length).
+        let lo = self.segments.partition_point(|s| s.t1_s <= t0_s);
+        let e: f64 = self.segments[lo..]
             .iter()
+            .take_while(|s| s.t0_s < t1_s)
             .map(|s| (s.t1_s.min(t1_s) - s.t0_s.max(t0_s)).max(0.0) * s.power_w)
-            .sum()
+            .sum();
+        // std's f64 sum folds from a -0.0 seed, so a window overlapping
+        // nothing yields -0.0 here while the full scan would have folded
+        // at least one exact +0.0 term on a non-empty trace. Fold one in.
+        if self.segments.is_empty() {
+            e
+        } else {
+            e + 0.0
+        }
     }
 
     /// Average power over the trace duration, power_w (0 for an empty trace).
@@ -371,6 +389,35 @@ mod tests {
         // Degenerate and out-of-range windows are zero.
         assert_eq!(t.energy_between(1.0, 1.0), 0.0);
         assert_eq!(t.energy_between(5.0, 9.0), 0.0);
+    }
+
+    #[test]
+    fn energy_between_matches_full_scan_bitwise() {
+        // The windowed scan must return the exact bits the naive
+        // whole-trace sum would: skipped segments contribute a literal
+        // 0.0, and adding 0.0 to a non-negative accumulator is exact.
+        let mut t = PowerTrace::new();
+        let mut end = 0.0;
+        for i in 0..200u32 {
+            end += 0.013 + f64::from(i % 7) * 0.0031;
+            t.push(end, 60.0 + f64::from(i % 11) * 9.5);
+        }
+        let naive = |t0: f64, t1: f64| -> f64 {
+            t.segments()
+                .iter()
+                .map(|s| (s.t1_s.min(t1) - s.t0_s.max(t0)).max(0.0) * s.power_w)
+                .sum::<f64>()
+        };
+        let cuts = [-0.5, 0.0, 0.0137, 0.9, 1.0, end / 2.0, end - 0.01, end, end + 1.0];
+        for &t0 in &cuts {
+            for &t1 in &cuts {
+                if t1 <= t0 {
+                    assert_eq!(t.energy_between(t0, t1), 0.0);
+                } else {
+                    assert_eq!(t.energy_between(t0, t1).to_bits(), naive(t0, t1).to_bits());
+                }
+            }
+        }
     }
 
     #[test]

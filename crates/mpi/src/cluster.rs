@@ -9,6 +9,7 @@
 use crate::comm::{Comm, Fabric};
 use crate::des;
 use crate::network::NetworkModel;
+use crate::policyhook::ClusterPolicy;
 use crate::router::{MatchBuffer, Router};
 use crate::trace::RankTrace;
 use psc_faults::FaultPlan;
@@ -302,6 +303,46 @@ impl Cluster {
         R: Send,
         F: Fn(&mut Comm) -> R + Sync,
     {
+        self.run_with_policy_stats(cfg, faults, None, program)
+    }
+
+    /// [`Cluster::run_with_faults`] with an online gear policy installed
+    /// on every rank: the policy chooses each rank's *initial* gear
+    /// (overriding the configured selection) and is then consulted at
+    /// every phase boundary and MPI-call exit through the hook in
+    /// [`crate::policyhook`]. A straggler entry in the fault plan still
+    /// wins over the policy's initial gear — a fault pins hardware, and
+    /// the policy has to live with it. `policy: None` is exactly
+    /// [`Cluster::run_with_faults`].
+    pub fn run_with_policy<R, F>(
+        &self,
+        cfg: &ClusterConfig,
+        faults: Option<&FaultPlan>,
+        policy: Option<&dyn ClusterPolicy>,
+        program: F,
+    ) -> (RunResult, Vec<R>)
+    where
+        R: Send,
+        F: Fn(&mut Comm) -> R + Sync,
+    {
+        let (run, outputs, _) = self.run_with_policy_stats(cfg, faults, policy, program);
+        (run, outputs)
+    }
+
+    /// [`Cluster::run_with_policy`] plus the backend's host-side
+    /// execution statistics. This is the full-generality entry point;
+    /// every other `run*` method delegates here.
+    pub fn run_with_policy_stats<R, F>(
+        &self,
+        cfg: &ClusterConfig,
+        faults: Option<&FaultPlan>,
+        policy: Option<&dyn ClusterPolicy>,
+        program: F,
+    ) -> (RunResult, Vec<R>, BackendStats)
+    where
+        R: Send,
+        F: Fn(&mut Comm) -> R + Sync,
+    {
         assert!(cfg.nodes >= 1, "cluster run needs at least one node");
         if let GearSelection::PerRank(v) = &cfg.gears {
             assert_eq!(v.len(), cfg.nodes, "per-rank gear list length must equal node count");
@@ -311,10 +352,16 @@ impl Cluster {
                 panic!("invalid fault plan: {e}");
             }
         }
+        // The gear a rank would start at absent faults: the configured
+        // selection, unless a policy overrides it.
+        let base_gear = |rank: usize| {
+            let configured = cfg.gears.gear_for(rank);
+            policy.map_or(configured, |p| p.initial_gear(rank, cfg.nodes, configured, &self.node))
+        };
         // The gear each rank actually runs at: a straggler entry in the
-        // plan overrides the configured selection.
+        // plan overrides everything (it models pinned hardware).
         let effective_gear = |rank: usize| {
-            faults.and_then(|p| p.forced_gear(rank)).unwrap_or_else(|| cfg.gears.gear_for(rank))
+            faults.and_then(|p| p.forced_gear(rank)).unwrap_or_else(|| base_gear(rank))
         };
         // Validate gear indices up front (gear() panics with context).
         for rank in 0..cfg.nodes {
@@ -323,10 +370,12 @@ impl Cluster {
 
         let (per_rank, stats) = match self.backend.effective() {
             RuntimeBackend::Threaded => (
-                self.drive_threaded(cfg, faults, &program, &effective_gear),
+                self.drive_threaded(cfg, faults, policy, &program, &effective_gear, &base_gear),
                 BackendStats::default(),
             ),
-            RuntimeBackend::Des => self.drive_des(cfg, faults, &program, &effective_gear),
+            RuntimeBackend::Des => {
+                self.drive_des(cfg, faults, policy, &program, &effective_gear, &base_gear)
+            }
         };
 
         let (run, outputs) = self.assemble(cfg, faults, per_rank);
@@ -339,8 +388,10 @@ impl Cluster {
         &self,
         cfg: &ClusterConfig,
         faults: Option<&FaultPlan>,
+        policy: Option<&dyn ClusterPolicy>,
         program: &F,
         effective_gear: &dyn Fn(usize) -> usize,
+        base_gear: &dyn Fn(usize) -> usize,
     ) -> Vec<RankProducts<R>>
     where
         R: Send,
@@ -355,9 +406,11 @@ impl Cluster {
             for (rank, inbox) in outlets.into_iter().enumerate() {
                 let gear_index = effective_gear(rank);
                 let gear = self.node.gear(gear_index);
-                let forced_from =
-                    (gear_index != cfg.gears.gear_for(rank)).then(|| cfg.gears.gear_for(rank));
+                let forced_from = (gear_index != base_gear(rank)).then(|| base_gear(rank));
                 let rank_faults = faults.map(|p| p.rank_faults(rank));
+                // Built on the driver thread (ClusterPolicy need not be
+                // Sync); the Box moves onto the rank's thread.
+                let rank_policy = policy.map(|p| p.rank_policy(rank, cfg.nodes, &self.node));
                 let router = Arc::clone(&router);
                 let node = Arc::clone(&node);
                 let network = self.network;
@@ -365,6 +418,9 @@ impl Cluster {
                     let fabric = Fabric::Threaded { router, inbox, buffer: MatchBuffer::new() };
                     let mut comm = Comm::new(rank, cfg.nodes, gear, node, network, fabric);
                     comm.set_faults(rank_faults, forced_from);
+                    if let Some(hook) = rank_policy {
+                        comm.set_policy(hook);
+                    }
                     let out = program(&mut comm);
                     comm.finalize();
                     let (counters, trace, power, end_s, final_gear) = comm.into_results();
@@ -383,8 +439,10 @@ impl Cluster {
         &self,
         cfg: &ClusterConfig,
         faults: Option<&FaultPlan>,
+        policy: Option<&dyn ClusterPolicy>,
         program: &F,
         effective_gear: &dyn Fn(usize) -> usize,
+        base_gear: &dyn Fn(usize) -> usize,
     ) -> (Vec<RankProducts<R>>, BackendStats)
     where
         R: Send,
@@ -402,9 +460,9 @@ impl Cluster {
         for rank in 0..n {
             let gear_index = effective_gear(rank);
             let gear = self.node.gear(gear_index);
-            let forced_from =
-                (gear_index != cfg.gears.gear_for(rank)).then(|| cfg.gears.gear_for(rank));
+            let forced_from = (gear_index != base_gear(rank)).then(|| base_gear(rank));
             let rank_faults = faults.map(|p| p.rank_faults(rank));
+            let rank_policy = policy.map(|p| p.rank_policy(rank, n, &self.node));
             let state = Rc::clone(&state);
             let results = Rc::clone(&results);
             let node = Arc::clone(&node);
@@ -413,6 +471,9 @@ impl Cluster {
                 let fabric = Fabric::Des(des::DesEndpoint::new(rank, state, yielder.clone()));
                 let mut comm = Comm::new(rank, n, gear, node, network, fabric);
                 comm.set_faults(rank_faults, forced_from);
+                if let Some(hook) = rank_policy {
+                    comm.set_policy(hook);
+                }
                 let out = program(&mut comm);
                 comm.finalize();
                 let (counters, trace, power, end_s, final_gear) = comm.into_results();
@@ -1100,6 +1161,165 @@ mod fault_tests {
         let plan =
             FaultPlan { stragglers: vec![Straggler { rank: 0, gear: 99 }], ..FaultPlan::quiet(0) };
         let _ = c.run_with_faults(&ClusterConfig::uniform(1, 1), Some(&plan), |_| ());
+    }
+}
+
+#[cfg(test)]
+mod policy_tests {
+    use super::*;
+    use crate::policyhook::{ClusterPolicy, InertRankPolicy, Observation, PolicyEvent, RankPolicy};
+    use crate::reduce::ReduceOp;
+    use psc_machine::WorkBlock;
+
+    fn cluster(backend: RuntimeBackend) -> Cluster {
+        Cluster::athlon_fast_ethernet().with_backend(backend)
+    }
+
+    fn program(comm: &mut Comm) -> f64 {
+        for _ in 0..3 {
+            comm.span("ep-like", |c| c.compute(&WorkBlock::with_upm(2.0e9, 844.0)));
+            comm.span("cg-like", |c| c.compute(&WorkBlock::with_upm(2.0e9, 8.6)));
+            comm.allreduce_scalar(comm.rank() as f64, ReduceOp::Sum);
+        }
+        comm.now_s()
+    }
+
+    /// Inert at every event; starts at the configured gear.
+    struct Inert;
+    impl ClusterPolicy for Inert {
+        fn rank_policy(
+            &self,
+            _rank: usize,
+            _size: usize,
+            _node: &psc_machine::NodeSpec,
+        ) -> Box<dyn RankPolicy> {
+            Box::new(InertRankPolicy)
+        }
+    }
+
+    /// Downshifts at the start of every `cg-like` phase, returns to
+    /// gear 1 at its end — the hand-written schedule from
+    /// `gear_switching_saves_energy_on_mixed_phases`, expressed as a
+    /// policy.
+    struct DownshiftCg;
+    struct DownshiftCgRank;
+    impl RankPolicy for DownshiftCgRank {
+        fn decide(&mut self, obs: &Observation<'_>) -> Option<usize> {
+            match obs.event {
+                PolicyEvent::PhaseStart { name: "cg-like", .. } => Some(5),
+                PolicyEvent::PhaseEnd { name: "cg-like", .. } => Some(1),
+                _ => None,
+            }
+        }
+    }
+    impl ClusterPolicy for DownshiftCg {
+        fn rank_policy(
+            &self,
+            _rank: usize,
+            _size: usize,
+            _node: &psc_machine::NodeSpec,
+        ) -> Box<dyn RankPolicy> {
+            Box::new(DownshiftCgRank)
+        }
+    }
+
+    /// Starts every rank at gear 4 regardless of configuration.
+    struct StartAt4;
+    impl ClusterPolicy for StartAt4 {
+        fn initial_gear(
+            &self,
+            _rank: usize,
+            _size: usize,
+            _configured: usize,
+            _node: &psc_machine::NodeSpec,
+        ) -> usize {
+            4
+        }
+        fn rank_policy(
+            &self,
+            _rank: usize,
+            _size: usize,
+            _node: &psc_machine::NodeSpec,
+        ) -> Box<dyn RankPolicy> {
+            Box::new(InertRankPolicy)
+        }
+    }
+
+    #[test]
+    fn inert_policy_is_byte_identical_to_no_policy() {
+        for backend in [RuntimeBackend::Des, RuntimeBackend::Threaded] {
+            let c = cluster(backend);
+            let cfg = ClusterConfig::uniform(3, 2);
+            let (bare, bare_out) = c.run(&cfg, program);
+            let (hooked, hooked_out) = c.run_with_policy(&cfg, None, Some(&Inert), program);
+            assert_eq!(hooked, bare, "backend {:?}", backend);
+            assert_eq!(hooked_out, bare_out);
+            assert!(hooked.ranks.iter().all(|r| r.trace.decisions().is_empty()));
+        }
+    }
+
+    #[test]
+    fn policy_initial_gear_overrides_configuration() {
+        let c = cluster(RuntimeBackend::Des);
+        let cfg = ClusterConfig::uniform(2, 1);
+        let (with_policy, _) = c.run_with_policy(&cfg, None, Some(&StartAt4), program);
+        let (at_4, _) = c.run(&ClusterConfig::uniform(2, 4), program);
+        assert_eq!(with_policy, at_4, "Static-style initial gear must reproduce a plain run");
+        // No shift and no straggler event was recorded for the override.
+        for r in &with_policy.ranks {
+            assert!(r.trace.gear_shifts().is_empty());
+            assert!(r.trace.fault_events().is_empty());
+            assert_eq!(r.gear_index, 4);
+        }
+    }
+
+    #[test]
+    fn policy_decisions_match_gear_shifts_and_save_energy() {
+        let c = cluster(RuntimeBackend::Des);
+        let cfg = ClusterConfig::uniform(2, 1);
+        let (base, _) = c.run(&cfg, program);
+        let (adaptive, _) = c.run_with_policy(&cfg, None, Some(&DownshiftCg), program);
+        assert!(adaptive.energy_j < base.energy_j, "downshifting cg-like phases must save");
+        for r in &adaptive.ranks {
+            let decisions = r.trace.decisions();
+            let shifts = r.trace.gear_shifts();
+            assert_eq!(decisions.len(), shifts.len(), "one shift per effective decision");
+            assert_eq!(decisions.len(), 6, "3 iterations × (down + up)");
+            for (d, s) in decisions.iter().zip(shifts) {
+                assert_eq!(d.from_gear, s.from_gear);
+                assert_eq!(d.to_gear, s.to_gear);
+                assert!((s.t_s - s.stall_s - d.t_s).abs() < 1e-12, "shift lands after stall");
+            }
+        }
+    }
+
+    #[test]
+    fn policy_runs_identical_across_backends() {
+        let cfg = ClusterConfig::uniform(4, 1);
+        let (des, des_out) =
+            cluster(RuntimeBackend::Des).run_with_policy(&cfg, None, Some(&DownshiftCg), program);
+        let (thr, thr_out) = cluster(RuntimeBackend::Threaded).run_with_policy(
+            &cfg,
+            None,
+            Some(&DownshiftCg),
+            program,
+        );
+        assert_eq!(des, thr);
+        assert_eq!(des_out, thr_out);
+    }
+
+    #[test]
+    fn straggler_fault_wins_over_policy_initial_gear() {
+        use psc_faults::plan::Straggler;
+        let c = cluster(RuntimeBackend::Des);
+        let plan =
+            FaultPlan { stragglers: vec![Straggler { rank: 1, gear: 6 }], ..FaultPlan::quiet(0) };
+        let cfg = ClusterConfig::uniform(2, 1);
+        let (run, _) = c.run_with_policy(&cfg, Some(&plan), Some(&StartAt4), program);
+        assert_eq!(run.ranks[0].gear_index, 4, "unfaulted rank starts where the policy says");
+        // The straggler is pinned; the policy's initial gear lost.
+        let evs = run.ranks[1].trace.fault_events();
+        assert!(evs.iter().any(|f| f.kind == crate::trace::FaultKind::StragglerGear));
     }
 }
 

@@ -21,9 +21,12 @@
 use crate::des::DesEndpoint;
 use crate::network::NetworkModel;
 use crate::payload::Payload;
+use crate::policyhook::{Observation, PolicyEvent, RankPolicy};
 use crate::reduce::ReduceOp;
 use crate::router::{Envelope, MatchBuffer, Router};
-use crate::trace::{FaultEvent, FaultKind, GearShift, MpiOp, PhaseSpan, RankTrace, TraceEvent};
+use crate::trace::{
+    FaultEvent, FaultKind, GearShift, MpiOp, PhaseSpan, PolicyDecision, RankTrace, TraceEvent,
+};
 use crossbeam::channel::Receiver;
 use psc_faults::RankFaults;
 use psc_machine::{Counters, Gear, NodeSpec, PowerTrace, WorkBlock};
@@ -105,6 +108,25 @@ pub struct RecvRequest<T: Payload> {
     _marker: std::marker::PhantomData<fn() -> T>,
 }
 
+/// Per-rank state of an installed online gear policy: the policy object
+/// itself plus the bookkeeping that turns the rank's monotone cumulative
+/// state into per-event *windows* — counter deltas, window lengths, and
+/// an incrementally integrated energy total.
+struct PolicyCtx {
+    hook: Box<dyn RankPolicy>,
+    /// Counters at this rank's previous policy event (rolling window
+    /// start).
+    mark_counters: Counters,
+    /// Virtual time of the previous policy event, seconds.
+    mark_t_s: f64,
+    /// Exact energy integrated up to `mark_t_s`, joules.
+    energy_j: f64,
+    /// `(counters, t_s)` snapshots at each open span, parallel to
+    /// `Comm::span_stack`, so `PhaseEnd` windows cover exactly their
+    /// span.
+    span_marks: Vec<(Counters, f64)>,
+}
+
 /// The per-rank communicator (see module docs).
 pub struct Comm {
     rank: usize,
@@ -121,6 +143,7 @@ pub struct Comm {
     wire_scale: f64,
     span_stack: Vec<(String, f64)>,
     faults: Option<RankFaults>,
+    policy: Option<PolicyCtx>,
 }
 
 impl Comm {
@@ -150,6 +173,7 @@ impl Comm {
             wire_scale: 1.0,
             span_stack: Vec::new(),
             faults: None,
+            policy: None,
         }
     }
 
@@ -167,6 +191,22 @@ impl Comm {
                 magnitude: self.gear.index as f64,
             });
         }
+    }
+
+    /// Install this rank's half of an online gear policy. Called by the
+    /// cluster driver before the program runs; from then on the hook is
+    /// consulted at every phase boundary and traced MPI-call exit (see
+    /// [`crate::policyhook`]). The initial gear is *not* set here — the
+    /// driver resolves it through `ClusterPolicy::initial_gear` before
+    /// constructing the communicator, so no spurious shift is recorded.
+    pub(crate) fn set_policy(&mut self, hook: Box<dyn RankPolicy>) {
+        self.policy = Some(PolicyCtx {
+            hook,
+            mark_counters: Counters::default(),
+            mark_t_s: 0.0,
+            energy_j: 0.0,
+            span_marks: Vec::new(),
+        });
     }
 
     /// Set the wire-size scale factor applied to every payload.
@@ -286,6 +326,13 @@ impl Comm {
     /// finalize time.
     pub fn span_begin(&mut self, name: &str) {
         self.span_stack.push((name.to_string(), self.clock_s));
+        if self.policy.is_some() {
+            let depth = self.span_stack.len() - 1;
+            if let Some(ctx) = self.policy.as_mut() {
+                ctx.span_marks.push((self.counters, self.clock_s));
+            }
+            self.policy_step(None, PolicyEvent::PhaseStart { name, depth });
+        }
     }
 
     /// Close the innermost open span.
@@ -296,7 +343,20 @@ impl Comm {
     pub fn span_end(&mut self) {
         let (name, t_start_s) = self.span_stack.pop().expect("span_end called with no open span");
         let depth = self.span_stack.len();
-        self.trace.record_span(PhaseSpan { name, t_start_s, t_end_s: self.clock_s, depth });
+        let t_end_s = self.clock_s;
+        if self.policy.is_some() {
+            let (mark_counters, mark_t_s) = self
+                .policy
+                .as_mut()
+                .and_then(|ctx| ctx.span_marks.pop())
+                .expect("policy span mark missing");
+            let window = self.counters.delta_since(&mark_counters);
+            self.policy_step(
+                Some((window, t_end_s - mark_t_s)),
+                PolicyEvent::PhaseEnd { name: &name, depth, duration_s: t_end_s - t_start_s },
+            );
+        }
+        self.trace.record_span(PhaseSpan { name, t_start_s, t_end_s, depth });
     }
 
     // ------------------------------------------------------------------
@@ -744,6 +804,60 @@ impl Comm {
         self.power.push(self.clock_s, idle_w);
         self.counters.record_idle(self.clock_s - t0);
         self.trace.record(TraceEvent { op, t_enter_s: t0, t_exit_s: self.clock_s, bytes, peer });
+        // Finalize is excluded: nothing runs after it, so a shift there
+        // could only burn stall time.
+        if self.policy.is_some() && op != MpiOp::Finalize {
+            self.policy_step(
+                None,
+                PolicyEvent::OpExit {
+                    op,
+                    duration_s: self.clock_s - t0,
+                    bytes,
+                    all_ranks: op.is_collective(),
+                },
+            );
+        }
+    }
+
+    /// Fire the installed policy hook for one event: assemble the
+    /// [`Observation`] (rolling window unless `span_window` supplies the
+    /// enclosing span's), let the policy decide, advance the window
+    /// marks, and apply an effective decision through the ordinary
+    /// [`Comm::set_gear`] path (recording it in the decision log first).
+    /// A request for the current gear is discarded unrecorded.
+    fn policy_step(&mut self, span_window: Option<(Counters, f64)>, event: PolicyEvent<'_>) {
+        let Some(mut ctx) = self.policy.take() else { return };
+        let (window, window_s) = match span_window {
+            Some(w) => w,
+            None => (self.counters.delta_since(&ctx.mark_counters), self.clock_s - ctx.mark_t_s),
+        };
+        let energy_so_far_j = ctx.energy_j + self.power.energy_between(ctx.mark_t_s, self.clock_s);
+        let decision = ctx.hook.decide(&Observation {
+            rank: self.rank,
+            size: self.size,
+            now_s: self.clock_s,
+            gear_index: self.gear.index,
+            node: &self.node,
+            counters: &self.counters,
+            window: &window,
+            window_s,
+            energy_so_far_j,
+            event,
+        });
+        ctx.mark_counters = self.counters;
+        ctx.mark_t_s = self.clock_s;
+        ctx.energy_j = energy_so_far_j;
+        self.policy = Some(ctx);
+        if let Some(to_gear) = decision {
+            if to_gear != self.gear.index {
+                self.trace.record_decision(PolicyDecision {
+                    t_s: self.clock_s,
+                    from_gear: self.gear.index,
+                    to_gear,
+                });
+                self.set_gear(to_gear);
+            }
+        }
     }
 
     /// Dissemination pattern shared by `barrier` and `finalize`.

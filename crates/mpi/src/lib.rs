@@ -49,6 +49,7 @@ pub mod comm;
 pub(crate) mod des;
 pub mod network;
 pub mod payload;
+pub mod policyhook;
 pub mod reduce;
 pub mod router;
 pub mod trace;
@@ -59,5 +60,8 @@ pub use cluster::{
 };
 pub use comm::{Comm, RecvRequest};
 pub use network::NetworkModel;
+pub use policyhook::{ClusterPolicy, InertRankPolicy, Observation, PolicyEvent, RankPolicy};
 pub use reduce::ReduceOp;
-pub use trace::{FaultEvent, FaultKind, GearShift, MpiOp, PhaseSpan, RankTrace, TraceEvent};
+pub use trace::{
+    FaultEvent, FaultKind, GearShift, MpiOp, PhaseSpan, PolicyDecision, RankTrace, TraceEvent,
+};

@@ -62,6 +62,14 @@ impl MpiOp {
     pub fn is_blocking(self) -> bool {
         !matches!(self, MpiOp::Send | MpiOp::Irecv)
     }
+
+    /// Whether this operation synchronizes *all* ranks of the job (a
+    /// collective). These are the cluster-wide sync points at which
+    /// budget-redistribution policies act: every rank observes the same
+    /// count of them, in the same order.
+    pub fn is_collective(self) -> bool {
+        !matches!(self, MpiOp::Send | MpiOp::Recv | MpiOp::SendRecv | MpiOp::Irecv | MpiOp::Wait)
+    }
 }
 
 /// One intercepted message-passing call.
@@ -128,6 +136,22 @@ pub struct GearShift {
     pub stall_s: f64,
 }
 
+/// One effective decision of an online gear policy
+/// ([`crate::policyhook::RankPolicy`]): the policy requested a gear
+/// different from the one the rank was running at. Recorded *before*
+/// the DVFS transition stall is charged, so the matching [`GearShift`]
+/// lands at `t_s + stall_s` — the invariant the policy property tests
+/// check. Discarded requests (same gear, or no request) leave no record.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PolicyDecision {
+    /// Virtual time at which the policy decided, seconds (pre-stall).
+    pub t_s: f64,
+    /// Gear index the rank was running at (1-based).
+    pub from_gear: usize,
+    /// Gear index the policy requested (1-based).
+    pub to_gear: usize,
+}
+
 /// The class of an injected-fault activation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum FaultKind {
@@ -166,6 +190,7 @@ pub struct RankTrace {
     spans: Vec<PhaseSpan>,
     gear_shifts: Vec<GearShift>,
     faults: Vec<FaultEvent>,
+    decisions: Vec<PolicyDecision>,
     /// Virtual time at which the rank's program ended.
     pub end_s: f64,
 }
@@ -184,6 +209,7 @@ impl RankTrace {
             spans: Vec::with_capacity(spans),
             gear_shifts: Vec::new(),
             faults: Vec::new(),
+            decisions: Vec::new(),
             end_s: 0.0,
         }
     }
@@ -242,6 +268,24 @@ impl RankTrace {
     /// without an active fault plan.
     pub fn fault_events(&self) -> &[FaultEvent] {
         &self.faults
+    }
+
+    /// Append an effective policy decision. Decisions arrive in time
+    /// order (the policy hook fires as virtual time advances).
+    pub fn record_decision(&mut self, d: PolicyDecision) {
+        debug_assert!(
+            self.decisions.last().is_none_or(|last| d.t_s >= last.t_s - 1e-12),
+            "policy decisions out of order"
+        );
+        debug_assert_ne!(d.from_gear, d.to_gear, "ineffective decisions are not recorded");
+        self.decisions.push(d);
+    }
+
+    /// The policy's effective decision log, in time order. Empty for
+    /// runs without an installed policy (and for `Static` policies,
+    /// which never request a shift).
+    pub fn decisions(&self) -> &[PolicyDecision] {
+        &self.decisions
     }
 
     /// Total time spent inside spans of the given name, seconds.
@@ -517,6 +561,38 @@ mod tests {
         t.record_gear_shift(GearShift { t_s: 2.0, from_gear: 4, to_gear: 2, stall_s: 0.01 });
         assert_eq!(t.gear_shifts().len(), 2);
         assert_eq!(t.gear_shifts()[0].to_gear, 4);
+    }
+
+    #[test]
+    fn decisions_recorded_in_order_and_serialized() {
+        let mut t = RankTrace::new();
+        t.record_decision(PolicyDecision { t_s: 1.0, from_gear: 1, to_gear: 4 });
+        t.record_decision(PolicyDecision { t_s: 2.0, from_gear: 4, to_gear: 2 });
+        assert_eq!(t.decisions().len(), 2);
+        assert_eq!(t.decisions()[0].to_gear, 4);
+        let back: RankTrace = serde::json::from_str(&serde::json::to_string(&t)).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn point_to_point_ops_are_not_collective() {
+        for op in [MpiOp::Send, MpiOp::Recv, MpiOp::SendRecv, MpiOp::Irecv, MpiOp::Wait] {
+            assert!(!op.is_collective(), "{op:?}");
+        }
+        for op in [
+            MpiOp::Barrier,
+            MpiOp::Bcast,
+            MpiOp::Reduce,
+            MpiOp::Allreduce,
+            MpiOp::Allgather,
+            MpiOp::Alltoall,
+            MpiOp::Scan,
+            MpiOp::Gather,
+            MpiOp::Scatter,
+            MpiOp::Finalize,
+        ] {
+            assert!(op.is_collective(), "{op:?}");
+        }
     }
 
     #[test]

@@ -40,7 +40,11 @@ use std::sync::{Arc, Mutex};
 /// migrates a parseable entry into its shard atomically, so any
 /// pre-shard directory (same key space) heals in place instead of being
 /// wiped.
-pub const CACHE_SCHEMA: &str = "psc-run-cache-v4";
+/// v5: `RankTrace` gained the policy decision log (online DVFS policy
+/// layer), so v4 entries no longer deserialize; `RunSpec` gained the
+/// `policy` field, appended to the key as `|policy=<json>` when set
+/// (policy-free keys keep the plain shape, mirroring `|faults=`).
+pub const CACHE_SCHEMA: &str = "psc-run-cache-v5";
 
 /// 64-bit FNV-1a over a byte string.
 pub fn fnv1a64(bytes: &[u8]) -> u64 {

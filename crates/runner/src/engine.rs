@@ -268,6 +268,12 @@ impl Engine {
             desc.push_str("|faults=");
             desc.push_str(&plan.to_json());
         }
+        // Same shape for policies: policy-free keys stay plain, any
+        // policy (even Static) gets its own keyspace (analyzer P002).
+        if let Some(policy) = &spec.policy {
+            desc.push_str("|policy=");
+            desc.push_str(&policy.to_json());
+        }
         fnv1a64(desc.as_bytes())
     }
 
@@ -445,9 +451,11 @@ impl Engine {
     /// (never in it) so the instrumentation around this function can
     /// observe DES throughput without touching what a run computes.
     fn execute_spec(&self, spec: &RunSpec) -> (RunResult, u64) {
-        let (run, _outputs, backend) = self.cluster.run_with_faults_stats(
+        let policy = spec.policy.as_ref().map(|p| p as &dyn psc_mpi::ClusterPolicy);
+        let (run, _outputs, backend) = self.cluster.run_with_policy_stats(
             &spec.config(),
             self.effective_faults(spec),
+            policy,
             |comm| spec.bench.run(comm, spec.class),
         );
         (run, backend.events_processed)
@@ -604,6 +612,62 @@ mod tests {
         // A spec-level plan wins over the engine default.
         let pinned = clean.clone().with_faults(FaultPlan::quiet(3));
         assert_eq!(e_noisy.cache_key(&pinned), e_clean.cache_key(&pinned));
+    }
+
+    #[test]
+    fn policies_get_their_own_keyspace() {
+        use psc_policy::{OracleStep, PolicySpec};
+        let e = engine();
+        let bare = RunSpec::uniform(Benchmark::Cg, ProblemClass::Test, 2, 1);
+        let k_bare = e.cache_key(&bare);
+
+        // A policy — even Static at the configured gear — separates the
+        // key from policy-free.
+        let s1 = bare.clone().with_policy(PolicySpec::Static { gear: 1 });
+        assert_ne!(k_bare, e.cache_key(&s1));
+
+        // Different policies, and different parameters of one policy,
+        // separate keys from one another.
+        let s3 = bare.clone().with_policy(PolicySpec::Static { gear: 3 });
+        let ad = bare.clone().with_policy(PolicySpec::PhaseAdaptive { slowdown_limit: 1.05 });
+        let ad2 = bare.clone().with_policy(PolicySpec::PhaseAdaptive { slowdown_limit: 1.10 });
+        let cap = bare.clone().with_policy(PolicySpec::PowerCap { budget_w: 500.0 });
+        let or = bare
+            .clone()
+            .with_policy(PolicySpec::Oracle { schedule: vec![OracleStep { phase: 0, gear: 2 }] });
+        let keys = [
+            e.cache_key(&s1),
+            e.cache_key(&s3),
+            e.cache_key(&ad),
+            e.cache_key(&ad2),
+            e.cache_key(&cap),
+            e.cache_key(&or),
+        ];
+        for (i, a) in keys.iter().enumerate() {
+            for b in &keys[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+
+        // Policy and faults compose in the key.
+        use psc_faults::FaultPlan;
+        let both = s3.clone().with_faults(FaultPlan::quiet(1));
+        assert_ne!(e.cache_key(&both), e.cache_key(&s3));
+        assert_ne!(e.cache_key(&both), e.cache_key(&bare.clone().with_faults(FaultPlan::quiet(1))));
+    }
+
+    #[test]
+    fn static_policy_result_matches_policy_free_run() {
+        use psc_policy::PolicySpec;
+        let e = engine();
+        let bare = RunSpec::uniform(Benchmark::Cg, ProblemClass::Test, 2, 4);
+        let via_policy = RunSpec::uniform(Benchmark::Cg, ProblemClass::Test, 2, 1)
+            .with_policy(PolicySpec::Static { gear: 4 });
+        let a = e.run(&bare);
+        let b = e.run(&via_policy);
+        assert_eq!(a.time_s.to_bits(), b.time_s.to_bits());
+        assert_eq!(a.energy_j.to_bits(), b.energy_j.to_bits());
+        assert_eq!(a.measured_energy_j.to_bits(), b.measured_energy_j.to_bits());
     }
 
     #[test]

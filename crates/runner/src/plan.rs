@@ -3,6 +3,7 @@
 use psc_faults::FaultPlan;
 use psc_kernels::{Benchmark, ProblemClass};
 use psc_mpi::{ClusterConfig, GearSelection};
+use psc_policy::PolicySpec;
 
 /// One independent measurement: a benchmark at a problem class, node
 /// count, and gear selection — optionally perturbed by a fault plan.
@@ -20,6 +21,10 @@ pub struct RunSpec {
     /// default plan (usually also none). Participates in the cache key:
     /// a faulted run never aliases a clean one.
     pub faults: Option<FaultPlan>,
+    /// Online gear policy for this spec. `None` runs policy-free
+    /// (today's static-gear behavior). Participates in the cache key:
+    /// a policy-driven run never aliases a policy-free one.
+    pub policy: Option<PolicySpec>,
 }
 
 impl RunSpec {
@@ -32,12 +37,25 @@ impl RunSpec {
     /// rather than mid-sweep.
     pub fn uniform(bench: Benchmark, class: ProblemClass, nodes: usize, gear: usize) -> Self {
         assert!(bench.supports_nodes(nodes), "{} does not support {} node(s)", bench.name(), nodes);
-        RunSpec { bench, class, nodes, gears: GearSelection::Uniform(gear), faults: None }
+        RunSpec {
+            bench,
+            class,
+            nodes,
+            gears: GearSelection::Uniform(gear),
+            faults: None,
+            policy: None,
+        }
     }
 
     /// The same spec under a fault plan.
     pub fn with_faults(mut self, plan: FaultPlan) -> Self {
         self.faults = Some(plan);
+        self
+    }
+
+    /// The same spec under an online gear policy.
+    pub fn with_policy(mut self, policy: PolicySpec) -> Self {
+        self.policy = Some(policy);
         self
     }
 
@@ -151,6 +169,7 @@ mod tests {
             nodes: 2,
             gears: GearSelection::PerRank(vec![1, 6]),
             faults: None,
+            policy: None,
         };
         assert_eq!(p.resolved_gears(), vec![1, 6]);
     }
@@ -165,5 +184,17 @@ mod tests {
         // Sweeps built by the plan constructors start fault-free.
         let plan = RunPlan::gear_sweep(Benchmark::Cg, ProblemClass::Test, 2, 6);
         assert!(plan.specs.iter().all(|s| s.faults.is_none()));
+    }
+
+    #[test]
+    fn with_policy_attaches_a_spec() {
+        use psc_policy::PolicySpec;
+        let s = RunSpec::uniform(Benchmark::Ep, ProblemClass::Test, 1, 1);
+        assert!(s.policy.is_none());
+        let p = s.clone().with_policy(PolicySpec::Static { gear: 4 });
+        assert_eq!(p.policy, Some(PolicySpec::Static { gear: 4 }));
+        // Sweeps built by the plan constructors start policy-free.
+        let plan = RunPlan::gear_sweep(Benchmark::Cg, ProblemClass::Test, 2, 6);
+        assert!(plan.specs.iter().all(|s| s.policy.is_none()));
     }
 }

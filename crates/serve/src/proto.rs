@@ -30,6 +30,7 @@
 use psc_faults::{FaultPlan, DEFAULT_NOISE_LEVEL};
 use psc_kernels::{Benchmark, ProblemClass};
 use psc_mpi::{GearSelection, RunResult};
+use psc_policy::PolicySpec;
 use psc_runner::{RunOutcome, RunSpec};
 use serde::Value;
 
@@ -253,7 +254,7 @@ fn parse_spec(
     check_fields(
         id,
         entries,
-        &["bench", "class", "nodes", "gears", "fault_seed", "faults"],
+        &["bench", "class", "nodes", "gears", "fault_seed", "faults", "policy"],
         &format!("specs[{index}]"),
     )?;
 
@@ -333,10 +334,29 @@ fn parse_spec(
         }
         (None, None) => None,
     };
+    let policy = match v.get("policy") {
+        None => None,
+        // A string carries the CLI shorthand ("static:3", "oracle:0=2")
+        // or a JSON spec as text; an object is the JSON spec inline.
+        Some(Value::Str(text)) => {
+            Some(PolicySpec::parse(text).map_err(|e| at(format!("invalid \"policy\": {e}")))?)
+        }
+        Some(obj @ Value::Map(_)) => Some(
+            PolicySpec::from_json(&serde::json::to_string(obj))
+                .map_err(|e| at(format!("invalid \"policy\": {e}")))?,
+        ),
+        Some(other) => {
+            return Err(at(format!("\"policy\" must be a string or object, got {}", other.kind())))
+        }
+    };
+    if let Some(p) = &policy {
+        p.validate_gears(limits.gear_count).map_err(|e| at(format!("invalid \"policy\": {e}")))?;
+    }
 
     let mut spec = RunSpec::uniform(bench, class, nodes, 1);
     spec.gears = gears;
     spec.faults = faults;
+    spec.policy = policy;
     Ok(spec)
 }
 
@@ -365,7 +385,7 @@ fn class_label(class: ProblemClass) -> &'static str {
 /// "byte-identical to direct Engine execution" is checked at the exact
 /// bytes the client received.
 pub fn result_value(spec: &RunSpec, key: u64, run: &RunResult) -> Value {
-    obj(vec![
+    let mut fields = vec![
         ("bench", s(spec.bench.name())),
         ("class", s(class_label(spec.class))),
         ("nodes", Value::U64(spec.nodes as u64)),
@@ -377,7 +397,13 @@ pub fn result_value(spec: &RunSpec, key: u64, run: &RunResult) -> Value {
         ("time_s", Value::F64(run.time_s)),
         ("energy_j", Value::F64(run.energy_j)),
         ("measured_energy_j", Value::F64(run.measured_energy_j)),
-    ])
+    ];
+    // Only policy-driven results carry the field: policy-free result
+    // objects keep their exact historical bytes.
+    if let Some(policy) = &spec.policy {
+        fields.push(("policy", s(&policy.shorthand())));
+    }
+    obj(fields)
 }
 
 /// Per-spec success line.
@@ -509,10 +535,44 @@ mod tests {
                 r#"{"id":"a","cmd":"run","specs":[{"bench":"EP","fault_seed":1,"faults":{}}]}"#,
                 "mutually exclusive",
             ),
+            (
+                r#"{"id":"a","cmd":"run","specs":[{"bench":"EP","policy":"nonesuch"}]}"#,
+                "unknown policy",
+            ),
+            (
+                r#"{"id":"a","cmd":"run","specs":[{"bench":"EP","policy":"static:9"}]}"#,
+                "out of range 1..=6",
+            ),
+            (
+                r#"{"id":"a","cmd":"run","specs":[{"bench":"EP","policy":7}]}"#,
+                "must be a string or object",
+            ),
+            (
+                r#"{"id":"a","cmd":"run","specs":[{"bench":"EP","policy":"oracle:5=2,5=3"}]}"#,
+                "strictly increasing",
+            ),
         ] {
             let err = parse_request(line, LIMITS).expect_err(line);
             assert!(err.message.contains(needle), "{line}: {} !~ {needle}", err.message);
         }
+    }
+
+    #[test]
+    fn policy_field_parses_shorthand_and_object() {
+        let r = parse_request(
+            r#"{"id":"a","cmd":"run","specs":[{"bench":"EP","policy":"static:3"}]}"#,
+            LIMITS,
+        )
+        .unwrap();
+        let Command::Run { specs, .. } = r.cmd else { panic!("not a run") };
+        assert_eq!(specs[0].policy, Some(PolicySpec::Static { gear: 3 }));
+
+        let json = PolicySpec::PhaseAdaptive { slowdown_limit: 1.05 }.to_json();
+        let line =
+            format!(r#"{{"id":"a","cmd":"run","specs":[{{"bench":"EP","policy":{json}}}]}}"#);
+        let r = parse_request(&line, LIMITS).unwrap();
+        let Command::Run { specs, .. } = r.cmd else { panic!("not a run") };
+        assert_eq!(specs[0].policy, Some(PolicySpec::PhaseAdaptive { slowdown_limit: 1.05 }));
     }
 
     #[test]

@@ -95,6 +95,23 @@ pub fn chrome_trace(run: &RunResult) -> Value {
             ]));
         }
 
+        // Policy decisions: instant events (cat "policy") on the phase
+        // track. Each marks the moment an online gear policy asked for
+        // a shift — the matching `dvfs` instant lands one transition
+        // stall later, so the pair visualizes decision-to-effect lag.
+        for d in r.trace.decisions() {
+            events.push(obj(vec![
+                ("name", Value::Str(format!("policy g{}\u{2192}g{}", d.from_gear, d.to_gear))),
+                ("cat", Value::Str("policy".to_string())),
+                ("ph", Value::Str("i".to_string())),
+                ("s", Value::Str("t".to_string())),
+                ("ts", us(d.t_s)),
+                ("pid", Value::U64(pid as u64)),
+                ("tid", Value::U64(TID_PHASES)),
+                ("args", obj(vec![("to_gear", Value::U64(d.to_gear as u64))])),
+            ]));
+        }
+
         // Fault activations: thread-scoped instant events on the phase
         // track, so injected perturbations line up with the compute and
         // MPI activity they distorted.
@@ -286,6 +303,71 @@ mod tests {
             _ => unreachable!(),
         };
         assert!(clean_events.iter().all(|e| e.get("cat").and_then(Value::as_str) != Some("fault")));
+    }
+
+    /// A run driven by a gear policy exports its decisions as `cat
+    /// "policy"` instant events; a policy-free run exports none.
+    #[test]
+    fn policy_run_exports_decision_instants() {
+        use psc_mpi::{ClusterPolicy, Observation, PolicyEvent, RankPolicy};
+        struct DownshiftOnce;
+        struct DownshiftOnceRank(bool);
+        impl ClusterPolicy for DownshiftOnce {
+            fn rank_policy(
+                &self,
+                _rank: usize,
+                _size: usize,
+                _node: &psc_machine::NodeSpec,
+            ) -> Box<dyn RankPolicy> {
+                Box::new(DownshiftOnceRank(false))
+            }
+        }
+        impl RankPolicy for DownshiftOnceRank {
+            fn decide(&mut self, obs: &Observation<'_>) -> Option<usize> {
+                if self.0 {
+                    return None;
+                }
+                if let PolicyEvent::PhaseEnd { .. } = obs.event {
+                    self.0 = true;
+                    return Some(obs.gear_index + 1);
+                }
+                None
+            }
+        }
+        let c = Cluster::athlon_fast_ethernet();
+        let (run, _) =
+            c.run_with_policy(&ClusterConfig::uniform(2, 1), None, Some(&DownshiftOnce), |comm| {
+                comm.span("work", |comm| {
+                    comm.compute(&WorkBlock::with_upm(1.0e8, 50.0));
+                    comm.allreduce(vec![1.0], ReduceOp::Sum);
+                });
+                comm.compute(&WorkBlock::cpu_only(1.0e8));
+            });
+        let doc = chrome_trace(&run);
+        let events = match doc.get("traceEvents") {
+            Some(Value::Seq(events)) => events,
+            _ => unreachable!(),
+        };
+        let decisions: Vec<&Value> = events
+            .iter()
+            .filter(|e| e.get("cat").and_then(Value::as_str) == Some("policy"))
+            .collect();
+        assert!(!decisions.is_empty(), "policy run must export decision instants");
+        for ev in &decisions {
+            assert_eq!(ev.get("ph").and_then(Value::as_str), Some("i"));
+            assert_eq!(ev.get("s").and_then(Value::as_str), Some("t"));
+            assert!(ev.get("ts").and_then(Value::as_f64).is_some());
+            assert!(ev.get("args").and_then(|a| a.get("to_gear")).is_some());
+        }
+        // A policy-free run exports none.
+        let clean = chrome_trace(&sample_run());
+        let clean_events = match clean.get("traceEvents") {
+            Some(Value::Seq(events)) => events,
+            _ => unreachable!(),
+        };
+        assert!(clean_events
+            .iter()
+            .all(|e| e.get("cat").and_then(Value::as_str) != Some("policy")));
     }
 
     #[test]

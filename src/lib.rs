@@ -17,6 +17,8 @@
 //! * [`metrics`] — lock-free engine self-observability: counters,
 //!   gauges, histograms with quantile estimation, profiling spans,
 //!   Prometheus text exposition.
+//! * [`policy`] — online DVFS gear policies: static, per-phase
+//!   adaptive, cluster power capping, and oracle schedule replay.
 //! * [`runner`] — the parallel sweep engine and memoizing run cache.
 //! * [`telemetry`] — run manifests, energy attribution, and Trace
 //!   Event exports for both simulated ranks and the engine itself.
@@ -35,6 +37,7 @@ pub use psc_machine as machine;
 pub use psc_metrics as metrics;
 pub use psc_model as model;
 pub use psc_mpi as mpi;
+pub use psc_policy as policy;
 pub use psc_runner as runner;
 pub use psc_telemetry as telemetry;
 
@@ -46,5 +49,6 @@ pub mod prelude {
     pub use psc_mpi::cluster::{Cluster, ClusterConfig, RunResult};
     pub use psc_mpi::comm::Comm;
     pub use psc_mpi::network::NetworkModel;
+    pub use psc_policy::PolicySpec;
     pub use psc_runner::{Engine, RunCache, RunPlan, RunSpec};
 }

@@ -19,6 +19,7 @@
 use powerscale::faults::{FaultPlan, DEFAULT_NOISE_LEVEL};
 use powerscale::kernels::{Benchmark, ProblemClass};
 use powerscale::mpi::{Cluster, RuntimeBackend};
+use powerscale::policy::PolicySpec;
 use powerscale::runner::{Engine, RunPlan, RunSpec};
 use proptest::prelude::*;
 
@@ -140,5 +141,92 @@ proptest! {
             .with_faults(FaultPlan::noise(seed.wrapping_add(1), 0.05));
         let c = engine(1).run(&other);
         prop_assert_ne!(a.time_s.to_bits(), c.time_s.to_bits());
+    }
+
+    /// A policy-driven run still accounts for every joule: the cluster
+    /// energy the run reports is the integral of the per-rank power
+    /// traces, gear shifts and all — under any fault plan.
+    #[test]
+    fn policy_energy_sums_to_power_trace_integral(
+        seed in 0u64..u64::MAX,
+        level in 0.0..0.15f64,
+        limit in 1.0..1.5f64,
+    ) {
+        let spec = RunSpec::uniform(Benchmark::Jacobi, ProblemClass::Test, 4, 1)
+            .with_faults(FaultPlan::noise(seed, level))
+            .with_policy(PolicySpec::PhaseAdaptive { slowdown_limit: limit });
+        let run = engine(1).run(&spec);
+        let integral: f64 = run.ranks.iter().map(|r| r.power.exact_energy_j()).sum();
+        let err = (run.energy_j - integral).abs() / integral.max(1e-12);
+        prop_assert!(err < 1e-9, "energy {} vs power integral {integral}", run.energy_j);
+    }
+
+    /// The recorded gear shifts of a policy run are exactly its decision
+    /// log, realized: same count and order, monotone non-decreasing in
+    /// time, each shift landing one transition stall after its decision
+    /// with the decision's gears.
+    #[test]
+    fn policy_shifts_match_the_decision_log(
+        seed in 0u64..u64::MAX,
+        level in 0.0..0.15f64,
+        limit in 1.0..1.5f64,
+    ) {
+        let spec = RunSpec::uniform(Benchmark::Cg, ProblemClass::Test, 4, 1)
+            .with_faults(FaultPlan::noise(seed, level))
+            .with_policy(PolicySpec::PhaseAdaptive { slowdown_limit: limit });
+        let run = engine(1).run(&spec);
+        for r in &run.ranks {
+            let shifts = r.trace.gear_shifts();
+            let decisions = r.trace.decisions();
+            prop_assert_eq!(
+                shifts.len(), decisions.len(),
+                "rank {}: {} shift(s) vs {} decision(s)", r.rank, shifts.len(), decisions.len()
+            );
+            for window in shifts.windows(2) {
+                prop_assert!(window[0].t_s <= window[1].t_s, "shifts out of order");
+            }
+            for (s, d) in shifts.iter().zip(decisions) {
+                prop_assert!(
+                    (s.t_s - s.stall_s - d.t_s).abs() < 1e-12,
+                    "rank {}: shift at {} (stall {}) does not match decision at {}",
+                    r.rank, s.t_s, s.stall_s, d.t_s
+                );
+                prop_assert_eq!(s.from_gear, d.from_gear);
+                prop_assert_eq!(s.to_gear, d.to_gear);
+            }
+        }
+    }
+
+    /// The power cap holds at every instant of the power trace: at any
+    /// sample time, the summed draw of all ranks stays under the budget
+    /// (`busy_w` is the worst-case draw the cap gear guarantees).
+    #[test]
+    fn power_cap_budget_holds_at_every_sample(
+        seed in 0u64..u64::MAX,
+        level in 0.0..0.15f64,
+        frac in 0.0..1.0f64,
+    ) {
+        let nodes = 4;
+        let node = Cluster::athlon_fast_ethernet().node;
+        let floor = nodes as f64 * node.power.busy_w(node.gears.slowest());
+        let ceil = nodes as f64 * node.power.busy_w(node.gears.fastest());
+        let budget_w = floor + frac * (ceil - floor);
+        let spec = RunSpec::uniform(Benchmark::Cg, ProblemClass::Test, nodes, 1)
+            .with_faults(FaultPlan::noise(seed, level))
+            .with_policy(PolicySpec::PowerCap { budget_w });
+        let run = engine(1).run(&spec);
+        // Sample at the midpoint of every segment of every rank's trace:
+        // the traces are step functions, so if the cap held at all
+        // midpoints it held everywhere.
+        for r in &run.ranks {
+            for seg in r.power.segments() {
+                let t = seg.t0_s + 0.5 * seg.duration_s();
+                let draw: f64 = run.ranks.iter().map(|q| q.power.power_at(t)).sum();
+                prop_assert!(
+                    draw <= budget_w + 1e-6,
+                    "cluster draw {draw} W exceeds budget {budget_w} W at t={t}"
+                );
+            }
+        }
     }
 }
