@@ -1,0 +1,6 @@
+//! psc-analyze: allow-file(D001)
+//! The sanctioned host-timing seam (chokepoint for the R family).
+pub fn host_now_s() -> f64 {
+    let _t = Instant::now();
+    0.0
+}

@@ -1,0 +1,4 @@
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FaultPlan {
+    pub seed: u64,
+}

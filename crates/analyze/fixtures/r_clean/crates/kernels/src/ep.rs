@@ -1,0 +1,11 @@
+//! R-family non-firing fixture: the kernel reaches a host clock, but
+//! only through the sanctioned timing chokepoint — reached, never
+//! expanded through.
+use psc_experiments::timing::host_now_s;
+
+pub fn run_ep() {
+    let _t = host_now_s();
+    pure_math();
+}
+
+fn pure_math() {}

@@ -1,0 +1,11 @@
+//! Fault-crate roots reaching environment and thread sinks through a
+//! helper (R003, R004).
+pub fn apply() {
+    configure();
+}
+
+fn configure() {
+    // psc-analyze: allow(D003) seeded for the R003 fixture expectation
+    let _v = std::env::var("PSC_FIXTURE");
+    std::thread::spawn(|| {});
+}

@@ -1,0 +1,10 @@
+//! R-family firing fixture: the kernel itself is token-clean — every
+//! banned sink is laundered through a helper in another crate, which
+//! only the call-graph rules can see.
+use psc_machine::util::stamp;
+
+pub fn run_jacobi() {
+    stamp();
+    // psc-analyze: allow(M001) seeded for the R005 fixture expectation
+    psc_metrics::counter_inc();
+}

@@ -1,0 +1,10 @@
+//! W-family non-firing case: allowlisted, documented unsafety.
+/// Write one byte.
+///
+/// # Safety
+///
+/// `p` must be valid for writes.
+pub unsafe fn poke(p: *mut u8) {
+    // SAFETY: the caller guarantees `p` is valid for writes.
+    unsafe { p.write(0) }
+}

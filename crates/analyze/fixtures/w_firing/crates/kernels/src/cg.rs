@@ -1,0 +1,5 @@
+//! W002 firing case: justified but outside the unsafe allowlist.
+pub fn scribble(p: *mut u8) {
+    // SAFETY: justified, yet misplaced — kernels must stay safe code.
+    unsafe { p.write(0) }
+}

@@ -1,0 +1,4 @@
+//! W001 firing case: in-allowlist `unsafe` with no justification.
+pub fn poke(p: *mut u8) {
+    unsafe { p.write(0) }
+}

@@ -1,0 +1,4 @@
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PolicySpec {
+    Static { gear: usize },
+}

@@ -1,0 +1,18 @@
+//! X-family non-firing cases: every guard ends before the suspension.
+pub mod coro;
+
+use coro::Yielder;
+
+pub fn recv_scoped(y: &Yielder, state: &RefCell<u32>) {
+    {
+        let st = state.borrow_mut();
+        let _ = st;
+    }
+    y.suspend();
+}
+
+pub fn recv_dropped(y: &Yielder, state: &RefCell<u32>) {
+    let st = state.borrow_mut();
+    drop(st);
+    y.suspend();
+}

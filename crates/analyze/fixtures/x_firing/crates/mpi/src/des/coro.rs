@@ -1,0 +1,25 @@
+//! Minimal coroutine core: the suspension seeds the X family keys on.
+pub struct Yielder;
+
+impl Yielder {
+    pub fn suspend(&self) {}
+}
+
+pub mod arch {
+    /// Raw context switch.
+    ///
+    /// # Safety
+    ///
+    /// Both pointers must reference live, initialized context frames.
+    pub unsafe fn switch(save: *mut u8, load: *mut u8) {
+        let _ = (save, load);
+    }
+}
+
+pub fn tail(shared: *const u8, save: *mut u8, load: *mut u8) {
+    // SAFETY: seeded X003 fixture — the reborrow itself is justified.
+    let s = unsafe { &*shared };
+    // SAFETY: seeded fixture; frames are live by construction.
+    unsafe { arch::switch(save, load) };
+    let _ = s;
+}

@@ -1,0 +1,16 @@
+//! X001/X002 firing cases: guards live across a suspension.
+pub mod coro;
+
+use coro::Yielder;
+
+pub fn recv_blocking(y: &Yielder, state: &RefCell<u32>) {
+    let st = state.borrow_mut();
+    y.suspend();
+    let _ = st;
+}
+
+pub fn send_eager(y: &Yielder, state: &RefCell<u32>) {
+    observe(state.borrow().clone(), y.suspend());
+}
+
+fn observe(_v: u32, _unit: ()) {}

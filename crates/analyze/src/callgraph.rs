@@ -1,0 +1,242 @@
+//! The workspace call graph and its reachability queries.
+//!
+//! Nodes are fully-qualified function ids ([`crate::modres::FnId`]);
+//! edges carry the call site (file, line) and either a resolved target
+//! or — for calls into `std` and the vendored stubs — the callee's
+//! rendered name, which is what the R-family sink patterns match
+//! against. Reachability is a plain BFS with parent links so every
+//! finding can report the complete call chain from its root.
+
+use crate::modres::{fn_id, FnId, WorkspaceIr};
+use crate::parse::CallKind;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Where one call edge lands.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Target {
+    /// A workspace function.
+    Fn(FnId),
+    /// An external callee, by rendered name (`Instant::now`, `.recv`).
+    External(String),
+}
+
+/// One call edge out of a function.
+#[derive(Debug, Clone)]
+pub struct Edge {
+    /// The callee.
+    pub target: Target,
+    /// Call-site file (workspace-relative).
+    pub file: String,
+    /// Call-site 1-based line.
+    pub line: u32,
+    /// How the call was written (method calls are the over-approximate
+    /// kind — useful for confidence labels in findings).
+    pub kind: CallKind,
+}
+
+/// The call graph: adjacency from every workspace function.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// Out-edges per function id.
+    pub edges: BTreeMap<FnId, Vec<Edge>>,
+}
+
+impl CallGraph {
+    /// Build the graph by resolving every call site in the IR.
+    pub fn build(ir: &WorkspaceIr) -> Self {
+        let mut edges: BTreeMap<FnId, Vec<Edge>> = BTreeMap::new();
+        for file in &ir.files {
+            for f in &file.items.fns {
+                let id = fn_id(file, f);
+                let out = edges.entry(id).or_default();
+                for call in &f.calls {
+                    let resolved = ir.resolve(file, f.self_ty.as_deref(), call);
+                    if resolved.is_empty() {
+                        out.push(Edge {
+                            target: Target::External(call.rendered()),
+                            file: file.path.clone(),
+                            line: call.line,
+                            kind: call.kind,
+                        });
+                    } else {
+                        for t in resolved {
+                            out.push(Edge {
+                                target: Target::Fn(t),
+                                file: file.path.clone(),
+                                line: call.line,
+                                kind: call.kind,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        CallGraph { edges }
+    }
+
+    /// Number of functions in the graph.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether the graph is empty.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// All functions reachable from `roots` (inclusive), never
+    /// expanding through a function for which `stop` returns true.
+    /// Returns each reached function with its parent link, so callers
+    /// can rebuild chains with [`CallGraph::chain`].
+    pub fn reach<'a>(
+        &self,
+        roots: impl IntoIterator<Item = &'a FnId>,
+        stop: impl Fn(&FnId) -> bool,
+    ) -> BTreeMap<FnId, Option<FnId>> {
+        let mut parent: BTreeMap<FnId, Option<FnId>> = BTreeMap::new();
+        let mut queue: VecDeque<FnId> = VecDeque::new();
+        for r in roots {
+            if self.edges.contains_key(r) && !parent.contains_key(r) {
+                parent.insert(r.clone(), None);
+                queue.push_back(r.clone());
+            }
+        }
+        while let Some(id) = queue.pop_front() {
+            if stop(&id) {
+                continue; // reached, but not expanded through
+            }
+            let Some(out) = self.edges.get(&id) else { continue };
+            for e in out {
+                if let Target::Fn(t) = &e.target {
+                    if !parent.contains_key(t) && self.edges.contains_key(t) {
+                        parent.insert(t.clone(), Some(id.clone()));
+                        queue.push_back(t.clone());
+                    }
+                }
+            }
+        }
+        parent
+    }
+
+    /// The call chain `root → … → id`, rebuilt from `reach` output.
+    pub fn chain(parent: &BTreeMap<FnId, Option<FnId>>, id: &FnId) -> Vec<FnId> {
+        let mut chain = vec![id.clone()];
+        let mut cur = id;
+        let mut guard = 0;
+        while let Some(Some(p)) = parent.get(cur) {
+            chain.push(p.clone());
+            cur = p;
+            guard += 1;
+            if guard > 10_000 {
+                break; // defensive: parent links cannot cycle, but stay total
+            }
+        }
+        chain.reverse();
+        chain
+    }
+
+    /// The set of functions that can transitively reach any function in
+    /// `seeds` (the *callers-of* closure, seeds included). Used for the
+    /// may-suspend set.
+    pub fn callers_closure(&self, seeds: &BTreeSet<FnId>) -> BTreeSet<FnId> {
+        // Invert the graph once.
+        let mut rev: BTreeMap<&FnId, Vec<&FnId>> = BTreeMap::new();
+        for (from, out) in &self.edges {
+            for e in out {
+                if let Target::Fn(t) = &e.target {
+                    rev.entry(t).or_default().push(from);
+                }
+            }
+        }
+        let mut set: BTreeSet<FnId> = seeds.clone();
+        let mut queue: VecDeque<&FnId> = seeds.iter().collect();
+        while let Some(id) = queue.pop_front() {
+            if let Some(callers) = rev.get(id) {
+                for c in callers {
+                    if set.insert((*c).clone()) {
+                        queue.push_back(c);
+                    }
+                }
+            }
+        }
+        set
+    }
+
+    /// A short human chain rendering: `a → b → c`.
+    pub fn render_chain(chain: &[FnId]) -> String {
+        chain.join(" → ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ir(files: &[(&str, &str)]) -> WorkspaceIr {
+        let owned: Vec<(String, String)> =
+            files.iter().map(|(p, s)| (p.to_string(), s.to_string())).collect();
+        WorkspaceIr::from_sources(&owned)
+    }
+
+    #[test]
+    fn reachability_follows_resolved_edges_and_reports_chains() {
+        let ws = ir(&[(
+            "crates/runner/src/engine.rs",
+            "fn root() { mid(); }\nfn mid() { leaf(); }\nfn leaf() { Instant::now(); }\nfn island() {}",
+        )]);
+        let g = CallGraph::build(&ws);
+        assert_eq!(g.len(), 4);
+        let roots = ["psc_runner::engine::root".to_string()];
+        let parent = g.reach(roots.iter(), |_| false);
+        assert!(parent.contains_key("psc_runner::engine::leaf"));
+        assert!(!parent.contains_key("psc_runner::engine::island"));
+        let chain = CallGraph::chain(&parent, &"psc_runner::engine::leaf".to_string());
+        assert_eq!(
+            CallGraph::render_chain(&chain),
+            "psc_runner::engine::root → psc_runner::engine::mid → psc_runner::engine::leaf"
+        );
+    }
+
+    #[test]
+    fn stop_functions_are_reached_but_not_expanded() {
+        let ws = ir(&[(
+            "crates/runner/src/engine.rs",
+            "fn root() { choke(); }\nfn choke() { leaf(); }\nfn leaf() {}",
+        )]);
+        let g = CallGraph::build(&ws);
+        let roots = ["psc_runner::engine::root".to_string()];
+        let parent = g.reach(roots.iter(), |id| id.ends_with("::choke"));
+        assert!(parent.contains_key("psc_runner::engine::choke"));
+        assert!(!parent.contains_key("psc_runner::engine::leaf"), "stopped at the chokepoint");
+    }
+
+    #[test]
+    fn callers_closure_walks_upward() {
+        let ws = ir(&[(
+            "crates/mpi/src/a.rs",
+            "fn top() { mid(); }\nfn mid() { prim(); }\nfn prim() {}\nfn other() {}",
+        )]);
+        let g = CallGraph::build(&ws);
+        let seeds: BTreeSet<FnId> = [("psc_mpi::a::prim".to_string())].into_iter().collect();
+        let set = g.callers_closure(&seeds);
+        assert!(set.contains("psc_mpi::a::top"));
+        assert!(set.contains("psc_mpi::a::mid"));
+        assert!(!set.contains("psc_mpi::a::other"));
+    }
+
+    #[test]
+    fn external_edges_keep_rendered_names() {
+        let ws = ir(&[("crates/cli/src/x.rs", "fn f() { std::thread::spawn(g); x.recv(); }")]);
+        let g = CallGraph::build(&ws);
+        let out = &g.edges["psc_cli::x::f"];
+        let ext: Vec<&str> = out
+            .iter()
+            .filter_map(|e| match &e.target {
+                Target::External(n) => Some(n.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert!(ext.contains(&"std::thread::spawn"));
+        assert!(ext.contains(&".recv"));
+    }
+}

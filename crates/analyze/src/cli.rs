@@ -10,11 +10,14 @@ psc-analyze — workspace static analysis (determinism, units, cache keys)
 
 USAGE:
   psc-analyze [--deny] [--format text|json] [--baseline FILE] [--root DIR]
+              [--time-budget-ms N]
 
-  --deny            exit non-zero when any non-baselined finding exists
-  --format json     machine-readable output
-  --baseline FILE   grandfather the findings listed in FILE
-  --root DIR        workspace root (default: discovered from the cwd)";
+  --deny               exit non-zero when any non-baselined finding exists
+  --format json        machine-readable output
+  --baseline FILE      grandfather the findings listed in FILE
+  --root DIR           workspace root (default: discovered from the cwd)
+  --time-budget-ms N   fail when the full analysis (including the
+                       interprocedural pass) takes longer than N ms";
 
 /// The usage text, shared by both entry points.
 pub fn usage() -> &'static str {
@@ -42,7 +45,7 @@ pub fn run(args: &[String]) -> Result<ExitCode, String> {
         }
         match a.as_str() {
             "--deny" => {}
-            "--format" | "--baseline" | "--root" => skip = true,
+            "--format" | "--baseline" | "--root" | "--time-budget-ms" => skip = true,
             other => return Err(format!("unknown argument '{other}'\n{USAGE}")),
         }
     }
@@ -75,12 +78,30 @@ pub fn run(args: &[String]) -> Result<ExitCode, String> {
         None => Baseline::default(),
     };
 
+    let budget_ms = match value_of("--time-budget-ms")? {
+        Some(n) => Some(n.parse::<u64>().map_err(|e| format!("--time-budget-ms '{n}': {e}"))?),
+        None => None,
+    };
+
+    // The analyzer is a host tool: timing its own wall clock is the
+    // one sanctioned self-measurement (it never touches results).
+    #[allow(clippy::disallowed_methods)]
+    // psc-analyze: allow(D001)
+    let t0 = std::time::Instant::now();
     let findings = analyze_workspace(&root).map_err(|e| format!("analyzing workspace: {e}"))?;
+    let elapsed_ms = t0.elapsed().as_millis() as u64;
     let report = Report::against(findings, &baseline);
     if json {
         println!("{}", report.render_json());
     } else {
         print!("{}", report.render_text());
+    }
+    if let Some(budget) = budget_ms {
+        if elapsed_ms > budget {
+            eprintln!("analysis wall time {elapsed_ms} ms exceeds the budget of {budget} ms");
+            return Ok(ExitCode::FAILURE);
+        }
+        eprintln!("analysis wall time: {elapsed_ms} ms (budget {budget} ms)");
     }
     if deny && !report.fresh.is_empty() {
         return Ok(ExitCode::FAILURE);

@@ -25,15 +25,22 @@
 //! Run it as `powerscale analyze [--deny] [--format json] [--baseline
 //! <file>]` or via the standalone `psc-analyze` binary.
 
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod cachekey;
+pub mod callgraph;
 pub mod cli;
 pub mod metricsrule;
+pub mod modres;
+pub mod parse;
+pub mod reach;
 pub mod report;
 pub mod rules;
 pub mod scan;
+pub mod suspend;
+pub mod unsafety;
 
 pub use report::{Baseline, BaselineEntry, Finding, Report, Severity};
 pub use rules::{FileCtx, SIM_CRATES};
@@ -92,7 +99,9 @@ pub fn analyze_source(rel_path: &str, src: &str) -> Vec<Finding> {
     let ctx = FileCtx { path: rel_path, crate_dir: &crate_dir };
     let toks = scan::strip_cfg_test(&scan::tokenize(src));
     let allows = Allows::parse(src);
-    rules::check_tokens(&ctx, &toks).into_iter().filter(|f| !allows.covers(f)).collect()
+    let mut findings = rules::check_tokens(&ctx, &toks);
+    findings.extend(unsafety::check(rel_path, src, &toks));
+    findings.into_iter().filter(|f| !allows.covers(f)).collect()
 }
 
 /// The crate directory a workspace-relative path belongs to: `mpi` for
@@ -169,14 +178,25 @@ fn collect_rs(dir: &Path, root: &Path, out: &mut Vec<String>) -> std::io::Result
 }
 
 /// Run the full analysis over the workspace at `root`: the per-token
-/// rules over every source file, plus the structural cache-key checks
-/// over the runner and fault crates.
+/// rules over every source file, the structural cache-key checks over
+/// the runner and fault crates, and the interprocedural R/X families
+/// over the whole-workspace call graph.
 pub fn analyze_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
     let mut findings = Vec::new();
+    let mut sources: Vec<(String, String)> = Vec::new();
     for rel in workspace_sources(root)? {
         let src = std::fs::read_to_string(root.join(&rel))?;
         findings.extend(analyze_source(&rel, &src));
+        sources.push((rel, src));
     }
+
+    // Interprocedural phase: one IR + call graph, two rule families.
+    let allows: std::collections::BTreeMap<&str, Allows> =
+        sources.iter().map(|(p, s)| (p.as_str(), Allows::parse(s))).collect();
+    let ir = modres::WorkspaceIr::build(root)?;
+    let graph = callgraph::CallGraph::build(&ir);
+    let inter = reach::check(&ir, &graph).into_iter().chain(suspend::check(&ir, &graph));
+    findings.extend(inter.filter(|f| allows.get(f.file.as_str()).is_none_or(|a| !a.covers(f))));
 
     // C and M families: structural checks over specific files.
     let read = |rel: &str| std::fs::read_to_string(root.join(rel));

@@ -212,9 +212,9 @@ pub fn strip_cfg_test(toks: &[Tok]) -> Vec<Tok> {
     let mut out = Vec::with_capacity(toks.len());
     let mut i = 0;
     while i < toks.len() {
-        if is_cfg_test_attr(toks, i) {
-            i += 7; // '#' '[' 'cfg' '(' 'test' ')' ']'
-                    // Skip any further attributes on the same item.
+        if let Some(attr_len) = cfg_test_attr_len(toks, i) {
+            i += attr_len;
+            // Skip any further attributes on the same item.
             while i + 1 < toks.len() && toks[i].text == "#" && toks[i + 1].text == "[" {
                 i += 2;
                 let mut depth = 1;
@@ -253,15 +253,48 @@ pub fn strip_cfg_test(toks: &[Tok]) -> Vec<Tok> {
     out
 }
 
-fn is_cfg_test_attr(toks: &[Tok], i: usize) -> bool {
-    toks.len() >= i + 7
+/// If the tokens at `i` start a `#[cfg(...)]` attribute whose argument
+/// list mentions the bare `test` predicate — `#[cfg(test)]`,
+/// `#[cfg(all(test, target_arch = "x86_64"))]`, … — return the
+/// attribute's token length.
+fn cfg_test_attr_len(toks: &[Tok], i: usize) -> Option<usize> {
+    if !(toks.len() >= i + 7
         && toks[i].text == "#"
         && toks[i + 1].text == "["
         && toks[i + 2].text == "cfg"
-        && toks[i + 3].text == "("
-        && toks[i + 4].text == "test"
-        && toks[i + 5].text == ")"
-        && toks[i + 6].text == "]"
+        && toks[i + 3].text == "(")
+    {
+        return None;
+    }
+    let mut j = i + 4;
+    let mut depth = 1usize;
+    // Depth at which a `not(...)` group opened: `test` inside it means
+    // the item is *production* code (`#[cfg(not(test))]`).
+    let mut not_depth: Option<usize> = None;
+    let mut saw_test = false;
+    while j < toks.len() && depth > 0 {
+        match toks[j].text.as_str() {
+            "(" => {
+                if toks[j - 1].text == "not" && not_depth.is_none() {
+                    not_depth = Some(depth);
+                }
+                depth += 1;
+            }
+            ")" => {
+                depth -= 1;
+                if not_depth == Some(depth) {
+                    not_depth = None;
+                }
+            }
+            "test" if not_depth.is_none() => saw_test = true,
+            _ => {}
+        }
+        j += 1;
+    }
+    if !saw_test || toks.get(j).map(|t| t.text.as_str()) != Some("]") {
+        return None;
+    }
+    Some(j + 1 - i)
 }
 
 #[cfg(test)]

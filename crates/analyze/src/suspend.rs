@@ -1,0 +1,587 @@
+//! X family — suspension safety for the stackful-coroutine DES core.
+//!
+//! A coroutine that suspends hands the CPU back through a raw context
+//! switch (`arch::switch`). Every reference it holds at that moment
+//! stays live while *other* coroutines and the scheduler run — but the
+//! borrow checker cannot see through the switch, so a `RefCell` borrow,
+//! a lock guard, or a raw-pointer reborrow of scheduler-shared state
+//! held across a suspension is an aliasing bug (or an instant
+//! `BorrowMutError` deadlock) that compiles cleanly. This is the
+//! stackful analogue of clippy's `await_holding_lock`/
+//! `await_holding_refcell_ref`, driven by the workspace call graph.
+//!
+//! The **may-suspend set** is computed transitively: the seeds are
+//! `Yielder::suspend` and the raw `arch::switch`, and the set is the
+//! callers-of closure — so a blocking `recv` that suspends three
+//! helpers deep still counts as a suspension point at every call site
+//! on the way up. Analysis is scoped to `crates/mpi`, the only crate
+//! that runs on coroutine stacks.
+//!
+//! | id   | hazard |
+//! |------|--------|
+//! | X001 | `RefCell` borrow or lock guard bound by `let`, live across a may-suspend call |
+//! | X002 | borrow/lock temporary and a may-suspend call in the same statement |
+//! | X003 | raw-pointer reborrow (`unsafe { &*p }`) live across a may-suspend call |
+//!
+//! The statement walker is token-level and deliberately simple: `let`
+//! bindings whose initializer *ends* in a guard call create a live
+//! guard; inner `{ }` scopes and `drop(name)` end guards; `if`/`while`/
+//! `match` heads that take a borrow extend it over the following block
+//! (Rust's temporary-lifetime rule for scrutinees).
+
+use crate::callgraph::CallGraph;
+use crate::modres::{FnId, WorkspaceIr};
+use crate::parse::{Call, CallKind};
+use crate::report::{Finding, Severity};
+use crate::scan::Tok;
+use std::collections::BTreeSet;
+
+/// Method/fn names whose return value is a `RefCell` borrow guard.
+const BORROW_CALLS: &[&str] = &["borrow", "borrow_mut", "try_borrow", "try_borrow_mut"];
+/// Method/fn names whose return value is a lock guard.
+const LOCK_CALLS: &[&str] = &["lock", "try_lock"];
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum GuardKind {
+    Borrow,
+    Lock,
+    RawRef,
+}
+
+impl GuardKind {
+    fn of_call(name: &str) -> Option<GuardKind> {
+        if BORROW_CALLS.contains(&name) {
+            Some(GuardKind::Borrow)
+        } else if LOCK_CALLS.contains(&name) {
+            Some(GuardKind::Lock)
+        } else {
+            None
+        }
+    }
+
+    fn noun(self) -> &'static str {
+        match self {
+            GuardKind::Borrow => "RefCell borrow",
+            GuardKind::Lock => "lock guard",
+            GuardKind::RawRef => "raw-pointer reborrow",
+        }
+    }
+}
+
+/// One live guard in some scope.
+#[derive(Debug, Clone)]
+struct Guard {
+    name: Option<String>,
+    kind: GuardKind,
+    line: u32,
+}
+
+/// The may-suspend set: every function that can transitively reach
+/// `Yielder::suspend` or the raw `arch::switch` (seeds included).
+pub fn may_suspend_set(ir: &WorkspaceIr, graph: &CallGraph) -> BTreeSet<FnId> {
+    let seeds: BTreeSet<FnId> = ir
+        .fns
+        .keys()
+        .filter(|id| id.ends_with("Yielder::suspend") || id.ends_with("arch::switch"))
+        .cloned()
+        .collect();
+    graph.callers_closure(&seeds)
+}
+
+/// Run the X family over every function body in `crates/mpi`.
+pub fn check(ir: &WorkspaceIr, graph: &CallGraph) -> Vec<Finding> {
+    let may = may_suspend_set(ir, graph);
+    let mut out = Vec::new();
+    for file in &ir.files {
+        if file.crate_dir != "mpi" {
+            continue;
+        }
+        for f in &file.items.fns {
+            let id = crate::modres::fn_id(file, f);
+            let is_suspend = |call: &Call| -> bool {
+                if call.kind == CallKind::Method && call.path[0] == "suspend" {
+                    return true;
+                }
+                ir.resolve(file, f.self_ty.as_deref(), call)
+                    .iter()
+                    .any(|t| t != &id && may.contains(t))
+            };
+            let body = &file.toks[f.body.0..f.body.1];
+            analyze_body(body, &id, &file.path, &is_suspend, &mut out);
+        }
+    }
+    out.sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
+    out
+}
+
+/// What one statement-region scan observed.
+#[derive(Debug, Default)]
+struct RegionScan {
+    /// Index just past the region (terminator consumed only for `;`).
+    end: usize,
+    /// Last call at nesting depth 0 — the call whose value a `let`
+    /// would bind: `(name, line)`.
+    last_top_call: Option<(String, u32)>,
+    /// Guard-producing calls anywhere in the region: `(kind, line, tok)`.
+    guard_calls: Vec<(GuardKind, u32, usize)>,
+    /// May-suspend calls anywhere in the region: `(rendered, line, tok)`.
+    suspends: Vec<(String, u32, usize)>,
+    /// `drop(name)` targets.
+    drops: Vec<String>,
+    /// Region contains `unsafe` together with a `&*`/`&mut *` reborrow.
+    unsafe_reborrow: bool,
+}
+
+/// Walk one function body with a scope stack of live guards.
+fn analyze_body(
+    toks: &[Tok],
+    ctx: &FnId,
+    file_path: &str,
+    is_suspend: &dyn Fn(&Call) -> bool,
+    out: &mut Vec<Finding>,
+) {
+    let n = toks.len();
+    let mut scopes: Vec<Vec<Guard>> = vec![Vec::new()];
+    // Guards created by an `if`/`while`/`match` head, live for the
+    // block that follows (scrutinee temporary-lifetime extension).
+    let mut pending: Vec<Guard> = Vec::new();
+    let mut i = 0;
+    while i < n {
+        match toks[i].text.as_str() {
+            "{" => {
+                scopes.push(std::mem::take(&mut pending));
+                i += 1;
+            }
+            "}" => {
+                if scopes.len() > 1 {
+                    scopes.pop();
+                }
+                i += 1;
+            }
+            "let" => {
+                // Binding name: first ident after `let` (skip `mut`);
+                // destructuring patterns bind anonymously.
+                let mut j = i + 1;
+                while toks.get(j).is_some_and(|t| t.text == "mut") {
+                    j += 1;
+                }
+                let name =
+                    toks.get(j).filter(|t| t.is_ident() && t.text != "_").map(|t| t.text.clone());
+                // Skip to `=` (an `if let`/`while let` head reaches `=`
+                // too — its region then stops at the block `{`).
+                let mut eq = j;
+                let mut depth = 0i32;
+                while eq < n {
+                    match toks[eq].text.as_str() {
+                        "(" | "[" | "<" => depth += 1,
+                        ")" | "]" | ">" => depth -= 1,
+                        "=" if depth <= 0 => break,
+                        ";" | "{" if depth <= 0 => break,
+                        _ => {}
+                    }
+                    eq += 1;
+                }
+                if toks.get(eq).map(|t| t.text.as_str()) != Some("=") {
+                    i = eq;
+                    continue;
+                }
+                let region = scan_region(toks, eq + 1, true, is_suspend);
+                report_region(&region, &scopes, ctx, file_path, out);
+                apply_drops(&mut scopes, &region.drops);
+                let bind_line = toks[i].line;
+                if let Some((call, _)) = &region.last_top_call {
+                    if let Some(kind) = GuardKind::of_call(call) {
+                        scopes.last_mut().unwrap().push(Guard {
+                            name: name.clone(),
+                            kind,
+                            line: bind_line,
+                        });
+                    }
+                }
+                if region.unsafe_reborrow {
+                    scopes.last_mut().unwrap().push(Guard {
+                        name,
+                        kind: GuardKind::RawRef,
+                        line: bind_line,
+                    });
+                }
+                i = region.end;
+            }
+            "if" | "while" | "match" | "for" => {
+                let head = scan_region(toks, i + 1, false, is_suspend);
+                report_region(&head, &scopes, ctx, file_path, out);
+                apply_drops(&mut scopes, &head.drops);
+                for (kind, line, _) in &head.guard_calls {
+                    pending.push(Guard { name: None, kind: *kind, line: *line });
+                }
+                i = head.end;
+            }
+            _ => {
+                let region = scan_region(toks, i, false, is_suspend);
+                report_region(&region, &scopes, ctx, file_path, out);
+                apply_drops(&mut scopes, &region.drops);
+                i = region.end.max(i + 1);
+            }
+        }
+    }
+}
+
+/// Remove guards killed by explicit `drop(name)` calls.
+fn apply_drops(scopes: &mut [Vec<Guard>], drops: &[String]) {
+    for d in drops {
+        for scope in scopes.iter_mut() {
+            scope.retain(|g| g.name.as_deref() != Some(d.as_str()));
+        }
+    }
+}
+
+/// Report every may-suspend call in `region` against the live guards
+/// (X001/X003) and against same-statement guard temporaries (X002).
+fn report_region(
+    region: &RegionScan,
+    scopes: &[Vec<Guard>],
+    ctx: &FnId,
+    file_path: &str,
+    out: &mut Vec<Finding>,
+) {
+    for (sname, sline, sidx) in &region.suspends {
+        if let Some(g) = scopes.iter().flatten().last() {
+            let (rule, hint) = match g.kind {
+                GuardKind::RawRef => (
+                    "X003",
+                    "the pointee can be invalidated while other coroutines run; \
+                     re-derive the reference after resuming",
+                ),
+                _ => (
+                    "X001",
+                    "the scheduler and other coroutines alias this state while suspended; \
+                     end the borrow first (scoped block or drop)",
+                ),
+            };
+            let named = g.name.as_deref().map(|n| format!(" `{n}`")).unwrap_or_default();
+            out.push(Finding::new(
+                rule,
+                Severity::Error,
+                file_path,
+                *sline,
+                format!(
+                    "{}{} (line {}) held across may-suspend call `{}` in `{}` — {}",
+                    g.kind.noun(),
+                    named,
+                    g.line,
+                    sname,
+                    ctx,
+                    hint
+                ),
+            ));
+            continue;
+        }
+        if let Some((kind, gline, _)) = region.guard_calls.iter().find(|(_, _, gidx)| gidx < sidx) {
+            out.push(Finding::new(
+                "X002",
+                Severity::Error,
+                file_path,
+                *sline,
+                format!(
+                    "{} temporary (line {}) live across may-suspend call `{}` in the same \
+                     statement in `{}` — bind and drop it before suspending",
+                    kind.noun(),
+                    gline,
+                    sname,
+                    ctx
+                ),
+            ));
+        }
+    }
+}
+
+/// Scan one statement region starting at `start`.
+///
+/// `in_let` regions run to the terminating `;` (inner braces are part
+/// of the initializer); other regions stop at the first depth-0 `{`
+/// (block statements and `if`/`match` heads), `}` (end of enclosing
+/// scope), or depth-0 `,` (match-arm separator).
+fn scan_region(
+    toks: &[Tok],
+    start: usize,
+    in_let: bool,
+    is_suspend: &dyn Fn(&Call) -> bool,
+) -> RegionScan {
+    let n = toks.len();
+    let mut r = RegionScan::default();
+    let mut paren = 0i32;
+    let mut brace = 0i32;
+    let mut saw_unsafe = false;
+    let mut reborrow = false;
+    let mut i = start;
+    while i < n {
+        let t = &toks[i];
+        match t.text.as_str() {
+            "(" | "[" => paren += 1,
+            ")" | "]" => {
+                if paren == 0 && brace == 0 {
+                    break; // end of an enclosing argument list
+                }
+                paren -= 1;
+            }
+            "{" => {
+                if !in_let && paren == 0 && brace == 0 {
+                    break;
+                }
+                brace += 1;
+            }
+            "}" => {
+                if brace == 0 && paren == 0 {
+                    break;
+                }
+                brace -= 1;
+            }
+            ";" if paren == 0 && brace == 0 => {
+                i += 1;
+                break;
+            }
+            "," if !in_let && paren == 0 && brace == 0 => {
+                i += 1;
+                break;
+            }
+            "unsafe" => saw_unsafe = true,
+            "&" => {
+                let next = toks.get(i + 1).map(|t| t.text.as_str());
+                // Depth ≤ 1 keeps `let x = unsafe { &*p };` (the reborrow
+                // sits directly under the binding's own `unsafe { }`) but
+                // not a reborrow consumed inside a *nested* block of the
+                // initializer — `let v = { let r = unsafe { &*p }; r.f };`
+                // binds a value, not the reference.
+                if brace <= 1
+                    && (next == Some("*")
+                        || (next == Some("mut") && toks.get(i + 2).is_some_and(|t| t.text == "*")))
+                {
+                    reborrow = true;
+                }
+            }
+            "." if toks.get(i + 1).is_some_and(|t| t.is_ident()) => {
+                let name = &toks[i + 1];
+                let mut k = i + 2;
+                if toks.get(k).is_some_and(|t| t.text == ":")
+                    && toks.get(k + 1).is_some_and(|t| t.text == ":")
+                    && toks.get(k + 2).is_some_and(|t| t.text == "<")
+                {
+                    k = skip_angles_flat(toks, k + 2);
+                }
+                if toks.get(k).is_some_and(|t| t.text == "(") {
+                    record_call(
+                        &mut r,
+                        std::slice::from_ref(&name.text),
+                        CallKind::Method,
+                        name.line,
+                        i,
+                        paren == 0 && brace == 0,
+                        is_suspend,
+                    );
+                }
+                i += 2;
+                continue;
+            }
+            _ if t.is_ident()
+                && (!crate::parse::is_keyword(&t.text)
+                    || (matches!(t.text.as_str(), "crate" | "super" | "self" | "Self")
+                        && toks.get(i + 1).is_some_and(|x| x.text == ":")
+                        && toks.get(i + 2).is_some_and(|x| x.text == ":")))
+                && i.checked_sub(1)
+                    .map(|p| toks[p].text.as_str())
+                    .is_none_or(|p| p != "." && p != "fn" && p != "let" && p != "mod") =>
+            {
+                // Collect an `a::b::c` path.
+                let mut path = vec![t.text.clone()];
+                let mut j = i + 1;
+                while j + 2 < n
+                    && toks[j].text == ":"
+                    && toks[j + 1].text == ":"
+                    && toks[j + 2].is_ident()
+                {
+                    path.push(toks[j + 2].text.clone());
+                    j += 3;
+                }
+                let is_macro = toks.get(j).is_some_and(|x| x.text == "!");
+                if !is_macro && toks.get(j).is_some_and(|x| x.text == "(") {
+                    if path.len() == 1 && path[0] == "drop" {
+                        if let (Some(arg), Some(close)) = (toks.get(j + 1), toks.get(j + 2)) {
+                            if arg.is_ident() && close.text == ")" {
+                                r.drops.push(arg.text.clone());
+                            }
+                        }
+                    }
+                    let kind = if path.len() > 1 { CallKind::Path } else { CallKind::Bare };
+                    record_call(
+                        &mut r,
+                        &path,
+                        kind,
+                        t.line,
+                        i,
+                        paren == 0 && brace == 0,
+                        is_suspend,
+                    );
+                }
+                i = j.max(i + 1);
+                continue;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    r.end = i.min(n);
+    r.unsafe_reborrow = saw_unsafe && reborrow;
+    r
+}
+
+/// Classify one call inside a region and record it.
+fn record_call(
+    r: &mut RegionScan,
+    path: &[String],
+    kind: CallKind,
+    line: u32,
+    tok: usize,
+    top_level: bool,
+    is_suspend: &dyn Fn(&Call) -> bool,
+) {
+    let name = path.last().unwrap().clone();
+    if top_level {
+        r.last_top_call = Some((name.clone(), line));
+    }
+    if let Some(g) = GuardKind::of_call(&name) {
+        r.guard_calls.push((g, line, tok));
+    }
+    let call = Call { path: path.to_vec(), kind, line };
+    if is_suspend(&call) {
+        r.suspends.push((call.rendered(), line, tok));
+    }
+}
+
+/// Skip a `<...>` turbofish group starting at the `<`.
+fn skip_angles_flat(toks: &[Tok], mut i: usize) -> usize {
+    let n = toks.len();
+    let mut depth = 0i32;
+    while i < n {
+        match toks[i].text.as_str() {
+            "<" => depth += 1,
+            ">" => {
+                depth -= 1;
+                if depth <= 0 {
+                    return i + 1;
+                }
+            }
+            ";" | "{" => return i,
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::CallGraph;
+
+    /// A fixture workspace with the suspension seeds defined.
+    fn run(body: &str) -> Vec<Finding> {
+        let core = "pub struct Yielder;\n\
+                    impl Yielder { pub fn suspend(&self) {} }\n\
+                    pub mod arch { pub unsafe fn switch(save: *mut u8, load: *mut u8) {} }\n";
+        let files = vec![
+            ("crates/mpi/src/des/coro.rs".to_string(), core.to_string()),
+            ("crates/mpi/src/des/mod.rs".to_string(), body.to_string()),
+        ];
+        let ir = WorkspaceIr::from_sources(&files);
+        let graph = CallGraph::build(&ir);
+        check(&ir, &graph)
+    }
+
+    fn rules(f: &[Finding]) -> Vec<&str> {
+        f.iter().map(|f| f.rule.as_str()).collect()
+    }
+
+    #[test]
+    fn borrow_across_suspend_fires_x001() {
+        let f = run("fn recv(y: &Yielder, state: &RefCell<u32>) {\n\
+                         let st = state.borrow_mut();\n\
+                         y.suspend();\n\
+                     }");
+        assert_eq!(rules(&f), vec!["X001"], "{f:?}");
+        assert!(f[0].message.contains("`st`"), "{}", f[0].message);
+        assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn scoped_borrow_released_before_suspend_is_clean() {
+        let f = run("fn recv(y: &Yielder, state: &RefCell<u32>) {\n\
+                         { let st = state.borrow_mut(); }\n\
+                         y.suspend();\n\
+                     }");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn dropped_guard_is_clean() {
+        let f = run("fn recv(y: &Yielder, state: &RefCell<u32>) {\n\
+                         let st = state.borrow_mut();\n\
+                         drop(st);\n\
+                         y.suspend();\n\
+                     }");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn same_statement_temporary_fires_x002() {
+        let f =
+            run("fn recv(y: &Yielder, state: &RefCell<u32>) { send(state.borrow().clone(), y.suspend()); }");
+        assert_eq!(rules(&f), vec!["X002"], "{f:?}");
+    }
+
+    #[test]
+    fn raw_reborrow_across_switch_fires_x003() {
+        let f = run("fn tail(shared: *const u8, save: *mut u8, load: *mut u8) {\n\
+                         let s = unsafe { &*shared };\n\
+                         unsafe { crate::des::coro::arch::switch(save, load) };\n\
+                     }");
+        assert_eq!(rules(&f), vec!["X003"], "{f:?}");
+        assert!(f[0].message.contains("`s`"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn reborrow_consumed_inside_an_inner_block_is_clean() {
+        // The `coro_main` tail shape: the reborrow lives and dies inside
+        // the initializer's nested block; the binding holds owned values.
+        let f = run("fn tail(shared: *const u8, save: *mut u8, load: *mut u8) {\n\
+                         let (a, b) = {\n\
+                             let s = unsafe { &*shared };\n\
+                             (1u32, 2u32)\n\
+                         };\n\
+                         unsafe { crate::des::coro::arch::switch(save, load) };\n\
+                     }");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn suspension_is_transitive_through_helpers() {
+        let f = run("fn helper(y: &Yielder) { y.suspend(); }\n\
+                     fn outer(y: &Yielder, state: &RefCell<u32>) {\n\
+                         let st = state.borrow_mut();\n\
+                         helper(y);\n\
+                     }");
+        let x001: Vec<&Finding> = f.iter().filter(|f| f.rule == "X001").collect();
+        assert_eq!(x001.len(), 1, "{f:?}");
+        assert!(x001[0].message.contains("helper"), "{}", x001[0].message);
+    }
+
+    #[test]
+    fn outside_mpi_is_out_of_scope() {
+        let files = vec![(
+            "crates/runner/src/engine.rs".to_string(),
+            "fn f(state: &RefCell<u32>) { let g = state.borrow_mut(); x.suspend(); }".to_string(),
+        )];
+        let ir = WorkspaceIr::from_sources(&files);
+        let graph = CallGraph::build(&ir);
+        assert!(check(&ir, &graph).is_empty());
+    }
+}

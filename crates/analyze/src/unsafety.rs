@@ -1,0 +1,247 @@
+//! W family — unsafe hygiene.
+//!
+//! The workspace holds exactly one pocket of `unsafe`: the stackful
+//! coroutine core (`crates/mpi/src/des/coro.rs`), where a context
+//! switch cannot be expressed in safe Rust. Everything else — kernels,
+//! model, policy, runner — is safe by construction, and this family
+//! keeps it that way:
+//!
+//! | id   | check |
+//! |------|-------|
+//! | W001 | every `unsafe` block / fn / impl carries a `// SAFETY:` justification (unsafe fns may document it under a `# Safety` doc heading) |
+//! | W002 | `unsafe` is banned outside the allowlist ([`UNSAFE_ALLOWLIST`]); vendored stubs are out of analysis scope entirely |
+//!
+//! W001 looks at the raw source (comments are stripped from the token
+//! stream): a `SAFETY:` comment on the same line as the `unsafe`
+//! keyword, or anywhere in the contiguous comment block directly above
+//! it, satisfies the rule; for `unsafe fn`, a `# Safety` doc section
+//! within twelve lines above does too.
+
+use crate::report::{Finding, Severity};
+use crate::scan::Tok;
+
+/// Files allowed to contain `unsafe` code.
+pub const UNSAFE_ALLOWLIST: &[&str] = &["crates/mpi/src/des/coro.rs"];
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum UnsafeKind {
+    Block,
+    Fn,
+    Impl,
+    Trait,
+    Other,
+}
+
+impl UnsafeKind {
+    fn noun(self) -> &'static str {
+        match self {
+            UnsafeKind::Block => "block",
+            UnsafeKind::Fn => "fn",
+            UnsafeKind::Impl => "impl",
+            UnsafeKind::Trait => "trait",
+            UnsafeKind::Other => "code",
+        }
+    }
+}
+
+/// Run the W family over one file.
+pub fn check(rel_path: &str, src: &str, toks: &[Tok]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let lines: Vec<&str> = src.lines().collect();
+    let allowed = UNSAFE_ALLOWLIST.contains(&rel_path);
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].text != "unsafe" {
+            i += 1;
+            continue;
+        }
+        let line = toks[i].line;
+        let mut j = i + 1;
+        // `unsafe extern "C" fn` — string literals are stripped.
+        while toks.get(j).is_some_and(|t| t.text == "extern") {
+            j += 1;
+        }
+        let kind = match toks.get(j).map(|t| t.text.as_str()).unwrap_or("") {
+            "{" => UnsafeKind::Block,
+            "fn" => UnsafeKind::Fn,
+            "impl" => UnsafeKind::Impl,
+            "trait" => UnsafeKind::Trait,
+            _ => UnsafeKind::Other,
+        };
+        if !allowed {
+            out.push(Finding::new(
+                "W002",
+                Severity::Error,
+                rel_path,
+                line,
+                format!(
+                    "`unsafe` {} outside the allowlist — unsafety is confined to {} \
+                     (the coroutine core); wrap new needs behind its safe API",
+                    kind.noun(),
+                    UNSAFE_ALLOWLIST.join(", ")
+                ),
+            ));
+        }
+        if !has_justification(&lines, line, kind) {
+            out.push(Finding::new(
+                "W001",
+                Severity::Error,
+                rel_path,
+                line,
+                format!(
+                    "`unsafe` {} without a `// SAFETY:` justification — state the invariant \
+                     that makes this sound{}",
+                    kind.noun(),
+                    if kind == UnsafeKind::Fn {
+                        " (or document it under a `# Safety` doc heading)"
+                    } else {
+                        ""
+                    }
+                ),
+            ));
+        }
+        i = j.max(i + 1);
+    }
+    out
+}
+
+/// A `SAFETY:` comment on the `unsafe` line itself or reachable by
+/// walking upward through contiguous `//` comment lines *and*
+/// continuation lines of the same statement (a line ending in `;`, `{`
+/// or `}`, or a blank line, ends the walk) — so multi-line
+/// justifications and `unsafe` mid-statement both resolve to the
+/// comment block above the statement. For `unsafe fn`, a `# Safety`
+/// doc heading within twelve lines above also counts.
+fn has_justification(lines: &[&str], line: u32, kind: UnsafeKind) -> bool {
+    let idx = line as usize; // 1-based; lines[idx - 1] is the line itself
+    if lines.get(idx - 1).is_some_and(|l| l.contains("SAFETY:")) {
+        return true;
+    }
+    let mut k = idx - 1; // first candidate: the line above
+    while k > 0 {
+        let Some(&l) = lines.get(k - 1) else { break };
+        let lead = l.trim_start();
+        let tail = l.trim_end();
+        let comment = lead.starts_with("//");
+        let continuation = !tail.is_empty()
+            && !tail.ends_with(';')
+            && !tail.ends_with('{')
+            && !tail.ends_with('}');
+        if !comment && !continuation {
+            break;
+        }
+        if l.contains("SAFETY:") {
+            return true;
+        }
+        k -= 1;
+    }
+    if kind == UnsafeKind::Fn {
+        let lo = idx.saturating_sub(13);
+        for k in lo..idx {
+            if lines.get(k).is_some_and(|l| l.contains("# Safety")) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan;
+
+    fn run(path: &str, src: &str) -> Vec<Finding> {
+        check(path, src, &scan::strip_cfg_test(&scan::tokenize(src)))
+    }
+
+    fn rules(f: &[Finding]) -> Vec<&str> {
+        f.iter().map(|f| f.rule.as_str()).collect()
+    }
+
+    #[test]
+    fn unjustified_block_in_the_core_fires_w001_only() {
+        let f = run("crates/mpi/src/des/coro.rs", "fn f(p: *mut u8) { unsafe { p.write(0) } }");
+        assert_eq!(rules(&f), vec!["W001"], "{f:?}");
+    }
+
+    #[test]
+    fn safety_comment_satisfies_w001() {
+        let src = "fn f(p: *mut u8) {\n\
+                   \x20   // SAFETY: p is valid for writes by the caller contract.\n\
+                   \x20   unsafe { p.write(0) }\n\
+                   }";
+        assert!(run("crates/mpi/src/des/coro.rs", src).is_empty());
+    }
+
+    #[test]
+    fn multi_line_safety_comment_satisfies_w001() {
+        // The marker sits five comment lines above the `unsafe`: the
+        // whole contiguous comment block counts, not a fixed window.
+        let src = "fn f(p: *mut u8) {\n\
+                   \x20   // SAFETY: p is valid for writes by the caller\n\
+                   \x20   // contract, which the scheduler upholds by\n\
+                   \x20   // keeping the owning allocation alive for the\n\
+                   \x20   // whole lifetime of this stack, as described\n\
+                   \x20   // at length in the module documentation.\n\
+                   \x20   // (see also DESIGN.md)\n\
+                   \x20   unsafe { p.write(0) }\n\
+                   }";
+        assert!(run("crates/mpi/src/des/coro.rs", src).is_empty());
+    }
+
+    #[test]
+    fn mid_statement_unsafe_resolves_to_the_statement_comment() {
+        // `unsafe` on a continuation line of a multi-line statement: the
+        // walk passes through the statement head to the comment above it.
+        let src = "fn f(p: *const u64) -> (u64, u64) {\n\
+                   \x20   // SAFETY: p is valid for reads for two words.\n\
+                   \x20   let (a, b) =\n\
+                   \x20       unsafe { (p.read(), p.add(1).read()) };\n\
+                   \x20   (a, b)\n\
+                   }";
+        assert!(run("crates/mpi/src/des/coro.rs", src).is_empty());
+    }
+
+    #[test]
+    fn a_blank_line_breaks_the_safety_comment_block() {
+        let src = "fn f(p: *mut u8) {\n\
+                   \x20   // SAFETY: stale justification, detached.\n\
+                   \n\
+                   \x20   unsafe { p.write(0) }\n\
+                   }";
+        let f = run("crates/mpi/src/des/coro.rs", src);
+        assert_eq!(rules(&f), vec!["W001"], "{f:?}");
+    }
+
+    #[test]
+    fn safety_doc_heading_satisfies_w001_for_fns() {
+        let src = "/// Switch stacks.\n\
+                   ///\n\
+                   /// # Safety\n\
+                   ///\n\
+                   /// Both pointers must reference live stack frames.\n\
+                   pub unsafe fn switch(a: *mut u8, b: *mut u8) {}";
+        assert!(run("crates/mpi/src/des/coro.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unsafe_outside_the_allowlist_fires_w002() {
+        let src = "// SAFETY: justified but still misplaced.\n\
+                   fn f(p: *mut u8) { unsafe { p.write(0) } }";
+        let f = run("crates/kernels/src/cg.rs", src);
+        assert_eq!(rules(&f), vec!["W002"], "{f:?}");
+    }
+
+    #[test]
+    fn unsafe_impl_needs_a_justification_too() {
+        let f = run("crates/mpi/src/des/coro.rs", "unsafe impl Send for Stack {}");
+        assert_eq!(rules(&f), vec!["W001"], "{f:?}");
+    }
+
+    #[test]
+    fn test_code_is_out_of_scope() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn f(p: *mut u8) { unsafe { p.write(0) } }\n}";
+        assert!(run("crates/kernels/src/cg.rs", src).is_empty());
+    }
+}

@@ -16,6 +16,8 @@
 //!
 //! Add `--class test` for the tiny problem sizes (CI-speed runs).
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 use psc_analysis::curve::{EnergyTimeCurve, EnergyTimePoint};
 use psc_analysis::pareto::{configs_of, fastest_under_power_cap, pareto_frontier};
 use psc_analysis::plot::ascii_plot;

@@ -137,6 +137,23 @@ pub fn render_stats(snap: &Snapshot) -> String {
         );
     }
 
+    // -- DES backend (present only when the event-driven backend ran) --
+    let des_events = snap.family_total("engine_des_events_total");
+    if des_events > 0.0 {
+        let hw = snap.family_total("engine_des_stack_high_water_bytes");
+        push(&mut out, String::new());
+        push(&mut out, "DES backend".to_string());
+        let mut line = format!("  {des_events:.0} scheduler dispatch(es)");
+        if hw > 0.0 {
+            line.push_str(&format!(
+                ", coroutine stack high-water {:.0} KiB of {} KiB",
+                hw / 1024.0,
+                psc_mpi::DES_STACK_BYTES / 1024
+            ));
+        }
+        push(&mut out, line);
+    }
+
     // -- job-server lanes (present only when psc-serve handled work) --
     if snap.family_total("serve_requests_total") > 0.0 {
         push(&mut out, String::new());
@@ -275,6 +292,20 @@ mod tests {
         assert!(text.contains("interactive"), "{text}");
         assert!(!text.contains("\n  batch"), "idle lane omitted: {text}");
         assert!(text.contains("1 protocol frame(s) rejected"), "{text}");
+    }
+
+    #[test]
+    fn des_section_appears_only_when_the_des_backend_ran() {
+        let no_des = render_stats(&sample_snapshot());
+        assert!(!no_des.contains("DES backend"), "{no_des}");
+
+        let reg = Registry::new();
+        reg.counter("engine_des_events_total", "h", &[]).add(120);
+        reg.gauge("engine_des_stack_high_water_bytes", "h", &[]).record_max(24.0 * 1024.0);
+        let text = render_stats(&reg.snapshot());
+        assert!(text.contains("DES backend"), "{text}");
+        assert!(text.contains("120 scheduler dispatch(es)"), "{text}");
+        assert!(text.contains("coroutine stack high-water 24 KiB of 2048 KiB"), "{text}");
     }
 
     #[test]

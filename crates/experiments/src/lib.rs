@@ -19,6 +19,7 @@
 //! Binaries print ASCII plots/tables and write CSVs into `./results`
 //! (override with the `RESULTS_DIR` environment variable).
 
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

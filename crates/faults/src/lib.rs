@@ -24,6 +24,8 @@
 //!   what keeps the paper's gear-relative invariants provable under
 //!   noise (see `DESIGN.md` notes in each component's docs).
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod plan;
 pub mod rng;
 

@@ -37,6 +37,7 @@
 //! | SP        | 49.5                   |
 //! | CG        | 8.6                    |
 
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

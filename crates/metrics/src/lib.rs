@@ -40,6 +40,7 @@
 //! reference this crate at all, and inside the runner the cache-key and
 //! spec-execution paths must stay metrics-free.
 
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -26,6 +26,7 @@
 //! work: [`autogear`] (gear selection from memory pressure) and
 //! [`bottleneck`] (scaling down early-arriving nodes).
 
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

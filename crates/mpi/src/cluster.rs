@@ -78,6 +78,9 @@ pub struct BackendStats {
     /// Coroutine dispatches performed by the DES scheduler (0 under the
     /// threaded backend).
     pub events_processed: u64,
+    /// Peak rank-coroutine stack usage in bytes (0 under the threaded
+    /// backend, whose ranks run on OS-thread stacks).
+    pub stack_high_water_bytes: u64,
 }
 
 /// Everything a finished rank hands back to the driver, in rank order
@@ -467,29 +470,40 @@ impl Cluster {
             let results = Rc::clone(&results);
             let node = Arc::clone(&node);
             let network = self.network;
-            coros.push(des::coro::Coroutine::new(des::coro::STACK_BYTES, move |yielder| {
-                let fabric = Fabric::Des(des::DesEndpoint::new(rank, state, yielder.clone()));
-                let mut comm = Comm::new(rank, n, gear, node, network, fabric);
-                comm.set_faults(rank_faults, forced_from);
-                if let Some(hook) = rank_policy {
-                    comm.set_policy(hook);
-                }
-                let out = program(&mut comm);
-                comm.finalize();
-                let (counters, trace, power, end_s, final_gear) = comm.into_results();
-                results.borrow_mut()[rank] =
-                    Some((rank, out, counters, trace, power, end_s, final_gear));
-            }));
+            let label = format!("rank {rank}");
+            coros.push(des::coro::Coroutine::labeled(
+                des::coro::STACK_BYTES,
+                label,
+                move |yielder| {
+                    let fabric = Fabric::Des(des::DesEndpoint::new(rank, state, yielder.clone()));
+                    let mut comm = Comm::new(rank, n, gear, node, network, fabric);
+                    comm.set_faults(rank_faults, forced_from);
+                    if let Some(hook) = rank_policy {
+                        comm.set_policy(hook);
+                    }
+                    let out = program(&mut comm);
+                    comm.finalize();
+                    let (counters, trace, power, end_s, final_gear) = comm.into_results();
+                    results.borrow_mut()[rank] =
+                        Some((rank, out, counters, trace, power, end_s, final_gear));
+                },
+            ));
         }
 
-        let events_processed = des::drive(&state, coros);
+        let drive = des::drive(&state, coros);
 
         let per_rank = results
             .borrow_mut()
             .iter_mut()
             .map(|slot| slot.take().expect("finished rank left no result"))
             .collect();
-        (per_rank, BackendStats { events_processed })
+        (
+            per_rank,
+            BackendStats {
+                events_processed: drive.dispatches,
+                stack_high_water_bytes: drive.stack_high_water_bytes,
+            },
+        )
     }
 
     /// Shared post-processing: pad early finishers to the run's end at

@@ -71,6 +71,10 @@ impl Yielder {
     /// the coroutine was cancelled in the meantime, in which case this
     /// call unwinds the coroutine's stack instead of returning.
     pub fn suspend(&self) {
+        // SAFETY: `sched_sp` was saved by the scheduler's switch into
+        // this coroutine and points into its live stack; `coro_sp` is
+        // this coroutine's own save slot. Both cells sit in the shared
+        // Rc, which outlives every switch of this pair.
         unsafe { arch::switch(self.shared.coro_sp.as_ptr(), self.shared.sched_sp.get()) };
         if self.shared.cancel.get() {
             std::panic::panic_any(Cancelled);
@@ -112,9 +116,18 @@ extern "C" fn coro_main(ctx: *mut EntryCtx) {
     drop(shared);
     loop {
         // Hand control back forever; re-resuming a finished coroutine is
-        // a scheduler bug, but must never re-enter user code.
-        let s = unsafe { &*shared_ptr };
-        unsafe { arch::switch(s.coro_sp.as_ptr(), s.sched_sp.get()) };
+        // a scheduler bug, but must never re-enter user code. Both
+        // pointers are read *before* the switch so that no reference
+        // into the shared state is live across it (analyzer rule X003):
+        // while this frame is parked, the scheduler and other coroutines
+        // mutate `CoroShared` through their own handles.
+        // SAFETY: the owning `Coroutine` keeps the `CoroShared`
+        // allocation alive for as long as this stack exists.
+        let (save, load) =
+            unsafe { ((*shared_ptr).coro_sp.as_ptr(), (*shared_ptr).sched_sp.get()) };
+        // SAFETY: `load` was saved by the scheduler's switch into this
+        // coroutine and points into its live stack (see `arch::switch`).
+        unsafe { arch::switch(save, load) };
     }
 }
 
@@ -125,6 +138,9 @@ pub struct Coroutine<'a> {
     /// Keeps the entry context alive until the body consumes it.
     _entry: Box<EntryCtx>,
     started: Cell<bool>,
+    /// Peak observed stack usage in bytes (monotone; see
+    /// [`Coroutine::stack_high_water`]).
+    high_water: Cell<usize>,
     /// The body may borrow data living in the scheduler's frame.
     _scope: PhantomData<&'a ()>,
 }
@@ -136,7 +152,17 @@ impl<'a> Coroutine<'a> {
     /// # Panics
     ///
     /// Panics on targets without a context switch ([`SWITCH_SUPPORTED`]).
+    #[cfg_attr(not(test), allow(dead_code))] // the driver always labels; tests use the short form
     pub fn new<F>(stack_bytes: usize, body: F) -> Self
+    where
+        F: FnOnce(&Yielder) + 'a,
+    {
+        Self::labeled(stack_bytes, "coroutine", body)
+    }
+
+    /// [`Coroutine::new`] with a diagnostic label (e.g. `rank 3`) that
+    /// the stack sanitizer includes in its panic messages.
+    pub fn labeled<F>(stack_bytes: usize, label: impl Into<String>, body: F) -> Self
     where
         F: FnOnce(&Yielder) + 'a,
     {
@@ -153,23 +179,55 @@ impl<'a> Coroutine<'a> {
         // still-running body before the borrowed data can expire.
         let body: Box<dyn FnOnce(&Yielder)> = unsafe { std::mem::transmute(body) };
         let mut entry = Box::new(EntryCtx { body: Some(body), shared: Rc::clone(&shared) });
-        let stack = Stack::new(stack_bytes);
+        let stack = Stack::new(stack_bytes, label.into());
+        // SAFETY: `entry` is boxed and stored in the coroutine below, so
+        // it stays valid well past the first resume.
         let sp0 = unsafe { arch::init_stack(&stack, &mut *entry) };
         shared.coro_sp.set(sp0);
-        Coroutine { shared, stack, _entry: entry, started: Cell::new(false), _scope: PhantomData }
+        Coroutine {
+            shared,
+            stack,
+            _entry: entry,
+            started: Cell::new(false),
+            high_water: Cell::new(0),
+            _scope: PhantomData,
+        }
     }
 
     /// Run the coroutine until it suspends or finishes.
     pub fn resume(&self) {
-        assert!(!self.is_finished(), "resumed a finished coroutine");
+        assert!(!self.is_finished(), "resumed a finished coroutine ({})", self.stack.label);
         self.started.set(true);
+        // SAFETY: `coro_sp` holds the stack pointer saved by this
+        // coroutine's previous suspension (or the frame seeded by
+        // `init_stack`); `sched_sp` is this side's save slot. The stack
+        // behind `coro_sp` is owned by `self` and alive.
         unsafe { arch::switch(self.shared.sched_sp.as_ptr(), self.shared.coro_sp.get()) };
         self.stack.check_canary();
+        // While suspended (or parked in the finished-loop), `coro_sp` is
+        // the coroutine's saved stack pointer, so its distance from the
+        // stack top is the live stack depth at the switch.
+        let used = self.stack.top().saturating_sub(self.shared.coro_sp.get() as usize);
+        self.high_water.set(self.high_water.get().max(used));
+        if self.is_finished() {
+            if let Some(scan) = self.stack.poison_high_water() {
+                self.high_water.set(self.high_water.get().max(scan));
+            }
+        }
     }
 
     /// Whether the body has run to completion (or fully unwound).
     pub fn is_finished(&self) -> bool {
         self.shared.finished.get()
+    }
+
+    /// Peak stack usage observed so far, in bytes. Release builds
+    /// sample the saved stack pointer at every switch back to the
+    /// scheduler; debug builds additionally scan the poison fill when
+    /// the coroutine finishes, which also catches peaks *between*
+    /// suspensions.
+    pub fn stack_high_water(&self) -> usize {
+        self.high_water.get()
     }
 
     /// Take a panic raised by the body, if any, for propagation.
@@ -193,36 +251,91 @@ impl Drop for Coroutine<'_> {
 
 /// An owned, heap-allocated coroutine stack with an overflow canary at
 /// its low end (guard pages would need `mmap`; a canary catches the
-/// common failure honestly without a libc dependency).
+/// common failure honestly without a libc dependency). Debug builds
+/// additionally poison-fill the whole stack so that peak usage can be
+/// measured after the fact ([`Stack::poison_high_water`]).
 struct Stack {
     base: *mut u8,
     layout: std::alloc::Layout,
+    /// Diagnostic label (e.g. `rank 3`) for sanitizer panic messages.
+    label: String,
 }
 
 const CANARY: u64 = 0x5053_435f_4445_5321; // "PSC_DES!"
 
+/// Debug-build fill byte for unused stack words, chosen to be an
+/// unlikely pointer/length value (`0xA5A5…`).
+const POISON: u8 = 0xA5;
+
+/// Whether fresh stacks are poison-filled (debug builds only: the fill
+/// touches every page of every stack, which release runs should not pay).
+const POISON_FILL: bool = cfg!(debug_assertions);
+
 impl Stack {
-    fn new(bytes: usize) -> Self {
+    fn new(bytes: usize, label: String) -> Self {
         let layout = std::alloc::Layout::from_size_align(bytes, 16).expect("stack layout");
+        // SAFETY: `layout` has non-zero size (a zero-byte stack would
+        // already have failed the 72-byte frame seeding below).
         let base = unsafe { std::alloc::alloc(layout) };
-        assert!(!base.is_null(), "coroutine stack allocation failed");
+        assert!(!base.is_null(), "coroutine stack allocation failed ({label})");
+        if POISON_FILL {
+            // SAFETY: `base` points to `bytes` freshly allocated bytes.
+            unsafe { std::ptr::write_bytes(base, POISON, bytes) };
+        }
+        // SAFETY: the allocation is 16-aligned and at least 8 bytes, so
+        // a u64 write at its base is in bounds and aligned.
         unsafe { (base as *mut u64).write(CANARY) };
-        Stack { base, layout }
+        Stack { base, layout, label }
+    }
+
+    /// Exclusive high end of the usable stack, 16-aligned: where `rsp`
+    /// starts before the seeded frame.
+    fn top(&self) -> usize {
+        (self.base as usize + self.layout.size()) & !15usize
     }
 
     fn check_canary(&self) {
+        // SAFETY: the base canary word written in `new` is alive until
+        // Drop; reading it back is always in bounds.
         let live = unsafe { (self.base as *const u64).read() };
         assert!(
             live == CANARY,
-            "coroutine stack overflow detected (canary clobbered); \
-             raise the DES stack size"
+            "coroutine stack overflow detected ({}): canary at stack base clobbered; \
+             raise the DES stack size",
+            self.label
         );
+    }
+
+    /// Scan the poison fill for the deepest touched word and return the
+    /// peak usage in bytes, or `None` when the fill is disabled
+    /// (release builds). Scans low → high so the cost is proportional
+    /// to the *unused* region only when usage is high — and the scan
+    /// runs once per coroutine, at completion.
+    fn poison_high_water(&self) -> Option<usize> {
+        if !POISON_FILL {
+            return None;
+        }
+        let words = (self.top() - self.base as usize) / 8;
+        let poison_word = u64::from_ne_bytes([POISON; 8]);
+        // Skip word 0: it holds the canary, not poison.
+        for w in 1..words {
+            // SAFETY: `w < words` keeps the read inside the 8-aligned
+            // region between `base` and `top()`.
+            let v = unsafe { (self.base as *const u64).add(w).read() };
+            if v != poison_word {
+                return Some(self.top() - (self.base as usize + w * 8));
+            }
+        }
+        Some(0)
     }
 }
 
 impl Drop for Stack {
     fn drop(&mut self) {
         self.check_canary();
+        // SAFETY: `base`/`layout` are exactly what `alloc` returned in
+        // `new`, and the stack is only dropped after its coroutine
+        // finished or fully unwound, so nothing lives on it.
         unsafe { std::alloc::dealloc(self.base, self.layout) };
     }
 }
@@ -303,7 +416,9 @@ mod arch {
     /// `load` must be a stack pointer previously produced by this
     /// function or by [`init_stack`], belonging to a live stack.
     pub(super) unsafe fn switch(save: *mut *mut u8, load: *mut u8) {
-        psc_ctx_switch(save, load);
+        // SAFETY: forwarding the caller's contract — `load` is a live
+        // saved stack pointer, `save` is writable.
+        unsafe { psc_ctx_switch(save, load) };
     }
 
     /// Seed a fresh stack with a resumable frame; returns the stack
@@ -317,23 +432,31 @@ mod arch {
         // with the same rounding/exception configuration.
         let mut mxcsr: u32 = 0;
         let mut fcw: u16 = 0;
-        std::arch::asm!(
-            "stmxcsr [{m}]",
-            "fnstcw [{f}]",
-            m = in(reg) &mut mxcsr,
-            f = in(reg) &mut fcw,
-        );
-        let top = (stack.base as usize + stack.layout.size()) & !15usize;
-        let sp0 = (top - 72) as *mut u64;
-        sp0.add(0).write(mxcsr as u64);
-        sp0.add(1).write(fcw as u64);
-        sp0.add(2).write(0); // r15
-        sp0.add(3).write(0); // r14
-        sp0.add(4).write(0); // r13
-        sp0.add(5).write(entry as u64); // r12 → EntryCtx for the trampoline
-        sp0.add(6).write(super::coro_main as *const () as usize as u64); // rbx → first Rust frame
-        sp0.add(7).write(0); // rbp
-        sp0.add(8).write(psc_ctx_entry as *const () as usize as u64); // return address
+        // SAFETY: both stores target locals of exactly the sizes the
+        // instructions write (4 and 2 bytes).
+        unsafe {
+            std::arch::asm!(
+                "stmxcsr [{m}]",
+                "fnstcw [{f}]",
+                m = in(reg) &mut mxcsr,
+                f = in(reg) &mut fcw,
+            );
+        }
+        let sp0 = (stack.top() - 72) as *mut u64;
+        // SAFETY: the 9-word frame sits at the top of the freshly
+        // allocated stack, well inside its bounds, and nothing else
+        // lives there yet.
+        unsafe {
+            sp0.add(0).write(mxcsr as u64);
+            sp0.add(1).write(fcw as u64);
+            sp0.add(2).write(0); // r15
+            sp0.add(3).write(0); // r14
+            sp0.add(4).write(0); // r13
+            sp0.add(5).write(entry as u64); // r12 → EntryCtx for the trampoline
+            sp0.add(6).write(super::coro_main as *const () as usize as u64); // rbx → first Rust frame
+            sp0.add(7).write(0); // rbp
+            sp0.add(8).write(psc_ctx_entry as *const () as usize as u64); // return address
+        }
         sp0 as *mut u8
     }
 }
@@ -346,10 +469,18 @@ mod arch {
 
     use super::EntryCtx;
 
+    /// # Safety
+    ///
+    /// Never called: the driver checks `SWITCH_SUPPORTED` first. The
+    /// signature mirrors the x86-64 implementation.
     pub(super) unsafe fn switch(_save: *mut *mut u8, _load: *mut u8) {
         unreachable!("DES coroutines are not supported on this target");
     }
 
+    /// # Safety
+    ///
+    /// Never called: the driver checks `SWITCH_SUPPORTED` first. The
+    /// signature mirrors the x86-64 implementation.
     pub(super) unsafe fn init_stack(_stack: &super::Stack, _entry: *mut EntryCtx) -> *mut u8 {
         unimplemented!("DES coroutines are not supported on this target")
     }
@@ -481,10 +612,29 @@ mod tests {
             }
         }
         let out = Cell::new(0);
-        let co = Coroutine::new(STACK_BYTES, |y| out.set(burn(512, y)));
+        let co = Coroutine::labeled(STACK_BYTES, "deep-test", |y| out.set(burn(512, y)));
         co.resume();
         co.resume();
         assert!(co.is_finished());
         assert_eq!(out.get(), (1..=512).sum::<u64>());
+        // 512 frames × (256-byte pad + overhead): the watermark sampled
+        // at the depth-0 suspension must see at least the pads, and can
+        // never exceed the stack itself.
+        let hw = co.stack_high_water();
+        assert!(hw >= 512 * 256, "high water {hw} missed the recursion");
+        assert!(hw <= STACK_BYTES, "high water {hw} exceeds the stack");
+    }
+
+    #[test]
+    fn shallow_coroutine_reports_small_high_water() {
+        let co = Coroutine::new(STACK_BYTES, |y| {
+            y.suspend();
+        });
+        co.resume();
+        co.resume();
+        assert!(co.is_finished());
+        let hw = co.stack_high_water();
+        assert!(hw > 0, "a started coroutine used some stack");
+        assert!(hw < 64 * 1024, "shallow body reported {hw} bytes");
     }
 }

@@ -126,16 +126,27 @@ impl DesEndpoint {
     }
 }
 
+/// Host-side statistics from one scheduler run. Travels *beside*
+/// results, never inside them (cache byte-identity).
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct DriveStats {
+    /// Coroutine dispatches performed.
+    pub dispatches: u64,
+    /// Peak coroutine stack usage across all ranks, in bytes (see
+    /// `Coroutine::stack_high_water` for what each build samples).
+    pub stack_high_water_bytes: u64,
+}
+
 /// The scheduler main loop: seed every rank at `t = 0`, then dispatch
 /// wakeups in `(t_s, rank)` order until all coroutines finish. Returns
-/// the dispatch count.
+/// the dispatch count and the stack high-water mark.
 ///
 /// # Panics
 ///
 /// Panics with a per-rank diagnostic if the queue drains while ranks
 /// are still parked (a deadlocked program), and propagates — with its
 /// original payload — any panic raised inside a rank.
-pub(crate) fn drive(state: &Rc<RefCell<DesState>>, coros: Vec<coro::Coroutine<'_>>) -> u64 {
+pub(crate) fn drive(state: &Rc<RefCell<DesState>>, coros: Vec<coro::Coroutine<'_>>) -> DriveStats {
     let n = coros.len();
     {
         let mut st = state.borrow_mut();
@@ -179,5 +190,7 @@ pub(crate) fn drive(state: &Rc<RefCell<DesState>>, coros: Vec<coro::Coroutine<'_
             live -= 1;
         }
     }
-    state.borrow().dispatches
+    let stack_high_water_bytes =
+        coros.iter().map(|c| c.stack_high_water() as u64).max().unwrap_or(0);
+    DriveStats { dispatches: state.borrow().dispatches, stack_high_water_bytes }
 }

@@ -40,6 +40,7 @@
 //! are no wildcard receives, and the virtual-time arithmetic does not
 //! depend on thread scheduling.
 
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
@@ -59,6 +60,9 @@ pub use cluster::{
     BackendStats, Cluster, ClusterConfig, GearSelection, RankResult, RunResult, RuntimeBackend,
 };
 pub use comm::{Comm, RecvRequest};
+/// Stack size of each DES rank coroutine (for interpreting
+/// [`BackendStats::stack_high_water_bytes`]).
+pub use des::coro::STACK_BYTES as DES_STACK_BYTES;
 pub use network::NetworkModel;
 pub use policyhook::{ClusterPolicy, InertRankPolicy, Observation, PolicyEvent, RankPolicy};
 pub use reduce::ReduceOp;

@@ -36,6 +36,7 @@
 //! mutable state — `psc-analyze` rule P001 bans the corresponding
 //! idents from this crate.
 
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -4,7 +4,7 @@ use crate::cache::{fnv1a64, CacheStats, RunCache, CACHE_SCHEMA};
 use crate::metrics::EngineMetrics;
 use crate::plan::{RunPlan, RunSpec};
 use psc_faults::FaultPlan;
-use psc_mpi::{default_jobs, Cluster, GearSelection, RunResult};
+use psc_mpi::{default_jobs, BackendStats, Cluster, GearSelection, RunResult};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
@@ -337,7 +337,7 @@ impl Engine {
             };
             let guard = OwnerGuard { inflight: &self.inflight, key, slot: Arc::clone(&slot) };
             let sw = self.metrics.stopwatch();
-            let (run, des_events) = self.execute_spec(spec);
+            let (run, backend) = self.execute_spec(spec);
             let run = Arc::new(run);
             if let Some(sw) = sw {
                 self.metrics.on_run_executed(
@@ -345,7 +345,7 @@ impl Engine {
                     &Self::gear_label(spec),
                     0,
                     0.0,
-                    des_events,
+                    backend,
                     &sw,
                 );
             }
@@ -411,7 +411,7 @@ impl Engine {
                         }
                         let (key, spec) = to_run[k];
                         let sw = self.metrics.stopwatch();
-                        let (run, des_events) = self.execute_spec(spec);
+                        let (run, backend) = self.execute_spec(spec);
                         let run = Arc::new(run);
                         if let (Some(sw), Some(pool)) = (sw, pool_sw.as_ref()) {
                             // Queue wait: how long this item sat between
@@ -423,7 +423,7 @@ impl Engine {
                                 &Self::gear_label(spec),
                                 lane,
                                 wait_s.max(0.0),
-                                des_events,
+                                backend,
                                 &sw,
                             );
                         }
@@ -447,10 +447,10 @@ impl Engine {
     }
 
     /// Execute a spec on the cluster. Returns the result plus the
-    /// backend's scheduler event count — carried *beside* the result
+    /// backend's execution statistics — carried *beside* the result
     /// (never in it) so the instrumentation around this function can
     /// observe DES throughput without touching what a run computes.
-    fn execute_spec(&self, spec: &RunSpec) -> (RunResult, u64) {
+    fn execute_spec(&self, spec: &RunSpec) -> (RunResult, BackendStats) {
         let policy = spec.policy.as_ref().map(|p| p as &dyn psc_mpi::ClusterPolicy);
         let (run, _outputs, backend) = self.cluster.run_with_policy_stats(
             &spec.config(),
@@ -458,7 +458,7 @@ impl Engine {
             policy,
             |comm| spec.bench.run(comm, spec.class),
         );
-        (run, backend.events_processed)
+        (run, backend)
     }
 }
 

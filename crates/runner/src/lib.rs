@@ -36,6 +36,7 @@
 //! you edit a kernel, wipe the cache directory (or set `PSC_CACHE=0`)
 //! to avoid reusing stale measurements.
 
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

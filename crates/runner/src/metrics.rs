@@ -19,6 +19,7 @@
 //! | `engine_runs_simulated` | counter | — | simulations actually executed — under in-flight dedup, exactly one per unique cache key |
 //! | `engine_run_wall_seconds` | histogram | `bench`, `gear` | host wall-clock per *executed* run |
 //! | `engine_des_events_total` | counter | — | DES scheduler dispatches across executed runs (0 under the threaded backend) |
+//! | `engine_des_stack_high_water_bytes` | gauge | — | peak rank-coroutine stack usage across executed runs (0 under the threaded backend) |
 //! | `engine_cache_lookups_total` | counter | `result` | cache layer answers: `mem_hit`, `disk_hit`, `miss` |
 //! | `engine_cache_corrupt_total` | counter | — | damaged disk entries healed by re-execution |
 //! | `engine_cache_serialize_seconds_total` | counter (f64) | — | time serializing results for disk |
@@ -134,16 +135,17 @@ impl EngineMetrics {
             .inc();
     }
 
-    /// One run actually executed on a worker lane. `des_events` is the
-    /// scheduler's dispatch count for the run (0 under the threaded
-    /// backend, which has no event queue).
+    /// One run actually executed on a worker lane. `backend` carries
+    /// the DES scheduler's dispatch count and stack high-water mark for
+    /// the run (both 0 under the threaded backend, which has no event
+    /// queue and runs ranks on OS-thread stacks).
     pub(crate) fn on_run_executed(
         &self,
         bench: &str,
         gear: &str,
         lane: u64,
         queue_wait_s: f64,
-        des_events: u64,
+        backend: psc_mpi::BackendStats,
         sw: &Stopwatch,
     ) {
         if !self.enabled {
@@ -156,14 +158,23 @@ impl EngineMetrics {
                 &[("bench", bench), ("gear", gear)],
             )
             .observe(sw.elapsed_s());
-        if des_events > 0 {
+        if backend.events_processed > 0 {
             self.registry
                 .counter(
                     "engine_des_events_total",
                     "DES scheduler dispatches across executed runs.",
                     &[],
                 )
-                .add(des_events);
+                .add(backend.events_processed);
+        }
+        if backend.stack_high_water_bytes > 0 {
+            self.registry
+                .gauge(
+                    "engine_des_stack_high_water_bytes",
+                    "Peak rank-coroutine stack usage across executed runs.",
+                    &[],
+                )
+                .record_max(backend.stack_high_water_bytes as f64);
         }
         self.registry
             .time_histogram(

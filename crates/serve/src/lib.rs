@@ -22,6 +22,7 @@
 //! [`replay`] is the proof harness: seeded Zipf-skewed client streams,
 //! byte-compared against direct serial engine execution.
 
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -29,6 +29,8 @@
 //! See `README.md` for a quickstart and `DESIGN.md` / `EXPERIMENTS.md`
 //! for the system inventory and per-experiment reproduction records.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub use psc_analysis as analysis;
 pub use psc_experiments as experiments;
 pub use psc_faults as faults;
